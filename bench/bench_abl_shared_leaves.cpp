@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: Figure 8's shared-dependence semantics. Compares the
+ * variance of B = (Y + X) + X under the correct network (one X node,
+ * epoch-memoized) against the wrong network (two independent copies
+ * of X), and shows the downstream effect on a conditional.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "stats/summary.hpp"
+
+using namespace uncertain;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Ablation: correct vs. wrong Bayesian network for "
+                  "B = (Y + X) + X (Figure 8)");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+    const std::size_t n = paper ? 1000000 : 150000;
+    Rng rng(43);
+
+    auto gaussian = [] {
+        return core::fromDistribution(
+            std::make_shared<random::Gaussian>(0.0, 1.0));
+    };
+
+    // Correct: both occurrences are the same node.
+    auto x = gaussian();
+    auto y = gaussian();
+    auto correct = (y + x) + x;
+
+    // Wrong: a second, independent leaf plays the role of the
+    // second X occurrence (Figure 8(a)).
+    auto xCopy = gaussian();
+    auto wrong = (y + x) + xCopy;
+
+    stats::OnlineSummary correctSummary;
+    correctSummary.addAll(correct.takeSamples(n, rng));
+    stats::OnlineSummary wrongSummary;
+    wrongSummary.addAll(wrong.takeSamples(n, rng));
+
+    bench::Table table({"network", "variance", "analytic"});
+    table.mixedRow({"correct (shared X)",
+                    std::to_string(correctSummary.variance()),
+                    "5  (1 + 4*1)"});
+    table.mixedRow({"wrong (independent)",
+                    std::to_string(wrongSummary.variance()),
+                    "3  (1 + 1 + 1)"});
+
+    // Downstream: the wrong network understates tail probabilities.
+    double pCorrect = (correct > 3.0).probability(n, rng);
+    double pWrong = (wrong > 3.0).probability(n, rng);
+    std::printf("\nPr[B > 3]: correct %.4f vs. wrong %.4f — the "
+                "wrong network understates\nthe tail by %.1fx, which "
+                "is precisely the class of bug the epoch-memoized\n"
+                "sampler rules out.\n",
+                pCorrect, pWrong, pCorrect / pWrong);
+    return 0;
+}

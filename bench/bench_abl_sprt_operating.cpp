@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: SPRT operating characteristics. Sweeps the true
+ * Bernoulli parameter across the threshold and reports acceptance
+ * rates and average sample numbers for several (indifference, alpha)
+ * settings — the efficiency/accuracy dial of section 4.3.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "stats/sprt.hpp"
+#include "support/rng.hpp"
+
+using namespace uncertain;
+
+namespace {
+
+void
+sweepConfiguration(double indifference, double alpha,
+                   std::size_t trials, Rng& rng)
+{
+    std::printf("--- indifference %.2f, alpha = beta = %.2f ---\n",
+                indifference, alpha);
+    bench::Table table({"true p", "accept-alt rate",
+                        "inconclusive", "mean samples"});
+    for (double p : {0.30, 0.40, 0.45, 0.48, 0.50, 0.52, 0.55, 0.60,
+                     0.70}) {
+        std::size_t acceptAlt = 0;
+        std::size_t inconclusive = 0;
+        std::size_t totalSamples = 0;
+        for (std::size_t t = 0; t < trials; ++t) {
+            stats::SprtOptions options;
+            options.indifference = indifference;
+            options.alpha = alpha;
+            options.beta = alpha;
+            options.maxSamples = 2000;
+            stats::Sprt test(0.5, options);
+            while (!test.isDecided() && !test.isCapped())
+                test.add(rng.nextBool(p));
+            totalSamples += test.samplesUsed();
+            switch (test.decision()) {
+              case stats::TestDecision::AcceptAlternative:
+                ++acceptAlt;
+                break;
+              case stats::TestDecision::Inconclusive:
+                ++inconclusive;
+                break;
+              case stats::TestDecision::AcceptNull:
+                break;
+            }
+        }
+        table.row({p, static_cast<double>(acceptAlt) / trials,
+                   static_cast<double>(inconclusive) / trials,
+                   static_cast<double>(totalSamples) / trials});
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Ablation: SPRT operating characteristics around "
+                  "threshold 0.5");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+    const std::size_t trials = paper ? 10000 : 1500;
+    Rng rng(42);
+
+    sweepConfiguration(0.05, 0.05, trials, rng);
+    sweepConfiguration(0.10, 0.05, trials, rng);
+    sweepConfiguration(0.05, 0.01, trials, rng);
+
+    std::printf("Shape checks: the accept-alternative curve is a "
+                "sharp sigmoid through\nthe indifference band; "
+                "sample cost peaks at the threshold and falls\n"
+                "off steeply; a wider indifference band buys cheaper "
+                "decisions at the\ncost of a wider ambiguous zone; "
+                "smaller alpha costs more samples.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: the paper's goal-directed SPRT sampling vs. a fixed
+ * sample pool (section 4.3's claim against "previous random sampling
+ * approaches, which compute with a fixed pool of samples"). For a
+ * range of true probabilities we compare decision error and sampling
+ * cost of the SPRT, a Pocock group-sequential test, and fixed-N
+ * evaluation.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/core.hpp"
+#include "random/bernoulli.hpp"
+
+using namespace uncertain;
+
+namespace {
+
+struct Outcome
+{
+    double errorRate;
+    double meanSamples;
+};
+
+Outcome
+evaluateStrategy(double trueP, const core::ConditionalOptions& options,
+                 std::size_t trials, Rng& rng)
+{
+    auto coin = Uncertain<bool>::fromSampler(
+        [trueP](Rng& r) { return r.nextBool(trueP); }, "coin");
+    // Truth for "Pr > 0.5": defined outside the indifference band.
+    bool truth = trueP > 0.5;
+    std::size_t wrong = 0;
+    std::size_t totalSamples = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        auto result = coin.evaluate(0.5, options, rng);
+        totalSamples += result.samplesUsed;
+        if (result.toBool() != truth)
+            ++wrong;
+    }
+    return {static_cast<double>(wrong) / trials,
+            static_cast<double>(totalSamples) / trials};
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Ablation: SPRT vs. group-sequential vs. fixed-N "
+                  "conditional evaluation");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+    const std::size_t trials = paper ? 5000 : 800;
+    Rng rng(41);
+
+    std::vector<double> ps{0.2, 0.4, 0.45, 0.55, 0.6, 0.7, 0.9};
+
+    core::ConditionalOptions sprt;
+    sprt.sprt.maxSamples = 1000;
+
+    core::ConditionalOptions group;
+    group.strategy = core::ConditionalStrategy::GroupSequential;
+    group.sprt.maxSamples = 1000;
+    group.groupLooks = 5;
+
+    core::ConditionalOptions fixedSmall;
+    fixedSmall.strategy = core::ConditionalStrategy::FixedSample;
+    fixedSmall.fixedSamples = 30;
+
+    core::ConditionalOptions fixedBig;
+    fixedBig.strategy = core::ConditionalStrategy::FixedSample;
+    fixedBig.fixedSamples = 1000;
+
+    struct Strategy
+    {
+        const char* name;
+        const core::ConditionalOptions* options;
+    };
+    std::vector<Strategy> strategies{
+        {"sprt", &sprt},
+        {"group-seq(5)", &group},
+        {"fixed-30", &fixedSmall},
+        {"fixed-1000", &fixedBig},
+    };
+
+    for (const auto& strategy : strategies) {
+        std::printf("--- %s ---\n", strategy.name);
+        bench::Table table({"true p", "wrong decisions",
+                            "mean samples"});
+        for (double p : ps) {
+            Outcome o =
+                evaluateStrategy(p, *strategy.options, trials, rng);
+            table.row({p, o.errorRate, o.meanSamples});
+        }
+        std::printf("\n");
+    }
+
+    std::printf("Shape checks: the SPRT matches fixed-1000's accuracy "
+                "at a fraction of\nits cost for easy questions "
+                "(p far from 0.5), and beats fixed-30's\naccuracy "
+                "near the threshold by spending samples only where "
+                "they are\nneeded. The group-sequential variant "
+                "bounds the worst-case cost.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 1: a single sample is a poor approximation of the entire
+ * distribution. Draws one sample from a Gaussian, then the full
+ * histogram, and reports how misleading the single draw can be.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "random/gaussian.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "support/rng.hpp"
+
+using namespace uncertain;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 1: one sample vs. the distribution "
+                  "(Gaussian(0, 1))");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+    const std::size_t n = paper ? 1000000 : 100000;
+
+    random::Gaussian dist(0.0, 1.0);
+    Rng rng(1);
+
+    double single = dist.sample(rng);
+    std::printf("single sample:          %+.3f\n", single);
+    std::printf("distribution mean:      %+.3f\n", dist.mean());
+    std::printf("single-sample error:    %+.3f (%.1f%% of the "
+                "distribution is closer to the mean)\n\n",
+                single - dist.mean(),
+                100.0
+                    * (dist.cdf(std::fabs(single))
+                       - dist.cdf(-std::fabs(single))));
+
+    stats::Histogram histogram(-4.0, 4.0, 33);
+    stats::OnlineSummary summary;
+    for (std::size_t i = 0; i < n; ++i) {
+        double x = dist.sample(rng);
+        histogram.add(x);
+        summary.add(x);
+    }
+    std::printf("%zu samples: mean %+.4f, stddev %.4f\n\n", n,
+                summary.mean(), summary.stddev());
+    std::printf("%s", histogram.render(48).c_str());
+    std::printf("\nPaper's point: treating the single draw as the "
+                "value discards the\nentire shape above.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 3: speed computed naively from GPS produces absurd walking
+ * speeds. Reproduces the paper's 15-minute walk (simulated ground
+ * truth, phone-like correlated GPS errors with glitches) and prints
+ * the trace statistics the paper calls out: average ~3.5 mph, tens
+ * of seconds above 7 mph (running pace), absurd peaks (30-59 mph).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gps/trajectory.hpp"
+#include "gps/walking.hpp"
+#include "stats/summary.hpp"
+
+using namespace uncertain;
+using namespace uncertain::gps;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 3: naive speed computation on GPS data");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+
+    Rng rng(3);
+    WalkConfig config;
+    config.durationSeconds = paper ? 900.0 : 900.0; // the full 15 min
+    auto truth = simulateWalk(config, rng);
+
+    GpsSensorConfig sensorConfig;
+    sensorConfig.epsilon95 = 2.0;
+    sensorConfig.correlation = 0.95;
+    sensorConfig.glitchProbability = 0.03;
+    sensorConfig.glitchScale = 4.0;
+    GpsSensor sensor(sensorConfig);
+    auto fixes = observeWalk(truth, sensor, rng);
+
+    std::vector<double> naive;
+    stats::OnlineSummary naiveSummary;
+    stats::OnlineSummary truthSummary;
+    int aboveRunning = 0;
+    int absurd = 0;
+    for (std::size_t i = 1; i < fixes.size(); ++i) {
+        double mph = naiveSpeedMph(fixes[i - 1], fixes[i]);
+        naive.push_back(mph);
+        naiveSummary.add(mph);
+        truthSummary.add(truth[i].speedMph);
+        aboveRunning += mph > 7.0 ? 1 : 0;
+        absurd += mph > 20.0 ? 1 : 0;
+    }
+
+    std::printf("walk duration:            %.0f s at 1 Hz\n",
+                config.durationSeconds);
+    std::printf("true average speed:       %.2f mph (max %.2f)\n",
+                truthSummary.mean(), truthSummary.max());
+    std::printf("naive average speed:      %.2f mph   [paper: 3.5]\n",
+                naiveSummary.mean());
+    std::printf("naive max speed:          %.1f mph   [paper: 59]\n",
+                naiveSummary.max());
+    std::printf("seconds above 7 mph:      %d        [paper: 35]\n",
+                aboveRunning);
+    std::printf("seconds above 20 mph:     %d\n\n", absurd);
+
+    std::printf("worst 10 naive readings (mph):");
+    std::vector<double> sorted = naive;
+    std::sort(sorted.rbegin(), sorted.rend());
+    for (int i = 0; i < 10 && i < static_cast<int>(sorted.size());
+         ++i) {
+        std::printf(" %.1f", sorted[static_cast<std::size_t>(i)]);
+    }
+    std::printf("\n\nShape check: a ~3 mph walk, yet the naive trace "
+                "reports running pace\nrepeatedly and absurd peaks — "
+                "compounded fix error, exactly Figure 3.\n");
+    return 0;
+}

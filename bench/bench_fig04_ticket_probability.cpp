@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 4: probability of issuing a speeding ticket at a 60 mph
+ * limit, as a function of true speed and GPS accuracy, when the
+ * conditional naively compares the measured speed to the limit.
+ * Anchor: true speed 57 mph at 4 m accuracy gives ~32% false
+ * tickets (paper section 2). Also prints the section-2 anchor that
+ * two 4 m fixes compound to a ~12.7 mph 95% speed interval.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gps/gps_library.hpp"
+#include "gps/sensor.hpp"
+#include "stats/summary.hpp"
+
+using namespace uncertain;
+using namespace uncertain::gps;
+
+namespace {
+
+double
+ticketProbability(double trueSpeedMph, double epsilon,
+                  std::size_t trials, Rng& rng)
+{
+    GeoCoordinate start{47.62, -122.35};
+    GeoCoordinate end =
+        destination(start, 0.5, trueSpeedMph / kMpsToMph);
+    int tickets = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        GpsSensor sensor(epsilon); // memoryless: worst case
+        GpsFix f1 = sensor.read(start, 0.0, rng);
+        GpsFix f2 = sensor.read(end, 1.0, rng);
+        tickets += naiveSpeedMph(f1, f2) > 60.0 ? 1 : 0;
+    }
+    return static_cast<double>(tickets)
+           / static_cast<double>(trials);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 4: Pr[ticket] at a 60 mph limit vs. true "
+                  "speed and GPS accuracy");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+    const std::size_t trials = paper ? 200000 : 20000;
+    Rng rng(4);
+
+    // Section 2 anchor: speed 95% CI from two 4 m fixes.
+    {
+        auto a = getLocation({{47.62, -122.35}, 4.0, 0.0});
+        auto b = getLocation({{47.62, -122.35}, 4.0, 1.0});
+        auto speed = uncertainSpeedMph(a, b, 1.0);
+        std::vector<double> samples = speed.takeSamples(40000, rng);
+        std::sort(samples.begin(), samples.end());
+        std::printf("speed 95%% CI from two 4 m fixes: %.1f mph "
+                    "[paper: 12.7]\n\n",
+                    samples[static_cast<std::size_t>(
+                        0.95 * samples.size())]);
+    }
+
+    std::vector<double> epsilons{2.0, 4.0, 8.0, 16.0};
+    std::vector<std::string> header{"true mph"};
+    for (double e : epsilons)
+        header.push_back("eps=" + std::to_string(static_cast<int>(e))
+                         + "m");
+    bench::Table table(header);
+
+    for (double speed : {50.0, 53.0, 55.0, 57.0, 59.0, 60.0, 61.0,
+                         63.0, 65.0, 70.0}) {
+        std::vector<double> row{speed};
+        for (double epsilon : epsilons)
+            row.push_back(
+                ticketProbability(speed, epsilon, trials, rng));
+        table.row(row);
+    }
+
+    std::printf("\nAnchor: 57 mph at eps=4 m should sit near 0.32 "
+                "(paper: 32%%).\nShape: probabilities rise toward 0.5 "
+                "at the limit and the curves\nflatten as accuracy "
+                "degrades — larger eps means more false tickets\n"
+                "below the limit and more missed tickets above it.\n");
+    return 0;
+}

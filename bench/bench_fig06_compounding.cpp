@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 6: computation compounds uncertainty. The distribution of
+ * c = a + b is wider than either operand's.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+using namespace uncertain;
+
+namespace {
+
+void
+describe(const char* name, const Uncertain<double>& variable,
+         std::size_t n, Rng& rng)
+{
+    stats::OnlineSummary summary;
+    std::vector<double> samples = variable.takeSamples(n, rng);
+    summary.addAll(samples);
+    std::printf("%s: mean %+.3f, stddev %.3f\n", name, summary.mean(),
+                summary.stddev());
+    stats::Histogram histogram(-8.0, 12.0, 25);
+    histogram.addAll(samples);
+    std::printf("%s\n", histogram.render(40).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 6: computation compounds uncertainty "
+                  "(c = a + b)");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+    const std::size_t n = paper ? 400000 : 60000;
+
+    Rng rng(6);
+    auto a = core::fromDistribution(
+        std::make_shared<random::Gaussian>(1.0, 1.0));
+    auto b = core::fromDistribution(
+        std::make_shared<random::Gaussian>(2.0, 1.5));
+    auto c = a + b;
+
+    describe("a ~ N(1, 1.0)  ", a, n, rng);
+    describe("b ~ N(2, 1.5)  ", b, n, rng);
+    describe("c = a + b      ", c, n, rng);
+
+    std::printf("Shape check: stddev(c) = sqrt(1 + 2.25) = 1.80 > "
+                "max(stddev(a), stddev(b)).\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10: domain knowledge as a prior improves GPS estimates —
+ * "road snapping". A user drives along a road; the GPS fix lands
+ * beside it; the road prior shifts the posterior mean from the raw
+ * fix toward the road, unless the fix is emphatically off-road.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gps/gps_library.hpp"
+#include "gps/roads.hpp"
+
+using namespace uncertain;
+using namespace uncertain::gps;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 10: road snapping via a location prior");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+
+    Rng rng(10);
+    const GeoCoordinate center{47.6200, -122.3500};
+    // One street running north-south through the center.
+    RoadNetwork road({{destination(center, M_PI, 500.0),
+                       destination(center, 0.0, 500.0)}});
+    RoadPrior prior(road, 6.0);
+
+    inference::ReweightOptions options;
+    options.proposalSamples = paper ? 40000 : 8000;
+    options.resampleSize = paper ? 20000 : 4000;
+
+    std::printf("true position: on the road; fixes displaced east by "
+                "varying amounts\n(eps = 8 m). Distances are from "
+                "the road centerline, meters.\n\n");
+
+    bench::Table table({"fix offset", "raw E dist", "snapped E dist",
+                        "shift toward road"});
+    for (double offsetEast : {2.0, 5.0, 10.0, 15.0, 25.0, 60.0}) {
+        GeoCoordinate fixCenter =
+            destination(center, M_PI / 2.0, offsetEast);
+        auto raw = getLocation({fixCenter, 8.0, 0.0});
+        auto snapped = snapToRoads(raw, prior, options, rng);
+
+        auto meanRoadDistance = [&](const Uncertain<GeoCoordinate>& u) {
+            double total = 0.0;
+            const int n = 2000;
+            for (const auto& p : u.takeSamples(n, rng))
+                total += road.distanceToNearestRoad(p);
+            return total / n;
+        };
+
+        double rawDist = meanRoadDistance(raw);
+        double snappedDist = meanRoadDistance(snapped);
+        table.row({offsetEast, rawDist, snappedDist,
+                   rawDist - snappedDist});
+    }
+
+    std::printf("\nShape check (Figure 10): the posterior mean shifts "
+                "from the raw fix\ntoward the road; the shift shrinks "
+                "once the fix is so far off-road that\nthe uniform "
+                "floor of the prior dominates (strong contrary "
+                "evidence wins).\n");
+    return 0;
+}

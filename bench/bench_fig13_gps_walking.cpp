@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 13 + the section 5.1 anchors: the GPS-Walking trace. For a
+ * simulated 15-minute walk it reports, per series:
+ *  - naive speed (Figure 5(a)),
+ *  - E[Speed] of the uncertain speed (the "GPS speed" series),
+ *  - E of the prior-improved speed (the "Improved speed" series),
+ * plus the false-running-report counters (naive conditional vs.
+ * evidence conditional) and the confidence-interval tightening the
+ * prior delivers.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gps/trajectory.hpp"
+#include "gps/walking.hpp"
+#include "stats/summary.hpp"
+
+using namespace uncertain;
+using namespace uncertain::gps;
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Figure 13: GPS-Walking — naive vs. E[Speed] vs. "
+                  "prior-improved speed");
+    bool paper = bench::hasFlag(argc, argv, "--paper");
+    const double duration = paper ? 900.0 : 300.0;
+    const std::size_t evalSamples = paper ? 2000 : 400;
+
+    Rng rng(13);
+    WalkConfig config;
+    config.durationSeconds = duration;
+    auto truth = simulateWalk(config, rng);
+
+    GpsSensorConfig sensorConfig;
+    sensorConfig.epsilon95 = 2.0;
+    sensorConfig.correlation = 0.95;
+    sensorConfig.glitchProbability = 0.03;
+    sensorConfig.glitchScale = 4.0;
+    GpsSensor sensor(sensorConfig);
+    auto fixes = observeWalk(truth, sensor, rng);
+
+    core::ConditionalOptions conditional;
+    conditional.sprt.maxSamples = 200;
+    inference::ReweightOptions reweightOptions;
+    reweightOptions.proposalSamples = 1500;
+    reweightOptions.resampleSize = 800;
+
+    stats::OnlineSummary naiveSummary;
+    stats::OnlineSummary gpsSummary;
+    stats::OnlineSummary improvedSummary;
+    stats::OnlineSummary rawWidth;
+    stats::OnlineSummary improvedWidth;
+    int naiveFast = 0;
+    int evidenceFast = 0;
+    double naiveMax = 0.0;
+    double gpsMax = 0.0;
+    double improvedMax = 0.0;
+
+    for (std::size_t i = 1; i < fixes.size(); ++i) {
+        double naive = naiveSpeedMph(fixes[i - 1], fixes[i]);
+        auto speed = speedFromFixes(fixes[i - 1], fixes[i]);
+        auto improved = improveSpeed(speed, reweightOptions);
+
+        double gpsE = speed.expectedValue(evalSamples, rng);
+        double improvedE = improved.expectedValue(evalSamples, rng);
+
+        naiveSummary.add(naive);
+        gpsSummary.add(gpsE);
+        improvedSummary.add(improvedE);
+        naiveMax = std::max(naiveMax, naive);
+        gpsMax = std::max(gpsMax, gpsE);
+        improvedMax = std::max(improvedMax, improvedE);
+
+        // 95% spread of each per-second distribution.
+        auto rawSamples = speed.takeSamples(evalSamples, rng);
+        auto impSamples = improved.takeSamples(evalSamples, rng);
+        std::sort(rawSamples.begin(), rawSamples.end());
+        std::sort(impSamples.begin(), impSamples.end());
+        auto width = [](const std::vector<double>& xs) {
+            return xs[static_cast<std::size_t>(0.975 * xs.size())]
+                   - xs[static_cast<std::size_t>(0.025 * xs.size())];
+        };
+        rawWidth.add(width(rawSamples));
+        improvedWidth.add(width(impSamples));
+
+        naiveFast += naive > 7.0 ? 1 : 0;
+        evidenceFast +=
+            (speed > 7.0).pr(0.9, conditional, rng) ? 1 : 0;
+    }
+
+    bench::Table table(
+        {"series", "mean mph", "max mph", "mean 95% width"});
+    table.mixedRow({"true walk",
+                    std::to_string(3.0).substr(0, 6), "6.0", "-"});
+    table.row({0, naiveSummary.mean(), naiveMax, 0.0});
+    table.row({1, gpsSummary.mean(), gpsMax, rawWidth.mean()});
+    table.row({2, improvedSummary.mean(), improvedMax,
+               improvedWidth.mean()});
+    std::printf("(series 0 = naive, 1 = E[Speed], 2 = improved with "
+                "walking prior)\n\n");
+
+    std::printf("seconds reported above 7 mph (running pace):\n");
+    std::printf("  naive conditional:     %d   [paper: ~30-35 s]\n",
+                naiveFast);
+    std::printf("  evidence Pr(0.9):      %d   [paper: ~4 s]\n\n",
+                evidenceFast);
+
+    std::printf("Shape checks:\n");
+    std::printf("  - improved max (%.1f) strips the absurd naive max "
+                "(%.1f) [paper: 59 -> plausible]\n",
+                improvedMax, naiveMax);
+    std::printf("  - improved 95%% width (%.1f) is tighter than raw "
+                "(%.1f) [Figure 13's tighter CI]\n",
+                improvedWidth.mean(), rawWidth.mean());
+    return 0;
+}

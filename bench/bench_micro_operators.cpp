@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): the runtime costs behind the
+ * abstraction — graph construction, ancestral sampling at varying
+ * depths, memoized shared nodes, conditional evaluation, and E().
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+
+using namespace uncertain;
+
+namespace {
+
+Uncertain<double>
+gaussianLeaf()
+{
+    return core::fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 1.0));
+}
+
+/** Chain of @p depth additions over fresh leaves. */
+Uncertain<double>
+buildChain(int depth)
+{
+    auto acc = gaussianLeaf();
+    for (int i = 1; i < depth; ++i)
+        acc = acc + gaussianLeaf();
+    return acc;
+}
+
+void
+BM_GraphConstruction(benchmark::State& state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto chain = buildChain(depth);
+        benchmark::DoNotOptimize(chain.node().get());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GraphConstruction)->Range(1, 256)->Complexity();
+
+void
+BM_AncestralSampling(benchmark::State& state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    auto chain = buildChain(depth);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chain.sample(rng));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AncestralSampling)->Range(1, 256)->Complexity();
+
+void
+BM_SharedNodeSampling(benchmark::State& state)
+{
+    // Diamond sharing: 2^k paths but only k nodes; memoization must
+    // keep this linear in nodes, not paths.
+    const int levels = static_cast<int>(state.range(0));
+    auto node = gaussianLeaf();
+    for (int i = 0; i < levels; ++i)
+        node = node + node;
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(node.sample(rng));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SharedNodeSampling)->DenseRange(2, 20, 6)->Complexity();
+
+void
+BM_ConditionalEasy(benchmark::State& state)
+{
+    auto variable = core::fromDistribution(
+        std::make_shared<random::Gaussian>(8.0, 1.0));
+    auto condition = variable > 4.0;
+    Rng rng(3);
+    core::ConditionalOptions options;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(condition.pr(0.5, options, rng));
+}
+BENCHMARK(BM_ConditionalEasy);
+
+void
+BM_ConditionalHard(benchmark::State& state)
+{
+    auto variable = core::fromDistribution(
+        std::make_shared<random::Gaussian>(4.05, 1.0));
+    auto condition = variable > 4.0;
+    Rng rng(4);
+    core::ConditionalOptions options;
+    options.sprt.maxSamples = 1000;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(condition.pr(0.5, options, rng));
+}
+BENCHMARK(BM_ConditionalHard);
+
+void
+BM_ExpectedValue(benchmark::State& state)
+{
+    auto chain = buildChain(8);
+    Rng rng(5);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chain.expectedValue(n, rng));
+}
+BENCHMARK(BM_ExpectedValue)->Arg(100)->Arg(1000);
+
+void
+BM_ExpectedValueAdaptive(benchmark::State& state)
+{
+    auto chain = buildChain(8);
+    Rng rng(6);
+    stats::AdaptiveMeanOptions options;
+    // The chain's mean is ~0, so use an absolute target.
+    options.absoluteTolerance = 0.1;
+    for (auto _ : state) {
+        auto result = chain.expectedValueAdaptive(options, rng);
+        benchmark::DoNotOptimize(result.mean);
+    }
+}
+BENCHMARK(BM_ExpectedValueAdaptive);
+
+void
+BM_LeafSampling(benchmark::State& state)
+{
+    auto leaf = gaussianLeaf();
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(leaf.sample(rng));
+}
+BENCHMARK(BM_LeafSampling);
+
+} // namespace
+
+BENCHMARK_MAIN();

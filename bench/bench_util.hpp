@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses: aligned
+ * table printing and a --paper flag that switches from the default
+ * quick configuration to the paper's full experiment scale.
+ */
+
+#ifndef UNCERTAIN_BENCH_BENCH_UTIL_HPP
+#define UNCERTAIN_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace uncertain {
+namespace bench {
+
+/** True when @p flag appears among the process arguments. */
+inline bool
+hasFlag(int argc, char** argv, const char* flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Print a banner naming the figure being reproduced. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Fixed-width row printing: header then rows of doubles. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns)
+        : columns_(std::move(columns))
+    {
+        for (std::size_t i = 0; i < columns_.size(); ++i)
+            std::printf("%-16s", columns_[i].c_str());
+        std::printf("\n");
+        for (std::size_t i = 0; i < columns_.size(); ++i)
+            std::printf("%-16s", "---------------");
+        std::printf("\n");
+    }
+
+    void
+    row(const std::vector<double>& values)
+    {
+        for (double v : values)
+            std::printf("%-16.4f", v);
+        std::printf("\n");
+    }
+
+    void
+    mixedRow(const std::vector<std::string>& values)
+    {
+        for (const auto& v : values)
+            std::printf("%-16s", v.c_str());
+        std::printf("\n");
+    }
+
+  private:
+    std::vector<std::string> columns_;
+};
+
+} // namespace bench
+} // namespace uncertain
+
+#endif // UNCERTAIN_BENCH_BENCH_UTIL_HPP

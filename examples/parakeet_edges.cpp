@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parakeet (paper section 5.3): approximate the Sobel operator with
+ * a Bayesian neural network and detect edges with evidence
+ * conditionals instead of point estimates.
+ *
+ *   ./parakeet_edges [--train N] [--eval N]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "nn/parakeet.hpp"
+#include "nn/sobel.hpp"
+#include "stats/precision_recall.hpp"
+
+using namespace uncertain;
+using namespace uncertain::nn;
+
+int
+main(int argc, char** argv)
+{
+    std::size_t trainCount = 2000;
+    std::size_t evalCount = 300;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--train") == 0)
+            trainCount =
+                static_cast<std::size_t>(std::atoi(argv[i + 1]));
+        if (std::strcmp(argv[i], "--eval") == 0)
+            evalCount =
+                static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+
+    Rng rng(2023);
+    std::printf("Training Parakeet on %zu synthetic Sobel patches "
+                "(9-8-1 network)...\n",
+                trainCount);
+    Dataset train = makeSobelDataset(trainCount, rng);
+
+    ParakeetOptions options;
+    options.sgd.epochs = 150;
+    options.hmc.burnIn = 200;
+    options.hmc.posteriorSamples = 64;
+    options.hmc.thinning = 5;
+    options.hmcDataLimit = 1000;
+    Parakeet model = Parakeet::train(train, options, rng);
+    std::printf("Parrot (point estimate) training RMS error: %.3f\n",
+                std::sqrt(model.parrotTrainingMse()));
+    std::printf("HMC acceptance rate: %.2f, posterior pool: %zu "
+                "networks\n\n",
+                model.hmcAcceptanceRate(), model.poolSize());
+
+    Dataset eval = makeSobelDataset(evalCount, rng);
+    core::ConditionalOptions conditional;
+    conditional.sprt.maxSamples = 200;
+
+    // Parrot: locked into one precision/recall point.
+    stats::ConfusionMatrix parrot;
+    for (std::size_t i = 0; i < eval.size(); ++i) {
+        bool truth = eval.targets[i] > kEdgeThreshold;
+        parrot.add(truth,
+                   model.parrotPredict(eval.inputs[i])
+                       > kEdgeThreshold);
+    }
+    std::printf("Parrot point estimate:  precision %.2f  recall %.2f\n",
+                parrot.precision(), parrot.recall());
+
+    // Parakeet: developers pick their own balance via alpha.
+    for (double alpha : {0.2, 0.5, 0.8}) {
+        stats::ConfusionMatrix matrix;
+        for (std::size_t i = 0; i < eval.size(); ++i) {
+            bool truth = eval.targets[i] > kEdgeThreshold;
+            auto evidence =
+                model.predict(eval.inputs[i]) > kEdgeThreshold;
+            matrix.add(truth, evidence.pr(alpha, conditional, rng));
+        }
+        std::printf("Parakeet Pr(%.1f):      precision %.2f  recall "
+                    "%.2f\n",
+                    alpha, matrix.precision(), matrix.recall());
+    }
+
+    // One concrete pixel: the full posterior predictive view.
+    Patch step{0.2, 0.25, 0.3, 0.2, 0.25, 0.3, 0.2, 0.25, 0.3};
+    std::vector<double> input(step.begin(), step.end());
+    auto ppd = model.predict(input);
+    std::printf("\nWeak-gradient pixel: truth s(p) = %.3f, Parrot says "
+                "%.3f,\nPr[s(p) > 0.1] = %.2f -- the evidence view "
+                "exposes what the point\nestimate hides.\n",
+                sobel(step), model.parrotPredict(input),
+                (ppd > kEdgeThreshold).probability(2000, rng));
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Road snapping (paper section 3.5, Figure 10): combine the GPS
+ * posterior with a road-network prior to fix the user's location to
+ * nearby roads — unless the GPS evidence to the contrary is very
+ * strong.
+ *
+ *   ./road_snapping
+ */
+
+#include <cstdio>
+
+#include "gps/gps_library.hpp"
+#include "gps/roads.hpp"
+
+using namespace uncertain;
+using namespace uncertain::gps;
+
+int
+main()
+{
+    seedGlobalRng(77);
+    Rng rng(78);
+
+    // A small downtown grid: streets every 80 m.
+    const GeoCoordinate center{47.6200, -122.3500};
+    RoadNetwork grid = RoadNetwork::grid(center, 80.0, 5);
+    RoadPrior prior(grid, 6.0);
+    std::printf("road network: %zu segments (80 m grid)\n\n",
+                grid.segmentCount());
+
+    inference::ReweightOptions options;
+    options.proposalSamples = 8000;
+    options.resampleSize = 4000;
+
+    // A pedestrian on a north-south street; fixes drift eastward
+    // into the block (the nearest cross-streets are 40 m away, so
+    // east drift is the distance to the road until mid-block).
+    GeoCoordinate streetPoint = destination(center, 0.0, 40.0);
+    std::printf("%-28s %14s %14s\n", "scenario", "raw dist (m)",
+                "snapped (m)");
+    struct Scenario
+    {
+        const char* label;
+        double offsetEast;
+        double accuracy;
+    };
+    for (const Scenario& s :
+         {Scenario{"good fix, on the street", 1.0, 5.0},
+          Scenario{"fix drifts 12 m off", 12.0, 8.0},
+          Scenario{"fix drifts 25 m off", 25.0, 8.0},
+          Scenario{"mid-block (40 m, parking?)", 40.0, 8.0}}) {
+        GeoCoordinate fixCenter =
+            destination(streetPoint, M_PI / 2.0, s.offsetEast);
+        auto raw = getLocation({fixCenter, s.accuracy, 0.0});
+        auto snapped = snapToRoads(raw, prior, options, rng);
+
+        auto meanDistance = [&](const Uncertain<GeoCoordinate>& u) {
+            double total = 0.0;
+            for (const auto& p : u.takeSamples(1500, rng))
+                total += grid.distanceToNearestRoad(p);
+            return total / 1500.0;
+        };
+        std::printf("%-28s %14.2f %14.2f\n", s.label,
+                    meanDistance(raw), meanDistance(snapped));
+    }
+
+    std::printf("\nThe posterior sticks to the street until the fix "
+                "is genuinely mid-block;\nthen the prior's uniform "
+                "floor lets the GPS evidence win. Composable with\n"
+                "other priors via inference::CompositePrior.\n");
+    return 0;
+}

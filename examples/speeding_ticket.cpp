@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The speeding-ticket thought experiment of paper section 2 and
+ * Figure 4: issuing tickets from GPS-measured speed at a 60 mph
+ * limit. Shows how the explicit conditional operator controls false
+ * accusations.
+ *
+ *   ./speeding_ticket
+ */
+
+#include <cstdio>
+
+#include <string>
+
+#include "gps/sensor.hpp"
+#include "gps/walking.hpp"
+
+using namespace uncertain;
+using namespace uncertain::gps;
+
+namespace {
+
+/**
+ * Build the uncertain speed for a car truly travelling
+ * @p trueSpeedMph, measured by two fixes @p epsilon apart in
+ * accuracy, 1 s apart in time.
+ */
+Uncertain<double>
+measuredSpeed(double trueSpeedMph, double epsilon, Rng& rng)
+{
+    GeoCoordinate start{47.62, -122.35};
+    double metersPerSecond = trueSpeedMph / kMpsToMph;
+    GeoCoordinate end = destination(start, 0.5, metersPerSecond);
+
+    GpsSensor sensor(epsilon);
+    GpsFix f1 = sensor.read(start, 0.0, rng);
+    GpsFix f2 = sensor.read(end, 1.0, rng);
+    return speedFromFixes(f1, f2);
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(60);
+    seedGlobalRng(61);
+    const double limit = 60.0;
+
+    std::printf("Speed limit %.0f mph, GPS accuracy 4 m.\n\n", limit);
+    std::printf("%-12s %-22s %-22s %-22s\n", "true speed",
+                "naive (one readout)", "implicit Pr > 0.5",
+                "explicit Pr > 0.99");
+
+    for (double trueSpeed : {50.0, 55.0, 57.0, 59.0, 61.0, 63.0,
+                             65.0, 70.0}) {
+        int naiveTickets = 0;
+        int implicitTickets = 0;
+        int strictTickets = 0;
+        const int trials = 40;
+        for (int t = 0; t < trials; ++t) {
+            auto speed = measuredSpeed(trueSpeed, 4.0, rng);
+            // The naive officer reads the point estimate once.
+            naiveTickets += speed.sample(rng) > limit ? 1 : 0;
+            implicitTickets += (speed > limit).pr(0.5) ? 1 : 0;
+            strictTickets += (speed > limit).pr(0.99) ? 1 : 0;
+        }
+        std::printf("%-12.0f %-22s %-22s %-22s\n", trueSpeed,
+                    (std::to_string(naiveTickets) + "/"
+                     + std::to_string(trials))
+                        .c_str(),
+                    (std::to_string(implicitTickets) + "/"
+                     + std::to_string(trials))
+                        .c_str(),
+                    (std::to_string(strictTickets) + "/"
+                     + std::to_string(trials))
+                        .c_str());
+    }
+
+    std::printf("\nAt 57 mph the paper predicts ~32%% naive false "
+                "tickets from random\nerror alone; demanding 99%% "
+                "evidence all but eliminates them while\nstill "
+                "ticketing flagrant speeders.\n");
+    return 0;
+}

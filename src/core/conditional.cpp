@@ -1,0 +1,20 @@
+#include "core/conditional.hpp"
+
+namespace uncertain {
+namespace core {
+
+EvalStats&
+evalStats()
+{
+    thread_local EvalStats stats;
+    return stats;
+}
+
+void
+resetEvalStats()
+{
+    evalStats() = EvalStats{};
+}
+
+} // namespace core
+} // namespace uncertain

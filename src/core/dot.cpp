@@ -1,0 +1,68 @@
+#include "core/dot.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace uncertain {
+namespace core {
+
+namespace {
+
+std::string
+escapeLabel(const std::string& label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toDot(const GraphNode& root)
+{
+    std::unordered_map<const GraphNode*, int> ids;
+    std::vector<const GraphNode*> order;
+    std::vector<const GraphNode*> stack{&root};
+    while (!stack.empty()) {
+        const GraphNode* node = stack.back();
+        stack.pop_back();
+        if (ids.count(node))
+            continue;
+        ids.emplace(node, static_cast<int>(order.size()));
+        order.push_back(node);
+        for (const auto& child : node->children())
+            stack.push_back(child.get());
+    }
+
+    std::ostringstream out;
+    out << "digraph uncertain {\n"
+        << "    rankdir=BT;\n"
+        << "    node [fontname=\"monospace\"];\n";
+    for (const GraphNode* node : order) {
+        bool leaf = node->children().empty();
+        out << "    n" << ids[node] << " [label=\""
+            << escapeLabel(node->opName()) << "\""
+            << (leaf ? ", style=filled, fillcolor=lightgray" : "")
+            << "];\n";
+    }
+    // Edges point from operand to result, matching the paper's
+    // bottom-up figures.
+    for (const GraphNode* node : order) {
+        for (const auto& child : node->children()) {
+            out << "    n" << ids[child.get()] << " -> n" << ids[node]
+                << ";\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace core
+} // namespace uncertain

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Graphviz DOT export of a variable's Bayesian network, for
+ * debugging and documentation (the paper's Figures 7 and 8).
+ */
+
+#ifndef UNCERTAIN_CORE_DOT_HPP
+#define UNCERTAIN_CORE_DOT_HPP
+
+#include <string>
+
+#include "core/node.hpp"
+#include "core/uncertain.hpp"
+
+namespace uncertain {
+namespace core {
+
+/** Render the network rooted at @p root as a DOT digraph. */
+std::string toDot(const GraphNode& root);
+
+/** Render the network of @p value as a DOT digraph. */
+template <typename T>
+std::string
+toDot(const Uncertain<T>& value)
+{
+    return toDot(*value.node());
+}
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_DOT_HPP

@@ -1,0 +1,20 @@
+#include "core/inspect.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace uncertain {
+namespace core {
+
+std::string
+Description::toString() const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3);
+    out << mean << " +/- " << stddev << " [95%: " << q025 << " .. "
+        << q975 << "] (" << samples << " samples)";
+    return out.str();
+}
+
+} // namespace core
+} // namespace uncertain

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Inspection utilities: Monte Carlo summaries of an uncertain value
+ * for debugging, logging, and harness output. `print(Speed)` in the
+ * paper becomes `describe(speed).toString()` here — a mean *with*
+ * its spread and quantiles, so nobody mistakes the estimate for a
+ * fact.
+ */
+
+#ifndef UNCERTAIN_CORE_INSPECT_HPP
+#define UNCERTAIN_CORE_INSPECT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/uncertain.hpp"
+#include "stats/confidence.hpp"
+#include "stats/summary.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace core {
+
+/** Monte Carlo summary of a scalar uncertain value. */
+struct Description
+{
+    std::size_t samples;
+    double mean;
+    double stddev;
+    double min;
+    double max;
+    double q025; //!< 2.5th percentile
+    double median;
+    double q975; //!< 97.5th percentile
+    /** 95% confidence interval for the *mean* estimate itself. */
+    stats::Interval meanCi;
+
+    /** One-line rendering: mean ± sd [95%: lo..hi]. */
+    std::string toString() const;
+};
+
+/**
+ * Summarize @p value from @p n samples. Requires n >= 16.
+ */
+template <typename T>
+    requires std::convertible_to<T, double>
+Description
+describe(const Uncertain<T>& value, std::size_t n, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(n >= 16, "describe requires n >= 16");
+    std::vector<double> samples;
+    samples.reserve(n);
+    stats::OnlineSummary summary;
+    SampleContext ctx(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0)
+            ctx.newEpoch();
+        double x = static_cast<double>(value.node()->sample(ctx));
+        ++evalStats().rootSamples;
+        samples.push_back(x);
+        summary.add(x);
+    }
+
+    Description out;
+    out.samples = n;
+    out.mean = summary.mean();
+    out.stddev = summary.stddev();
+    out.min = summary.min();
+    out.max = summary.max();
+    out.q025 = stats::quantile(samples, 0.025);
+    out.median = stats::quantile(samples, 0.5);
+    out.q975 = stats::quantile(std::move(samples), 0.975);
+    out.meanCi = stats::meanConfidenceInterval(summary);
+    return out;
+}
+
+/** describe() with the thread's global generator. */
+template <typename T>
+    requires std::convertible_to<T, double>
+Description
+describe(const Uncertain<T>& value, std::size_t n = 2000)
+{
+    return describe(value, n, globalRng());
+}
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_INSPECT_HPP

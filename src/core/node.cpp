@@ -1,0 +1,28 @@
+#include "core/node.hpp"
+
+#include <unordered_set>
+
+namespace uncertain {
+namespace core {
+
+// Epoch 0 is reserved as "never sampled" in the node caches.
+std::atomic<std::uint64_t> SampleContext::nextEpoch_{1};
+
+std::size_t
+GraphNode::graphSize() const
+{
+    std::unordered_set<const GraphNode*> seen;
+    std::vector<const GraphNode*> stack{this};
+    while (!stack.empty()) {
+        const GraphNode* node = stack.back();
+        stack.pop_back();
+        if (!seen.insert(node).second)
+            continue;
+        for (const auto& child : node->children())
+            stack.push_back(child.get());
+    }
+    return seen.size();
+}
+
+} // namespace core
+} // namespace uncertain

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Bayesian-network node graph underlying Uncertain<T>.
+ *
+ * Lifted operators do not compute values; they build a directed
+ * acyclic graph whose leaves are known distributions (sampling
+ * functions supplied by expert developers) and whose inner nodes are
+ * the base-type operators (paper section 3.3). The graph is sampled
+ * lazily at conditionals by ancestral sampling (section 4.2): a fresh
+ * epoch is opened, and every node caches its value for the duration
+ * of that epoch. The epoch cache is what makes shared subexpressions
+ * statistically correct — both occurrences of X in (Y + X) + X see
+ * the same draw, yielding the correct network of Figure 8(b).
+ */
+
+#ifndef UNCERTAIN_CORE_NODE_HPP
+#define UNCERTAIN_CORE_NODE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace core {
+
+/**
+ * One ancestral-sampling pass over a graph. Construct it once per
+ * batch of draws; call newEpoch() before each root sample. Epoch
+ * numbers are globally unique so caches never alias across contexts.
+ */
+class SampleContext
+{
+  public:
+    explicit SampleContext(Rng& rng) : rng_(rng) { newEpoch(); }
+
+    SampleContext(const SampleContext&) = delete;
+    SampleContext& operator=(const SampleContext&) = delete;
+
+    Rng& rng() { return rng_; }
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** Open a new epoch: invalidates every node's cached draw. */
+    void
+    newEpoch()
+    {
+        epoch_ = nextEpoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    static std::atomic<std::uint64_t> nextEpoch_;
+
+    Rng& rng_;
+    std::uint64_t epoch_ = 0;
+};
+
+/**
+ * Type-erased base for graph traversal (topology queries, DOT
+ * export). The typed sampling interface lives in Node<T>.
+ */
+class GraphNode
+{
+  public:
+    virtual ~GraphNode() = default;
+
+    /** Operator or leaf label, e.g. "+", "leaf:Gaussian(0, 1)". */
+    virtual std::string opName() const = 0;
+
+    /** Child nodes (operands); empty for leaves. */
+    virtual std::vector<std::shared_ptr<const GraphNode>>
+    children() const
+    {
+        return {};
+    }
+
+    /** Number of nodes reachable from this one (including itself). */
+    std::size_t graphSize() const;
+};
+
+/**
+ * A random variable of type T in the network. sample() memoizes per
+ * epoch; subclasses implement doSample(). Nodes are immutable except
+ * for the epoch cache, and are shared via shared_ptr<const Node<T>>.
+ *
+ * Not thread-safe: one graph must be sampled from one thread at a
+ * time (the epoch cache is unsynchronized by design — sampling is the
+ * hot path).
+ */
+template <typename T>
+class Node : public GraphNode
+{
+  public:
+    /** Draw this node's value for the current epoch of @p ctx. */
+    T
+    sample(SampleContext& ctx) const
+    {
+        if (cacheEpoch_ == ctx.epoch())
+            return cacheValue_;
+        T value = doSample(ctx);
+        cacheValue_ = value;
+        cacheEpoch_ = ctx.epoch();
+        return value;
+    }
+
+  protected:
+    virtual T doSample(SampleContext& ctx) const = 0;
+
+  private:
+    mutable std::uint64_t cacheEpoch_ = 0;
+    mutable T cacheValue_{};
+};
+
+template <typename T>
+using NodePtr = std::shared_ptr<const Node<T>>;
+
+/**
+ * Leaf: a known distribution, represented by a sampling function
+ * (paper section 4.1). The callable receives the pass's Rng and
+ * returns one draw.
+ */
+template <typename T>
+class LeafNode final : public Node<T>
+{
+  public:
+    LeafNode(std::function<T(Rng&)> sampler, std::string label)
+        : sampler_(std::move(sampler)), label_(std::move(label))
+    {
+        UNCERTAIN_REQUIRE(sampler_ != nullptr,
+                          "leaf requires a sampling function");
+    }
+
+    std::string opName() const override { return "leaf:" + label_; }
+
+  protected:
+    T doSample(SampleContext& ctx) const override
+    {
+        return sampler_(ctx.rng());
+    }
+
+  private:
+    std::function<T(Rng&)> sampler_;
+    std::string label_;
+};
+
+/**
+ * Point mass: the lifting of a plain T into the algebra (Table 1).
+ * Sampling never consumes randomness.
+ */
+template <typename T>
+class PointMassNode final : public Node<T>
+{
+  public:
+    explicit PointMassNode(T value) : value_(std::move(value)) {}
+
+    std::string opName() const override { return "pointmass"; }
+
+    const T& value() const { return value_; }
+
+  protected:
+    T doSample(SampleContext&) const override { return value_; }
+
+  private:
+    T value_;
+};
+
+/**
+ * Inner node applying a binary base-type operator to two operand
+ * variables. The conditional distribution Pr[this | a, b] is the
+ * point mass at f(a, b), exactly the paper's semantics for inner
+ * nodes.
+ */
+template <typename R, typename A, typename B, typename F>
+class BinaryNode final : public Node<R>
+{
+  public:
+    BinaryNode(NodePtr<A> lhs, NodePtr<B> rhs, F op, std::string label)
+        : lhs_(std::move(lhs)), rhs_(std::move(rhs)), op_(std::move(op)),
+          label_(std::move(label))
+    {
+        UNCERTAIN_ASSERT(lhs_ && rhs_, "binary node requires operands");
+    }
+
+    std::string opName() const override { return label_; }
+
+    std::vector<std::shared_ptr<const GraphNode>>
+    children() const override
+    {
+        return {lhs_, rhs_};
+    }
+
+  protected:
+    R doSample(SampleContext& ctx) const override
+    {
+        // Operand order is fixed so the randomness stream is
+        // deterministic for a given graph and seed.
+        A a = lhs_->sample(ctx);
+        B b = rhs_->sample(ctx);
+        return op_(a, b);
+    }
+
+  private:
+    NodePtr<A> lhs_;
+    NodePtr<B> rhs_;
+    F op_;
+    std::string label_;
+};
+
+/** Inner node applying a unary base-type operator. */
+template <typename R, typename A, typename F>
+class UnaryNode final : public Node<R>
+{
+  public:
+    UnaryNode(NodePtr<A> operand, F op, std::string label)
+        : operand_(std::move(operand)), op_(std::move(op)),
+          label_(std::move(label))
+    {
+        UNCERTAIN_ASSERT(operand_ != nullptr,
+                         "unary node requires an operand");
+    }
+
+    std::string opName() const override { return label_; }
+
+    std::vector<std::shared_ptr<const GraphNode>>
+    children() const override
+    {
+        return {operand_};
+    }
+
+  protected:
+    R doSample(SampleContext& ctx) const override
+    {
+        return op_(operand_->sample(ctx));
+    }
+
+  private:
+    NodePtr<A> operand_;
+    F op_;
+    std::string label_;
+};
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_NODE_HPP

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Total ordering for uncertain values. Comparing distributions
+ * yields evidence, not a strict weak order — so sorting directly on
+ * `<` is ill-defined (and its hypothesis tests are not even
+ * transitive). The paper's prescription: "for problems that require
+ * a total order, such as sorting algorithms, Uncertain<T> provides
+ * the expected value operator E ... it preserves the base type's
+ * ordering properties" (section 3.4). These helpers implement that
+ * recipe: evaluate E once per element, order by it.
+ */
+
+#ifndef UNCERTAIN_CORE_ORDERING_HPP
+#define UNCERTAIN_CORE_ORDERING_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "core/uncertain.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace core {
+
+/**
+ * Indices of @p values ordered by ascending expected value
+ * (@p samplesPerElement draws each). Stable for ties.
+ */
+template <typename T>
+std::vector<std::size_t>
+rankByExpectedValue(const std::vector<Uncertain<T>>& values,
+                    std::size_t samplesPerElement, Rng& rng)
+{
+    std::vector<double> keys;
+    keys.reserve(values.size());
+    for (const auto& value : values) {
+        keys.push_back(static_cast<double>(
+            value.expectedValue(samplesPerElement, rng)));
+    }
+    std::vector<std::size_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](std::size_t a, std::size_t b) {
+                         return keys[a] < keys[b];
+                     });
+    return order;
+}
+
+/** rankByExpectedValue() with the thread's global generator. */
+template <typename T>
+std::vector<std::size_t>
+rankByExpectedValue(const std::vector<Uncertain<T>>& values,
+                    std::size_t samplesPerElement = 1000)
+{
+    return rankByExpectedValue(values, samplesPerElement, globalRng());
+}
+
+/**
+ * Sort @p values in place by ascending expected value.
+ */
+template <typename T>
+void
+sortByExpectedValue(std::vector<Uncertain<T>>& values,
+                    std::size_t samplesPerElement, Rng& rng)
+{
+    std::vector<std::size_t> order =
+        rankByExpectedValue(values, samplesPerElement, rng);
+    std::vector<Uncertain<T>> sorted;
+    sorted.reserve(values.size());
+    for (std::size_t index : order)
+        sorted.push_back(std::move(values[index]));
+    values = std::move(sorted);
+}
+
+/** sortByExpectedValue() with the thread's global generator. */
+template <typename T>
+void
+sortByExpectedValue(std::vector<Uncertain<T>>& values,
+                    std::size_t samplesPerElement = 1000)
+{
+    sortByExpectedValue(values, samplesPerElement, globalRng());
+}
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_ORDERING_HPP

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Uncertain<T>: a first-order type for uncertain data.
+ *
+ * An Uncertain<T> encapsulates a random variable of base type T. The
+ * overloaded operators in core/operators.hpp construct a Bayesian
+ * network (see core/node.hpp); nothing is sampled until the program
+ * asks a question: a conditional (pr(), the implicit boolean
+ * conversion) or the evaluation operator E (expectedValue()).
+ *
+ * Conditionals evaluate *evidence*: `(speed > 4).pr(0.9)` asks
+ * whether Pr[speed > 4] exceeds 0.9, executed as a sequential
+ * hypothesis test that draws only as many samples as that particular
+ * question needs (paper sections 3.4 and 4.3).
+ */
+
+#ifndef UNCERTAIN_CORE_UNCERTAIN_HPP
+#define UNCERTAIN_CORE_UNCERTAIN_HPP
+
+#include <concepts>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/conditional.hpp"
+#include "core/node.hpp"
+#include "random/distribution.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+
+template <typename T>
+class Uncertain;
+
+namespace core {
+
+/** Trait/concept: is a type an instantiation of Uncertain? */
+template <typename T>
+struct IsUncertainType : std::false_type
+{};
+
+template <typename T>
+struct IsUncertainType<Uncertain<T>> : std::true_type
+{};
+
+template <typename T>
+concept AnUncertain = IsUncertainType<std::decay_t<T>>::value;
+
+template <typename T>
+concept NotUncertain = !AnUncertain<T>;
+
+/** Types whose samples can be averaged by E. */
+template <typename T>
+concept Accumulable = requires(T a, T b, double d) {
+    { a + b } -> std::convertible_to<T>;
+    { a / d } -> std::convertible_to<T>;
+};
+
+} // namespace core
+
+/**
+ * A random variable of type T, represented as a node in a lazily
+ * sampled Bayesian network. Copying is cheap (shared graph). See the
+ * file comment for the evaluation model.
+ */
+template <typename T>
+class Uncertain
+{
+  public:
+    using ValueType = T;
+
+    /**
+     * Lift a plain value to a point-mass distribution. Implicit on
+     * purpose: it is what lets `speed > 4.0` and `distance / dt`
+     * type-check, the coercion described in section 3.3.
+     */
+    Uncertain(T value)
+        : node_(std::make_shared<core::PointMassNode<T>>(
+              std::move(value)))
+    {}
+
+    /** Wrap an existing graph node. */
+    explicit Uncertain(core::NodePtr<T> node) : node_(std::move(node))
+    {
+        UNCERTAIN_REQUIRE(node_ != nullptr,
+                          "Uncertain requires a non-null node");
+    }
+
+    /**
+     * Expert-developer entry point: define a distribution by its
+     * sampling function (section 4.1). The callable must return an
+     * independent draw on each invocation.
+     */
+    static Uncertain
+    fromSampler(std::function<T(Rng&)> sampler,
+                std::string label = "sampler")
+    {
+        return Uncertain(std::make_shared<core::LeafNode<T>>(
+            std::move(sampler), std::move(label)));
+    }
+
+    /** The underlying Bayesian-network node. */
+    const core::NodePtr<T>& node() const { return node_; }
+
+    /** Number of nodes in this variable's network. */
+    std::size_t graphSize() const { return node_->graphSize(); }
+
+    /** Draw one sample (a full ancestral pass) using @p rng. */
+    T
+    sample(Rng& rng) const
+    {
+        core::SampleContext ctx(rng);
+        ++core::evalStats().rootSamples;
+        return node_->sample(ctx);
+    }
+
+    /** Draw one sample using the thread's global generator. */
+    T sample() const { return sample(globalRng()); }
+
+    /** Draw @p n samples using @p rng. */
+    std::vector<T>
+    takeSamples(std::size_t n, Rng& rng) const
+    {
+        std::vector<T> out;
+        out.reserve(n);
+        core::SampleContext ctx(rng);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i > 0)
+                ctx.newEpoch();
+            out.push_back(node_->sample(ctx));
+            ++core::evalStats().rootSamples;
+        }
+        return out;
+    }
+
+    /** Draw @p n samples using the thread's global generator. */
+    std::vector<T>
+    takeSamples(std::size_t n) const
+    {
+        return takeSamples(n, globalRng());
+    }
+
+    /**
+     * Apply an arbitrary unary function, producing a new variable
+     * whose network has this one as its operand.
+     */
+    template <typename F>
+    auto
+    map(F f, std::string label = "map") const
+        -> Uncertain<std::decay_t<std::invoke_result_t<F, T>>>
+    {
+        using R = std::decay_t<std::invoke_result_t<F, T>>;
+        return Uncertain<R>(
+            std::make_shared<core::UnaryNode<R, T, F>>(
+                node_, std::move(f), std::move(label)));
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation operator E (Table 1): projects back to the base type,
+    // preserving its ordering properties (section 3.4).
+    // ------------------------------------------------------------------
+
+    /** Mean of @p n samples. */
+    T
+    expectedValue(std::size_t n, Rng& rng) const
+        requires core::Accumulable<T> && (!std::same_as<T, bool>)
+    {
+        UNCERTAIN_REQUIRE(n >= 1, "expectedValue requires n >= 1");
+        ++core::evalStats().expectations;
+        core::SampleContext ctx(rng);
+        T total = node_->sample(ctx);
+        ++core::evalStats().rootSamples;
+        for (std::size_t i = 1; i < n; ++i) {
+            ctx.newEpoch();
+            total = total + node_->sample(ctx);
+            ++core::evalStats().rootSamples;
+        }
+        return total / static_cast<double>(n);
+    }
+
+    /** Mean of @p n samples using the global generator. */
+    T
+    expectedValue(std::size_t n = 1000) const
+        requires core::Accumulable<T> && (!std::same_as<T, bool>)
+    {
+        return expectedValue(n, globalRng());
+    }
+
+    /** Paper-style shorthand for expectedValue(). */
+    T
+    E(std::size_t n = 1000) const
+        requires core::Accumulable<T> && (!std::same_as<T, bool>)
+    {
+        return expectedValue(n);
+    }
+
+    /**
+     * Adaptive expected value: sample until the confidence interval
+     * of the mean converges (the paper's anticipated improvement on
+     * fixed-size E; section 4.3). Only for scalar types.
+     */
+    stats::AdaptiveMeanResult
+    expectedValueAdaptive(const stats::AdaptiveMeanOptions& options,
+                          Rng& rng) const
+        requires std::convertible_to<T, double>
+                     && (!std::same_as<T, bool>)
+    {
+        ++core::evalStats().expectations;
+        core::SampleContext ctx(rng);
+        bool first = true;
+        return stats::adaptiveMean(
+            [&]() {
+                if (!first)
+                    ctx.newEpoch();
+                first = false;
+                ++core::evalStats().rootSamples;
+                return static_cast<double>(node_->sample(ctx));
+            },
+            options);
+    }
+
+    /** Adaptive expected value with the global generator. */
+    stats::AdaptiveMeanResult
+    expectedValueAdaptive(
+        const stats::AdaptiveMeanOptions& options = {}) const
+        requires std::convertible_to<T, double>
+                     && (!std::same_as<T, bool>)
+    {
+        return expectedValueAdaptive(options, globalRng());
+    }
+
+    // ------------------------------------------------------------------
+    // Conditional operators (Uncertain<bool> only).
+    // ------------------------------------------------------------------
+
+    /**
+     * Full ternary evaluation of "Pr[this] > threshold" under the
+     * configured sequential test; exposes decision, estimate, and
+     * sampling cost.
+     */
+    core::ConditionalResult
+    evaluate(double threshold, const core::ConditionalOptions& options,
+             Rng& rng) const
+        requires std::same_as<T, bool>
+    {
+        core::SampleContext ctx(rng);
+        bool first = true;
+        return core::evaluateCondition(
+            [&]() {
+                if (!first)
+                    ctx.newEpoch();
+                first = false;
+                return node_->sample(ctx);
+            },
+            threshold, options);
+    }
+
+    /**
+     * Explicit conditional operator (Table 1): is there significant
+     * evidence that Pr[this] > threshold? Inconclusive evaluations
+     * return false, which is what makes if/else-if chains fall
+     * through to their default under the ternary logic of
+     * section 3.4.
+     */
+    bool
+    pr(double threshold = 0.5,
+       const core::ConditionalOptions& options = {}) const
+        requires std::same_as<T, bool>
+    {
+        return pr(threshold, options, globalRng());
+    }
+
+    /** pr() with an explicit generator. */
+    bool
+    pr(double threshold, const core::ConditionalOptions& options,
+       Rng& rng) const
+        requires std::same_as<T, bool>
+    {
+        return evaluate(threshold, options, rng).toBool();
+    }
+
+    /**
+     * Implicit conditional operator: "more likely than not", i.e.
+     * Pr[this] > 0.5. `explicit` still permits direct use in if/
+     * while/&&/|| via contextual conversion, matching the paper's
+     * `if (Speed > 4)`.
+     */
+    explicit
+    operator bool() const
+        requires std::same_as<T, bool>
+    {
+        return pr(0.5);
+    }
+
+    /**
+     * Point estimate of Pr[this] from @p n samples (no hypothesis
+     * test; mostly for inspection and harness output).
+     */
+    double
+    probability(std::size_t n, Rng& rng) const
+        requires std::same_as<T, bool>
+    {
+        UNCERTAIN_REQUIRE(n >= 1, "probability requires n >= 1");
+        core::SampleContext ctx(rng);
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i > 0)
+                ctx.newEpoch();
+            hits += node_->sample(ctx) ? 1 : 0;
+            ++core::evalStats().rootSamples;
+        }
+        return static_cast<double>(hits) / static_cast<double>(n);
+    }
+
+    /** probability() with the global generator. */
+    double
+    probability(std::size_t n = 1000) const
+        requires std::same_as<T, bool>
+    {
+        return probability(n, globalRng());
+    }
+
+  private:
+    core::NodePtr<T> node_;
+};
+
+namespace core {
+
+/**
+ * Wrap a src/random distribution object as an Uncertain<double> leaf.
+ * The distribution is shared, not copied.
+ */
+inline Uncertain<double>
+fromDistribution(random::DistributionPtr dist)
+{
+    UNCERTAIN_REQUIRE(dist != nullptr,
+                      "fromDistribution requires a distribution");
+    std::string label = dist->name();
+    return Uncertain<double>::fromSampler(
+        [dist = std::move(dist)](Rng& rng) { return dist->sample(rng); },
+        std::move(label));
+}
+
+/**
+ * Expert override for dependent leaves (section 3.3): supply a joint
+ * sampling function and receive the two marginals as Uncertain
+ * values that share one underlying draw per sampling pass. Any
+ * computation combining them sees the joint distribution, not the
+ * product of marginals.
+ */
+template <typename A, typename B>
+std::pair<Uncertain<A>, Uncertain<B>>
+makeCorrelated(std::function<std::pair<A, B>(Rng&)> jointSampler,
+               std::string label = "joint")
+{
+    auto joint = std::make_shared<core::LeafNode<std::pair<A, B>>>(
+        std::move(jointSampler), std::move(label));
+
+    auto takeFirst = [](const std::pair<A, B>& p) { return p.first; };
+    auto takeSecond = [](const std::pair<A, B>& p) { return p.second; };
+
+    Uncertain<A> first(
+        std::make_shared<
+            core::UnaryNode<A, std::pair<A, B>, decltype(takeFirst)>>(
+            joint, takeFirst, "first"));
+    Uncertain<B> second(
+        std::make_shared<
+            core::UnaryNode<B, std::pair<A, B>, decltype(takeSecond)>>(
+            joint, takeSecond, "second"));
+    return {std::move(first), std::move(second)};
+}
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_UNCERTAIN_HPP

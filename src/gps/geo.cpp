@@ -1,0 +1,71 @@
+#include "gps/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uncertain {
+namespace gps {
+
+double
+toRadians(double degrees)
+{
+    return degrees * M_PI / 180.0;
+}
+
+double
+toDegrees(double radians)
+{
+    return radians * 180.0 / M_PI;
+}
+
+double
+distanceMeters(const GeoCoordinate& a, const GeoCoordinate& b)
+{
+    double phi1 = toRadians(a.latitude);
+    double phi2 = toRadians(b.latitude);
+    double dPhi = phi2 - phi1;
+    double dLambda = toRadians(b.longitude - a.longitude);
+
+    double sinHalfPhi = std::sin(0.5 * dPhi);
+    double sinHalfLambda = std::sin(0.5 * dLambda);
+    double h = sinHalfPhi * sinHalfPhi
+               + std::cos(phi1) * std::cos(phi2) * sinHalfLambda
+                     * sinHalfLambda;
+    return 2.0 * kEarthRadiusMeters
+           * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+EnuOffset
+localOffsetMeters(const GeoCoordinate& origin,
+                  const GeoCoordinate& point)
+{
+    double north = toRadians(point.latitude - origin.latitude)
+                   * kEarthRadiusMeters;
+    double east = toRadians(point.longitude - origin.longitude)
+                  * kEarthRadiusMeters
+                  * std::cos(toRadians(origin.latitude));
+    return {east, north};
+}
+
+GeoCoordinate
+destination(const GeoCoordinate& start, double bearingRadians,
+            double distance)
+{
+    double delta = distance / kEarthRadiusMeters;
+    double phi1 = toRadians(start.latitude);
+    double lambda1 = toRadians(start.longitude);
+
+    double sinPhi2 = std::sin(phi1) * std::cos(delta)
+                     + std::cos(phi1) * std::sin(delta)
+                           * std::cos(bearingRadians);
+    double phi2 = std::asin(std::clamp(sinPhi2, -1.0, 1.0));
+    double y = std::sin(bearingRadians) * std::sin(delta)
+               * std::cos(phi1);
+    double x = std::cos(delta) - std::sin(phi1) * sinPhi2;
+    double lambda2 = lambda1 + std::atan2(y, x);
+
+    return {toDegrees(phi2), toDegrees(lambda2)};
+}
+
+} // namespace gps
+} // namespace uncertain

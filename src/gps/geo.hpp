@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Geodesy primitives: GeoCoordinate ("a pair of doubles (latitude and
+ * longitude) and so is numeric", paper Figure 5), great-circle
+ * distance, and destination points.
+ */
+
+#ifndef UNCERTAIN_GPS_GEO_HPP
+#define UNCERTAIN_GPS_GEO_HPP
+
+namespace uncertain {
+namespace gps {
+
+/** Mean Earth radius in meters (IUGG). */
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/** Meters-per-second to miles-per-hour. */
+inline constexpr double kMpsToMph = 2.2369362920544;
+
+/**
+ * A latitude/longitude pair in degrees. Supports the numeric
+ * operators Uncertain<GeoCoordinate> needs (component-wise affine
+ * arithmetic, meaningful over the small displacements GPS deals in).
+ */
+struct GeoCoordinate
+{
+    double latitude = 0.0;  //!< degrees, positive north
+    double longitude = 0.0; //!< degrees, positive east
+
+    GeoCoordinate() = default;
+    GeoCoordinate(double lat, double lon) : latitude(lat), longitude(lon)
+    {}
+
+    GeoCoordinate
+    operator+(const GeoCoordinate& other) const
+    {
+        return {latitude + other.latitude, longitude + other.longitude};
+    }
+
+    GeoCoordinate
+    operator-(const GeoCoordinate& other) const
+    {
+        return {latitude - other.latitude, longitude - other.longitude};
+    }
+
+    GeoCoordinate
+    operator*(double k) const
+    {
+        return {latitude * k, longitude * k};
+    }
+
+    GeoCoordinate
+    operator/(double k) const
+    {
+        return {latitude / k, longitude / k};
+    }
+
+    bool
+    operator==(const GeoCoordinate& other) const
+    {
+        return latitude == other.latitude
+               && longitude == other.longitude;
+    }
+};
+
+/** Great-circle (haversine) distance between two coordinates, meters. */
+double distanceMeters(const GeoCoordinate& a, const GeoCoordinate& b);
+
+/**
+ * Coordinate reached from @p start travelling @p distance meters on
+ * initial bearing @p bearingRadians (clockwise from north).
+ */
+GeoCoordinate destination(const GeoCoordinate& start,
+                          double bearingRadians, double distanceMeters);
+
+/**
+ * Local east/north offset of @p point relative to @p origin, in
+ * meters (equirectangular approximation; accurate at city scales).
+ */
+struct EnuOffset
+{
+    double east;
+    double north;
+};
+
+EnuOffset localOffsetMeters(const GeoCoordinate& origin,
+                            const GeoCoordinate& point);
+
+/** Degrees to radians. */
+double toRadians(double degrees);
+
+/** Radians to degrees. */
+double toDegrees(double radians);
+
+} // namespace gps
+} // namespace uncertain
+
+#endif // UNCERTAIN_GPS_GEO_HPP

@@ -1,0 +1,64 @@
+#include "gps/gps_library.hpp"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "random/rayleigh.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace gps {
+
+Uncertain<GeoCoordinate>
+getLocation(const GpsFix& fix)
+{
+    auto radial = std::make_shared<random::Rayleigh>(
+        random::Rayleigh::fromHorizontalAccuracy(
+            fix.horizontalAccuracy));
+    GeoCoordinate center = fix.coordinate;
+
+    std::ostringstream label;
+    label << "GPS(eps=" << fix.horizontalAccuracy << "m)";
+    return Uncertain<GeoCoordinate>::fromSampler(
+        [center, radial](Rng& rng) {
+            double bearing = rng.nextRange(0.0, 2.0 * M_PI);
+            double radius = radial->sample(rng);
+            return destination(center, bearing, radius);
+        },
+        label.str());
+}
+
+Uncertain<double>
+uncertainDistance(const Uncertain<GeoCoordinate>& a,
+                  const Uncertain<GeoCoordinate>& b)
+{
+    return core::liftBinary(
+        [](const GeoCoordinate& x, const GeoCoordinate& y) {
+            return distanceMeters(x, y);
+        },
+        a, b, "distance");
+}
+
+Uncertain<double>
+uncertainSpeedMph(const Uncertain<GeoCoordinate>& a,
+                  const Uncertain<GeoCoordinate>& b, double dtSeconds)
+{
+    UNCERTAIN_REQUIRE(dtSeconds > 0.0,
+                      "uncertainSpeedMph requires dt > 0");
+    // dt enters as a point mass, coerced exactly as the paper
+    // describes for the denominator of Distance / dt.
+    return uncertainDistance(a, b) * kMpsToMph / dtSeconds;
+}
+
+double
+naiveSpeedMph(const GpsFix& earlier, const GpsFix& later)
+{
+    double dt = later.timeSeconds - earlier.timeSeconds;
+    UNCERTAIN_REQUIRE(dt > 0.0, "naiveSpeedMph requires dt > 0");
+    return distanceMeters(earlier.coordinate, later.coordinate)
+           * kMpsToMph / dt;
+}
+
+} // namespace gps
+} // namespace uncertain

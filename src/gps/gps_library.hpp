@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Uncertain<T>-aware GPS library of paper section 4.1/5.1: the
+ * expert-developer wrapper that exposes a GPS fix as a *distribution*
+ * over locations, Uncertain<GeoCoordinate>, instead of a point plus
+ * an accuracy number most callers ignore.
+ */
+
+#ifndef UNCERTAIN_GPS_GPS_LIBRARY_HPP
+#define UNCERTAIN_GPS_GPS_LIBRARY_HPP
+
+#include "core/core.hpp"
+#include "gps/geo.hpp"
+#include "gps/sensor.hpp"
+
+namespace uncertain {
+namespace gps {
+
+/**
+ * GPS.GetLocation (Figure 12): lift a raw fix into the uncertain
+ * type. The posterior over the true location given the fix is
+ * Rayleigh(epsilon / sqrt(ln 400)) radially around the reported
+ * coordinate, at a uniform bearing.
+ */
+Uncertain<GeoCoordinate> getLocation(const GpsFix& fix);
+
+/**
+ * Lifted great-circle distance in meters between two uncertain
+ * locations (an inner node applying distanceMeters()).
+ */
+Uncertain<double> uncertainDistance(const Uncertain<GeoCoordinate>& a,
+                                    const Uncertain<GeoCoordinate>& b);
+
+/**
+ * Lifted speed in mph between two uncertain locations separated by
+ * @p dtSeconds (the Speed = Distance / dt network of Figure 5(b)).
+ * Requires dtSeconds > 0.
+ */
+Uncertain<double> uncertainSpeedMph(const Uncertain<GeoCoordinate>& a,
+                                    const Uncertain<GeoCoordinate>& b,
+                                    double dtSeconds);
+
+/**
+ * The legacy computation (Figure 5(a)): speed in mph from the point
+ * estimates alone, ignoring the error radius. Requires dt > 0.
+ */
+double naiveSpeedMph(const GpsFix& earlier, const GpsFix& later);
+
+} // namespace gps
+} // namespace uncertain
+
+#endif // UNCERTAIN_GPS_GPS_LIBRARY_HPP

@@ -1,0 +1,113 @@
+#include "gps/roads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "inference/generic_reweight.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace gps {
+
+RoadNetwork::RoadNetwork(std::vector<RoadSegment> segments)
+    : segments_(std::move(segments))
+{
+    UNCERTAIN_REQUIRE(!segments_.empty(),
+                      "RoadNetwork requires >= 1 segment");
+}
+
+double
+RoadNetwork::distanceToNearestRoad(const GeoCoordinate& point) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const RoadSegment& segment : segments_) {
+        // Work in the local tangent plane of the segment start.
+        EnuOffset end = localOffsetMeters(segment.from, segment.to);
+        EnuOffset p = localOffsetMeters(segment.from, point);
+        double len2 = end.east * end.east + end.north * end.north;
+        double t = len2 == 0.0
+                       ? 0.0
+                       : std::clamp((p.east * end.east
+                                     + p.north * end.north)
+                                        / len2,
+                                    0.0, 1.0);
+        double dx = p.east - t * end.east;
+        double dy = p.north - t * end.north;
+        best = std::min(best, std::hypot(dx, dy));
+    }
+    return best;
+}
+
+RoadNetwork
+RoadNetwork::grid(const GeoCoordinate& center, double spacingMeters,
+                  std::size_t lines)
+{
+    UNCERTAIN_REQUIRE(spacingMeters > 0.0,
+                      "grid spacing must be positive");
+    UNCERTAIN_REQUIRE(lines >= 1, "grid requires >= 1 line");
+
+    std::vector<RoadSegment> segments;
+    double half = spacingMeters * static_cast<double>(lines - 1) / 2.0;
+    double extent = half + spacingMeters;
+    for (std::size_t i = 0; i < lines; ++i) {
+        double offset = -half + spacingMeters * static_cast<double>(i);
+        // North-south street at east-offset `offset`.
+        GeoCoordinate south = destination(
+            destination(center, M_PI / 2.0, offset), M_PI, extent);
+        GeoCoordinate north = destination(
+            destination(center, M_PI / 2.0, offset), 0.0, extent);
+        segments.push_back({south, north});
+        // East-west street at north-offset `offset`.
+        GeoCoordinate west = destination(
+            destination(center, 0.0, offset), 1.5 * M_PI, extent);
+        GeoCoordinate east = destination(
+            destination(center, 0.0, offset), 0.5 * M_PI, extent);
+        segments.push_back({west, east});
+    }
+    return RoadNetwork(std::move(segments));
+}
+
+RoadPrior::RoadPrior(RoadNetwork network, double corridorSigma,
+                     double offRoadWeight)
+    : network_(std::move(network)), corridorSigma_(corridorSigma),
+      offRoadWeight_(offRoadWeight)
+{
+    UNCERTAIN_REQUIRE(corridorSigma > 0.0,
+                      "RoadPrior corridor sigma must be positive");
+    UNCERTAIN_REQUIRE(offRoadWeight > 0.0 && offRoadWeight < 1.0,
+                      "RoadPrior off-road weight must be in (0, 1)");
+}
+
+double
+RoadPrior::logDensity(const GeoCoordinate& point) const
+{
+    double d = network_.distanceToNearestRoad(point);
+    double z = d / corridorSigma_;
+    // Smooth maximum of the corridor Gaussian and the uniform floor.
+    return std::log(std::exp(-0.5 * z * z) + offRoadWeight_);
+}
+
+Uncertain<GeoCoordinate>
+snapToRoads(const Uncertain<GeoCoordinate>& location,
+            const RoadPrior& prior,
+            const inference::ReweightOptions& options, Rng& rng)
+{
+    return inference::reweightSamples(
+               location,
+               [&prior](const GeoCoordinate& p) {
+                   return prior.logDensity(p);
+               },
+               options, rng)
+        .posterior;
+}
+
+Uncertain<GeoCoordinate>
+snapToRoads(const Uncertain<GeoCoordinate>& location,
+            const RoadPrior& prior,
+            const inference::ReweightOptions& options)
+{
+    return snapToRoads(location, prior, options, globalRng());
+}
+
+} // namespace gps
+} // namespace uncertain

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Road networks as location priors: the "road snapping" behaviour of
+ * paper section 3.5 and Figure 10. A prior that assigns high
+ * probability near roads and low probability elsewhere pulls the GPS
+ * posterior toward the road the user is actually on, unless the GPS
+ * evidence to the contrary is very strong.
+ */
+
+#ifndef UNCERTAIN_GPS_ROADS_HPP
+#define UNCERTAIN_GPS_ROADS_HPP
+
+#include <vector>
+
+#include "core/core.hpp"
+#include "gps/geo.hpp"
+#include "inference/reweight.hpp"
+
+namespace uncertain {
+namespace gps {
+
+/** A straight road segment between two coordinates. */
+struct RoadSegment
+{
+    GeoCoordinate from;
+    GeoCoordinate to;
+};
+
+/** A set of road segments with distance queries. */
+class RoadNetwork
+{
+  public:
+    /** Requires at least one segment. */
+    explicit RoadNetwork(std::vector<RoadSegment> segments);
+
+    /** Distance from @p point to the nearest segment, meters. */
+    double distanceToNearestRoad(const GeoCoordinate& point) const;
+
+    std::size_t segmentCount() const { return segments_.size(); }
+
+    /**
+     * Convenience: a rectangular street grid centered at @p center
+     * with @p lines north-south and east-west streets spaced
+     * @p spacingMeters apart.
+     */
+    static RoadNetwork grid(const GeoCoordinate& center,
+                            double spacingMeters, std::size_t lines);
+
+  private:
+    std::vector<RoadSegment> segments_;
+};
+
+/**
+ * The road prior: an (unnormalized) density over locations that is
+ * Gaussian in the distance to the nearest road, with a uniform floor
+ * so strong off-road GPS evidence can still win (the "unless GPS
+ * evidence to the contrary is very strong" clause).
+ */
+class RoadPrior
+{
+  public:
+    /**
+     * @param network       the roads
+     * @param corridorSigma road-corridor width (one standard
+     *                      deviation), meters; must be positive
+     * @param offRoadWeight density floor relative to the on-road
+     *                      peak, in (0, 1)
+     */
+    RoadPrior(RoadNetwork network, double corridorSigma,
+              double offRoadWeight = 1e-3);
+
+    /** Unnormalized log density at @p point. */
+    double logDensity(const GeoCoordinate& point) const;
+
+    const RoadNetwork& network() const { return network_; }
+
+  private:
+    RoadNetwork network_;
+    double corridorSigma_;
+    double offRoadWeight_;
+};
+
+/**
+ * Snap an uncertain location onto the road network: the posterior
+ * proportional to GPS-density x road-prior, via generic SIR.
+ */
+Uncertain<GeoCoordinate>
+snapToRoads(const Uncertain<GeoCoordinate>& location,
+            const RoadPrior& prior,
+            const inference::ReweightOptions& options, Rng& rng);
+
+/** snapToRoads() with the thread's global generator. */
+Uncertain<GeoCoordinate>
+snapToRoads(const Uncertain<GeoCoordinate>& location,
+            const RoadPrior& prior,
+            const inference::ReweightOptions& options = {});
+
+} // namespace gps
+} // namespace uncertain
+
+#endif // UNCERTAIN_GPS_ROADS_HPP

@@ -1,0 +1,81 @@
+#include "gps/sensor.hpp"
+
+#include <cmath>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace gps {
+
+GpsSensor::GpsSensor(double epsilon95)
+    : GpsSensor(GpsSensorConfig{epsilon95, 0.0, 0.0, 6.0})
+{}
+
+GpsSensor::GpsSensor(const GpsSensorConfig& config)
+    : config_(config),
+      radial_(random::Rayleigh::fromHorizontalAccuracy(
+          config.epsilon95))
+{
+    UNCERTAIN_REQUIRE(config.epsilon95 > 0.0,
+                      "GpsSensor requires a positive accuracy radius");
+    UNCERTAIN_REQUIRE(config.correlation >= 0.0
+                          && config.correlation < 1.0,
+                      "GpsSensor correlation must be in [0, 1)");
+    UNCERTAIN_REQUIRE(config.glitchProbability >= 0.0
+                          && config.glitchProbability <= 1.0,
+                      "GpsSensor glitch probability must be in [0, 1]");
+    UNCERTAIN_REQUIRE(config.glitchScale >= 1.0,
+                      "GpsSensor glitch scale must be >= 1");
+}
+
+GpsSensor
+GpsSensor::phone(double epsilon95)
+{
+    GpsSensorConfig config;
+    config.epsilon95 = epsilon95;
+    config.correlation = 0.95;
+    config.glitchProbability = 0.02;
+    config.glitchScale = 3.0;
+    return GpsSensor(config);
+}
+
+GpsFix
+GpsSensor::read(const GeoCoordinate& truth, double timeSeconds,
+                Rng& rng)
+{
+    // A 2D isotropic Gaussian with per-axis sigma = rho has radial
+    // magnitude Rayleigh(rho); the AR(1) update preserves that
+    // stationary marginal.
+    const double sigma = radial_.rho();
+    const double phi = config_.correlation;
+
+    if (!initialized_) {
+        errorEast_ = sigma * random::Gaussian::standardSample(rng);
+        errorNorth_ = sigma * random::Gaussian::standardSample(rng);
+        initialized_ = true;
+    } else if (config_.glitchProbability > 0.0
+               && rng.nextBool(config_.glitchProbability)) {
+        double glitchSigma = sigma * config_.glitchScale;
+        errorEast_ =
+            glitchSigma * random::Gaussian::standardSample(rng);
+        errorNorth_ =
+            glitchSigma * random::Gaussian::standardSample(rng);
+    } else {
+        double innovation = sigma * std::sqrt(1.0 - phi * phi);
+        errorEast_ = phi * errorEast_
+                     + innovation
+                           * random::Gaussian::standardSample(rng);
+        errorNorth_ = phi * errorNorth_
+                      + innovation
+                            * random::Gaussian::standardSample(rng);
+    }
+
+    double radius = std::hypot(errorEast_, errorNorth_);
+    double bearing = std::atan2(errorEast_, errorNorth_);
+    return {destination(truth, bearing, radius), config_.epsilon95,
+            timeSeconds};
+}
+
+} // namespace gps
+} // namespace uncertain

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Simulated GPS hardware. Stands in for the Windows Phone GPS the
+ * paper recorded with: a fix is the true location displaced by a
+ * radial error whose *marginal* distribution is the paper's
+ * Rayleigh(epsilon / sqrt(ln 400)) model, reported together with the
+ * 95% horizontal-accuracy radius — the exact {Latitude, Longitude,
+ * HorizontalAccuracy} triple of the WP API that section 2 critiques.
+ *
+ * Real receivers filter their solutions, so consecutive fix errors
+ * are temporally correlated and occasionally jump (multipath). The
+ * sensor therefore supports an AR(1) error process with sporadic
+ * glitches; this is what reproduces the paper's Figure 3 trace shape
+ * (mostly plausible speeds punctuated by absurd 30-59 mph spikes).
+ * The default configuration is the memoryless model (independent
+ * errors), whose analytic properties the anchor tests rely on.
+ */
+
+#ifndef UNCERTAIN_GPS_SENSOR_HPP
+#define UNCERTAIN_GPS_SENSOR_HPP
+
+#include "gps/geo.hpp"
+#include "random/rayleigh.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace gps {
+
+/** One GPS reading, mirroring the legacy point-estimate API. */
+struct GpsFix
+{
+    GeoCoordinate coordinate;  //!< reported position (the "fact")
+    double horizontalAccuracy; //!< 95% confidence radius, meters
+    double timeSeconds;        //!< timestamp
+};
+
+/** Error-process configuration of a simulated receiver. */
+struct GpsSensorConfig
+{
+    /** 95% horizontal-accuracy radius reported with every fix. */
+    double epsilon95 = 4.0;
+    /**
+     * AR(1) coefficient between consecutive readings' errors.
+     * 0 = independent errors (the memoryless textbook model);
+     * values near 1 model the filtered solutions real receivers
+     * emit. The stationary marginal stays Rayleigh regardless.
+     */
+    double correlation = 0.0;
+    /** Per-reading probability of a multipath-style error jump. */
+    double glitchProbability = 0.0;
+    /** Error-scale multiplier during a glitch. */
+    double glitchScale = 6.0;
+};
+
+/**
+ * GPS receiver simulator. Stateful when correlation or glitches are
+ * enabled (the error process persists across read() calls).
+ */
+class GpsSensor
+{
+  public:
+    /** Memoryless receiver with the given accuracy radius. */
+    explicit GpsSensor(double epsilon95);
+
+    /** Fully configured receiver. */
+    explicit GpsSensor(const GpsSensorConfig& config);
+
+    /**
+     * A realistic smartphone preset: strongly correlated errors with
+     * occasional moderate glitches. Used by the Figure 3/13
+     * reproductions.
+     */
+    static GpsSensor phone(double epsilon95 = 2.0);
+
+    /** Take one reading of @p truth at time @p timeSeconds. */
+    GpsFix read(const GeoCoordinate& truth, double timeSeconds,
+                Rng& rng);
+
+    double horizontalAccuracy() const { return config_.epsilon95; }
+    const GpsSensorConfig& config() const { return config_; }
+
+    /** The marginal radial error distribution implied by epsilon95. */
+    const random::Rayleigh& errorModel() const { return radial_; }
+
+  private:
+    GpsSensorConfig config_;
+    random::Rayleigh radial_;
+    double errorEast_ = 0.0;  //!< persistent error state, meters
+    double errorNorth_ = 0.0;
+    bool initialized_ = false;
+};
+
+} // namespace gps
+} // namespace uncertain
+
+#endif // UNCERTAIN_GPS_SENSOR_HPP

@@ -1,0 +1,77 @@
+#include "gps/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace gps {
+
+std::vector<TruePosition>
+simulateWalk(const WalkConfig& config, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(config.durationSeconds > 0.0,
+                      "walk duration must be positive");
+    UNCERTAIN_REQUIRE(config.sampleIntervalSeconds > 0.0,
+                      "sample interval must be positive");
+
+    const double dt = config.sampleIntervalSeconds;
+    auto steps = static_cast<std::size_t>(
+        std::floor(config.durationSeconds / dt));
+
+    std::vector<TruePosition> walk;
+    walk.reserve(steps + 1);
+
+    GeoCoordinate position = config.start;
+    double heading = rng.nextRange(0.0, 2.0 * M_PI);
+    double speedMph = config.meanSpeedMph;
+    double pauseRemaining = 0.0;
+
+    walk.push_back({0.0, position, speedMph});
+    for (std::size_t i = 1; i <= steps; ++i) {
+        // Pause state machine: occasionally stop at a crossing.
+        if (pauseRemaining > 0.0) {
+            pauseRemaining -= dt;
+        } else if (rng.nextBool(config.pauseProbability * dt)) {
+            pauseRemaining =
+                -config.pauseMeanSeconds * std::log(rng.nextDoubleOpen());
+        }
+
+        // Clamped Ornstein-Uhlenbeck speed around the walking mean.
+        double noise = random::Gaussian::standardSample(rng);
+        speedMph += config.speedReversion
+                        * (config.meanSpeedMph - speedMph) * dt
+                    + config.speedJitterMph
+                          * std::sqrt(2.0 * config.speedReversion * dt)
+                          * noise;
+        speedMph = std::clamp(speedMph, 0.0, 6.0);
+
+        double effectiveMph = pauseRemaining > 0.0 ? 0.0 : speedMph;
+
+        // Slow heading drift; people mostly walk straight.
+        heading += config.headingDriftRadians * std::sqrt(dt)
+                   * random::Gaussian::standardSample(rng);
+
+        double meters = effectiveMph / kMpsToMph * dt;
+        position = destination(position, heading, meters);
+        walk.push_back(
+            {static_cast<double>(i) * dt, position, effectiveMph});
+    }
+    return walk;
+}
+
+std::vector<GpsFix>
+observeWalk(const std::vector<TruePosition>& walk, GpsSensor& sensor,
+            Rng& rng)
+{
+    std::vector<GpsFix> fixes;
+    fixes.reserve(walk.size());
+    for (const TruePosition& p : walk)
+        fixes.push_back(sensor.read(p.coordinate, p.timeSeconds, rng));
+    return fixes;
+}
+
+} // namespace gps
+} // namespace uncertain

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic pedestrian trajectories. Substitutes for the paper's
+ * recorded 15-minute Windows Phone walk (section 5.1): a ground-truth
+ * walk with realistic speed variation, sampled at 1 Hz through the
+ * simulated GPS sensor. The paper's headline artifacts (59 mph
+ * "walking", tens of seconds above running pace) are produced by the
+ * Rayleigh fix error compounding through the speed computation, so
+ * any plausible ground-truth walk reproduces them.
+ */
+
+#ifndef UNCERTAIN_GPS_TRAJECTORY_HPP
+#define UNCERTAIN_GPS_TRAJECTORY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gps/geo.hpp"
+#include "gps/sensor.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace gps {
+
+/** Ground truth at one instant. */
+struct TruePosition
+{
+    double timeSeconds;
+    GeoCoordinate coordinate;
+    double speedMph; //!< true instantaneous speed
+};
+
+/** Configuration of a simulated walk. */
+struct WalkConfig
+{
+    GeoCoordinate start{47.6420, -122.1370}; //!< anywhere works
+    double durationSeconds = 900.0;          //!< the paper walked 15 min
+    double sampleIntervalSeconds = 1.0;      //!< 1 Hz GPS
+    double meanSpeedMph = 3.0;               //!< average human walk
+    double speedJitterMph = 0.6;   //!< OU stationary deviation
+    double speedReversion = 0.1;   //!< OU mean-reversion per second
+    double pauseProbability = 0.01; //!< chance/second a pause starts
+    double pauseMeanSeconds = 8.0;  //!< mean pause length
+    double headingDriftRadians = 0.08; //!< heading random walk/second
+};
+
+/**
+ * Generate a ground-truth walk: speed follows a clamped
+ * Ornstein-Uhlenbeck process around the mean walking speed with
+ * occasional pauses; heading performs a slow random walk.
+ */
+std::vector<TruePosition> simulateWalk(const WalkConfig& config,
+                                       Rng& rng);
+
+/**
+ * Read every ground-truth position through @p sensor (mutable: the
+ * sensor's error process persists across readings).
+ */
+std::vector<GpsFix> observeWalk(const std::vector<TruePosition>& walk,
+                                GpsSensor& sensor, Rng& rng);
+
+} // namespace gps
+} // namespace uncertain
+
+#endif // UNCERTAIN_GPS_TRAJECTORY_HPP

@@ -1,0 +1,59 @@
+#include "gps/walking.hpp"
+
+#include "random/gaussian.hpp"
+#include "random/truncated.hpp"
+
+namespace uncertain {
+namespace gps {
+
+random::DistributionPtr
+walkingSpeedPrior()
+{
+    // Typical walking speeds center near 3 mph; the truncation
+    // encodes "nobody walks faster than 10 mph (or backwards)".
+    auto base = std::make_shared<random::Gaussian>(3.0, 1.5);
+    return std::make_shared<random::Truncated>(base, 0.0, 10.0);
+}
+
+Advice
+advise(const Uncertain<double>& speedMph,
+       const core::ConditionalOptions& options)
+{
+    Uncertain<bool> fast = speedMph > kBriskWalkMph;
+    if (fast.pr(0.5, options))
+        return Advice::GoodJob;
+    Uncertain<bool> slow = speedMph < kBriskWalkMph;
+    if (slow.pr(0.9, options))
+        return Advice::SpeedUp;
+    return Advice::None;
+}
+
+Advice
+naiveAdvise(double speedMph)
+{
+    if (speedMph > kBriskWalkMph)
+        return Advice::GoodJob;
+    // The naive program has no notion of inconclusive evidence:
+    // anything not fast is admonished.
+    return Advice::SpeedUp;
+}
+
+Uncertain<double>
+speedFromFixes(const GpsFix& earlier, const GpsFix& later)
+{
+    Uncertain<GeoCoordinate> l1 = getLocation(earlier);
+    Uncertain<GeoCoordinate> l2 = getLocation(later);
+    return uncertainSpeedMph(l1, l2,
+                             later.timeSeconds - earlier.timeSeconds);
+}
+
+Uncertain<double>
+improveSpeed(const Uncertain<double>& speedMph,
+             const inference::ReweightOptions& options)
+{
+    static const random::DistributionPtr prior = walkingSpeedPrior();
+    return inference::applyPrior(speedMph, *prior, options);
+}
+
+} // namespace gps
+} // namespace uncertain

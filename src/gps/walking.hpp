@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The GPS-Walking fitness application (paper Figure 5 and section
+ * 5.1): encourage users to walk faster than 4 mph, with and without
+ * the uncertain type, plus the walking-speed prior that removes the
+ * absurd estimates in Figure 13.
+ */
+
+#ifndef UNCERTAIN_GPS_WALKING_HPP
+#define UNCERTAIN_GPS_WALKING_HPP
+
+#include <memory>
+
+#include "core/core.hpp"
+#include "gps/gps_library.hpp"
+#include "inference/reweight.hpp"
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace gps {
+
+/** What GPS-Walking tells the user this second. */
+enum class Advice
+{
+    GoodJob, //!< more likely than not walking faster than 4 mph
+    SpeedUp, //!< >= 90% evidence of walking slower than 4 mph
+    None,    //!< evidence inconclusive: say nothing
+};
+
+/** The threshold GPS-Walking nags about, mph. */
+inline constexpr double kBriskWalkMph = 4.0;
+
+/**
+ * Domain knowledge as a prior (section 5.1): "humans are incredibly
+ * unlikely to walk at 60 mph or even 10 mph". A Gaussian around
+ * typical walking speed truncated to [0, 10] mph.
+ */
+random::DistributionPtr walkingSpeedPrior();
+
+/**
+ * The Figure 5(b) decision logic:
+ *   if (Speed > 4) GoodJob();
+ *   else if ((Speed < 4).Pr(0.9)) SpeedUp();
+ * The first conditional is the implicit more-likely-than-not
+ * operator; the second demands strong evidence before admonishing
+ * the user (false positives are costly there).
+ */
+Advice advise(const Uncertain<double>& speedMph,
+              const core::ConditionalOptions& options = {});
+
+/** The Figure 5(a) logic: naive comparisons on the point estimate. */
+Advice naiveAdvise(double speedMph);
+
+/**
+ * Speed between two consecutive fixes, lifted through the uncertain
+ * GPS library: getLocation on both fixes, then Distance / dt.
+ */
+Uncertain<double> speedFromFixes(const GpsFix& earlier,
+                                 const GpsFix& later);
+
+/**
+ * The "Improved speed" series of Figure 13: the uncertain speed
+ * reweighted by the walking prior.
+ */
+Uncertain<double>
+improveSpeed(const Uncertain<double>& speedMph,
+             const inference::ReweightOptions& options = {});
+
+} // namespace gps
+} // namespace uncertain
+
+#endif // UNCERTAIN_GPS_WALKING_HPP

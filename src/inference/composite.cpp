@@ -1,0 +1,58 @@
+#include "inference/composite.hpp"
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace inference {
+
+CompositePrior::CompositePrior(
+    std::vector<random::DistributionPtr> components)
+{
+    for (auto& component : components)
+        add(std::move(component));
+}
+
+void
+CompositePrior::add(random::DistributionPtr component, double exponent)
+{
+    UNCERTAIN_REQUIRE(component != nullptr,
+                      "CompositePrior components must be non-null");
+    UNCERTAIN_REQUIRE(exponent > 0.0,
+                      "CompositePrior exponents must be positive");
+    components_.push_back(std::move(component));
+    exponents_.push_back(exponent);
+}
+
+double
+CompositePrior::logDensity(double x) const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+        total += exponents_[i] * components_[i]->logPdf(x);
+    return total;
+}
+
+Uncertain<double>
+applyPriors(const Uncertain<double>& estimate,
+            const CompositePrior& priors,
+            const ReweightOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(priors.size() >= 1,
+                      "applyPriors requires >= 1 component");
+    return reweight(
+               estimate,
+               [&priors](double x) { return priors.logDensity(x); },
+               options, rng)
+        .posterior;
+}
+
+Uncertain<double>
+applyPriors(const Uncertain<double>& estimate,
+            const CompositePrior& priors,
+            const ReweightOptions& options)
+{
+    return applyPriors(estimate, priors, options, globalRng());
+}
+
+} // namespace inference
+} // namespace uncertain

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Compositional priors: the paper's anticipated future work ("the
+ * application cannot easily mix and match priors from different
+ * sources (e.g., maps, calendars, and physics)", section 3.5).
+ *
+ * A composite prior is the normalized product of several component
+ * densities. Because the SIR reweighting of inference/reweight.hpp
+ * only needs the weight up to a constant, the product works directly
+ * in log space with no normalization step, making prior composition
+ * a one-liner for applications.
+ */
+
+#ifndef UNCERTAIN_INFERENCE_COMPOSITE_HPP
+#define UNCERTAIN_INFERENCE_COMPOSITE_HPP
+
+#include <vector>
+
+#include "core/uncertain.hpp"
+#include "inference/reweight.hpp"
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace inference {
+
+/**
+ * The unnormalized product of several prior densities, usable as a
+ * log-weight provider. Each component may carry an exponent
+ * ("tempering") to strengthen or weaken its influence.
+ */
+class CompositePrior
+{
+  public:
+    /** Component densities, all weighted with exponent 1. */
+    explicit CompositePrior(
+        std::vector<random::DistributionPtr> components);
+
+    /** Add a component with an optional tempering exponent. */
+    void add(random::DistributionPtr component, double exponent = 1.0);
+
+    /** Sum of component log-densities at @p x (unnormalized). */
+    double logDensity(double x) const;
+
+    std::size_t size() const { return components_.size(); }
+
+  private:
+    std::vector<random::DistributionPtr> components_;
+    std::vector<double> exponents_;
+};
+
+/**
+ * Improve an estimate with several independent sources of domain
+ * knowledge at once: posterior proportional to
+ * estimate-density x prod_i prior_i-density.
+ */
+Uncertain<double> applyPriors(const Uncertain<double>& estimate,
+                              const CompositePrior& priors,
+                              const ReweightOptions& options,
+                              Rng& rng);
+
+/** applyPriors() with the thread's global generator. */
+Uncertain<double> applyPriors(const Uncertain<double>& estimate,
+                              const CompositePrior& priors,
+                              const ReweightOptions& options = {});
+
+} // namespace inference
+} // namespace uncertain
+
+#endif // UNCERTAIN_INFERENCE_COMPOSITE_HPP

@@ -1,0 +1,44 @@
+#include "inference/conjugate.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace inference {
+
+random::Gaussian
+gaussianPosterior(const random::Gaussian& prior, double observation,
+                  double sigmaNoise)
+{
+    return gaussianPosterior(prior, observation, sigmaNoise, 1);
+}
+
+random::Gaussian
+gaussianPosterior(const random::Gaussian& prior, double observationMean,
+                  double sigmaNoise, std::size_t n)
+{
+    UNCERTAIN_REQUIRE(sigmaNoise > 0.0,
+                      "gaussianPosterior requires sigmaNoise > 0");
+    UNCERTAIN_REQUIRE(n >= 1, "gaussianPosterior requires n >= 1");
+
+    double precisionPrior = 1.0 / (prior.sigma() * prior.sigma());
+    double precisionData =
+        static_cast<double>(n) / (sigmaNoise * sigmaNoise);
+    double precisionPost = precisionPrior + precisionData;
+    double muPost = (precisionPrior * prior.mu()
+                     + precisionData * observationMean)
+                    / precisionPost;
+    return {muPost, std::sqrt(1.0 / precisionPost)};
+}
+
+random::Beta
+betaPosterior(const random::Beta& prior, std::size_t successes,
+              std::size_t failures)
+{
+    return {prior.a() + static_cast<double>(successes),
+            prior.b() + static_cast<double>(failures)};
+}
+
+} // namespace inference
+} // namespace uncertain

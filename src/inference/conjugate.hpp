@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Closed-form conjugate Bayesian updates. Where a conjugate pair
+ * applies, these give exact posteriors against which the sampled SIR
+ * posteriors of inference/reweight.hpp can be validated (and they are
+ * cheaper at runtime).
+ */
+
+#ifndef UNCERTAIN_INFERENCE_CONJUGATE_HPP
+#define UNCERTAIN_INFERENCE_CONJUGATE_HPP
+
+#include <cstddef>
+
+#include "random/beta.hpp"
+#include "random/gaussian.hpp"
+
+namespace uncertain {
+namespace inference {
+
+/**
+ * Gaussian-Gaussian update with known measurement noise: prior
+ * N(mu0, sigma0^2), observation y = b + N(0, sigmaNoise^2). Returns
+ * the exact posterior N(mu1, sigma1^2).
+ */
+random::Gaussian gaussianPosterior(const random::Gaussian& prior,
+                                   double observation,
+                                   double sigmaNoise);
+
+/**
+ * Gaussian-Gaussian update folding in @p n i.i.d. observations with
+ * sample mean @p observationMean.
+ */
+random::Gaussian gaussianPosterior(const random::Gaussian& prior,
+                                   double observationMean,
+                                   double sigmaNoise, std::size_t n);
+
+/**
+ * Beta-Bernoulli update: prior Beta(a, b) on p, after observing
+ * @p successes and @p failures. Returns Beta(a + s, b + f).
+ */
+random::Beta betaPosterior(const random::Beta& prior,
+                           std::size_t successes, std::size_t failures);
+
+} // namespace inference
+} // namespace uncertain
+
+#endif // UNCERTAIN_INFERENCE_CONJUGATE_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Sampling-importance-resampling over arbitrary base types.
+ *
+ * inference/reweight.hpp handles Uncertain<double>; this header
+ * generalizes the same Bayes operator to any T (locations, vectors,
+ * user types): draw a proposal pool from the source variable, weight
+ * each draw with a caller-supplied log-weight, resample
+ * proportionally, and return a new leaf over the resampled pool.
+ * This is what location priors such as road snapping (paper
+ * section 3.5, Figure 10) need, where the target variable is a
+ * GeoCoordinate rather than a scalar.
+ */
+
+#ifndef UNCERTAIN_INFERENCE_GENERIC_REWEIGHT_HPP
+#define UNCERTAIN_INFERENCE_GENERIC_REWEIGHT_HPP
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/uncertain.hpp"
+#include "inference/reweight.hpp" // ReweightOptions
+#include "random/discrete.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace inference {
+
+/** Typed analogue of ReweightResult. */
+template <typename T>
+struct GenericReweightResult
+{
+    Uncertain<T> posterior;
+    double effectiveSampleSize;
+};
+
+/**
+ * Resample draws of @p source in proportion to
+ * exp(logWeight(value)). Throws when every weight is zero.
+ */
+template <typename T, typename LogWeight>
+GenericReweightResult<T>
+reweightSamples(const Uncertain<T>& source, LogWeight&& logWeight,
+                const ReweightOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(options.proposalSamples >= 2,
+                      "reweightSamples requires >= 2 proposals");
+    UNCERTAIN_REQUIRE(options.resampleSize >= 1,
+                      "reweightSamples requires >= 1 resample");
+
+    std::vector<T> proposals =
+        source.takeSamples(options.proposalSamples, rng);
+
+    std::vector<double> logWeights(proposals.size());
+    double maxLog = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+        logWeights[i] = logWeight(proposals[i]);
+        maxLog = std::max(maxLog, logWeights[i]);
+    }
+    UNCERTAIN_REQUIRE(std::isfinite(maxLog),
+                      "reweightSamples: all importance weights are "
+                      "zero; prior and estimate do not overlap");
+
+    std::vector<double> weights(proposals.size());
+    std::vector<double> indices(proposals.size());
+    double total = 0.0;
+    double totalSq = 0.0;
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+        weights[i] = std::exp(logWeights[i] - maxLog);
+        indices[i] = static_cast<double>(i);
+        total += weights[i];
+        totalSq += weights[i] * weights[i];
+    }
+    double ess = total * total / totalSq;
+
+    random::Discrete table(indices, weights);
+    auto pool = std::make_shared<std::vector<T>>();
+    pool->reserve(options.resampleSize);
+    for (std::size_t i = 0; i < options.resampleSize; ++i) {
+        pool->push_back(
+            proposals[static_cast<std::size_t>(table.sample(rng))]);
+    }
+
+    auto posterior = Uncertain<T>::fromSampler(
+        [pool](Rng& r) {
+            return (*pool)[static_cast<std::size_t>(
+                r.nextBelow(pool->size()))];
+        },
+        "posterior(" + std::to_string(options.resampleSize)
+            + " resamples)");
+    return {std::move(posterior), ess};
+}
+
+/** reweightSamples() with the thread's global generator. */
+template <typename T, typename LogWeight>
+GenericReweightResult<T>
+reweightSamples(const Uncertain<T>& source, LogWeight&& logWeight,
+                const ReweightOptions& options = {})
+{
+    return reweightSamples(source,
+                           std::forward<LogWeight>(logWeight),
+                           options, globalRng());
+}
+
+} // namespace inference
+} // namespace uncertain
+
+#endif // UNCERTAIN_INFERENCE_GENERIC_REWEIGHT_HPP

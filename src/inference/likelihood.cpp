@@ -1,0 +1,50 @@
+#include "inference/likelihood.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace inference {
+
+GaussianLikelihood::GaussianLikelihood(double observed, double sigma)
+    : observed_(observed), sigma_(sigma)
+{
+    UNCERTAIN_REQUIRE(sigma > 0.0,
+                      "GaussianLikelihood requires sigma > 0");
+}
+
+double
+GaussianLikelihood::logLikelihood(double b) const
+{
+    double z = (observed_ - b) / sigma_;
+    return -0.5 * z * z - std::log(sigma_)
+           - 0.91893853320467274178; // log(sqrt(2*pi))
+}
+
+std::string
+GaussianLikelihood::name() const
+{
+    std::ostringstream out;
+    out << "GaussianLikelihood(obs=" << observed_ << ", sigma=" << sigma_
+        << ")";
+    return out.str();
+}
+
+FunctionLikelihood::FunctionLikelihood(
+    std::function<double(double)> logLik, std::string label)
+    : logLik_(std::move(logLik)), label_(std::move(label))
+{
+    UNCERTAIN_REQUIRE(logLik_ != nullptr,
+                      "FunctionLikelihood requires a callable");
+}
+
+double
+FunctionLikelihood::logLikelihood(double b) const
+{
+    return logLik_(b);
+}
+
+} // namespace inference
+} // namespace uncertain

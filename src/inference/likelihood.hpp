@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Likelihood models for Bayesian updates (paper section 3.5 and the
+ * BayesLife derivation in section 5.2).
+ */
+
+#ifndef UNCERTAIN_INFERENCE_LIKELIHOOD_HPP
+#define UNCERTAIN_INFERENCE_LIKELIHOOD_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace uncertain {
+namespace inference {
+
+/**
+ * A likelihood: the probability (density) of the observed evidence
+ * given a hypothesized value of the target variable,
+ * Pr[E = e | B = b] as a function of b.
+ */
+class Likelihood
+{
+  public:
+    virtual ~Likelihood() = default;
+
+    /** Log of Pr[evidence | value = b]. */
+    virtual double logLikelihood(double b) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+using LikelihoodPtr = std::shared_ptr<const Likelihood>;
+
+/**
+ * Gaussian measurement model: evidence = value + N(0, sigma), i.e.
+ * Pr[e | b] = N(e; b, sigma). This is exactly the sensor model of
+ * SensorLife/BayesLife.
+ */
+class GaussianLikelihood : public Likelihood
+{
+  public:
+    /** Requires sigma > 0. */
+    GaussianLikelihood(double observed, double sigma);
+
+    double logLikelihood(double b) const override;
+    std::string name() const override;
+
+    double observed() const { return observed_; }
+    double sigma() const { return sigma_; }
+
+  private:
+    double observed_;
+    double sigma_;
+};
+
+/** Wrap an arbitrary callable as a likelihood. */
+class FunctionLikelihood : public Likelihood
+{
+  public:
+    FunctionLikelihood(std::function<double(double)> logLik,
+                       std::string label = "custom");
+
+    double logLikelihood(double b) const override;
+    std::string name() const override { return label_; }
+
+  private:
+    std::function<double(double)> logLik_;
+    std::string label_;
+};
+
+} // namespace inference
+} // namespace uncertain
+
+#endif // UNCERTAIN_INFERENCE_LIKELIHOOD_HPP

@@ -1,0 +1,120 @@
+#include "inference/reweight.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "random/discrete.hpp"
+#include "random/empirical.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace inference {
+
+ReweightResult
+reweight(const Uncertain<double>& source,
+         const std::function<double(double)>& logWeight,
+         const ReweightOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(options.proposalSamples >= 2,
+                      "reweight requires >= 2 proposal samples");
+    UNCERTAIN_REQUIRE(options.resampleSize >= 1,
+                      "reweight requires >= 1 resample");
+
+    std::vector<double> proposals =
+        source.takeSamples(options.proposalSamples, rng);
+
+    std::vector<double> logWeights(proposals.size());
+    double maxLog = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+        logWeights[i] = logWeight(proposals[i]);
+        maxLog = std::max(maxLog, logWeights[i]);
+    }
+    UNCERTAIN_REQUIRE(std::isfinite(maxLog),
+                      "reweight: all importance weights are zero; the "
+                      "prior and the estimate do not overlap");
+
+    // Normalize in log space for stability.
+    std::vector<double> weights(proposals.size());
+    double total = 0.0;
+    double totalSq = 0.0;
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+        weights[i] = std::exp(logWeights[i] - maxLog);
+        total += weights[i];
+        totalSq += weights[i] * weights[i];
+    }
+    double ess = total * total / totalSq;
+
+    // Multinomial resampling via the alias table.
+    random::Discrete table(proposals, weights);
+    std::vector<double> pool;
+    pool.reserve(options.resampleSize);
+    for (std::size_t i = 0; i < options.resampleSize; ++i)
+        pool.push_back(table.sample(rng));
+
+    auto empirical =
+        std::make_shared<random::Empirical>(std::move(pool));
+    auto posterior = Uncertain<double>::fromSampler(
+        [empirical](Rng& r) { return empirical->sample(r); },
+        "posterior(" + std::to_string(options.resampleSize)
+            + " resamples)");
+    return {std::move(posterior), ess};
+}
+
+ReweightResult
+reweight(const Uncertain<double>& source,
+         const std::function<double(double)>& logWeight,
+         const ReweightOptions& options)
+{
+    return reweight(source, logWeight, options, globalRng());
+}
+
+Uncertain<double>
+applyPrior(const Uncertain<double>& estimate,
+           const random::Distribution& prior,
+           const ReweightOptions& options, Rng& rng)
+{
+    return reweight(
+               estimate,
+               [&prior](double x) { return prior.logPdf(x); }, options,
+               rng)
+        .posterior;
+}
+
+Uncertain<double>
+applyPrior(const Uncertain<double>& estimate,
+           const random::Distribution& prior,
+           const ReweightOptions& options)
+{
+    return applyPrior(estimate, prior, options, globalRng());
+}
+
+Uncertain<double>
+posteriorFromPrior(const random::Distribution& prior,
+                   const Likelihood& likelihood,
+                   const ReweightOptions& options, Rng& rng)
+{
+    // Draw hypotheses from the prior...
+    auto priorSampler = Uncertain<double>::fromSampler(
+        [&prior](Rng& r) { return prior.sample(r); }, prior.name());
+    // ...and weight them by the evidence.
+    return reweight(
+               priorSampler,
+               [&likelihood](double b) {
+                   return likelihood.logLikelihood(b);
+               },
+               options, rng)
+        .posterior;
+}
+
+Uncertain<double>
+posteriorFromPrior(const random::Distribution& prior,
+                   const Likelihood& likelihood,
+                   const ReweightOptions& options)
+{
+    return posteriorFromPrior(prior, likelihood, options, globalRng());
+}
+
+} // namespace inference
+} // namespace uncertain

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bayesian improvement of sampled distributions (paper section 3.5).
+ *
+ * Posterior = prior x likelihood, computed over sampling functions by
+ * sampling-importance-resampling (SIR), the sampled-distribution
+ * Bayes operator of Park et al. that the paper points to: draw a
+ * proposal pool from one distribution, weight each draw by the other
+ * distribution's density, and resample proportionally. The result is
+ * a new Uncertain<double> whose sampling function draws from the
+ * reweighted pool.
+ *
+ * Two directions are provided:
+ *  - applyPrior(estimate, prior): samples come from the estimation
+ *    process (e.g. the GPS speed distribution) and are weighted by a
+ *    domain-knowledge prior (e.g. plausible walking speeds). This is
+ *    the "road snapping" / walking-speed pattern of sections 3.5
+ *    and 5.1.
+ *  - posteriorFromPrior(prior, likelihood): samples come from the
+ *    prior and are weighted by an evidence likelihood.
+ */
+
+#ifndef UNCERTAIN_INFERENCE_REWEIGHT_HPP
+#define UNCERTAIN_INFERENCE_REWEIGHT_HPP
+
+#include <functional>
+
+#include "core/uncertain.hpp"
+#include "inference/likelihood.hpp"
+#include "random/distribution.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace inference {
+
+/** Tuning for sampling-importance-resampling. */
+struct ReweightOptions
+{
+    /** Proposal pool size drawn from the source distribution. */
+    std::size_t proposalSamples = 4000;
+    /** Size of the resampled pool backing the posterior. */
+    std::size_t resampleSize = 2000;
+};
+
+/** A reweighted distribution plus diagnostics. */
+struct ReweightResult
+{
+    /** Posterior as a new leaf (resampled-pool sampling function). */
+    Uncertain<double> posterior;
+    /**
+     * Kish effective sample size of the importance weights; a small
+     * value relative to proposalSamples means the prior and the
+     * proposal barely overlap and the posterior is unreliable.
+     */
+    double effectiveSampleSize;
+};
+
+/**
+ * Core SIR operation: resample draws of @p source in proportion to
+ * exp(logWeight(x)). Throws uncertain::Error when every weight is
+ * zero (no overlap).
+ */
+ReweightResult reweight(const Uncertain<double>& source,
+                        const std::function<double(double)>& logWeight,
+                        const ReweightOptions& options, Rng& rng);
+
+/** reweight() with the thread's global generator. */
+ReweightResult reweight(const Uncertain<double>& source,
+                        const std::function<double(double)>& logWeight,
+                        const ReweightOptions& options = {});
+
+/**
+ * Improve an estimate with domain knowledge: posterior proportional
+ * to estimate-density x prior-density, sampled from the estimate and
+ * weighted by the prior.
+ */
+Uncertain<double> applyPrior(const Uncertain<double>& estimate,
+                             const random::Distribution& prior,
+                             const ReweightOptions& options, Rng& rng);
+
+/** applyPrior() with the thread's global generator. */
+Uncertain<double> applyPrior(const Uncertain<double>& estimate,
+                             const random::Distribution& prior,
+                             const ReweightOptions& options = {});
+
+/**
+ * Classic Bayes update over sampling functions: draw hypotheses from
+ * @p prior, weight by @p likelihood of the observed evidence.
+ */
+Uncertain<double> posteriorFromPrior(const random::Distribution& prior,
+                                     const Likelihood& likelihood,
+                                     const ReweightOptions& options,
+                                     Rng& rng);
+
+/** posteriorFromPrior() with the thread's global generator. */
+Uncertain<double> posteriorFromPrior(const random::Distribution& prior,
+                                     const Likelihood& likelihood,
+                                     const ReweightOptions& options = {});
+
+} // namespace inference
+} // namespace uncertain
+
+#endif // UNCERTAIN_INFERENCE_REWEIGHT_HPP

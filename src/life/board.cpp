@@ -1,0 +1,122 @@
+#include "life/board.hpp"
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace life {
+
+bool
+lifeRule(bool alive, int liveNeighbors)
+{
+    if (alive)
+        return liveNeighbors == 2 || liveNeighbors == 3;
+    return liveNeighbors == 3;
+}
+
+Board::Board(std::size_t width, std::size_t height)
+    : width_(width), height_(height), cells_(width * height, 0)
+{
+    UNCERTAIN_REQUIRE(width >= 1 && height >= 1,
+                      "Board requires positive dimensions");
+}
+
+std::size_t
+Board::index(std::size_t x, std::size_t y) const
+{
+    UNCERTAIN_REQUIRE(x < width_ && y < height_,
+                      "Board coordinates out of range");
+    return y * width_ + x;
+}
+
+bool
+Board::alive(std::size_t x, std::size_t y) const
+{
+    return cells_[index(x, y)] != 0;
+}
+
+void
+Board::setAlive(std::size_t x, std::size_t y, bool state)
+{
+    cells_[index(x, y)] = state ? 1 : 0;
+}
+
+int
+Board::countLiveNeighbors(std::size_t x, std::size_t y) const
+{
+    UNCERTAIN_REQUIRE(x < width_ && y < height_,
+                      "Board coordinates out of range");
+    int count = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0)
+                continue;
+            auto nx = static_cast<std::ptrdiff_t>(x) + dx;
+            auto ny = static_cast<std::ptrdiff_t>(y) + dy;
+            if (nx < 0 || ny < 0
+                || nx >= static_cast<std::ptrdiff_t>(width_)
+                || ny >= static_cast<std::ptrdiff_t>(height_)) {
+                continue;
+            }
+            count += cells_[static_cast<std::size_t>(ny) * width_
+                            + static_cast<std::size_t>(nx)];
+        }
+    }
+    return count;
+}
+
+std::size_t
+Board::population() const
+{
+    std::size_t total = 0;
+    for (std::uint8_t c : cells_)
+        total += c;
+    return total;
+}
+
+void
+Board::randomize(Rng& rng, double density)
+{
+    UNCERTAIN_REQUIRE(density >= 0.0 && density <= 1.0,
+                      "density must be in [0, 1]");
+    for (std::uint8_t& c : cells_)
+        c = rng.nextBool(density) ? 1 : 0;
+}
+
+bool
+Board::nextStateExact(std::size_t x, std::size_t y) const
+{
+    return lifeRule(alive(x, y), countLiveNeighbors(x, y));
+}
+
+Board
+Board::stepExact() const
+{
+    Board next(width_, height_);
+    for (std::size_t y = 0; y < height_; ++y)
+        for (std::size_t x = 0; x < width_; ++x)
+            next.setAlive(x, y, nextStateExact(x, y));
+    return next;
+}
+
+std::string
+Board::render() const
+{
+    std::string out;
+    out.reserve((width_ + 1) * height_);
+    for (std::size_t y = 0; y < height_; ++y) {
+        for (std::size_t x = 0; x < width_; ++x)
+            out.push_back(alive(x, y) ? '#' : '.');
+        out.push_back('\n');
+    }
+    return out;
+}
+
+bool
+Board::operator==(const Board& other) const
+{
+    return width_ == other.width_ && height_ == other.height_
+           && cells_ == other.cells_;
+}
+
+} // namespace life
+} // namespace uncertain

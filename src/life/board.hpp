@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Conway's Game of Life board and exact rules: the ground-truth
+ * substrate of the SensorLife case study (paper section 5.2).
+ */
+
+#ifndef UNCERTAIN_LIFE_BOARD_HPP
+#define UNCERTAIN_LIFE_BOARD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace life {
+
+/**
+ * A bounded (non-wrapping) Life board. Cells on corners and edges
+ * simply have fewer neighbors, matching the paper's setup.
+ */
+class Board
+{
+  public:
+    /** Requires positive dimensions. */
+    Board(std::size_t width, std::size_t height);
+
+    std::size_t width() const { return width_; }
+    std::size_t height() const { return height_; }
+    std::size_t cellCount() const { return width_ * height_; }
+
+    /** Is the cell at (x, y) alive? Requires in-range coordinates. */
+    bool alive(std::size_t x, std::size_t y) const;
+
+    /** Set the state of the cell at (x, y). */
+    void setAlive(std::size_t x, std::size_t y, bool state);
+
+    /** Exact number of live neighbors of (x, y) (0..8). */
+    int countLiveNeighbors(std::size_t x, std::size_t y) const;
+
+    /** Number of live cells on the board. */
+    std::size_t population() const;
+
+    /** Randomize each cell alive with probability @p density. */
+    void randomize(Rng& rng, double density = 0.35);
+
+    /**
+     * The exact next state of cell (x, y) under the classic rules:
+     * survival with 2-3 neighbors, death by under/overpopulation,
+     * birth with exactly 3.
+     */
+    bool nextStateExact(std::size_t x, std::size_t y) const;
+
+    /** Apply the exact rules to every cell, producing the successor. */
+    Board stepExact() const;
+
+    /** Multi-line '#'/'.' rendering for debugging. */
+    std::string render() const;
+
+    bool operator==(const Board& other) const;
+
+  private:
+    std::size_t index(std::size_t x, std::size_t y) const;
+
+    std::size_t width_;
+    std::size_t height_;
+    std::vector<std::uint8_t> cells_;
+};
+
+/**
+ * The classic update rule as a pure function of the current state
+ * and an exact integer neighbor count.
+ */
+bool lifeRule(bool alive, int liveNeighbors);
+
+} // namespace life
+} // namespace uncertain
+
+#endif // UNCERTAIN_LIFE_BOARD_HPP

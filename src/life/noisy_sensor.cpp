@@ -1,0 +1,98 @@
+#include "life/noisy_sensor.hpp"
+
+#include <cmath>
+
+#include "random/beta.hpp"
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace life {
+
+namespace {
+
+// Beta(2, 2) has variance 1/20; scaling (X - 1/2) by sigma/sd gives
+// a zero-mean bounded noise with standard deviation sigma.
+const double kBeta22Stddev = std::sqrt(0.05);
+
+} // namespace
+
+NoisySensor::NoisySensor(double sigma, NoiseModel model)
+    : sigma_(sigma), model_(model)
+{
+    UNCERTAIN_REQUIRE(sigma >= 0.0, "NoisySensor requires sigma >= 0");
+}
+
+double
+NoisySensor::noise(Rng& rng) const
+{
+    if (sigma_ == 0.0)
+        return 0.0;
+    switch (model_) {
+      case NoiseModel::Gaussian:
+        return sigma_ * random::Gaussian::standardSample(rng);
+      case NoiseModel::ShiftedBeta: {
+        static const random::Beta beta(2.0, 2.0);
+        return sigma_ / kBeta22Stddev * (beta.sample(rng) - 0.5);
+      }
+    }
+    UNCERTAIN_ASSERT(false, "unknown noise model");
+    return 0.0;
+}
+
+double
+NoisySensor::read(const Board& board, std::size_t x, std::size_t y,
+                  Rng& rng) const
+{
+    double truth = board.alive(x, y) ? 1.0 : 0.0;
+    return truth + noise(rng);
+}
+
+Uncertain<double>
+NoisySensor::senseNeighbor(const Board& board, std::size_t x,
+                           std::size_t y) const
+{
+    double truth = board.alive(x, y) ? 1.0 : 0.0;
+    // Capture *this by value into a small copy so the returned
+    // variable does not dangle if the sensor goes away.
+    NoisySensor self = *this;
+    return Uncertain<double>::fromSampler(
+        [truth, self](Rng& rng) { return truth + self.noise(rng); },
+        "sensor");
+}
+
+Uncertain<double>
+NoisySensor::senseNeighborFixed(const Board& board, std::size_t x,
+                                std::size_t y) const
+{
+    // Equal priors and symmetric likelihoods around 0 and 1 make the
+    // MAP hypothesis simply the nearer of the two; see the paper's
+    // SenseNeighborFixed.
+    return senseNeighbor(board, x, y).map(
+        [](double raw) { return raw > 0.5 ? 1.0 : 0.0; }, "snap01");
+}
+
+Uncertain<double>
+NoisySensor::senseNeighborJoint(const Board& board, std::size_t x,
+                                std::size_t y, std::size_t reads) const
+{
+    UNCERTAIN_REQUIRE(reads >= 1,
+                      "senseNeighborJoint requires reads >= 1");
+    double truth = board.alive(x, y) ? 1.0 : 0.0;
+    NoisySensor self = *this;
+    return Uncertain<double>::fromSampler(
+        [truth, self, reads](Rng& rng) {
+            // With equal priors and equal-variance symmetric noise,
+            // the joint MAP over m i.i.d. readings thresholds the
+            // sample mean at 0.5.
+            double total = 0.0;
+            for (std::size_t i = 0; i < reads; ++i)
+                total += truth + self.noise(rng);
+            double mean = total / static_cast<double>(reads);
+            return mean > 0.5 ? 1.0 : 0.0;
+        },
+        "jointSnap01");
+}
+
+} // namespace life
+} // namespace uncertain

@@ -1,0 +1,215 @@
+#include "life/variants.hpp"
+
+namespace uncertain {
+namespace life {
+
+namespace {
+
+/** Invoke @p fn for every in-range neighbor of (x, y). */
+template <typename F>
+void
+forEachNeighbor(const Board& board, std::size_t x, std::size_t y, F fn)
+{
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0)
+                continue;
+            auto nx = static_cast<std::ptrdiff_t>(x) + dx;
+            auto ny = static_cast<std::ptrdiff_t>(y) + dy;
+            if (nx < 0 || ny < 0
+                || nx >= static_cast<std::ptrdiff_t>(board.width())
+                || ny >= static_cast<std::ptrdiff_t>(board.height())) {
+                continue;
+            }
+            fn(static_cast<std::size_t>(nx),
+               static_cast<std::size_t>(ny));
+        }
+    }
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// NaiveLife
+// ----------------------------------------------------------------------
+
+NaiveLife::NaiveLife(double sigma, NoiseModel model)
+    : sensor_(sigma, model)
+{}
+
+CellDecision
+NaiveLife::updateCell(const Board& board, std::size_t x, std::size_t y,
+                      Rng& rng) const
+{
+    double sum = 0.0;
+    forEachNeighbor(board, x, y, [&](std::size_t nx, std::size_t ny) {
+        sum += sensor_.read(board, nx, ny, rng);
+    });
+
+    bool isAlive = board.alive(x, y);
+    bool willBeAlive = isAlive;
+    // The original conditionals, applied verbatim to a noisy float:
+    // boundary counts become coin flips, and `sum == 3.0` is almost
+    // surely false, silently disabling reproduction.
+    if (isAlive && sum < 2.0)
+        willBeAlive = false;
+    else if (isAlive && 2.0 <= sum && sum <= 3.0)
+        willBeAlive = true;
+    else if (isAlive && sum > 3.0)
+        willBeAlive = false;
+    else if (!isAlive && sum == 3.0)
+        willBeAlive = true;
+
+    // One reading of each sensor == one sample of the sum.
+    return {willBeAlive, 1};
+}
+
+// ----------------------------------------------------------------------
+// SensorLife
+// ----------------------------------------------------------------------
+
+SensorLife::SensorLife(double sigma, core::ConditionalOptions options,
+                       NoiseModel model)
+    : sensor_(sigma, model), options_(options)
+{}
+
+Uncertain<double>
+SensorLife::countLiveNeighbors(const Board& board, std::size_t x,
+                               std::size_t y) const
+{
+    // The paper's CountLiveNeighbors: start from a point mass at 0
+    // and fold each sensor in with the lifted addition operator.
+    Uncertain<double> sum(0.0);
+    forEachNeighbor(board, x, y, [&](std::size_t nx, std::size_t ny) {
+        sum = sum + sensor_.senseNeighbor(board, nx, ny);
+    });
+    return sum;
+}
+
+CellDecision
+SensorLife::updateCell(const Board& board, std::size_t x, std::size_t y,
+                       Rng& rng) const
+{
+    Uncertain<double> numLive = countLiveNeighbors(board, x, y);
+    bool isAlive = board.alive(x, y);
+    bool willBeAlive = isAlive;
+
+    std::uint64_t before = core::evalStats().rootSamples;
+
+    // Rounding semantics for the integer rule thresholds (see the
+    // file comment): "< 2" means "counts to 0 or 1", i.e. < 1.5, and
+    // the birth test "== 3" means "rounds to 3".
+    if (isAlive) {
+        if ((numLive < 1.5).pr(0.5, options_, rng))
+            willBeAlive = false;
+        else if (((numLive >= 1.5) && (numLive <= 3.5))
+                     .pr(0.5, options_, rng))
+            willBeAlive = true;
+        else if ((numLive > 3.5).pr(0.5, options_, rng))
+            willBeAlive = false;
+        // No test significant: the chain falls through and the cell
+        // keeps its state (the ternary-logic default).
+    } else {
+        if (approxEqual(numLive, 3.0, 0.5).pr(0.5, options_, rng))
+            willBeAlive = true;
+    }
+
+    std::uint64_t samples = core::evalStats().rootSamples - before;
+    return {willBeAlive, samples};
+}
+
+// ----------------------------------------------------------------------
+// BayesLife
+// ----------------------------------------------------------------------
+
+BayesLife::BayesLife(double sigma, core::ConditionalOptions options,
+                     NoiseModel model)
+    : SensorLife(sigma, options, model)
+{}
+
+Uncertain<double>
+BayesLife::countLiveNeighbors(const Board& board, std::size_t x,
+                              std::size_t y) const
+{
+    Uncertain<double> sum(0.0);
+    forEachNeighbor(board, x, y, [&](std::size_t nx, std::size_t ny) {
+        sum = sum + sensor_.senseNeighborFixed(board, nx, ny);
+    });
+    return sum;
+}
+
+// ----------------------------------------------------------------------
+// JointBayesLife
+// ----------------------------------------------------------------------
+
+JointBayesLife::JointBayesLife(double sigma, std::size_t readsPerSample,
+                               core::ConditionalOptions options)
+    : SensorLife(sigma, options), readsPerSample_(readsPerSample)
+{
+    UNCERTAIN_REQUIRE(readsPerSample >= 1,
+                      "JointBayesLife requires readsPerSample >= 1");
+}
+
+Uncertain<double>
+JointBayesLife::countLiveNeighbors(const Board& board, std::size_t x,
+                                   std::size_t y) const
+{
+    Uncertain<double> sum(0.0);
+    forEachNeighbor(board, x, y, [&](std::size_t nx, std::size_t ny) {
+        sum = sum
+              + sensor_.senseNeighborJoint(board, nx, ny,
+                                           readsPerSample_);
+    });
+    return sum;
+}
+
+CellDecision
+JointBayesLife::updateCell(const Board& board, std::size_t x,
+                           std::size_t y, Rng& rng) const
+{
+    CellDecision decision = SensorLife::updateCell(board, x, y, rng);
+    decision.samplesDrawn *= readsPerSample_;
+    return decision;
+}
+
+// ----------------------------------------------------------------------
+// Harness
+// ----------------------------------------------------------------------
+
+RunStats
+stepNoisy(Board& board, const LifeVariant& variant, Rng& rng)
+{
+    RunStats stats;
+    Board next(board.width(), board.height());
+    for (std::size_t y = 0; y < board.height(); ++y) {
+        for (std::size_t x = 0; x < board.width(); ++x) {
+            CellDecision decision = variant.updateCell(board, x, y, rng);
+            bool exact = board.nextStateExact(x, y);
+            ++stats.cellUpdates;
+            if (decision.willBeAlive != exact)
+                ++stats.wrongDecisions;
+            stats.samplesDrawn += decision.samplesDrawn;
+            next.setAlive(x, y, decision.willBeAlive);
+        }
+    }
+    board = next;
+    return stats;
+}
+
+RunStats
+runNoisyGame(Board initial, const LifeVariant& variant,
+             std::size_t generations, Rng& rng)
+{
+    RunStats total;
+    Board board = std::move(initial);
+    for (std::size_t g = 0; g < generations; ++g) {
+        RunStats step = stepNoisy(board, variant, rng);
+        total.cellUpdates += step.cellUpdates;
+        total.wrongDecisions += step.wrongDecisions;
+        total.samplesDrawn += step.samplesDrawn;
+    }
+    return total;
+}
+
+} // namespace life
+} // namespace uncertain

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The three noisy Games of Life of paper section 5.2:
+ *
+ *  - NaiveLife reads each sensor once, sums the raw readings, and
+ *    applies the original integer-threshold conditionals verbatim to
+ *    the real-valued sum. True counts sitting exactly on a rule
+ *    boundary (2 or 3) become coin flips under any noise amplitude,
+ *    and the birth test `sum == 3` almost never fires — which is why
+ *    the paper measures a roughly constant error rate.
+ *  - SensorLife wraps each sensor in Uncertain<double>; the sum is a
+ *    distribution and every rule executes as a hypothesis test,
+ *    re-sampling the sensors as needed. When no test is significant
+ *    the else-if chain falls through and the cell keeps its state.
+ *  - BayesLife adds domain knowledge: each raw sample is snapped to
+ *    the MAP hypothesis in {0, 1} before summing (SenseNeighborFixed).
+ *
+ * Substitution note (documented in DESIGN.md): the paper's SensorLife
+ * listing compares a continuous sum against the integer thresholds,
+ * including `NumLive == 3`, which is a probability-zero event for
+ * continuous noise. We read those comparisons with rounding
+ * semantics — each integer threshold k becomes the interval boundary
+ * k +/- 0.5 — which is the only interpretation under which the birth
+ * rule can fire and SensorLife can outperform NaiveLife as Figure 14
+ * reports. BayesLife's snapped counts are integer-valued, so for it
+ * the two readings coincide.
+ */
+
+#ifndef UNCERTAIN_LIFE_VARIANTS_HPP
+#define UNCERTAIN_LIFE_VARIANTS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/core.hpp"
+#include "life/board.hpp"
+#include "life/noisy_sensor.hpp"
+
+namespace uncertain {
+namespace life {
+
+/** Outcome of deciding one cell. */
+struct CellDecision
+{
+    bool willBeAlive;
+    std::uint64_t samplesDrawn; //!< root draws of the neighbor sum
+};
+
+/** Interface shared by the three noisy implementations. */
+class LifeVariant
+{
+  public:
+    virtual ~LifeVariant() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Decide the next state of cell (x, y) of @p board. */
+    virtual CellDecision updateCell(const Board& board, std::size_t x,
+                                    std::size_t y, Rng& rng) const = 0;
+};
+
+/** Single raw read per sensor, original conditionals verbatim. */
+class NaiveLife : public LifeVariant
+{
+  public:
+    explicit NaiveLife(double sigma,
+                       NoiseModel model = NoiseModel::Gaussian);
+
+    std::string name() const override { return "NaiveLife"; }
+    CellDecision updateCell(const Board& board, std::size_t x,
+                            std::size_t y, Rng& rng) const override;
+
+  private:
+    NoisySensor sensor_;
+};
+
+/** Uncertain<double> sensors, hypothesis-tested conditionals. */
+class SensorLife : public LifeVariant
+{
+  public:
+    SensorLife(double sigma, core::ConditionalOptions options = {},
+               NoiseModel model = NoiseModel::Gaussian);
+
+    std::string name() const override { return "SensorLife"; }
+    CellDecision updateCell(const Board& board, std::size_t x,
+                            std::size_t y, Rng& rng) const override;
+
+  protected:
+    /** The CountLiveNeighbors sum network for cell (x, y). */
+    virtual Uncertain<double>
+    countLiveNeighbors(const Board& board, std::size_t x,
+                       std::size_t y) const;
+
+    NoisySensor sensor_;
+    core::ConditionalOptions options_;
+};
+
+/** SensorLife with MAP-snapped sensor readings. */
+class BayesLife : public SensorLife
+{
+  public:
+    BayesLife(double sigma, core::ConditionalOptions options = {},
+              NoiseModel model = NoiseModel::Gaussian);
+
+    std::string name() const override { return "BayesLife"; }
+
+  protected:
+    Uncertain<double>
+    countLiveNeighbors(const Board& board, std::size_t x,
+                       std::size_t y) const override;
+};
+
+/**
+ * BayesLife plus the paper's joint-likelihood extension: each PPD
+ * draw of a sensor aggregates several raw readings before snapping,
+ * which keeps the automaton essentially error-free past the
+ * sigma = 0.4 breakdown point of per-sample snapping.
+ */
+class JointBayesLife : public SensorLife
+{
+  public:
+    JointBayesLife(double sigma, std::size_t readsPerSample = 5,
+                   core::ConditionalOptions options = {});
+
+    std::string name() const override { return "JointBayesLife"; }
+
+    /**
+     * Accounts for the extra raw readings: samplesDrawn is scaled by
+     * readsPerSample so sampling-cost comparisons stay honest.
+     */
+    CellDecision updateCell(const Board& board, std::size_t x,
+                            std::size_t y, Rng& rng) const override;
+
+  protected:
+    Uncertain<double>
+    countLiveNeighbors(const Board& board, std::size_t x,
+                       std::size_t y) const override;
+
+  private:
+    std::size_t readsPerSample_;
+};
+
+/** Aggregate statistics of a noisy run. */
+struct RunStats
+{
+    std::size_t cellUpdates = 0;
+    std::size_t wrongDecisions = 0; //!< vs. the exact rule, per update
+    std::uint64_t samplesDrawn = 0;
+
+    double
+    errorRate() const
+    {
+        return cellUpdates == 0
+                   ? 0.0
+                   : static_cast<double>(wrongDecisions)
+                         / static_cast<double>(cellUpdates);
+    }
+
+    double
+    samplesPerUpdate() const
+    {
+        return cellUpdates == 0
+                   ? 0.0
+                   : static_cast<double>(samplesDrawn)
+                         / static_cast<double>(cellUpdates);
+    }
+};
+
+/**
+ * Advance @p board by one noisy generation under @p variant,
+ * scoring each decision against the exact rule applied to the same
+ * current board.
+ */
+RunStats stepNoisy(Board& board, const LifeVariant& variant, Rng& rng);
+
+/**
+ * Run @p generations noisy generations from @p initial (the paper
+ * runs 25 generations of a random 20x20 board) and accumulate stats.
+ */
+RunStats runNoisyGame(Board initial, const LifeVariant& variant,
+                      std::size_t generations, Rng& rng);
+
+} // namespace life
+} // namespace uncertain
+
+#endif // UNCERTAIN_LIFE_VARIANTS_HPP

@@ -1,0 +1,174 @@
+#include "nn/hmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace nn {
+
+namespace {
+
+/**
+ * Potential energy U(w) = negative log posterior (up to a constant)
+ * and its gradient.
+ */
+class Posterior
+{
+  public:
+    Posterior(const Mlp& network, const Dataset& data,
+              const HmcOptions& options)
+        : network_(network), data_(data),
+          invNoiseVar_(1.0
+                       / (options.noiseSigma * options.noiseSigma)),
+          invPriorVar_(1.0
+                       / (options.priorSigma * options.priorSigma))
+    {}
+
+    double
+    energy(const std::vector<double>& w) const
+    {
+        double sse = 0.0;
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+            double r =
+                network_.forward(w, data_.inputs[i]) - data_.targets[i];
+            sse += r * r;
+        }
+        double norm2 = 0.0;
+        for (double v : w)
+            norm2 += v * v;
+        return 0.5 * invNoiseVar_ * sse + 0.5 * invPriorVar_ * norm2;
+    }
+
+    void
+    gradient(const std::vector<double>& w,
+             std::vector<double>& grad) const
+    {
+        std::fill(grad.begin(), grad.end(), 0.0);
+        for (std::size_t i = 0; i < data_.size(); ++i) {
+            network_.accumulateGradient(w, data_.inputs[i],
+                                        data_.targets[i], grad);
+        }
+        for (std::size_t i = 0; i < w.size(); ++i)
+            grad[i] = invNoiseVar_ * grad[i] + invPriorVar_ * w[i];
+    }
+
+  private:
+    const Mlp& network_;
+    const Dataset& data_;
+    double invNoiseVar_;
+    double invPriorVar_;
+};
+
+} // namespace
+
+HmcResult
+sampleHmc(const Mlp& network, const Dataset& data,
+          const std::vector<double>& initialWeights,
+          const HmcOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(initialWeights.size() == network.parameterCount(),
+                      "sampleHmc: wrong initial weight size");
+    UNCERTAIN_REQUIRE(options.leapfrogSteps >= 1,
+                      "sampleHmc: need >= 1 leapfrog step");
+    UNCERTAIN_REQUIRE(options.posteriorSamples >= 1,
+                      "sampleHmc: need >= 1 posterior sample");
+    UNCERTAIN_REQUIRE(options.thinning >= 1,
+                      "sampleHmc: thinning must be >= 1");
+
+    Posterior posterior(network, data, options);
+    std::size_t dim = network.parameterCount();
+
+    std::vector<double> position = initialWeights;
+    double energy = posterior.energy(position);
+    std::vector<double> grad(dim);
+    posterior.gradient(position, grad);
+
+    double stepSize = options.initialStepSize;
+    std::size_t accepted = 0;
+    std::size_t postBurnIterations = 0;
+
+    HmcResult result;
+    result.pool.reserve(options.posteriorSamples);
+
+    std::vector<double> momentum(dim);
+    std::vector<double> trialPosition(dim);
+    std::vector<double> trialGrad(dim);
+
+    std::size_t totalNeeded =
+        options.burnIn + options.thinning * options.posteriorSamples;
+    for (std::size_t iter = 0; iter < totalNeeded; ++iter) {
+        // Fresh Gaussian momentum; kinetic energy ||p||^2 / 2.
+        double kinetic = 0.0;
+        for (double& p : momentum) {
+            p = random::Gaussian::standardSample(rng);
+            kinetic += p * p;
+        }
+        kinetic *= 0.5;
+
+        // Leapfrog from the current state.
+        trialPosition = position;
+        trialGrad = grad;
+        for (std::size_t i = 0; i < dim; ++i)
+            momentum[i] -= 0.5 * stepSize * trialGrad[i];
+        for (std::size_t step = 0; step < options.leapfrogSteps;
+             ++step) {
+            for (std::size_t i = 0; i < dim; ++i)
+                trialPosition[i] += stepSize * momentum[i];
+            posterior.gradient(trialPosition, trialGrad);
+            double half =
+                (step + 1 == options.leapfrogSteps) ? 0.5 : 1.0;
+            for (std::size_t i = 0; i < dim; ++i)
+                momentum[i] -= half * stepSize * trialGrad[i];
+        }
+
+        double trialEnergy = posterior.energy(trialPosition);
+        double trialKinetic = 0.0;
+        for (double p : momentum)
+            trialKinetic += p * p;
+        trialKinetic *= 0.5;
+
+        double logAccept =
+            (energy + kinetic) - (trialEnergy + trialKinetic);
+        bool accept = std::log(rng.nextDoubleOpen()) < logAccept;
+        if (accept) {
+            position.swap(trialPosition);
+            grad.swap(trialGrad);
+            energy = trialEnergy;
+        }
+
+        if (iter < options.burnIn) {
+            // Robbins-Monro-style step-size adaptation: the fixed
+            // point of these multipliers is acceptance == target.
+            constexpr double kAdaptGain = 0.1;
+            stepSize *=
+                accept ? 1.0
+                             + kAdaptGain
+                                   * (1.0 - options.targetAcceptance)
+                       : 1.0 - kAdaptGain * options.targetAcceptance;
+            stepSize = std::clamp(stepSize, 1e-7, 1.0);
+        } else {
+            ++postBurnIterations;
+            accepted += accept ? 1 : 0;
+            std::size_t sinceBurn = iter - options.burnIn + 1;
+            if (sinceBurn % options.thinning == 0
+                && result.pool.size() < options.posteriorSamples) {
+                result.pool.push_back(position);
+            }
+        }
+    }
+
+    result.acceptanceRate =
+        postBurnIterations == 0
+            ? 0.0
+            : static_cast<double>(accepted)
+                  / static_cast<double>(postBurnIterations);
+    result.finalStepSize = stepSize;
+    result.iterations = totalNeeded;
+    return result;
+}
+
+} // namespace nn
+} // namespace uncertain

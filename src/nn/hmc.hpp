@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hybrid (Hamiltonian) Monte Carlo over network weights: the
+ * posterior sampler Parakeet uses to approximate the posterior
+ * predictive distribution (paper section 5.3, following Neal).
+ *
+ * Posterior: p(w | D) proportional to
+ *   exp(-||w||^2 / (2 sigma_w^2))          (Gaussian weight prior)
+ *   x prod_i N(t_i; y(x_i; w), sigma_n)    (Gaussian noise model)
+ *
+ * The sampler simulates Hamiltonian dynamics with the leapfrog
+ * integrator and accepts/rejects with a Metropolis test; the step
+ * size adapts during burn-in toward a target acceptance rate, the
+ * "hand tuning" the paper complains HMC usually requires.
+ */
+
+#ifndef UNCERTAIN_NN_HMC_HPP
+#define UNCERTAIN_NN_HMC_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace nn {
+
+/** HMC hyperparameters. */
+struct HmcOptions
+{
+    double priorSigma = 2.0;     //!< sigma_w of the weight prior
+    double noiseSigma = 0.05;    //!< sigma_n of the observation model
+    std::size_t leapfrogSteps = 15;
+    double initialStepSize = 1e-3;
+    double targetAcceptance = 0.8;
+    std::size_t burnIn = 200;    //!< adaptation iterations (discarded)
+    std::size_t thinning = 10;   //!< keep every M-th draw (the paper's
+                                 //!< "retain every Mth sample")
+    std::size_t posteriorSamples = 64; //!< pool size to collect
+};
+
+/** The collected posterior pool plus chain diagnostics. */
+struct HmcResult
+{
+    /** Retained weight vectors, each describing one neural network. */
+    std::vector<std::vector<double>> pool;
+    double acceptanceRate;  //!< post-burn-in acceptance fraction
+    double finalStepSize;
+    std::size_t iterations; //!< total HMC iterations run
+};
+
+/**
+ * Run HMC for @p network on @p data starting from @p initialWeights
+ * (typically the SGD solution, which cuts burn-in dramatically).
+ */
+HmcResult sampleHmc(const Mlp& network, const Dataset& data,
+                    const std::vector<double>& initialWeights,
+                    const HmcOptions& options, Rng& rng);
+
+} // namespace nn
+} // namespace uncertain
+
+#endif // UNCERTAIN_NN_HMC_HPP

@@ -1,0 +1,64 @@
+#include "nn/laplace.hpp"
+
+#include <cmath>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace nn {
+
+LaplaceResult
+laplaceApproximate(const Mlp& network, const Dataset& data,
+                   const std::vector<double>& modeWeights,
+                   const LaplaceOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(modeWeights.size() == network.parameterCount(),
+                      "laplaceApproximate: wrong mode weight size");
+    UNCERTAIN_REQUIRE(data.size() >= 1,
+                      "laplaceApproximate requires data");
+    UNCERTAIN_REQUIRE(options.priorSigma > 0.0
+                          && options.noiseSigma > 0.0,
+                      "laplaceApproximate: sigmas must be positive");
+    UNCERTAIN_REQUIRE(options.posteriorSamples >= 1,
+                      "laplaceApproximate: need >= 1 sample");
+
+    const std::size_t dim = network.parameterCount();
+    std::vector<double> hessianDiagonal(
+        dim, 1.0 / (options.priorSigma * options.priorSigma));
+
+    // Gauss-Newton diagonal: accumulate (dy/dw_j)^2 per example. The
+    // trick: accumulateGradient with target = y - 1 makes the
+    // residual exactly 1, so the accumulated gradient IS dy/dw.
+    std::vector<double> grad(dim);
+    const double invNoiseVar =
+        1.0 / (options.noiseSigma * options.noiseSigma);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        std::fill(grad.begin(), grad.end(), 0.0);
+        double y = network.forward(modeWeights, data.inputs[i]);
+        network.accumulateGradient(modeWeights, data.inputs[i],
+                                   y - 1.0, grad);
+        for (std::size_t j = 0; j < dim; ++j)
+            hessianDiagonal[j] += invNoiseVar * grad[j] * grad[j];
+    }
+
+    LaplaceResult result;
+    result.weightStddevs.resize(dim);
+    for (std::size_t j = 0; j < dim; ++j)
+        result.weightStddevs[j] = 1.0 / std::sqrt(hessianDiagonal[j]);
+
+    result.pool.reserve(options.posteriorSamples);
+    for (std::size_t s = 0; s < options.posteriorSamples; ++s) {
+        std::vector<double> draw(dim);
+        for (std::size_t j = 0; j < dim; ++j) {
+            draw[j] = modeWeights[j]
+                      + result.weightStddevs[j]
+                            * random::Gaussian::standardSample(rng);
+        }
+        result.pool.push_back(std::move(draw));
+    }
+    return result;
+}
+
+} // namespace nn
+} // namespace uncertain

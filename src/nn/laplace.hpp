@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Laplace (Gaussian) approximation of the weight posterior: the
+ * alternative PPD construction the paper weighs against hybrid Monte
+ * Carlo ("a Gaussian approximation to the PPD would mitigate all
+ * these downsides, but may be an inappropriate approximation in some
+ * cases", section 5.3).
+ *
+ * The posterior is approximated as a diagonal Gaussian centered at a
+ * mode (the SGD solution), with per-weight precisions from the
+ * Gauss-Newton diagonal of the negative log posterior:
+ *   H_jj ~ (1/sigma_n^2) sum_i (dy(x_i;w)/dw_j)^2 + 1/sigma_w^2.
+ * Sampling the approximation is trivially cheap compared to running
+ * an HMC chain — that is the trade-off being offered.
+ */
+
+#ifndef UNCERTAIN_NN_LAPLACE_HPP
+#define UNCERTAIN_NN_LAPLACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace nn {
+
+/** Laplace-approximation hyperparameters (match HmcOptions names). */
+struct LaplaceOptions
+{
+    double priorSigma = 2.0;  //!< sigma_w of the weight prior
+    double noiseSigma = 0.05; //!< sigma_n of the observation model
+    std::size_t posteriorSamples = 64; //!< pool size to draw
+};
+
+/** The fitted approximation plus its drawn pool. */
+struct LaplaceResult
+{
+    /** Posterior standard deviation of each weight. */
+    std::vector<double> weightStddevs;
+    /** Weight vectors drawn from the Gaussian approximation. */
+    std::vector<std::vector<double>> pool;
+};
+
+/**
+ * Fit the diagonal Laplace approximation around @p modeWeights
+ * (typically the SGD solution) and draw the posterior pool.
+ */
+LaplaceResult laplaceApproximate(const Mlp& network,
+                                 const Dataset& data,
+                                 const std::vector<double>& modeWeights,
+                                 const LaplaceOptions& options,
+                                 Rng& rng);
+
+} // namespace nn
+} // namespace uncertain
+
+#endif // UNCERTAIN_NN_LAPLACE_HPP

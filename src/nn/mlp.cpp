@@ -1,0 +1,156 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace nn {
+
+Mlp::Mlp(std::vector<std::size_t> layerSizes)
+    : layerSizes_(std::move(layerSizes))
+{
+    UNCERTAIN_REQUIRE(layerSizes_.size() >= 2,
+                      "Mlp requires at least input and output layers");
+    UNCERTAIN_REQUIRE(layerSizes_.back() == 1,
+                      "Mlp supports scalar outputs");
+    for (std::size_t width : layerSizes_)
+        UNCERTAIN_REQUIRE(width >= 1, "Mlp layer widths must be >= 1");
+
+    std::size_t offset = 0;
+    for (std::size_t l = 0; l + 1 < layerSizes_.size(); ++l) {
+        weightOffsets_.push_back(offset);
+        offset += layerSizes_[l] * layerSizes_[l + 1];
+        biasOffsets_.push_back(offset);
+        offset += layerSizes_[l + 1];
+    }
+    parameterCount_ = offset;
+}
+
+std::vector<double>
+Mlp::initialWeights(Rng& rng, double scale) const
+{
+    std::vector<double> weights(parameterCount_);
+    for (double& w : weights)
+        w = scale * random::Gaussian::standardSample(rng);
+    return weights;
+}
+
+double
+Mlp::forward(const std::vector<double>& weights,
+             const std::vector<double>& input) const
+{
+    UNCERTAIN_REQUIRE(weights.size() == parameterCount_,
+                      "Mlp::forward: wrong weight vector size");
+    UNCERTAIN_REQUIRE(input.size() == layerSizes_.front(),
+                      "Mlp::forward: wrong input size");
+
+    std::vector<double> activation = input;
+    std::vector<double> next;
+    for (std::size_t l = 0; l + 1 < layerSizes_.size(); ++l) {
+        std::size_t in = layerSizes_[l];
+        std::size_t out = layerSizes_[l + 1];
+        const double* w = weights.data() + weightOffsets_[l];
+        const double* b = weights.data() + biasOffsets_[l];
+        next.assign(out, 0.0);
+        for (std::size_t j = 0; j < out; ++j) {
+            double z = b[j];
+            const double* row = w + j * in;
+            for (std::size_t i = 0; i < in; ++i)
+                z += row[i] * activation[i];
+            bool hidden = (l + 2 < layerSizes_.size());
+            next[j] = hidden ? std::tanh(z) : z;
+        }
+        activation.swap(next);
+    }
+    return activation[0];
+}
+
+double
+Mlp::accumulateGradient(const std::vector<double>& weights,
+                        const std::vector<double>& input, double target,
+                        std::vector<double>& grad) const
+{
+    UNCERTAIN_REQUIRE(weights.size() == parameterCount_,
+                      "Mlp::accumulateGradient: wrong weight size");
+    UNCERTAIN_REQUIRE(grad.size() == parameterCount_,
+                      "Mlp::accumulateGradient: wrong gradient size");
+    UNCERTAIN_REQUIRE(input.size() == layerSizes_.front(),
+                      "Mlp::accumulateGradient: wrong input size");
+
+    // Forward pass, retaining every layer's activations.
+    std::size_t layers = layerSizes_.size();
+    std::vector<std::vector<double>> activations(layers);
+    activations[0] = input;
+    for (std::size_t l = 0; l + 1 < layers; ++l) {
+        std::size_t in = layerSizes_[l];
+        std::size_t out = layerSizes_[l + 1];
+        const double* w = weights.data() + weightOffsets_[l];
+        const double* b = weights.data() + biasOffsets_[l];
+        activations[l + 1].assign(out, 0.0);
+        for (std::size_t j = 0; j < out; ++j) {
+            double z = b[j];
+            const double* row = w + j * in;
+            for (std::size_t i = 0; i < in; ++i)
+                z += row[i] * activations[l][i];
+            bool hidden = (l + 2 < layers);
+            activations[l + 1][j] = hidden ? std::tanh(z) : z;
+        }
+    }
+
+    double residual = activations.back()[0] - target;
+
+    // Backward pass: delta starts as d(0.5 r^2)/dy = r.
+    std::vector<double> delta{residual};
+    std::vector<double> prevDelta;
+    for (std::size_t l = layers - 1; l-- > 0;) {
+        std::size_t in = layerSizes_[l];
+        std::size_t out = layerSizes_[l + 1];
+        const double* w = weights.data() + weightOffsets_[l];
+        double* gw = grad.data() + weightOffsets_[l];
+        double* gb = grad.data() + biasOffsets_[l];
+
+        for (std::size_t j = 0; j < out; ++j) {
+            double d = delta[j];
+            gb[j] += d;
+            double* grow = gw + j * in;
+            for (std::size_t i = 0; i < in; ++i)
+                grow[i] += d * activations[l][i];
+        }
+
+        if (l == 0)
+            break;
+        // Propagate to the previous (hidden, tanh) layer.
+        prevDelta.assign(in, 0.0);
+        for (std::size_t j = 0; j < out; ++j) {
+            double d = delta[j];
+            const double* row = w + j * in;
+            for (std::size_t i = 0; i < in; ++i)
+                prevDelta[i] += d * row[i];
+        }
+        for (std::size_t i = 0; i < in; ++i) {
+            double a = activations[l][i];
+            prevDelta[i] *= 1.0 - a * a; // tanh'
+        }
+        delta.swap(prevDelta);
+    }
+    return residual;
+}
+
+double
+Mlp::meanSquaredError(const std::vector<double>& weights,
+                      const Dataset& data) const
+{
+    UNCERTAIN_REQUIRE(data.size() >= 1,
+                      "meanSquaredError requires data");
+    double total = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        double r = forward(weights, data.inputs[i]) - data.targets[i];
+        total += r * r;
+    }
+    return total / static_cast<double>(data.size());
+}
+
+} // namespace nn
+} // namespace uncertain

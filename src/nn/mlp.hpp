@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small multi-layer perceptron with tanh hidden units and a linear
+ * output: the function family y(x; w) of the Parakeet case study
+ * (paper section 5.3). Weights live in one flat vector so the
+ * hybrid Monte Carlo sampler in nn/hmc.hpp can treat the network as
+ * a point in R^d.
+ */
+
+#ifndef UNCERTAIN_NN_MLP_HPP
+#define UNCERTAIN_NN_MLP_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace nn {
+
+/** A supervised regression dataset. */
+struct Dataset
+{
+    std::vector<std::vector<double>> inputs;
+    std::vector<double> targets;
+
+    std::size_t size() const { return inputs.size(); }
+};
+
+/**
+ * Fully connected feed-forward network, scalar output. The
+ * architecture (layer widths) is fixed at construction; the weights
+ * are owned by the caller as a flat vector, making the class a pure
+ * function evaluator/differentiator — exactly what both SGD and HMC
+ * need.
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param layerSizes widths from input to output, e.g. {9, 8, 1}
+     *        for the Parrot Sobel topology. Requires >= 2 layers and
+     *        an output width of 1.
+     */
+    explicit Mlp(std::vector<std::size_t> layerSizes);
+
+    /** Total number of weights and biases. */
+    std::size_t parameterCount() const { return parameterCount_; }
+
+    const std::vector<std::size_t>& layerSizes() const
+    {
+        return layerSizes_;
+    }
+
+    /** Gaussian(0, scale) initial weight vector. */
+    std::vector<double> initialWeights(Rng& rng,
+                                       double scale = 0.5) const;
+
+    /** Evaluate y(x; w). Requires matching input/weight sizes. */
+    double forward(const std::vector<double>& weights,
+                   const std::vector<double>& input) const;
+
+    /**
+     * Accumulate into @p grad the gradient, with respect to the
+     * weights, of the squared-error term 0.5 * (y(x; w) - target)^2.
+     * Returns the residual y(x; w) - target. @p grad must have
+     * parameterCount() entries.
+     */
+    double accumulateGradient(const std::vector<double>& weights,
+                              const std::vector<double>& input,
+                              double target,
+                              std::vector<double>& grad) const;
+
+    /** Mean squared error of the network over a dataset. */
+    double meanSquaredError(const std::vector<double>& weights,
+                            const Dataset& data) const;
+
+  private:
+    std::vector<std::size_t> layerSizes_;
+    std::size_t parameterCount_;
+    // Offsets of each layer's weight block / bias block in the flat
+    // vector; layer l maps layerSizes_[l] -> layerSizes_[l+1].
+    std::vector<std::size_t> weightOffsets_;
+    std::vector<std::size_t> biasOffsets_;
+};
+
+} // namespace nn
+} // namespace uncertain
+
+#endif // UNCERTAIN_NN_MLP_HPP

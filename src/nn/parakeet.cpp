@@ -1,0 +1,100 @@
+#include "nn/parakeet.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace nn {
+
+Parakeet::Parakeet(Mlp network, std::vector<double> parrotWeights,
+                   std::shared_ptr<std::vector<std::vector<double>>> pool,
+                   double parrotMse, double acceptanceRate)
+    : network_(std::move(network)),
+      parrotWeights_(std::move(parrotWeights)), pool_(std::move(pool)),
+      parrotMse_(parrotMse), acceptanceRate_(acceptanceRate)
+{}
+
+Parakeet
+Parakeet::train(const Dataset& data, const ParakeetOptions& options,
+                Rng& rng)
+{
+    UNCERTAIN_REQUIRE(data.size() >= 2, "Parakeet::train requires data");
+
+    Mlp network(options.topology);
+
+    // Phase 1: the Parrot baseline (a single point estimate).
+    TrainResult sgd = trainSgd(network, data, options.sgd, rng);
+    double parrotMse = network.meanSquaredError(sgd.weights, data);
+
+    // Phase 2: HMC around the mode SGD found.
+    Dataset hmcData;
+    const Dataset* hmcView = &data;
+    if (options.hmcDataLimit != 0
+        && data.size() > options.hmcDataLimit) {
+        hmcData.inputs.assign(
+            data.inputs.begin(),
+            data.inputs.begin()
+                + static_cast<std::ptrdiff_t>(options.hmcDataLimit));
+        hmcData.targets.assign(
+            data.targets.begin(),
+            data.targets.begin()
+                + static_cast<std::ptrdiff_t>(options.hmcDataLimit));
+        hmcView = &hmcData;
+    }
+    std::vector<std::vector<double>> poolDraws;
+    double acceptanceRate = 1.0;
+    if (options.posterior == PosteriorMethod::Hmc) {
+        HmcResult chain = sampleHmc(network, *hmcView, sgd.weights,
+                                    options.hmc, rng);
+        UNCERTAIN_REQUIRE(!chain.pool.empty(),
+                          "Parakeet::train: HMC produced no samples");
+        poolDraws = std::move(chain.pool);
+        acceptanceRate = chain.acceptanceRate;
+    } else {
+        LaplaceResult fit = laplaceApproximate(
+            network, *hmcView, sgd.weights, options.laplace, rng);
+        poolDraws = std::move(fit.pool);
+    }
+
+    auto pool = std::make_shared<std::vector<std::vector<double>>>(
+        std::move(poolDraws));
+    return {std::move(network), std::move(sgd.weights),
+            std::move(pool), parrotMse, acceptanceRate};
+}
+
+double
+Parakeet::parrotPredict(const std::vector<double>& input) const
+{
+    return network_.forward(parrotWeights_, input);
+}
+
+Uncertain<double>
+Parakeet::predict(const std::vector<double>& input) const
+{
+    // Capture by value: the returned variable must outlive this
+    // Parakeet. One draw = one random network from the pool.
+    auto pool = pool_;
+    Mlp network = network_;
+    return Uncertain<double>::fromSampler(
+        [pool, network, input](Rng& rng) {
+            const auto& weights = (*pool)[static_cast<std::size_t>(
+                rng.nextBelow(pool->size()))];
+            return network.forward(weights, input);
+        },
+        "ppd");
+}
+
+std::vector<double>
+Parakeet::posteriorPredictions(const std::vector<double>& input) const
+{
+    std::vector<double> out;
+    out.reserve(pool_->size());
+    for (const auto& weights : *pool_)
+        out.push_back(network_.forward(weights, input));
+    return out;
+}
+
+} // namespace nn
+} // namespace uncertain

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Parakeet: code approximation with Bayesian neural networks,
+ * encapsulated in Uncertain<T> (paper section 5.3).
+ *
+ * Training runs twice over the same data:
+ *  - SGD produces the single weight vector Parrot would ship
+ *    (the point-estimate baseline);
+ *  - HMC, started from the SGD solution, samples the weight
+ *    posterior; the retained pool approximates the posterior
+ *    predictive distribution p(t | x, D) by Monte Carlo integration.
+ *
+ * predict(x) returns an Uncertain<double> whose sampling function
+ * picks a pool network uniformly and evaluates it at x — one PPD
+ * draw, exactly the fixed-pool scheme the paper describes.
+ */
+
+#ifndef UNCERTAIN_NN_PARAKEET_HPP
+#define UNCERTAIN_NN_PARAKEET_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hpp"
+#include "nn/hmc.hpp"
+#include "nn/laplace.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace uncertain {
+namespace nn {
+
+/** How the weight posterior is approximated (paper section 5.3). */
+enum class PosteriorMethod
+{
+    Hmc,     //!< hybrid Monte Carlo (the paper's implementation)
+    Laplace, //!< diagonal Gaussian approximation (the alternative
+             //!< trade-off the paper discusses)
+};
+
+/** End-to-end Parakeet training configuration. */
+struct ParakeetOptions
+{
+    /** Network topology; {9, 8, 1} is Parrot's Sobel network. */
+    std::vector<std::size_t> topology{9, 8, 1};
+    SgdOptions sgd{};
+    PosteriorMethod posterior = PosteriorMethod::Hmc;
+    HmcOptions hmc{};
+    LaplaceOptions laplace{};
+    /**
+     * Cap on the training examples the posterior fit sees (full-data
+     * gradients are the cost center; the SGD baseline always uses
+     * everything). 0 means no cap.
+     */
+    std::size_t hmcDataLimit = 1500;
+};
+
+/** A trained Parakeet model. */
+class Parakeet
+{
+  public:
+    /** Train the Parrot baseline and the posterior pool on @p data. */
+    static Parakeet train(const Dataset& data,
+                          const ParakeetOptions& options, Rng& rng);
+
+    /** Parrot's single-network prediction (the point estimate). */
+    double parrotPredict(const std::vector<double>& input) const;
+
+    /** The PPD at @p input as an uncertain value. */
+    Uncertain<double> predict(const std::vector<double>& input) const;
+
+    /** All pool predictions at @p input (for density plots). */
+    std::vector<double>
+    posteriorPredictions(const std::vector<double>& input) const;
+
+    std::size_t poolSize() const { return pool_->size(); }
+    const Mlp& network() const { return network_; }
+    double parrotTrainingMse() const { return parrotMse_; }
+    double hmcAcceptanceRate() const { return acceptanceRate_; }
+
+  private:
+    Parakeet(Mlp network, std::vector<double> parrotWeights,
+             std::shared_ptr<std::vector<std::vector<double>>> pool,
+             double parrotMse, double acceptanceRate);
+
+    Mlp network_;
+    std::vector<double> parrotWeights_;
+    std::shared_ptr<std::vector<std::vector<double>>> pool_;
+    double parrotMse_;
+    double acceptanceRate_;
+};
+
+} // namespace nn
+} // namespace uncertain
+
+#endif // UNCERTAIN_NN_PARAKEET_HPP

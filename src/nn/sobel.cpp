@@ -1,0 +1,130 @@
+#include "nn/sobel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace nn {
+
+double
+sobel(const Patch& p)
+{
+    // Gx = [-1 0 1; -2 0 2; -1 0 1], Gy = Gx^T.
+    double gx = -p[0] + p[2] - 2.0 * p[3] + 2.0 * p[5] - p[6] + p[8];
+    double gy = -p[0] - 2.0 * p[1] - p[2] + p[6] + 2.0 * p[7] + p[8];
+    // Each kernel's response is bounded by 4 in magnitude for inputs
+    // in [0, 1], so the magnitude is bounded by 4*sqrt(2).
+    return std::sqrt(gx * gx + gy * gy) / (4.0 * std::sqrt(2.0));
+}
+
+SyntheticImage::SyntheticImage(std::size_t size, Rng& rng,
+                               double pixelNoise)
+    : size_(size), pixels_(size * size, 0.0)
+{
+    UNCERTAIN_REQUIRE(size >= 3, "SyntheticImage requires size >= 3");
+
+    // Base: a smooth linear gradient in a random direction.
+    double angle = rng.nextRange(0.0, 2.0 * M_PI);
+    double gx = std::cos(angle);
+    double gy = std::sin(angle);
+    double bias = rng.nextRange(0.2, 0.8);
+    double slope = rng.nextRange(0.0, 0.6) / static_cast<double>(size);
+    for (std::size_t y = 0; y < size_; ++y) {
+        for (std::size_t x = 0; x < size_; ++x) {
+            double v = bias
+                       + slope
+                             * (gx * static_cast<double>(x)
+                                + gy * static_cast<double>(y));
+            pixels_[y * size_ + x] = v;
+        }
+    }
+
+    // Sharp-edged discs: the interesting (edge) content.
+    std::size_t discs = 2 + static_cast<std::size_t>(rng.nextBelow(4));
+    for (std::size_t d = 0; d < discs; ++d) {
+        double cx = rng.nextRange(0.0, static_cast<double>(size_));
+        double cy = rng.nextRange(0.0, static_cast<double>(size_));
+        double radius =
+            rng.nextRange(2.0, static_cast<double>(size_) / 3.0);
+        double level = rng.nextRange(0.0, 1.0);
+        for (std::size_t y = 0; y < size_; ++y) {
+            for (std::size_t x = 0; x < size_; ++x) {
+                double dx = static_cast<double>(x) - cx;
+                double dy = static_cast<double>(y) - cy;
+                if (dx * dx + dy * dy <= radius * radius)
+                    pixels_[y * size_ + x] = level;
+            }
+        }
+    }
+
+    // Occasional stripe (a long straight edge).
+    if (rng.nextBool(0.5)) {
+        std::size_t row = rng.nextBelow(size_);
+        std::size_t thickness = 1 + rng.nextBelow(3);
+        double level = rng.nextRange(0.0, 1.0);
+        for (std::size_t y = row;
+             y < std::min(row + thickness, size_); ++y) {
+            for (std::size_t x = 0; x < size_; ++x)
+                pixels_[y * size_ + x] = level;
+        }
+    }
+
+    // Pixel noise, clamped to the valid range.
+    for (double& v : pixels_) {
+        v += pixelNoise * random::Gaussian::standardSample(rng);
+        v = std::clamp(v, 0.0, 1.0);
+    }
+}
+
+double
+SyntheticImage::at(std::size_t x, std::size_t y) const
+{
+    UNCERTAIN_REQUIRE(x < size_ && y < size_,
+                      "SyntheticImage coordinates out of range");
+    return pixels_[y * size_ + x];
+}
+
+Patch
+SyntheticImage::patchAt(std::size_t x, std::size_t y) const
+{
+    UNCERTAIN_REQUIRE(x >= 1 && y >= 1 && x + 1 < size_
+                          && y + 1 < size_,
+                      "patchAt requires an interior pixel");
+    Patch patch;
+    std::size_t k = 0;
+    for (std::size_t dy = 0; dy < 3; ++dy)
+        for (std::size_t dx = 0; dx < 3; ++dx)
+            patch[k++] = at(x + dx - 1, y + dy - 1);
+    return patch;
+}
+
+Dataset
+makeSobelDataset(std::size_t count, Rng& rng, double pixelNoise)
+{
+    UNCERTAIN_REQUIRE(count >= 1, "makeSobelDataset requires count >= 1");
+    Dataset data;
+    data.inputs.reserve(count);
+    data.targets.reserve(count);
+
+    constexpr std::size_t kImageSize = 32;
+    constexpr std::size_t kPatchesPerImage = 64;
+
+    while (data.size() < count) {
+        SyntheticImage image(kImageSize, rng, pixelNoise);
+        for (std::size_t i = 0;
+             i < kPatchesPerImage && data.size() < count; ++i) {
+            std::size_t x = 1 + rng.nextBelow(kImageSize - 2);
+            std::size_t y = 1 + rng.nextBelow(kImageSize - 2);
+            Patch patch = image.patchAt(x, y);
+            data.inputs.emplace_back(patch.begin(), patch.end());
+            data.targets.push_back(sobel(patch));
+        }
+    }
+    return data;
+}
+
+} // namespace nn
+} // namespace uncertain

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Sobel-operator workload of the Parakeet case study (paper
+ * section 5.3, from the Parrot evaluation): compute the gradient of
+ * image intensity at a pixel, normalized to [0, 1]; an edge is a
+ * gradient above 0.1.
+ *
+ * Substitution (documented in DESIGN.md): Parrot trained on image
+ * data we do not have; we synthesize procedural grayscale images
+ * (smooth gradients, discs, and stripes plus mild noise) and compute
+ * the exact Sobel response as ground truth. The experiment measures
+ * generalization error amplified by a threshold conditional, which
+ * any image-like corpus with exact labels exercises identically.
+ */
+
+#ifndef UNCERTAIN_NN_SOBEL_HPP
+#define UNCERTAIN_NN_SOBEL_HPP
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace nn {
+
+/** A 3x3 grayscale patch, row-major, intensities in [0, 1]. */
+using Patch = std::array<double, 9>;
+
+/** Edge threshold used throughout the case study: s(p) > 0.1. */
+inline constexpr double kEdgeThreshold = 0.1;
+
+/**
+ * Exact Sobel response of a patch: gradient magnitude from the
+ * standard Gx/Gy kernels, normalized by the maximum attainable
+ * magnitude so the output lies in [0, 1].
+ */
+double sobel(const Patch& patch);
+
+/** A synthetic grayscale image. */
+class SyntheticImage
+{
+  public:
+    /**
+     * Procedurally generate a @p size x @p size image.
+     * @param pixelNoise per-pixel Gaussian noise amplitude; larger
+     *        values blur the boundary between "flat" and "edge"
+     *        patches, which is what gives the learned approximation
+     *        genuine generalization error near the threshold.
+     */
+    SyntheticImage(std::size_t size, Rng& rng,
+                   double pixelNoise = 0.02);
+
+    std::size_t size() const { return size_; }
+    double at(std::size_t x, std::size_t y) const;
+
+    /** The 3x3 patch centered at (x, y); requires an interior pixel. */
+    Patch patchAt(std::size_t x, std::size_t y) const;
+
+  private:
+    std::size_t size_;
+    std::vector<double> pixels_;
+};
+
+/**
+ * Build a Sobel regression dataset of @p count patches sampled from
+ * freshly generated synthetic images: inputs are the 9 pixel
+ * intensities, targets the exact Sobel response.
+ */
+Dataset makeSobelDataset(std::size_t count, Rng& rng,
+                         double pixelNoise = 0.02);
+
+} // namespace nn
+} // namespace uncertain
+
+#endif // UNCERTAIN_NN_SOBEL_HPP

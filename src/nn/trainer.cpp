@@ -1,0 +1,67 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace nn {
+
+TrainResult
+trainSgd(const Mlp& network, const Dataset& data,
+         const SgdOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(data.size() >= 1, "trainSgd requires data");
+    UNCERTAIN_REQUIRE(data.inputs.size() == data.targets.size(),
+                      "trainSgd: inputs/targets size mismatch");
+    UNCERTAIN_REQUIRE(options.batchSize >= 1,
+                      "trainSgd: batchSize must be >= 1");
+
+    std::vector<double> weights = network.initialWeights(rng);
+    std::vector<double> velocity(weights.size(), 0.0);
+    std::vector<double> grad(weights.size(), 0.0);
+
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    TrainResult result;
+    result.epochMse.reserve(options.epochs);
+
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        // Fisher-Yates shuffle with our own generator.
+        for (std::size_t i = order.size(); i > 1; --i) {
+            std::size_t j =
+                static_cast<std::size_t>(rng.nextBelow(i));
+            std::swap(order[i - 1], order[j]);
+        }
+
+        for (std::size_t start = 0; start < order.size();
+             start += options.batchSize) {
+            std::size_t end =
+                std::min(start + options.batchSize, order.size());
+            std::fill(grad.begin(), grad.end(), 0.0);
+            for (std::size_t k = start; k < end; ++k) {
+                std::size_t idx = order[k];
+                network.accumulateGradient(weights, data.inputs[idx],
+                                           data.targets[idx], grad);
+            }
+            double scale = 1.0 / static_cast<double>(end - start);
+            for (std::size_t i = 0; i < weights.size(); ++i) {
+                double g = grad[i] * scale
+                           + options.weightDecay * weights[i];
+                velocity[i] = options.momentum * velocity[i]
+                              - options.learningRate * g;
+                weights[i] += velocity[i];
+            }
+        }
+        result.epochMse.push_back(
+            network.meanSquaredError(weights, data));
+    }
+
+    result.weights = std::move(weights);
+    return result;
+}
+
+} // namespace nn
+} // namespace uncertain

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Stochastic gradient descent training: the "traditional training"
+ * that produces Parrot's single weight vector (paper section 5.3).
+ */
+
+#ifndef UNCERTAIN_NN_TRAINER_HPP
+#define UNCERTAIN_NN_TRAINER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace nn {
+
+/** SGD hyperparameters. */
+struct SgdOptions
+{
+    std::size_t epochs = 200;
+    std::size_t batchSize = 32;
+    double learningRate = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 1e-5;
+};
+
+/** Training output: final weights and per-epoch training MSE. */
+struct TrainResult
+{
+    std::vector<double> weights;
+    std::vector<double> epochMse;
+};
+
+/**
+ * Train @p network on @p data with minibatch SGD + momentum from a
+ * fresh random initialization.
+ */
+TrainResult trainSgd(const Mlp& network, const Dataset& data,
+                     const SgdOptions& options, Rng& rng);
+
+} // namespace nn
+} // namespace uncertain
+
+#endif // UNCERTAIN_NN_TRAINER_HPP

@@ -1,0 +1,192 @@
+#include "prob/mcmc.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace prob {
+
+namespace {
+
+/** Kinds of primitive random choices a trace can hold. */
+enum class SiteKind
+{
+    Flip,
+    Uniform,
+    Gaussian,
+};
+
+/** One recorded primitive choice. */
+struct TraceSite
+{
+    SiteKind kind;
+    double paramA; //!< p / lo / mu
+    double paramB; //!< unused / hi / sigma
+    double value;
+};
+
+/**
+ * Sampler that replays a previous trace, resampling exactly one site
+ * from its prior, and records the resulting trace.
+ */
+class TraceSampler final : public Sampler
+{
+  public:
+    /**
+     * @param previous      trace to replay, or nullptr to run fresh
+     * @param resampleSite  index redrawn from its prior (ignored
+     *                      when previous is null)
+     */
+    TraceSampler(Rng& generator, const std::vector<TraceSite>* previous,
+                 std::size_t resampleSite)
+        : Sampler(generator), previous_(previous),
+          resampleSite_(resampleSite)
+    {}
+
+    bool
+    flip(double p) override
+    {
+        double value = nextValue(SiteKind::Flip, p, 0.0, [&] {
+            return Sampler::flip(p) ? 1.0 : 0.0;
+        });
+        return value != 0.0;
+    }
+
+    double
+    uniform(double lo, double hi) override
+    {
+        return nextValue(SiteKind::Uniform, lo, hi,
+                         [&] { return Sampler::uniform(lo, hi); });
+    }
+
+    double
+    gaussian(double mu, double sigma) override
+    {
+        return nextValue(SiteKind::Gaussian, mu, sigma, [&] {
+            return Sampler::gaussian(mu, sigma);
+        });
+    }
+
+    const std::vector<TraceSite>& trace() const { return trace_; }
+
+  private:
+    template <typename Fresh>
+    double
+    nextValue(SiteKind kind, double a, double b, Fresh&& fresh)
+    {
+        std::size_t index = trace_.size();
+        double value;
+        bool replay = previous_ != nullptr
+                      && index != resampleSite_
+                      && index < previous_->size();
+        if (replay) {
+            const TraceSite& site = (*previous_)[index];
+            UNCERTAIN_REQUIRE(
+                site.kind == kind && site.paramA == a
+                    && site.paramB == b,
+                "mcmcQuery requires models with a fixed choice "
+                "structure (a site's kind/parameters changed "
+                "between executions)");
+            value = site.value;
+        } else {
+            value = fresh();
+        }
+        trace_.push_back({kind, a, b, value});
+        return value;
+    }
+
+    const std::vector<TraceSite>* previous_;
+    std::size_t resampleSite_;
+    std::vector<TraceSite> trace_;
+};
+
+/** One executed trace with its score and query value. */
+struct Execution
+{
+    std::vector<TraceSite> trace;
+    double logWeight;
+    double value;
+};
+
+Execution
+execute(const Model& model, Rng& rng,
+        const std::vector<TraceSite>* previous,
+        std::size_t resampleSite)
+{
+    TraceSampler sampler(rng, previous, resampleSite);
+    double value = model(sampler);
+    return {sampler.trace(), sampler.logWeight(), value};
+}
+
+} // namespace
+
+McmcResult
+mcmcQuery(const Model& model, const McmcOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(model != nullptr, "mcmcQuery requires a model");
+    UNCERTAIN_REQUIRE(options.posteriorSamples >= 1,
+                      "mcmcQuery requires >= 1 posterior sample");
+    UNCERTAIN_REQUIRE(options.thinning >= 1,
+                      "mcmcQuery thinning must be >= 1");
+
+    McmcResult result;
+    result.modelExecutions = 0;
+
+    // Initialization: a trace consistent with the hard evidence.
+    Execution current = execute(model, rng, nullptr, 0);
+    ++result.modelExecutions;
+    std::size_t attempts = 1;
+    while (!std::isfinite(current.logWeight)
+           && attempts < options.maxInitAttempts) {
+        current = execute(model, rng, nullptr, 0);
+        ++result.modelExecutions;
+        ++attempts;
+    }
+    UNCERTAIN_REQUIRE(std::isfinite(current.logWeight),
+                      "mcmcQuery: could not find an initial trace "
+                      "satisfying the observations");
+    UNCERTAIN_REQUIRE(!current.trace.empty(),
+                      "mcmcQuery: the model makes no random choices");
+
+    std::size_t accepted = 0;
+    std::size_t proposals = 0;
+    result.samples.reserve(options.posteriorSamples);
+
+    std::size_t totalSteps =
+        options.burnIn + options.thinning * options.posteriorSamples;
+    for (std::size_t step = 0; step < totalSteps; ++step) {
+        std::size_t site = static_cast<std::size_t>(
+            rng.nextBelow(current.trace.size()));
+        Execution proposal =
+            execute(model, rng, &current.trace, site);
+        ++result.modelExecutions;
+        ++proposals;
+
+        // Single-site prior proposal: the prior terms cancel, the
+        // factor weights decide.
+        double logAccept = proposal.logWeight - current.logWeight;
+        if (std::isfinite(proposal.logWeight)
+            && std::log(rng.nextDoubleOpen()) < logAccept) {
+            current = std::move(proposal);
+            ++accepted;
+        }
+
+        if (step >= options.burnIn
+            && (step - options.burnIn + 1) % options.thinning == 0
+            && result.samples.size() < options.posteriorSamples) {
+            result.samples.push_back(current.value);
+        }
+    }
+
+    result.acceptanceRate =
+        proposals == 0 ? 0.0
+                       : static_cast<double>(accepted)
+                             / static_cast<double>(proposals);
+    return result;
+}
+
+} // namespace prob
+} // namespace uncertain

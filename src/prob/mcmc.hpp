@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Trace-based single-site Metropolis-Hastings: the inference
+ * algorithm Church-family languages actually run (the paper's
+ * related-work baseline, section 6). A trace records every primitive
+ * random choice a model makes; each MH step resamples one site from
+ * its prior, replays the model, and accepts with probability
+ * min(1, exp(W' - W)) where W is the trace's accumulated factor/
+ * observe log weight.
+ *
+ * Restriction: the model's control flow must make the same sequence
+ * of primitive choices on every execution (fixed structure). Models
+ * whose choice structure depends on sampled values are rejected with
+ * an Error rather than silently producing a biased chain.
+ */
+
+#ifndef UNCERTAIN_PROB_MCMC_HPP
+#define UNCERTAIN_PROB_MCMC_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/model.hpp"
+
+namespace uncertain {
+namespace prob {
+
+/** MH tuning. */
+struct McmcOptions
+{
+    std::size_t burnIn = 500;
+    std::size_t thinning = 5;
+    std::size_t posteriorSamples = 1000;
+    /** Attempts to find an initial trace with non-zero weight. */
+    std::size_t maxInitAttempts = 1000000;
+};
+
+/** MH output. */
+struct McmcResult
+{
+    std::vector<double> samples;
+    double acceptanceRate;
+    std::size_t modelExecutions;
+};
+
+/**
+ * Run single-site MH over @p model. Hard observe() conditioning is
+ * supported (initialization finds a satisfying trace by rejection;
+ * moves breaking the constraint are never accepted); soft factor()
+ * weights drive the acceptance ratio.
+ */
+McmcResult mcmcQuery(const Model& model, const McmcOptions& options,
+                     Rng& rng);
+
+} // namespace prob
+} // namespace uncertain
+
+#endif // UNCERTAIN_PROB_MCMC_HPP

@@ -1,0 +1,183 @@
+#include "prob/model.hpp"
+
+#include "random/gaussian.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace prob {
+
+bool
+Sampler::flip(double p)
+{
+    return rng_.nextBool(p);
+}
+
+double
+Sampler::uniform(double lo, double hi)
+{
+    return rng_.nextRange(lo, hi);
+}
+
+double
+Sampler::gaussian(double mu, double sigma)
+{
+    UNCERTAIN_REQUIRE(sigma > 0.0, "Sampler::gaussian: sigma > 0");
+    return mu + sigma * random::Gaussian::standardSample(rng_);
+}
+
+void
+Sampler::observe(bool condition)
+{
+    if (!condition)
+        logWeight_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+Sampler::factor(double logWeight)
+{
+    UNCERTAIN_REQUIRE(!std::isnan(logWeight),
+                      "factor requires a non-NaN log weight");
+    logWeight_ += logWeight;
+}
+
+bool
+Sampler::rejected() const
+{
+    return logWeight_ == -std::numeric_limits<double>::infinity();
+}
+
+double
+QueryResult::mean() const
+{
+    return stats::mean(samples);
+}
+
+QueryResult
+rejectionQuery(const Model& model, std::size_t desiredSamples, Rng& rng,
+               std::size_t maxSimulations)
+{
+    UNCERTAIN_REQUIRE(model != nullptr, "rejectionQuery requires a model");
+    UNCERTAIN_REQUIRE(desiredSamples >= 1,
+                      "rejectionQuery requires >= 1 sample");
+
+    QueryResult result;
+    result.samples.reserve(desiredSamples);
+    while (result.samples.size() < desiredSamples
+           && result.simulations < maxSimulations) {
+        Sampler sampler(rng);
+        double value = model(sampler);
+        ++result.simulations;
+        if (!sampler.rejected())
+            result.samples.push_back(value);
+    }
+    return result;
+}
+
+double
+WeightedQueryResult::mean() const
+{
+    UNCERTAIN_REQUIRE(!samples.empty(),
+                      "WeightedQueryResult::mean: no samples");
+    double maxLog = -std::numeric_limits<double>::infinity();
+    for (const WeightedSample& s : samples)
+        maxLog = std::max(maxLog, s.logWeight);
+    UNCERTAIN_REQUIRE(std::isfinite(maxLog),
+                      "WeightedQueryResult::mean: all weights zero");
+    double total = 0.0;
+    double weighted = 0.0;
+    for (const WeightedSample& s : samples) {
+        double w = std::exp(s.logWeight - maxLog);
+        total += w;
+        weighted += w * s.value;
+    }
+    return weighted / total;
+}
+
+double
+WeightedQueryResult::effectiveSampleSize() const
+{
+    UNCERTAIN_REQUIRE(!samples.empty(),
+                      "WeightedQueryResult::effectiveSampleSize: "
+                      "no samples");
+    double maxLog = -std::numeric_limits<double>::infinity();
+    for (const WeightedSample& s : samples)
+        maxLog = std::max(maxLog, s.logWeight);
+    if (!std::isfinite(maxLog))
+        return 0.0;
+    double total = 0.0;
+    double totalSq = 0.0;
+    for (const WeightedSample& s : samples) {
+        double w = std::exp(s.logWeight - maxLog);
+        total += w;
+        totalSq += w * w;
+    }
+    return total * total / totalSq;
+}
+
+WeightedQueryResult
+likelihoodWeightedQuery(const Model& model, std::size_t simulations,
+                        Rng& rng)
+{
+    UNCERTAIN_REQUIRE(model != nullptr,
+                      "likelihoodWeightedQuery requires a model");
+    UNCERTAIN_REQUIRE(simulations >= 1,
+                      "likelihoodWeightedQuery requires >= 1 run");
+    WeightedQueryResult result;
+    result.samples.reserve(simulations);
+    for (std::size_t i = 0; i < simulations; ++i) {
+        Sampler sampler(rng);
+        double value = model(sampler);
+        ++result.simulations;
+        if (!sampler.rejected())
+            result.samples.push_back({value, sampler.logWeight()});
+    }
+    return result;
+}
+
+Uncertain<double>
+queryAsUncertain(const Model& model, std::size_t posteriorSamples,
+                 Rng& rng, std::size_t maxSimulations)
+{
+    QueryResult result =
+        rejectionQuery(model, posteriorSamples, rng, maxSimulations);
+    UNCERTAIN_REQUIRE(!result.samples.empty(),
+                      "queryAsUncertain: no trace satisfied the "
+                      "observations within the simulation budget");
+    auto pool = std::make_shared<std::vector<double>>(
+        std::move(result.samples));
+    return Uncertain<double>::fromSampler(
+        [pool](Rng& r) {
+            return (*pool)[static_cast<std::size_t>(
+                r.nextBelow(pool->size()))];
+        },
+        "rejection-posterior(" + std::to_string(pool->size())
+            + " samples)");
+}
+
+double
+alarmModel(Sampler& s)
+{
+    bool earthquake = s.flip(0.0001);
+    bool burglary = s.flip(0.001);
+    bool alarm = earthquake || burglary;
+    bool phoneWorking = earthquake ? s.flip(0.7) : s.flip(0.99);
+    s.observe(alarm);
+    return phoneWorking ? 1.0 : 0.0;
+}
+
+double
+alarmModelFixedStructure(Sampler& s)
+{
+    bool earthquake = s.flip(0.0001);
+    bool burglary = s.flip(0.001);
+    bool alarm = earthquake || burglary;
+    bool phoneIfQuake = s.flip(0.7);
+    bool phoneIfCalm = s.flip(0.99);
+    bool phoneWorking = earthquake ? phoneIfQuake : phoneIfCalm;
+    s.observe(alarm);
+    return phoneWorking ? 1.0 : 0.0;
+}
+
+} // namespace prob
+} // namespace uncertain

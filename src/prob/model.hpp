@@ -1,0 +1,175 @@
+/**
+ * @file
+ * A miniature Church-style probabilistic programming engine: the
+ * related-work baseline of paper section 6 (Figure 17). Generative
+ * models are ordinary callables that draw random choices and declare
+ * observations through a Sampler handle; queries run inference by
+ * rejection sampling, whose cost explodes as the observed event gets
+ * rare — the shortcoming the paper contrasts with Uncertain<T>'s
+ * goal-directed conditional sampling.
+ */
+
+#ifndef UNCERTAIN_PROB_MODEL_HPP
+#define UNCERTAIN_PROB_MODEL_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace prob {
+
+/**
+ * The handle a generative model programs against: primitive random
+ * choices plus observe(). After a failed observe() the trace is
+ * rejected; further choices still draw (so the model can run to
+ * completion) but the trace's query value is discarded.
+ */
+class Sampler
+{
+  public:
+    explicit Sampler(Rng& rng) : rng_(rng) {}
+    virtual ~Sampler() = default;
+
+    /** Bernoulli(p) choice. */
+    virtual bool flip(double p);
+
+    /** Uniform(lo, hi) choice. */
+    virtual double uniform(double lo, double hi);
+
+    /** Gaussian(mu, sigma) choice. */
+    virtual double gaussian(double mu, double sigma);
+
+    /** Condition the program on @p condition being true. */
+    void observe(bool condition);
+
+    /**
+     * Soft conditioning (likelihood weighting): multiply the trace's
+     * weight by exp(logWeight). Typical use: score an observed noisy
+     * measurement against the trace's latent value,
+     * `s.factor(Gaussian(latent, noise).logPdf(observed))`.
+     */
+    void factor(double logWeight);
+
+    /** Did any hard observation fail in this trace? */
+    bool rejected() const;
+
+    /** Accumulated log weight of the trace (0 when unconditioned). */
+    double logWeight() const { return logWeight_; }
+
+  protected:
+    Rng& rng() { return rng_; }
+
+  private:
+    Rng& rng_;
+    double logWeight_ = 0.0;
+};
+
+/** A generative model returning the queried quantity. */
+using Model = std::function<double(Sampler&)>;
+
+/** Outcome of a rejection query. */
+struct QueryResult
+{
+    /** Accepted query values (posterior samples). */
+    std::vector<double> samples;
+    /** Total model executions, accepted or not. */
+    std::size_t simulations = 0;
+
+    double
+    acceptanceRate() const
+    {
+        return simulations == 0
+                   ? 0.0
+                   : static_cast<double>(samples.size())
+                         / static_cast<double>(simulations);
+    }
+
+    /** Mean of the accepted samples; requires >= 1 acceptance. */
+    double mean() const;
+};
+
+/**
+ * Draw @p desiredSamples posterior samples from @p model by rejection
+ * sampling, giving up after @p maxSimulations model executions
+ * (whatever has been accepted by then is returned). Only hard
+ * observe() conditioning participates; finite factor() weights are
+ * invisible to rejection — use likelihoodWeightedQuery for soft
+ * evidence.
+ */
+QueryResult rejectionQuery(const Model& model,
+                           std::size_t desiredSamples, Rng& rng,
+                           std::size_t maxSimulations = 100000000);
+
+/** One weighted posterior draw. */
+struct WeightedSample
+{
+    double value;
+    double logWeight;
+};
+
+/** Outcome of a likelihood-weighting query. */
+struct WeightedQueryResult
+{
+    std::vector<WeightedSample> samples;
+    std::size_t simulations = 0;
+
+    /** Self-normalized importance-sampling posterior mean. */
+    double mean() const;
+
+    /** Kish effective sample size of the weights. */
+    double effectiveSampleSize() const;
+};
+
+/**
+ * Likelihood weighting: run the model @p simulations times, keeping
+ * every trace with its accumulated weight. Exact for soft
+ * conditioning (factor); for hard observe() it degenerates to
+ * rejection sampling's efficiency but never discards work.
+ */
+WeightedQueryResult likelihoodWeightedQuery(const Model& model,
+                                            std::size_t simulations,
+                                            Rng& rng);
+
+/**
+ * The paper's Figure 17 program: earthquakes and burglaries trigger
+ * an alarm; earthquakes degrade the phone line. Observing the alarm,
+ * query whether the phone still works (1.0 = working).
+ */
+double alarmModel(Sampler& s);
+
+/**
+ * The alarm model rewritten with a fixed choice structure (both
+ * phone flips drawn unconditionally, one selected): semantically
+ * identical, but compatible with the trace-MH engine of
+ * prob/mcmc.hpp, whose replay requires the same primitive sequence
+ * on every execution.
+ */
+double alarmModelFixedStructure(Sampler& s);
+
+} // namespace prob
+} // namespace uncertain
+
+#include "core/uncertain.hpp"
+
+namespace uncertain {
+namespace prob {
+
+/**
+ * Bridge to the uncertain type: run a rejection query and wrap the
+ * accepted posterior samples as an Uncertain<double> (a fixed-pool
+ * sampling function). This is how a generative-model posterior can
+ * flow into application code that computes and branches with
+ * Uncertain<T>. Throws when no sample is accepted within
+ * @p maxSimulations.
+ */
+Uncertain<double>
+queryAsUncertain(const Model& model, std::size_t posteriorSamples,
+                 Rng& rng, std::size_t maxSimulations = 100000000);
+
+} // namespace prob
+} // namespace uncertain
+
+#endif // UNCERTAIN_PROB_MODEL_HPP

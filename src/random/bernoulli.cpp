@@ -1,0 +1,79 @@
+#include "random/bernoulli.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace random {
+
+Bernoulli::Bernoulli(double p) : p_(p)
+{
+    UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0,
+                      "Bernoulli requires p in [0, 1]");
+}
+
+double
+Bernoulli::sample(Rng& rng) const
+{
+    return sampleBool(rng) ? 1.0 : 0.0;
+}
+
+bool
+Bernoulli::sampleBool(Rng& rng) const
+{
+    return rng.nextBool(p_);
+}
+
+std::string
+Bernoulli::name() const
+{
+    std::ostringstream out;
+    out << "Bernoulli(" << p_ << ")";
+    return out.str();
+}
+
+double
+Bernoulli::pdf(double x) const
+{
+    if (x == 0.0)
+        return 1.0 - p_;
+    if (x == 1.0)
+        return p_;
+    return 0.0;
+}
+
+double
+Bernoulli::logPdf(double x) const
+{
+    double mass = pdf(x);
+    return mass > 0.0 ? std::log(mass)
+                      : -std::numeric_limits<double>::infinity();
+}
+
+double
+Bernoulli::cdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    if (x < 1.0)
+        return 1.0 - p_;
+    return 1.0;
+}
+
+double
+Bernoulli::mean() const
+{
+    return p_;
+}
+
+double
+Bernoulli::variance() const
+{
+    return p_ * (1.0 - p_);
+}
+
+} // namespace random
+} // namespace uncertain

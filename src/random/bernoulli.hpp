@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Bernoulli distribution: the distribution every lifted comparison
+ * operator produces (paper section 3.4).
+ */
+
+#ifndef UNCERTAIN_RANDOM_BERNOULLI_HPP
+#define UNCERTAIN_RANDOM_BERNOULLI_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Bernoulli(p) over {0, 1}. */
+class Bernoulli : public Distribution
+{
+  public:
+    /** Requires p in [0, 1]. */
+    explicit Bernoulli(double p);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    /** Boolean draw, avoiding the double round-trip. */
+    bool sampleBool(Rng& rng) const;
+
+    double p() const { return p_; }
+
+  private:
+    double p_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_BERNOULLI_HPP

@@ -1,0 +1,68 @@
+#include "random/beta.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "random/gamma.hpp"
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace random {
+
+Beta::Beta(double a, double b) : a_(a), b_(b)
+{
+    UNCERTAIN_REQUIRE(a > 0.0 && b > 0.0, "Beta requires a, b > 0");
+}
+
+double
+Beta::sample(Rng& rng) const
+{
+    double x = Gamma::standardSample(rng, a_);
+    double y = Gamma::standardSample(rng, b_);
+    return x / (x + y);
+}
+
+std::string
+Beta::name() const
+{
+    std::ostringstream out;
+    out << "Beta(" << a_ << ", " << b_ << ")";
+    return out.str();
+}
+
+double
+Beta::logPdf(double x) const
+{
+    if (x <= 0.0 || x >= 1.0)
+        return -std::numeric_limits<double>::infinity();
+    return (a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log(1.0 - x)
+           - math::logBeta(a_, b_);
+}
+
+double
+Beta::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    return math::regularizedBeta(x, a_, b_);
+}
+
+double
+Beta::mean() const
+{
+    return a_ / (a_ + b_);
+}
+
+double
+Beta::variance() const
+{
+    double s = a_ + b_;
+    return a_ * b_ / (s * s * (s + 1.0));
+}
+
+} // namespace random
+} // namespace uncertain

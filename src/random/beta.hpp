@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Beta distribution, sampled as X/(X+Y) with gamma variates. The
+ * paper notes Beta as the natural non-negative alternative noise
+ * model for SensorLife (section 5.2).
+ */
+
+#ifndef UNCERTAIN_RANDOM_BETA_HPP
+#define UNCERTAIN_RANDOM_BETA_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Beta(a, b) on (0, 1). */
+class Beta : public Distribution
+{
+  public:
+    /** Requires a > 0 and b > 0. */
+    Beta(double a, double b);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double a() const { return a_; }
+    double b() const { return b_; }
+
+  private:
+    double a_;
+    double b_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_BETA_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binomial distribution over {0, ..., n}.
+ */
+
+#ifndef UNCERTAIN_RANDOM_BINOMIAL_HPP
+#define UNCERTAIN_RANDOM_BINOMIAL_HPP
+
+#include <cstdint>
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Binomial(n, p): number of successes in n Bernoulli(p) trials. */
+class Binomial : public Distribution
+{
+  public:
+    /** Requires p in [0, 1]. */
+    Binomial(std::uint32_t n, double p);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    std::uint32_t n() const { return n_; }
+    double p() const { return p_; }
+
+  private:
+    std::uint32_t n_;
+    double p_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_BINOMIAL_HPP

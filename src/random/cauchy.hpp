@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cauchy distribution. Deliberately pathological: no mean or
+ * variance exist, which exercises the library's behaviour when an
+ * estimate's error is so heavy-tailed that E() is meaningless and
+ * only conditionals (which remain well-defined) make sense.
+ */
+
+#ifndef UNCERTAIN_RANDOM_CAUCHY_HPP
+#define UNCERTAIN_RANDOM_CAUCHY_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Cauchy(location x0, scale gamma). */
+class Cauchy : public Distribution
+{
+  public:
+    /** Requires gamma > 0. */
+    Cauchy(double location, double scale);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    /** Throws: the Cauchy mean does not exist. */
+    double mean() const override;
+    /** Throws: the Cauchy variance does not exist. */
+    double variance() const override;
+
+    double location() const { return location_; }
+    double scale() const { return scale_; }
+
+  private:
+    double location_;
+    double scale_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_CAUCHY_HPP

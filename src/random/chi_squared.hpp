@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Chi-squared distribution (Gamma(k/2, 1/2)): completes the test-
+ * statistic family alongside StudentT, and backs variance modeling.
+ */
+
+#ifndef UNCERTAIN_RANDOM_CHI_SQUARED_HPP
+#define UNCERTAIN_RANDOM_CHI_SQUARED_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Chi-squared with k degrees of freedom. */
+class ChiSquared : public Distribution
+{
+  public:
+    /** Requires k > 0. */
+    explicit ChiSquared(double k);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double degreesOfFreedom() const { return k_; }
+
+  private:
+    double k_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_CHI_SQUARED_HPP

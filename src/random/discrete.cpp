@@ -1,0 +1,129 @@
+#include "random/discrete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace random {
+
+Discrete::Discrete(std::vector<double> values, std::vector<double> weights)
+    : values_(std::move(values)), probs_(std::move(weights))
+{
+    UNCERTAIN_REQUIRE(!values_.empty(), "Discrete requires >= 1 value");
+    UNCERTAIN_REQUIRE(values_.size() == probs_.size(),
+                      "Discrete requires matching values/weights sizes");
+    double total = 0.0;
+    for (double w : probs_) {
+        UNCERTAIN_REQUIRE(w >= 0.0 && std::isfinite(w),
+                          "Discrete weights must be finite and >= 0");
+        total += w;
+    }
+    UNCERTAIN_REQUIRE(total > 0.0, "Discrete requires positive total weight");
+    for (double& w : probs_)
+        w /= total;
+    buildAliasTable();
+}
+
+void
+Discrete::buildAliasTable()
+{
+    const std::size_t n = probs_.size();
+    aliasProb_.assign(n, 0.0);
+    aliasIndex_.assign(n, 0);
+
+    std::vector<double> scaled(n);
+    std::vector<std::size_t> small;
+    std::vector<std::size_t> large;
+    for (std::size_t i = 0; i < n; ++i) {
+        scaled[i] = probs_[i] * static_cast<double>(n);
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+
+    while (!small.empty() && !large.empty()) {
+        std::size_t s = small.back();
+        small.pop_back();
+        std::size_t l = large.back();
+        large.pop_back();
+        aliasProb_[s] = scaled[s];
+        aliasIndex_[s] = l;
+        scaled[l] = scaled[l] + scaled[s] - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (std::size_t i : large)
+        aliasProb_[i] = 1.0;
+    for (std::size_t i : small)
+        aliasProb_[i] = 1.0;
+}
+
+std::size_t
+Discrete::sampleIndex(Rng& rng) const
+{
+    std::size_t column = static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(probs_.size())));
+    return rng.nextDouble() < aliasProb_[column] ? column
+                                                 : aliasIndex_[column];
+}
+
+double
+Discrete::sample(Rng& rng) const
+{
+    return values_[sampleIndex(rng)];
+}
+
+std::string
+Discrete::name() const
+{
+    std::ostringstream out;
+    out << "Discrete(" << values_.size() << " values)";
+    return out.str();
+}
+
+double
+Discrete::pdf(double x) const
+{
+    double mass = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (values_[i] == x)
+            mass += probs_[i];
+    }
+    return mass;
+}
+
+double
+Discrete::cdf(double x) const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (values_[i] <= x)
+            total += probs_[i];
+    }
+    return total;
+}
+
+double
+Discrete::mean() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        total += values_[i] * probs_[i];
+    return total;
+}
+
+double
+Discrete::variance() const
+{
+    double mu = mean();
+    double total = 0.0;
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        double d = values_[i] - mu;
+        total += d * d * probs_[i];
+    }
+    return total;
+}
+
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Finite discrete distribution with O(1) sampling via Walker's alias
+ * method. This is the "simple map from value to probability" storage
+ * the paper contrasts with sampling functions (section 3.2) — we
+ * provide it both as a distribution and as the backing store for
+ * discrete posteriors in src/inference.
+ */
+
+#ifndef UNCERTAIN_RANDOM_DISCRETE_HPP
+#define UNCERTAIN_RANDOM_DISCRETE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/**
+ * Distribution over a finite set of real values with given weights.
+ * Weights are normalized at construction.
+ */
+class Discrete : public Distribution
+{
+  public:
+    /**
+     * Requires values.size() == weights.size(), at least one entry,
+     * all weights >= 0, and a positive total weight.
+     */
+    Discrete(std::vector<double> values, std::vector<double> weights);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    /** Sample the index of a value rather than the value itself. */
+    std::size_t sampleIndex(Rng& rng) const;
+
+    const std::vector<double>& values() const { return values_; }
+    const std::vector<double>& probabilities() const { return probs_; }
+
+  private:
+    void buildAliasTable();
+
+    std::vector<double> values_;
+    std::vector<double> probs_;
+    std::vector<double> aliasProb_;
+    std::vector<std::size_t> aliasIndex_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_DISCRETE_HPP

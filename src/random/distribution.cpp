@@ -1,0 +1,59 @@
+#include "random/distribution.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace random {
+
+double
+Distribution::pdf(double x) const
+{
+    return std::exp(logPdf(x));
+}
+
+double
+Distribution::logPdf(double) const
+{
+    notSupported("logPdf");
+}
+
+double
+Distribution::cdf(double) const
+{
+    notSupported("cdf");
+}
+
+double
+Distribution::quantile(double) const
+{
+    notSupported("quantile");
+}
+
+double
+Distribution::mean() const
+{
+    notSupported("mean");
+}
+
+double
+Distribution::variance() const
+{
+    notSupported("variance");
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Distribution::notSupported(const std::string& what) const
+{
+    throw Error(name() + " does not support " + what);
+}
+
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Abstract interface for univariate probability distributions.
+ *
+ * Uncertain<T> represents distributions through sampling functions
+ * (paper section 3.2/4.1); the classes in this module are the "expert
+ * developer" side of that contract: each knows how to draw samples,
+ * and, where tractable, evaluate its density, CDF, quantiles, and
+ * moments. The analytic parts back the statistics tests and the
+ * Bayesian reweighting in src/inference.
+ */
+
+#ifndef UNCERTAIN_RANDOM_DISTRIBUTION_HPP
+#define UNCERTAIN_RANDOM_DISTRIBUTION_HPP
+
+#include <memory>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace random {
+
+/**
+ * A univariate real-valued distribution. Subclasses must implement
+ * sample(); the analytic queries have throwing defaults because not
+ * every distribution is tractable (the whole reason the paper adopts
+ * sampling functions).
+ */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draw one sample using @p rng. */
+    virtual double sample(Rng& rng) const = 0;
+
+    /** Human-readable name, e.g. "Gaussian(0, 1)". */
+    virtual std::string name() const = 0;
+
+    /** Probability density (or mass) at @p x. */
+    virtual double pdf(double x) const;
+
+    /** Natural log of pdf(x); overridden where direct log is stabler. */
+    virtual double logPdf(double x) const;
+
+    /** Cumulative distribution Pr[X <= x]. */
+    virtual double cdf(double x) const;
+
+    /** Inverse CDF for p in (0, 1). */
+    virtual double quantile(double p) const;
+
+    /** Expected value. */
+    virtual double mean() const;
+
+    /** Variance. */
+    virtual double variance() const;
+
+    /** Standard deviation; defaults to sqrt(variance()). */
+    virtual double stddev() const;
+
+    /** True when pdf/cdf/... are implemented for this distribution. */
+    virtual bool hasDensity() const { return true; }
+
+  protected:
+    /** Helper for defaults: throw Error naming the missing query. */
+    [[noreturn]] void notSupported(const std::string& what) const;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_DISTRIBUTION_HPP

@@ -1,0 +1,79 @@
+#include "random/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace random {
+
+Empirical::Empirical(std::vector<double> pool) : pool_(std::move(pool))
+{
+    UNCERTAIN_REQUIRE(!pool_.empty(), "Empirical requires >= 1 sample");
+    sorted_ = pool_;
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+Empirical::sample(Rng& rng) const
+{
+    return pool_[static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(pool_.size())))];
+}
+
+std::string
+Empirical::name() const
+{
+    std::ostringstream out;
+    out << "Empirical(" << pool_.size() << " samples)";
+    return out.str();
+}
+
+double
+Empirical::cdf(double x) const
+{
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin())
+           / static_cast<double>(sorted_.size());
+}
+
+double
+Empirical::quantile(double p) const
+{
+    UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0,
+                      "Empirical::quantile requires p in [0, 1]");
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    // Linear interpolation between order statistics (type-7).
+    double h = p * static_cast<double>(sorted_.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(h));
+    auto hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = h - static_cast<double>(lo);
+    return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double
+Empirical::mean() const
+{
+    double total = 0.0;
+    for (double x : pool_)
+        total += x;
+    return total / static_cast<double>(pool_.size());
+}
+
+double
+Empirical::variance() const
+{
+    double mu = mean();
+    double total = 0.0;
+    for (double x : pool_) {
+        double d = x - mu;
+        total += d * d;
+    }
+    return total / static_cast<double>(pool_.size());
+}
+
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Empirical distribution over a fixed sample pool.
+ *
+ * This is the representation Parakeet uses for the posterior
+ * predictive distribution (paper section 5.3: "We execute hybrid
+ * Monte Carlo offline and capture a fixed number of samples ... We use
+ * these samples at runtime as a fixed pool for the sampling function")
+ * and the output representation of sampling-importance-resampling in
+ * src/inference.
+ */
+
+#ifndef UNCERTAIN_RANDOM_EMPIRICAL_HPP
+#define UNCERTAIN_RANDOM_EMPIRICAL_HPP
+
+#include <vector>
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/**
+ * Uniform resampling from a fixed pool. Density queries are not
+ * available (use GaussianKde for a smoothed density); CDF and
+ * quantiles come from the order statistics.
+ */
+class Empirical : public Distribution
+{
+  public:
+    /** Requires a non-empty pool. */
+    explicit Empirical(std::vector<double> pool);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+    bool hasDensity() const override { return false; }
+
+    const std::vector<double>& pool() const { return pool_; }
+    std::size_t size() const { return pool_.size(); }
+
+  private:
+    std::vector<double> pool_;
+    std::vector<double> sorted_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_EMPIRICAL_HPP

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Exponential distribution with rate lambda.
+ */
+
+#ifndef UNCERTAIN_RANDOM_EXPONENTIAL_HPP
+#define UNCERTAIN_RANDOM_EXPONENTIAL_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Exponential(lambda): density lambda e^{-lambda x} for x >= 0. */
+class Exponential : public Distribution
+{
+  public:
+    /** Requires lambda > 0. */
+    explicit Exponential(double lambda);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double lambda() const { return lambda_; }
+
+  private:
+    double lambda_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_EXPONENTIAL_HPP

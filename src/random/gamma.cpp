@@ -1,0 +1,94 @@
+#include "random/gamma.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace random {
+
+Gamma::Gamma(double shape, double rate) : shape_(shape), rate_(rate)
+{
+    UNCERTAIN_REQUIRE(shape > 0.0, "Gamma requires shape > 0");
+    UNCERTAIN_REQUIRE(rate > 0.0, "Gamma requires rate > 0");
+}
+
+double
+Gamma::standardSample(Rng& rng, double shape)
+{
+    // Marsaglia & Tsang (2000). For shape < 1, boost to shape + 1 and
+    // scale by u^{1/shape}.
+    if (shape < 1.0) {
+        double u = rng.nextDoubleOpen();
+        return standardSample(rng, shape + 1.0)
+               * std::pow(u, 1.0 / shape);
+    }
+
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x;
+        double v;
+        do {
+            x = Gaussian::standardSample(rng);
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        double u = rng.nextDoubleOpen();
+        double x2 = x * x;
+        if (u < 1.0 - 0.0331 * x2 * x2)
+            return d * v;
+        if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v)))
+            return d * v;
+    }
+}
+
+double
+Gamma::sample(Rng& rng) const
+{
+    return standardSample(rng, shape_) / rate_;
+}
+
+std::string
+Gamma::name() const
+{
+    std::ostringstream out;
+    out << "Gamma(" << shape_ << ", " << rate_ << ")";
+    return out.str();
+}
+
+double
+Gamma::logPdf(double x) const
+{
+    if (x <= 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return shape_ * std::log(rate_) + (shape_ - 1.0) * std::log(x)
+           - rate_ * x - math::logGamma(shape_);
+}
+
+double
+Gamma::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    return math::regularizedGammaP(shape_, rate_ * x);
+}
+
+double
+Gamma::mean() const
+{
+    return shape_ / rate_;
+}
+
+double
+Gamma::variance() const
+{
+    return shape_ / (rate_ * rate_);
+}
+
+} // namespace random
+} // namespace uncertain

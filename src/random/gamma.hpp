@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Gamma distribution (shape/rate), sampled with the Marsaglia-Tsang
+ * squeeze method. Also the building block for Beta and Student-t.
+ */
+
+#ifndef UNCERTAIN_RANDOM_GAMMA_HPP
+#define UNCERTAIN_RANDOM_GAMMA_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Gamma(shape k, rate beta): density proportional to x^{k-1} e^{-bx}. */
+class Gamma : public Distribution
+{
+  public:
+    /** Requires shape > 0 and rate > 0. */
+    Gamma(double shape, double rate);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double shape() const { return shape_; }
+    double rate() const { return rate_; }
+
+    /** Draw from Gamma(shape, 1). */
+    static double standardSample(Rng& rng, double shape);
+
+  private:
+    double shape_;
+    double rate_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_GAMMA_HPP

@@ -1,0 +1,79 @@
+#include "random/gaussian.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace random {
+
+Gaussian::Gaussian(double mu, double sigma) : mu_(mu), sigma_(sigma)
+{
+    UNCERTAIN_REQUIRE(sigma > 0.0, "Gaussian requires sigma > 0");
+}
+
+double
+Gaussian::standardSample(Rng& rng)
+{
+    double u1 = rng.nextDoubleOpen();
+    double u2 = rng.nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Gaussian::sample(Rng& rng) const
+{
+    return mu_ + sigma_ * standardSample(rng);
+}
+
+std::string
+Gaussian::name() const
+{
+    std::ostringstream out;
+    out << "Gaussian(" << mu_ << ", " << sigma_ << ")";
+    return out.str();
+}
+
+double
+Gaussian::pdf(double x) const
+{
+    double z = (x - mu_) / sigma_;
+    return math::normalPdf(z) / sigma_;
+}
+
+double
+Gaussian::logPdf(double x) const
+{
+    double z = (x - mu_) / sigma_;
+    return -0.5 * z * z - std::log(sigma_)
+           - 0.91893853320467274178; // log(sqrt(2*pi))
+}
+
+double
+Gaussian::cdf(double x) const
+{
+    return math::normalCdf((x - mu_) / sigma_);
+}
+
+double
+Gaussian::quantile(double p) const
+{
+    return mu_ + sigma_ * math::normalQuantile(p);
+}
+
+double
+Gaussian::mean() const
+{
+    return mu_;
+}
+
+double
+Gaussian::variance() const
+{
+    return sigma_ * sigma_;
+}
+
+} // namespace random
+} // namespace uncertain

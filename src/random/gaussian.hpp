@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Gaussian (normal) distribution, sampled with the Box-Muller
+ * transform the paper cites as its canonical Gaussian sampling
+ * function (section 4.1).
+ */
+
+#ifndef UNCERTAIN_RANDOM_GAUSSIAN_HPP
+#define UNCERTAIN_RANDOM_GAUSSIAN_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** N(mu, sigma^2). */
+class Gaussian : public Distribution
+{
+  public:
+    /** Requires sigma > 0. */
+    Gaussian(double mu, double sigma);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+
+    /**
+     * One standard normal deviate from the basic (trigonometric)
+     * Box-Muller transform. Consumes two uniforms; the second deviate
+     * of the pair is discarded so that the stream position is a pure
+     * function of the draw count.
+     */
+    static double standardSample(Rng& rng);
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_GAUSSIAN_HPP

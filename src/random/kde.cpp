@@ -1,0 +1,110 @@
+#include "random/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace random {
+
+namespace {
+
+double
+poolStddev(const std::vector<double>& pool)
+{
+    double mu = 0.0;
+    for (double x : pool)
+        mu += x;
+    mu /= static_cast<double>(pool.size());
+    double ss = 0.0;
+    for (double x : pool) {
+        double d = x - mu;
+        ss += d * d;
+    }
+    return std::sqrt(ss / static_cast<double>(pool.size()));
+}
+
+} // namespace
+
+GaussianKde::GaussianKde(std::vector<double> pool, double bandwidth)
+    : pool_(std::move(pool)), bandwidth_(bandwidth)
+{
+    UNCERTAIN_REQUIRE(!pool_.empty(), "GaussianKde requires >= 1 sample");
+    if (bandwidth_ <= 0.0) {
+        double sd = poolStddev(pool_);
+        if (sd <= 0.0)
+            sd = 1e-6; // degenerate pool: give it a sliver of width
+        bandwidth_ = 1.06 * sd
+                     * std::pow(static_cast<double>(pool_.size()), -0.2);
+    }
+}
+
+double
+GaussianKde::sample(Rng& rng) const
+{
+    double center = pool_[static_cast<std::size_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(pool_.size())))];
+    return center + bandwidth_ * Gaussian::standardSample(rng);
+}
+
+std::string
+GaussianKde::name() const
+{
+    std::ostringstream out;
+    out << "GaussianKde(" << pool_.size() << " samples, h=" << bandwidth_
+        << ")";
+    return out.str();
+}
+
+double
+GaussianKde::pdf(double x) const
+{
+    double total = 0.0;
+    for (double center : pool_)
+        total += math::normalPdf((x - center) / bandwidth_);
+    return total / (static_cast<double>(pool_.size()) * bandwidth_);
+}
+
+double
+GaussianKde::logPdf(double x) const
+{
+    return std::log(std::max(pdf(x), 1e-300));
+}
+
+double
+GaussianKde::cdf(double x) const
+{
+    double total = 0.0;
+    for (double center : pool_)
+        total += math::normalCdf((x - center) / bandwidth_);
+    return total / static_cast<double>(pool_.size());
+}
+
+double
+GaussianKde::mean() const
+{
+    double total = 0.0;
+    for (double x : pool_)
+        total += x;
+    return total / static_cast<double>(pool_.size());
+}
+
+double
+GaussianKde::variance() const
+{
+    double mu = mean();
+    double ss = 0.0;
+    for (double x : pool_) {
+        double d = x - mu;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(pool_.size())
+           + bandwidth_ * bandwidth_;
+}
+
+} // namespace random
+} // namespace uncertain

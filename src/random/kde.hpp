@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Gaussian kernel density estimate over a sample pool: a smoothed
+ * empirical distribution that supports density queries, so that
+ * sample pools (e.g. Parakeet's PPD) can participate in the Bayesian
+ * reweighting of src/inference.
+ */
+
+#ifndef UNCERTAIN_RANDOM_KDE_HPP
+#define UNCERTAIN_RANDOM_KDE_HPP
+
+#include <vector>
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/**
+ * KDE with Gaussian kernels. Sampling draws a pool point and jitters
+ * it by N(0, bandwidth^2), which is exactly a draw from the estimated
+ * density.
+ */
+class GaussianKde : public Distribution
+{
+  public:
+    /**
+     * @param pool      the observed samples (non-empty)
+     * @param bandwidth kernel width; <= 0 selects Silverman's
+     *                  rule-of-thumb bandwidth automatically
+     */
+    explicit GaussianKde(std::vector<double> pool, double bandwidth = 0.0);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double bandwidth() const { return bandwidth_; }
+    const std::vector<double>& pool() const { return pool_; }
+
+  private:
+    std::vector<double> pool_;
+    double bandwidth_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_KDE_HPP

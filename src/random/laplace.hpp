@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Laplace (double exponential) distribution: a heavier-tailed
+ * alternative sensor-noise model.
+ */
+
+#ifndef UNCERTAIN_RANDOM_LAPLACE_HPP
+#define UNCERTAIN_RANDOM_LAPLACE_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Laplace(mu, b): density (1/2b) exp(-|x - mu| / b). */
+class Laplace : public Distribution
+{
+  public:
+    /** Requires b > 0. */
+    Laplace(double mu, double b);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double mu() const { return mu_; }
+    double b() const { return b_; }
+
+  private:
+    double mu_;
+    double b_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_LAPLACE_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Log-normal distribution.
+ */
+
+#ifndef UNCERTAIN_RANDOM_LOGNORMAL_HPP
+#define UNCERTAIN_RANDOM_LOGNORMAL_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** LogNormal(mu, sigma): exp of N(mu, sigma^2). */
+class LogNormal : public Distribution
+{
+  public:
+    /** Requires sigma > 0. */
+    LogNormal(double mu, double sigma);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_LOGNORMAL_HPP

@@ -1,0 +1,108 @@
+#include "random/mixture.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace random {
+
+namespace {
+
+std::vector<double>
+indexValues(std::size_t n)
+{
+    std::vector<double> values(n);
+    std::iota(values.begin(), values.end(), 0.0);
+    return values;
+}
+
+} // namespace
+
+Mixture::Mixture(std::vector<DistributionPtr> components,
+                 std::vector<double> weights)
+    : components_(std::move(components)),
+      selector_(indexValues(components_.size()), std::move(weights))
+{
+    for (const auto& component : components_) {
+        UNCERTAIN_REQUIRE(component != nullptr,
+                          "Mixture components must be non-null");
+    }
+}
+
+double
+Mixture::sample(Rng& rng) const
+{
+    return components_[selector_.sampleIndex(rng)]->sample(rng);
+}
+
+std::string
+Mixture::name() const
+{
+    std::ostringstream out;
+    out << "Mixture(" << components_.size() << " components)";
+    return out.str();
+}
+
+double
+Mixture::pdf(double x) const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+        total += selector_.probabilities()[i] * components_[i]->pdf(x);
+    return total;
+}
+
+double
+Mixture::logPdf(double x) const
+{
+    return std::log(std::max(pdf(x), 1e-300));
+}
+
+double
+Mixture::cdf(double x) const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+        total += selector_.probabilities()[i] * components_[i]->cdf(x);
+    return total;
+}
+
+double
+Mixture::mean() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        total += selector_.probabilities()[i]
+                 * components_[i]->mean();
+    }
+    return total;
+}
+
+double
+Mixture::variance() const
+{
+    // Law of total variance.
+    double mu = mean();
+    double total = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        double w = selector_.probabilities()[i];
+        double mi = components_[i]->mean();
+        total += w * (components_[i]->variance()
+                      + (mi - mu) * (mi - mu));
+    }
+    return total;
+}
+
+double
+Mixture::weightOf(std::size_t index) const
+{
+    UNCERTAIN_REQUIRE(index < components_.size(),
+                      "Mixture component index out of range");
+    return selector_.probabilities()[index];
+}
+
+} // namespace random
+} // namespace uncertain

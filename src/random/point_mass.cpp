@@ -1,0 +1,42 @@
+#include "random/point_mass.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace random {
+
+std::string
+PointMass::name() const
+{
+    std::ostringstream out;
+    out << "PointMass(" << value_ << ")";
+    return out.str();
+}
+
+double
+PointMass::pdf(double x) const
+{
+    // A Dirac mass has no density; report the mass function instead,
+    // which is what discrete-style queries expect.
+    return x == value_ ? 1.0 : 0.0;
+}
+
+double
+PointMass::cdf(double x) const
+{
+    return x >= value_ ? 1.0 : 0.0;
+}
+
+double
+PointMass::quantile(double p) const
+{
+    UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0,
+                      "PointMass::quantile requires p in [0, 1]");
+    return value_;
+}
+
+} // namespace random
+} // namespace uncertain

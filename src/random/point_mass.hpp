@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Point-mass (Dirac) distribution: the lifting of a plain value into
+ * the uncertain algebra (Table 1's Pointmass :: T -> U<T>).
+ */
+
+#ifndef UNCERTAIN_RANDOM_POINT_MASS_HPP
+#define UNCERTAIN_RANDOM_POINT_MASS_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** All probability mass at a single value. */
+class PointMass : public Distribution
+{
+  public:
+    explicit PointMass(double value) : value_(value) {}
+
+    double sample(Rng&) const override { return value_; }
+    std::string name() const override;
+    double pdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override { return value_; }
+    double variance() const override { return 0.0; }
+    bool hasDensity() const override { return false; }
+
+    double value() const { return value_; }
+
+  private:
+    double value_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_POINT_MASS_HPP

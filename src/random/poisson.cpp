@@ -1,0 +1,105 @@
+#include "random/poisson.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace random {
+
+Poisson::Poisson(double lambda) : lambda_(lambda)
+{
+    UNCERTAIN_REQUIRE(lambda > 0.0, "Poisson requires lambda > 0");
+}
+
+double
+Poisson::sample(Rng& rng) const
+{
+    if (lambda_ < 30.0) {
+        // Knuth's multiplication method.
+        double limit = std::exp(-lambda_);
+        double product = rng.nextDouble();
+        double count = 0.0;
+        while (product > limit) {
+            product *= rng.nextDouble();
+            count += 1.0;
+        }
+        return count;
+    }
+
+    // PTRS transformed rejection (Hormann, 1993) for large lambda.
+    const double b = 0.931 + 2.53 * std::sqrt(lambda_);
+    const double a = -0.059 + 0.02483 * b;
+    const double invAlpha = 1.1239 + 1.1328 / (b - 3.4);
+    const double vr = 0.9277 - 3.6224 / (b - 2.0);
+
+    for (;;) {
+        double u = rng.nextDouble() - 0.5;
+        double v = rng.nextDoubleOpen();
+        double us = 0.5 - std::fabs(u);
+        double k = std::floor((2.0 * a / us + b) * u + lambda_ + 0.43);
+        if (us >= 0.07 && v <= vr)
+            return k;
+        if (k < 0.0 || (us < 0.013 && v > us))
+            continue;
+        double logLambda = std::log(lambda_);
+        if (std::log(v * invAlpha / (a / (us * us) + b))
+            <= k * logLambda - lambda_ - math::logGamma(k + 1.0)) {
+            return k;
+        }
+    }
+}
+
+std::string
+Poisson::name() const
+{
+    std::ostringstream out;
+    out << "Poisson(" << lambda_ << ")";
+    return out.str();
+}
+
+double
+Poisson::pdf(double x) const
+{
+    double k = std::round(x);
+    if (k != x || k < 0.0)
+        return 0.0;
+    return std::exp(logPdf(x));
+}
+
+double
+Poisson::logPdf(double x) const
+{
+    double k = std::round(x);
+    if (k != x || k < 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return k * std::log(lambda_) - lambda_ - math::logGamma(k + 1.0);
+}
+
+double
+Poisson::cdf(double x) const
+{
+    if (x < 0.0)
+        return 0.0;
+    double k = std::floor(x);
+    // Pr[X <= k] = Q(k + 1, lambda).
+    return math::regularizedGammaQ(k + 1.0, lambda_);
+}
+
+double
+Poisson::mean() const
+{
+    return lambda_;
+}
+
+double
+Poisson::variance() const
+{
+    return lambda_;
+}
+
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Poisson distribution.
+ */
+
+#ifndef UNCERTAIN_RANDOM_POISSON_HPP
+#define UNCERTAIN_RANDOM_POISSON_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Poisson(lambda) over the non-negative integers. */
+class Poisson : public Distribution
+{
+  public:
+    /** Requires lambda > 0. */
+    explicit Poisson(double lambda);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double lambda() const { return lambda_; }
+
+  private:
+    double lambda_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_POISSON_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Rayleigh distribution: the radial GPS error model the paper derives
+ * in section 4.1: Pr[Location = p | GPS = sample] =
+ * Rayleigh(|sample - p|; epsilon / sqrt(ln 400)).
+ */
+
+#ifndef UNCERTAIN_RANDOM_RAYLEIGH_HPP
+#define UNCERTAIN_RANDOM_RAYLEIGH_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Rayleigh(rho): density x/rho^2 exp(-x^2 / (2 rho^2)) for x >= 0. */
+class Rayleigh : public Distribution
+{
+  public:
+    /** Requires rho > 0. */
+    explicit Rayleigh(double rho);
+
+    /**
+     * The paper's GPS parameterization: @p epsilon95 is the sensor's
+     * 95% horizontal-accuracy radius; the Rayleigh scale is
+     * epsilon / sqrt(ln 400) so that cdf(epsilon) = 0.95.
+     */
+    static Rayleigh fromHorizontalAccuracy(double epsilon95);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    /** Mode of the density (equals rho). */
+    double mode() const { return rho_; }
+    double rho() const { return rho_; }
+
+  private:
+    double rho_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_RAYLEIGH_HPP

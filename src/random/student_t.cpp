@@ -1,0 +1,93 @@
+#include "random/student_t.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "random/gamma.hpp"
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace random {
+
+StudentT::StudentT(double nu) : nu_(nu)
+{
+    UNCERTAIN_REQUIRE(nu > 0.0, "StudentT requires nu > 0");
+}
+
+double
+StudentT::sample(Rng& rng) const
+{
+    double z = Gaussian::standardSample(rng);
+    double chi2 = 2.0 * Gamma::standardSample(rng, 0.5 * nu_);
+    return z / std::sqrt(chi2 / nu_);
+}
+
+std::string
+StudentT::name() const
+{
+    std::ostringstream out;
+    out << "StudentT(" << nu_ << ")";
+    return out.str();
+}
+
+double
+StudentT::logPdf(double x) const
+{
+    double halfNuPlus = 0.5 * (nu_ + 1.0);
+    return math::logGamma(halfNuPlus) - math::logGamma(0.5 * nu_)
+           - 0.5 * std::log(nu_ * M_PI)
+           - halfNuPlus * std::log1p(x * x / nu_);
+}
+
+double
+StudentT::cdf(double x) const
+{
+    return math::studentTCdf(x, nu_);
+}
+
+double
+StudentT::quantile(double p) const
+{
+    UNCERTAIN_REQUIRE(p > 0.0 && p < 1.0,
+                      "StudentT::quantile requires p in (0, 1)");
+    if (p == 0.5)
+        return 0.0;
+
+    // Bisection on the monotone CDF; good enough for test-critical
+    // values, which are computed once per test.
+    double lo = -1.0;
+    double hi = 1.0;
+    while (cdf(lo) > p)
+        lo *= 2.0;
+    while (cdf(hi) < p)
+        hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (cdf(mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12 * std::max(1.0, std::fabs(hi)))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+StudentT::mean() const
+{
+    UNCERTAIN_REQUIRE(nu_ > 1.0, "StudentT mean requires nu > 1");
+    return 0.0;
+}
+
+double
+StudentT::variance() const
+{
+    UNCERTAIN_REQUIRE(nu_ > 2.0, "StudentT variance requires nu > 2");
+    return nu_ / (nu_ - 2.0);
+}
+
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Student-t distribution, used by the statistics module for
+ * small-sample confidence intervals.
+ */
+
+#ifndef UNCERTAIN_RANDOM_STUDENT_T_HPP
+#define UNCERTAIN_RANDOM_STUDENT_T_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Student-t with nu degrees of freedom. */
+class StudentT : public Distribution
+{
+  public:
+    /** Requires nu > 0. */
+    explicit StudentT(double nu);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double nu() const { return nu_; }
+
+  private:
+    double nu_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_STUDENT_T_HPP

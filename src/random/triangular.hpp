@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Triangular distribution: a simple bounded model useful as a prior
+ * when only a plausible range and mode are known.
+ */
+
+#ifndef UNCERTAIN_RANDOM_TRIANGULAR_HPP
+#define UNCERTAIN_RANDOM_TRIANGULAR_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Triangular(lo, mode, hi). */
+class Triangular : public Distribution
+{
+  public:
+    /** Requires lo <= mode <= hi and lo < hi. */
+    Triangular(double lo, double mode, double hi);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+  private:
+    double lo_;
+    double mode_;
+    double hi_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_TRIANGULAR_HPP

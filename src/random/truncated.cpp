@@ -1,0 +1,147 @@
+#include "random/truncated.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace random {
+
+Truncated::Truncated(DistributionPtr base, double lo, double hi)
+    : base_(std::move(base)), lo_(lo), hi_(hi), cdfLo_(0.0), cdfHi_(1.0),
+      analytic_(false)
+{
+    UNCERTAIN_REQUIRE(base_ != nullptr, "Truncated requires a base");
+    UNCERTAIN_REQUIRE(lo < hi, "Truncated requires lo < hi");
+    try {
+        cdfLo_ = base_->cdf(lo_);
+        cdfHi_ = base_->cdf(hi_);
+        analytic_ = true;
+    } catch (const Error&) {
+        // Base has no analytic cdf: fall back to rejection sampling.
+        analytic_ = false;
+    }
+    // Outside the try block: this must not be mistaken for a missing
+    // cdf and silently swallowed.
+    if (analytic_) {
+        UNCERTAIN_REQUIRE(cdfHi_ > cdfLo_,
+                          "Truncated: base has no mass in [lo, hi]");
+    }
+}
+
+double
+Truncated::sample(Rng& rng) const
+{
+    if (analytic_) {
+        try {
+            double u = cdfLo_ + (cdfHi_ - cdfLo_) * rng.nextDouble();
+            return base_->quantile(u);
+        } catch (const Error&) {
+            // Base has cdf but no quantile: fall through to rejection.
+        }
+    }
+    constexpr int kMaxRejections = 1 << 20;
+    for (int i = 0; i < kMaxRejections; ++i) {
+        double x = base_->sample(rng);
+        if (x >= lo_ && x <= hi_)
+            return x;
+    }
+    throw Error("Truncated::sample: rejection failed; the base "
+                "distribution has (almost) no mass in [lo, hi]");
+}
+
+std::string
+Truncated::name() const
+{
+    std::ostringstream out;
+    out << "Truncated(" << base_->name() << ", [" << lo_ << ", " << hi_
+        << "])";
+    return out.str();
+}
+
+double
+Truncated::pdf(double x) const
+{
+    if (x < lo_ || x > hi_)
+        return 0.0;
+    UNCERTAIN_REQUIRE(analytic_,
+                      "Truncated::pdf requires an analytic base cdf");
+    return base_->pdf(x) / (cdfHi_ - cdfLo_);
+}
+
+double
+Truncated::logPdf(double x) const
+{
+    if (x < lo_ || x > hi_)
+        return -std::numeric_limits<double>::infinity();
+    UNCERTAIN_REQUIRE(analytic_,
+                      "Truncated::logPdf requires an analytic base cdf");
+    return base_->logPdf(x) - std::log(cdfHi_ - cdfLo_);
+}
+
+double
+Truncated::cdf(double x) const
+{
+    UNCERTAIN_REQUIRE(analytic_,
+                      "Truncated::cdf requires an analytic base cdf");
+    if (x <= lo_)
+        return 0.0;
+    if (x >= hi_)
+        return 1.0;
+    return (base_->cdf(x) - cdfLo_) / (cdfHi_ - cdfLo_);
+}
+
+double
+Truncated::quantile(double p) const
+{
+    UNCERTAIN_REQUIRE(analytic_,
+                      "Truncated::quantile requires an analytic base cdf");
+    UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0,
+                      "Truncated::quantile requires p in [0, 1]");
+    return base_->quantile(cdfLo_ + p * (cdfHi_ - cdfLo_));
+}
+
+double
+Truncated::mean() const
+{
+    // No closed form in general: numerically integrate over [lo, hi]
+    // using the base pdf (Simpson's rule on a fine grid).
+    UNCERTAIN_REQUIRE(analytic_,
+                      "Truncated::mean requires an analytic base cdf");
+    constexpr int kIntervals = 2048;
+    double h = (hi_ - lo_) / kIntervals;
+    double total = 0.0;
+    for (int i = 0; i <= kIntervals; ++i) {
+        double x = lo_ + h * i;
+        double w = (i == 0 || i == kIntervals) ? 1.0
+                   : (i % 2 == 1)              ? 4.0
+                                               : 2.0;
+        total += w * x * pdf(x);
+    }
+    return total * h / 3.0;
+}
+
+double
+Truncated::variance() const
+{
+    UNCERTAIN_REQUIRE(analytic_,
+                      "Truncated::variance requires an analytic base cdf");
+    double mu = mean();
+    constexpr int kIntervals = 2048;
+    double h = (hi_ - lo_) / kIntervals;
+    double total = 0.0;
+    for (int i = 0; i <= kIntervals; ++i) {
+        double x = lo_ + h * i;
+        double w = (i == 0 || i == kIntervals) ? 1.0
+                   : (i % 2 == 1)              ? 4.0
+                                               : 2.0;
+        double d = x - mu;
+        total += w * d * d * pdf(x);
+    }
+    return total * h / 3.0;
+}
+
+} // namespace random
+} // namespace uncertain

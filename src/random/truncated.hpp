@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Truncation decorator: restricts any distribution to [lo, hi].
+ * Used for domain-knowledge priors such as "humans walk between 0 and
+ * 10 mph" (paper section 5.1).
+ */
+
+#ifndef UNCERTAIN_RANDOM_TRUNCATED_HPP
+#define UNCERTAIN_RANDOM_TRUNCATED_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/**
+ * Truncated(base, lo, hi): the conditional law of the base
+ * distribution given lo <= X <= hi. Sampling uses inverse-CDF when
+ * the base supports quantiles, otherwise rejection.
+ */
+class Truncated : public Distribution
+{
+  public:
+    /**
+     * Requires lo < hi and that the base assigns nonzero probability
+     * to [lo, hi] (checked when the base supports cdf()).
+     */
+    Truncated(DistributionPtr base, double lo, double hi);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+  private:
+    DistributionPtr base_;
+    double lo_;
+    double hi_;
+    double cdfLo_;   //!< base cdf at lo (when available)
+    double cdfHi_;   //!< base cdf at hi (when available)
+    bool analytic_;  //!< base supports cdf/quantile
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_TRUNCATED_HPP

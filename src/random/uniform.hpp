@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Continuous uniform distribution on [lo, hi).
+ */
+
+#ifndef UNCERTAIN_RANDOM_UNIFORM_HPP
+#define UNCERTAIN_RANDOM_UNIFORM_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Uniform(lo, hi): constant density 1/(hi - lo) on [lo, hi). */
+class Uniform : public Distribution
+{
+  public:
+    /** Requires lo < hi. */
+    Uniform(double lo, double hi);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+  private:
+    double lo_;
+    double hi_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_UNIFORM_HPP

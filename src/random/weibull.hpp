@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Weibull distribution: a flexible non-negative error model
+ * (generalizes both Exponential and Rayleigh).
+ */
+
+#ifndef UNCERTAIN_RANDOM_WEIBULL_HPP
+#define UNCERTAIN_RANDOM_WEIBULL_HPP
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace random {
+
+/** Weibull(shape k, scale lambda) on x >= 0. */
+class Weibull : public Distribution
+{
+  public:
+    /** Requires shape > 0 and scale > 0. */
+    Weibull(double shape, double scale);
+
+    double sample(Rng& rng) const override;
+    std::string name() const override;
+    double pdf(double x) const override;
+    double logPdf(double x) const override;
+    double cdf(double x) const override;
+    double quantile(double p) const override;
+    double mean() const override;
+    double variance() const override;
+
+    double shape() const { return shape_; }
+    double scale() const { return scale_; }
+
+  private:
+    double shape_;
+    double scale_;
+};
+
+} // namespace random
+} // namespace uncertain
+
+#endif // UNCERTAIN_RANDOM_WEIBULL_HPP

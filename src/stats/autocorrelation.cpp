@@ -1,0 +1,67 @@
+#include "stats/autocorrelation.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace stats {
+
+double
+autocorrelation(const std::vector<double>& xs, std::size_t lag)
+{
+    UNCERTAIN_REQUIRE(xs.size() >= 2, "autocorrelation needs >= 2 values");
+    UNCERTAIN_REQUIRE(lag < xs.size(),
+                      "autocorrelation lag exceeds series length");
+
+    double mu = 0.0;
+    for (double x : xs)
+        mu += x;
+    mu /= static_cast<double>(xs.size());
+
+    double denominator = 0.0;
+    for (double x : xs) {
+        double d = x - mu;
+        denominator += d * d;
+    }
+    UNCERTAIN_REQUIRE(denominator > 0.0,
+                      "autocorrelation undefined for a constant series");
+
+    double numerator = 0.0;
+    for (std::size_t i = 0; i + lag < xs.size(); ++i)
+        numerator += (xs[i] - mu) * (xs[i + lag] - mu);
+    return numerator / denominator;
+}
+
+std::vector<double>
+autocorrelationFunction(const std::vector<double>& xs,
+                        std::size_t maxLag)
+{
+    UNCERTAIN_REQUIRE(maxLag < xs.size(),
+                      "autocorrelationFunction: maxLag too large");
+    std::vector<double> acf;
+    acf.reserve(maxLag + 1);
+    for (std::size_t lag = 0; lag <= maxLag; ++lag)
+        acf.push_back(autocorrelation(xs, lag));
+    return acf;
+}
+
+double
+effectiveSampleSize(const std::vector<double>& xs)
+{
+    UNCERTAIN_REQUIRE(xs.size() >= 2,
+                      "effectiveSampleSize needs >= 2 values");
+    double n = static_cast<double>(xs.size());
+    double tail = 0.0;
+    std::size_t maxLag = std::min<std::size_t>(xs.size() - 1, 1000);
+    for (std::size_t lag = 1; lag <= maxLag; ++lag) {
+        double rho = autocorrelation(xs, lag);
+        if (rho <= 0.0)
+            break;
+        tail += rho;
+    }
+    return std::clamp(n / (1.0 + 2.0 * tail), 1.0, n);
+}
+
+} // namespace stats
+} // namespace uncertain

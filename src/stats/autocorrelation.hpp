@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Chain diagnostics: autocorrelation and effective sample size.
+ * Used to validate the HMC posterior pools of src/nn (thinning
+ * exists precisely because "the next sample in hybrid Monte Carlo
+ * depends on the current sample", paper section 5.3) and the AR(1)
+ * GPS error process of src/gps.
+ */
+
+#ifndef UNCERTAIN_STATS_AUTOCORRELATION_HPP
+#define UNCERTAIN_STATS_AUTOCORRELATION_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace uncertain {
+namespace stats {
+
+/**
+ * Sample autocorrelation of @p xs at @p lag. Requires
+ * lag < xs.size() and a non-constant series.
+ */
+double autocorrelation(const std::vector<double>& xs, std::size_t lag);
+
+/**
+ * Autocorrelation function up to @p maxLag inclusive (index 0 is
+ * always 1).
+ */
+std::vector<double> autocorrelationFunction(
+    const std::vector<double>& xs, std::size_t maxLag);
+
+/**
+ * Effective sample size of a correlated chain using the
+ * initial-positive-sequence estimator: n / (1 + 2 sum rho_k), with
+ * the sum truncated at the first non-positive autocorrelation.
+ */
+double effectiveSampleSize(const std::vector<double>& xs);
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_AUTOCORRELATION_HPP

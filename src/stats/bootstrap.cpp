@@ -1,0 +1,53 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace stats {
+
+BootstrapResult
+bootstrap(const std::vector<double>& sample,
+          const std::function<double(const std::vector<double>&)>&
+              statistic,
+          const BootstrapOptions& options, Rng& rng)
+{
+    UNCERTAIN_REQUIRE(!sample.empty(), "bootstrap: empty sample");
+    UNCERTAIN_REQUIRE(statistic != nullptr,
+                      "bootstrap: missing statistic");
+    UNCERTAIN_REQUIRE(options.resamples >= 10,
+                      "bootstrap: need >= 10 resamples");
+    UNCERTAIN_REQUIRE(options.confidence > 0.0
+                          && options.confidence < 1.0,
+                      "bootstrap: confidence must be in (0, 1)");
+
+    std::vector<double> statistics;
+    statistics.reserve(options.resamples);
+    std::vector<double> resample(sample.size());
+    for (std::size_t b = 0; b < options.resamples; ++b) {
+        for (double& x : resample) {
+            x = sample[static_cast<std::size_t>(
+                rng.nextBelow(sample.size()))];
+        }
+        statistics.push_back(statistic(resample));
+    }
+
+    double tail = 0.5 * (1.0 - options.confidence);
+    Interval interval{quantile(statistics, tail),
+                      quantile(std::move(statistics), 1.0 - tail)};
+    return {statistic(sample), interval};
+}
+
+BootstrapResult
+bootstrap(const std::vector<double>& sample,
+          const std::function<double(const std::vector<double>&)>&
+              statistic,
+          const BootstrapOptions& options)
+{
+    return bootstrap(sample, statistic, options, globalRng());
+}
+
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bootstrap confidence intervals for arbitrary statistics of a
+ * sample: quantiles, error rates, anything the t-interval of
+ * stats/confidence.hpp does not cover.
+ */
+
+#ifndef UNCERTAIN_STATS_BOOTSTRAP_HPP
+#define UNCERTAIN_STATS_BOOTSTRAP_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace stats {
+
+/** Tuning for the bootstrap. */
+struct BootstrapOptions
+{
+    std::size_t resamples = 1000;
+    double confidence = 0.95;
+};
+
+/** A bootstrap estimate with its percentile interval. */
+struct BootstrapResult
+{
+    double estimate; //!< statistic on the original sample
+    Interval interval;
+};
+
+/**
+ * Percentile-bootstrap interval for
+ * @p statistic(sample) over @p sample. Requires a non-empty sample
+ * and >= 10 resamples.
+ */
+BootstrapResult
+bootstrap(const std::vector<double>& sample,
+          const std::function<double(const std::vector<double>&)>&
+              statistic,
+          const BootstrapOptions& options, Rng& rng);
+
+/** bootstrap() with the thread's global generator. */
+BootstrapResult
+bootstrap(const std::vector<double>& sample,
+          const std::function<double(const std::vector<double>&)>&
+              statistic,
+          const BootstrapOptions& options = {});
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_BOOTSTRAP_HPP

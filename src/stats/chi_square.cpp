@@ -1,0 +1,46 @@
+#include "stats/chi_square.hpp"
+
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace stats {
+
+ChiSquareResult
+chiSquareGof(const std::vector<std::size_t>& observed,
+             const std::vector<double>& expected,
+             std::size_t constraintsFitted)
+{
+    UNCERTAIN_REQUIRE(!observed.empty(), "chiSquareGof: empty input");
+    UNCERTAIN_REQUIRE(observed.size() == expected.size(),
+                      "chiSquareGof: size mismatch");
+    UNCERTAIN_REQUIRE(observed.size() > constraintsFitted + 1,
+                      "chiSquareGof: not enough cells for the "
+                      "requested constraints");
+
+    double totalExpected = 0.0;
+    std::size_t totalObserved = 0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        UNCERTAIN_REQUIRE(expected[i] > 0.0,
+                          "chiSquareGof: expected mass must be positive");
+        totalExpected += expected[i];
+        totalObserved += observed[i];
+    }
+    UNCERTAIN_REQUIRE(totalObserved > 0, "chiSquareGof: no observations");
+
+    double statistic = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        double expectedCount = expected[i] / totalExpected
+                               * static_cast<double>(totalObserved);
+        double diff = static_cast<double>(observed[i]) - expectedCount;
+        statistic += diff * diff / expectedCount;
+    }
+
+    double dof = static_cast<double>(observed.size() - 1
+                                     - constraintsFitted);
+    double pValue = 1.0 - math::chiSquareCdf(statistic, dof);
+    return {statistic, dof, pValue};
+}
+
+} // namespace stats
+} // namespace uncertain

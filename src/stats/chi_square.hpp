@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Chi-square goodness-of-fit test for discrete distributions.
+ */
+
+#ifndef UNCERTAIN_STATS_CHI_SQUARE_HPP
+#define UNCERTAIN_STATS_CHI_SQUARE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace uncertain {
+namespace stats {
+
+/** Result of a chi-square test. */
+struct ChiSquareResult
+{
+    double statistic;
+    double degreesOfFreedom;
+    double pValue;
+
+    bool rejectAt(double alpha) const { return pValue < alpha; }
+};
+
+/**
+ * Pearson chi-square goodness-of-fit: @p observed counts against
+ * @p expected probabilities (normalized internally). Requires equal
+ * non-zero lengths and positive expected mass in every cell.
+ * @param constraintsFitted extra degrees of freedom consumed by
+ *        parameters estimated from the data.
+ */
+ChiSquareResult chiSquareGof(const std::vector<std::size_t>& observed,
+                             const std::vector<double>& expected,
+                             std::size_t constraintsFitted = 0);
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_CHI_SQUARE_HPP

@@ -1,0 +1,61 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+
+#include "random/student_t.hpp"
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace stats {
+
+Interval
+meanConfidenceInterval(const OnlineSummary& summary, double confidence)
+{
+    UNCERTAIN_REQUIRE(summary.count() >= 2,
+                      "mean CI requires >= 2 observations");
+    UNCERTAIN_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                      "confidence must be in (0, 1)");
+    double nu = static_cast<double>(summary.count() - 1);
+    double tail = 0.5 * (1.0 + confidence);
+    // Large samples: normal critical value avoids the t bisection.
+    double critical = summary.count() > 200
+                          ? math::normalQuantile(tail)
+                          : random::StudentT(nu).quantile(tail);
+    double half = critical * summary.standardError();
+    return {summary.mean() - half, summary.mean() + half};
+}
+
+Interval
+meanConfidenceInterval(const std::vector<double>& xs, double confidence)
+{
+    OnlineSummary summary;
+    summary.addAll(xs);
+    return meanConfidenceInterval(summary, confidence);
+}
+
+Interval
+proportionConfidenceInterval(std::size_t successes, std::size_t trials,
+                             double confidence)
+{
+    UNCERTAIN_REQUIRE(trials >= 1, "proportion CI requires >= 1 trial");
+    UNCERTAIN_REQUIRE(successes <= trials,
+                      "successes cannot exceed trials");
+    UNCERTAIN_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                      "confidence must be in (0, 1)");
+
+    double n = static_cast<double>(trials);
+    double pHat = static_cast<double>(successes) / n;
+    double z = math::normalQuantile(0.5 * (1.0 + confidence));
+    double z2 = z * z;
+
+    double denom = 1.0 + z2 / n;
+    double center = (pHat + z2 / (2.0 * n)) / denom;
+    double half = z / denom
+                  * std::sqrt(pHat * (1.0 - pHat) / n
+                              + z2 / (4.0 * n * n));
+    return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+} // namespace stats
+} // namespace uncertain

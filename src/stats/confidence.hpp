@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Confidence intervals for means and proportions, used both by the
+ * expected-value evaluation operator and by the figure harnesses to
+ * print the paper's "means and 95% confidence intervals".
+ */
+
+#ifndef UNCERTAIN_STATS_CONFIDENCE_HPP
+#define UNCERTAIN_STATS_CONFIDENCE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace uncertain {
+namespace stats {
+
+/** A two-sided interval [lo, hi]. */
+struct Interval
+{
+    double lo;
+    double hi;
+
+    double width() const { return hi - lo; }
+    double center() const { return 0.5 * (lo + hi); }
+    bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/**
+ * Student-t confidence interval for the mean of @p summary at the
+ * given confidence level. Requires >= 2 observations.
+ */
+Interval meanConfidenceInterval(const OnlineSummary& summary,
+                                double confidence = 0.95);
+
+/** Convenience overload over a raw sample. */
+Interval meanConfidenceInterval(const std::vector<double>& xs,
+                                double confidence = 0.95);
+
+/**
+ * Wilson score interval for a Bernoulli proportion with @p successes
+ * out of @p trials. Requires trials >= 1. Well-behaved for extreme
+ * p-hat, unlike the Wald interval.
+ */
+Interval proportionConfidenceInterval(std::size_t successes,
+                                      std::size_t trials,
+                                      double confidence = 0.95);
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_CONFIDENCE_HPP

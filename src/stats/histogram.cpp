@@ -1,0 +1,100 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    UNCERTAIN_REQUIRE(lo < hi, "Histogram requires lo < hi");
+    UNCERTAIN_REQUIRE(bins >= 1, "Histogram requires >= 1 bin");
+}
+
+Histogram
+Histogram::fromSamples(const std::vector<double>& xs, std::size_t bins)
+{
+    UNCERTAIN_REQUIRE(!xs.empty(), "Histogram::fromSamples: empty sample");
+    auto [mnIt, mxIt] = std::minmax_element(xs.begin(), xs.end());
+    double lo = *mnIt;
+    double hi = *mxIt;
+    if (lo == hi) {
+        lo -= 0.5;
+        hi += 0.5;
+    }
+    // Widen slightly so the max lands inside the last bin.
+    double pad = (hi - lo) * 1e-9;
+    Histogram h(lo, hi + pad, bins);
+    h.addAll(xs);
+    return h;
+}
+
+void
+Histogram::add(double x)
+{
+    double scaled = (x - lo_) / (hi_ - lo_)
+                    * static_cast<double>(counts_.size());
+    auto bin = static_cast<std::ptrdiff_t>(std::floor(scaled));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+void
+Histogram::addAll(const std::vector<double>& xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+std::size_t
+Histogram::countAt(std::size_t bin) const
+{
+    UNCERTAIN_REQUIRE(bin < counts_.size(), "Histogram bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    UNCERTAIN_REQUIRE(bin < counts_.size(), "Histogram bin out of range");
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+double
+Histogram::density(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(countAt(bin))
+           / static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 0;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        auto bar = peak == 0
+                       ? std::size_t{0}
+                       : counts_[i] * width / peak;
+        out << std::setw(10) << std::fixed << std::setprecision(3)
+            << binCenter(i) << " | " << std::string(bar, '#') << " "
+            << counts_[i] << "\n";
+    }
+    return out.str();
+}
+
+} // namespace stats
+} // namespace uncertain

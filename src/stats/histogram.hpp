@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-bin histogram with ASCII rendering, used by the bench harness
+ * to print distribution shapes (Figures 1, 6, 11, 15).
+ */
+
+#ifndef UNCERTAIN_STATS_HISTOGRAM_HPP
+#define UNCERTAIN_STATS_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace uncertain {
+namespace stats {
+
+/** Equal-width bins over [lo, hi); out-of-range values are clamped. */
+class Histogram
+{
+  public:
+    /** Requires lo < hi and bins >= 1. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Convenience: bins spanning the sample range, then fill. */
+    static Histogram fromSamples(const std::vector<double>& xs,
+                                 std::size_t bins);
+
+    void add(double x);
+    void addAll(const std::vector<double>& xs);
+
+    std::size_t binCount() const { return counts_.size(); }
+    std::size_t totalCount() const { return total_; }
+    std::size_t countAt(std::size_t bin) const;
+    /** Center of bin @p bin. */
+    double binCenter(std::size_t bin) const;
+    /** Fraction of mass in bin @p bin. */
+    double density(std::size_t bin) const;
+
+    /**
+     * Render as rows of "center | ####### count". @p width scales the
+     * longest bar.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_HISTOGRAM_HPP

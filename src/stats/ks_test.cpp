@@ -1,0 +1,77 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace stats {
+
+double
+kolmogorovSurvival(double lambda)
+{
+    if (lambda <= 0.0)
+        return 1.0;
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int j = 1; j <= 100; ++j) {
+        double term = std::exp(-2.0 * j * j * lambda * lambda);
+        sum += sign * term;
+        if (term < 1e-12)
+            break;
+        sign = -sign;
+    }
+    return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult
+ksTest(std::vector<double> xs, const random::Distribution& reference)
+{
+    UNCERTAIN_REQUIRE(!xs.empty(), "ksTest requires a non-empty sample");
+    std::sort(xs.begin(), xs.end());
+    double n = static_cast<double>(xs.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double f = reference.cdf(xs[i]);
+        double lo = static_cast<double>(i) / n;
+        double hi = static_cast<double>(i + 1) / n;
+        d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+    }
+    double sqrtN = std::sqrt(n);
+    double lambda = (sqrtN + 0.12 + 0.11 / sqrtN) * d;
+    return {d, kolmogorovSurvival(lambda)};
+}
+
+KsResult
+ksTest2(std::vector<double> xs, std::vector<double> ys)
+{
+    UNCERTAIN_REQUIRE(!xs.empty() && !ys.empty(),
+                      "ksTest2 requires non-empty samples");
+    std::sort(xs.begin(), xs.end());
+    std::sort(ys.begin(), ys.end());
+    double n1 = static_cast<double>(xs.size());
+    double n2 = static_cast<double>(ys.size());
+
+    double d = 0.0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < xs.size() && j < ys.size()) {
+        double x = xs[i];
+        double y = ys[j];
+        if (x <= y)
+            ++i;
+        if (y <= x)
+            ++j;
+        double f1 = static_cast<double>(i) / n1;
+        double f2 = static_cast<double>(j) / n2;
+        d = std::max(d, std::fabs(f1 - f2));
+    }
+
+    double ne = std::sqrt(n1 * n2 / (n1 + n2));
+    double lambda = (ne + 0.12 + 0.11 / ne) * d;
+    return {d, kolmogorovSurvival(lambda)};
+}
+
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Kolmogorov-Smirnov goodness-of-fit tests. The test suite uses these
+ * to property-check that every sampling function actually draws from
+ * the distribution it claims to represent.
+ */
+
+#ifndef UNCERTAIN_STATS_KS_TEST_HPP
+#define UNCERTAIN_STATS_KS_TEST_HPP
+
+#include <vector>
+
+#include "random/distribution.hpp"
+
+namespace uncertain {
+namespace stats {
+
+/** Result of a KS test. */
+struct KsResult
+{
+    double statistic; //!< sup |F_n - F|
+    double pValue;    //!< asymptotic p-value
+
+    bool rejectAt(double alpha) const { return pValue < alpha; }
+};
+
+/**
+ * One-sample KS test of @p xs against the analytic CDF of
+ * @p reference. Requires a non-empty sample.
+ */
+KsResult ksTest(std::vector<double> xs,
+                const random::Distribution& reference);
+
+/** Two-sample KS test. Requires both samples non-empty. */
+KsResult ksTest2(std::vector<double> xs, std::vector<double> ys);
+
+/**
+ * Asymptotic Kolmogorov survival function
+ * Q(lambda) = 2 sum (-1)^{j-1} exp(-2 j^2 lambda^2).
+ */
+double kolmogorovSurvival(double lambda);
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_KS_TEST_HPP

@@ -1,0 +1,67 @@
+#include "stats/precision_recall.hpp"
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace stats {
+
+void
+ConfusionMatrix::add(bool truth, bool predicted)
+{
+    if (truth && predicted)
+        ++tp_;
+    else if (!truth && !predicted)
+        ++tn_;
+    else if (!truth && predicted)
+        ++fp_;
+    else
+        ++fn_;
+}
+
+double
+ConfusionMatrix::precision() const
+{
+    std::size_t predicted = tp_ + fp_;
+    return predicted == 0
+               ? 1.0
+               : static_cast<double>(tp_)
+                     / static_cast<double>(predicted);
+}
+
+double
+ConfusionMatrix::recall() const
+{
+    std::size_t actual = tp_ + fn_;
+    return actual == 0 ? 1.0
+                       : static_cast<double>(tp_)
+                             / static_cast<double>(actual);
+}
+
+double
+ConfusionMatrix::f1() const
+{
+    double p = precision();
+    double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    UNCERTAIN_REQUIRE(total() > 0, "accuracy requires observations");
+    return static_cast<double>(tp_ + tn_)
+           / static_cast<double>(total());
+}
+
+double
+ConfusionMatrix::falsePositiveRate() const
+{
+    std::size_t actualNegatives = fp_ + tn_;
+    return actualNegatives == 0
+               ? 0.0
+               : static_cast<double>(fp_)
+                     / static_cast<double>(actualNegatives);
+}
+
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Binary-classification bookkeeping for the Parakeet evaluation
+ * (Figure 16: precision/recall versus the conditional threshold).
+ */
+
+#ifndef UNCERTAIN_STATS_PRECISION_RECALL_HPP
+#define UNCERTAIN_STATS_PRECISION_RECALL_HPP
+
+#include <cstddef>
+
+namespace uncertain {
+namespace stats {
+
+/**
+ * Confusion-matrix accumulator. Precision describes false positives,
+ * recall describes false negatives, exactly as the paper frames the
+ * trade-off developers control with conditional thresholds.
+ */
+class ConfusionMatrix
+{
+  public:
+    /** Record one (ground truth, prediction) pair. */
+    void add(bool truth, bool predicted);
+
+    std::size_t truePositives() const { return tp_; }
+    std::size_t trueNegatives() const { return tn_; }
+    std::size_t falsePositives() const { return fp_; }
+    std::size_t falseNegatives() const { return fn_; }
+    std::size_t total() const { return tp_ + tn_ + fp_ + fn_; }
+
+    /** TP / (TP + FP); 1.0 when no positives were predicted. */
+    double precision() const;
+    /** TP / (TP + FN); 1.0 when there were no actual positives. */
+    double recall() const;
+    /** Harmonic mean of precision and recall. */
+    double f1() const;
+    /** (TP + TN) / total; requires >= 1 observation. */
+    double accuracy() const;
+    /** FP / (FP + TN); 0.0 when there were no actual negatives. */
+    double falsePositiveRate() const;
+
+  private:
+    std::size_t tp_ = 0;
+    std::size_t tn_ = 0;
+    std::size_t fp_ = 0;
+    std::size_t fn_ = 0;
+};
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_PRECISION_RECALL_HPP

@@ -1,0 +1,103 @@
+#include "stats/sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace stats {
+
+namespace {
+
+// Pocock constant boundaries (two-sided) for K = 1..10 looks.
+constexpr double kPocock05[10] = {
+    1.960, 2.178, 2.289, 2.361, 2.413,
+    2.453, 2.485, 2.512, 2.535, 2.555,
+};
+constexpr double kPocock01[10] = {
+    2.576, 2.772, 2.873, 2.939, 2.986,
+    3.023, 3.053, 3.078, 3.099, 3.117,
+};
+
+} // namespace
+
+GroupSequentialTest::GroupSequentialTest(double threshold,
+                                         std::size_t looks,
+                                         std::size_t totalSamples,
+                                         double alpha)
+    : threshold_(threshold), looks_(looks), totalSamples_(totalSamples)
+{
+    UNCERTAIN_REQUIRE(threshold > 0.0 && threshold < 1.0,
+                      "group sequential threshold must be in (0, 1)");
+    UNCERTAIN_REQUIRE(looks >= 1 && looks <= 10,
+                      "group sequential supports 1..10 looks");
+    UNCERTAIN_REQUIRE(totalSamples >= looks,
+                      "totalSamples must be >= looks");
+    if (alpha == 0.05) {
+        boundary_ = kPocock05[looks - 1];
+    } else if (alpha == 0.01) {
+        boundary_ = kPocock01[looks - 1];
+    } else {
+        throw Error("GroupSequentialTest supports alpha 0.05 or 0.01");
+    }
+    perLook_ = totalSamples_ / looks_;
+}
+
+TestDecision
+GroupSequentialTest::add(bool success)
+{
+    if (decision_ != TestDecision::Inconclusive
+        || samples_ >= totalSamples_) {
+        return decision_;
+    }
+
+    ++samples_;
+    if (success)
+        ++successes_;
+
+    bool atLook = (samples_ % perLook_ == 0)
+                  && (samples_ / perLook_ > looksTaken_);
+    bool exhausted = samples_ >= totalSamples_;
+    if (atLook || exhausted) {
+        ++looksTaken_;
+        evaluateLook();
+    }
+    return decision_;
+}
+
+void
+GroupSequentialTest::evaluateLook()
+{
+    double n = static_cast<double>(samples_);
+    double pHat = static_cast<double>(successes_) / n;
+    double se = std::sqrt(threshold_ * (1.0 - threshold_) / n);
+    double z = (pHat - threshold_) / se;
+    if (z >= boundary_)
+        decision_ = TestDecision::AcceptAlternative;
+    else if (z <= -boundary_)
+        decision_ = TestDecision::AcceptNull;
+    // Otherwise continue to the next look; Inconclusive after the
+    // final look means "within the indifference band".
+}
+
+double
+GroupSequentialTest::estimate() const
+{
+    UNCERTAIN_REQUIRE(samples_ >= 1,
+                      "group sequential estimate requires observations");
+    return static_cast<double>(successes_)
+           / static_cast<double>(samples_);
+}
+
+double
+criticalZ(double confidence)
+{
+    UNCERTAIN_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                      "confidence must be in (0, 1)");
+    return math::normalQuantile(0.5 * (1.0 + confidence));
+}
+
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Group sequential testing and adaptive mean estimation.
+ *
+ * The paper anticipates "adapting the considerable body of work on
+ * group sequential methods ... which provide 'closed' sequential
+ * hypothesis tests with guaranteed upper bounds on the sample size"
+ * (section 4.3), and "a more intelligent adaptive sampling process,
+ * sampling until the mean converges" for the evaluation operator E.
+ * This module implements both extensions.
+ */
+
+#ifndef UNCERTAIN_STATS_SEQUENTIAL_HPP
+#define UNCERTAIN_STATS_SEQUENTIAL_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "stats/sprt.hpp"
+#include "stats/summary.hpp"
+
+namespace uncertain {
+namespace stats {
+
+/**
+ * Pocock-style group sequential test for a Bernoulli proportion
+ * against a threshold. The sample size is divided into K equally
+ * sized looks; at each look the z statistic is compared against a
+ * constant boundary chosen so the overall two-sided type-I error is
+ * alpha. Unlike the open-ended SPRT, the total sample size is bounded
+ * by design.
+ */
+class GroupSequentialTest
+{
+  public:
+    /**
+     * @param threshold null value of p, in (0, 1)
+     * @param looks     number of interim analyses K (1..10)
+     * @param totalSamples maximum total observations (split across looks)
+     * @param alpha     overall two-sided significance level (0.05 or
+     *                  0.01 supported)
+     */
+    GroupSequentialTest(double threshold, std::size_t looks,
+                        std::size_t totalSamples, double alpha = 0.05);
+
+    /**
+     * Fold in one observation; evaluates the boundary at each look
+     * and at exhaustion. Observations after a decision are ignored.
+     */
+    TestDecision add(bool success);
+
+    TestDecision decision() const { return decision_; }
+    std::size_t samplesUsed() const { return samples_; }
+    /** Empirical estimate of p; requires >= 1 observation. */
+    double estimate() const;
+    /** Maximum observations this test can consume. */
+    std::size_t maxSamples() const { return totalSamples_; }
+
+  private:
+    void evaluateLook();
+
+    double threshold_;
+    std::size_t looks_;
+    std::size_t totalSamples_;
+    std::size_t perLook_;
+    double boundary_;
+
+    std::size_t samples_ = 0;
+    std::size_t successes_ = 0;
+    std::size_t looksTaken_ = 0;
+    TestDecision decision_ = TestDecision::Inconclusive;
+};
+
+/**
+ * Adaptive mean estimation: draw samples until the confidence
+ * interval for the mean is narrower than a tolerance, or a cap is
+ * reached.
+ */
+struct AdaptiveMeanOptions
+{
+    /** Stop when the CI half-width falls below this value... */
+    double absoluteTolerance = 0.0;
+    /** ...or below this fraction of |mean| (whichever is looser). */
+    double relativeTolerance = 0.01;
+    double confidence = 0.95;
+    std::size_t minSamples = 16;
+    std::size_t maxSamples = 100000;
+};
+
+/** Result of an adaptive mean estimation. */
+struct AdaptiveMeanResult
+{
+    double mean;
+    double halfWidth;
+    std::size_t samplesUsed;
+    bool converged;
+};
+
+/** Two-sided normal critical value for a confidence level in (0,1). */
+double criticalZ(double confidence);
+
+/**
+ * Run adaptive mean estimation over @p draw, a callable returning one
+ * sample per invocation.
+ */
+template <typename Sampler>
+AdaptiveMeanResult
+adaptiveMean(Sampler&& draw, const AdaptiveMeanOptions& options = {})
+{
+    OnlineSummary summary;
+    for (std::size_t i = 0; i < options.maxSamples; ++i) {
+        summary.add(draw());
+        if (summary.count() < options.minSamples)
+            continue;
+        double se = summary.standardError();
+        // Normal critical value; minSamples >= 16 keeps this honest.
+        double half = 1.959963984540054 * se;
+        if (options.confidence != 0.95) {
+            half = se * criticalZ(options.confidence);
+        }
+        double tol = std::max(options.absoluteTolerance,
+                              options.relativeTolerance
+                                  * std::abs(summary.mean()));
+        if (tol > 0.0 && half <= tol)
+            return {summary.mean(), half, summary.count(), true};
+    }
+    double half = summary.count() >= 2
+                      ? criticalZ(options.confidence)
+                            * summary.standardError()
+                      : 0.0;
+    return {summary.mean(), half, summary.count(), false};
+}
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_SEQUENTIAL_HPP

@@ -1,0 +1,167 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace stats {
+
+void
+OnlineSummary::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+OnlineSummary::addAll(const std::vector<double>& xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+void
+OnlineSummary::merge(const OnlineSummary& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+OnlineSummary::mean() const
+{
+    UNCERTAIN_REQUIRE(count_ >= 1, "mean of empty summary");
+    return mean_;
+}
+
+double
+OnlineSummary::variance() const
+{
+    UNCERTAIN_REQUIRE(count_ >= 2, "variance requires >= 2 observations");
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+OnlineSummary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineSummary::standardError() const
+{
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double
+OnlineSummary::min() const
+{
+    UNCERTAIN_REQUIRE(count_ >= 1, "min of empty summary");
+    return min_;
+}
+
+double
+OnlineSummary::max() const
+{
+    UNCERTAIN_REQUIRE(count_ >= 1, "max of empty summary");
+    return max_;
+}
+
+double
+quantile(std::vector<double> xs, double p)
+{
+    UNCERTAIN_REQUIRE(!xs.empty(), "quantile of empty sample");
+    UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0, "quantile requires p in [0, 1]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    double h = p * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(h));
+    auto hi = std::min(lo + 1, xs.size() - 1);
+    double frac = h - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+median(std::vector<double> xs)
+{
+    return quantile(std::move(xs), 0.5);
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    UNCERTAIN_REQUIRE(!xs.empty(), "mean of empty sample");
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double>& xs)
+{
+    UNCERTAIN_REQUIRE(xs.size() >= 2, "variance requires >= 2 elements");
+    double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs) {
+        double d = x - mu;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+correlation(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    UNCERTAIN_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+                      "correlation requires equal-length samples >= 2");
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    UNCERTAIN_REQUIRE(sxx > 0.0 && syy > 0.0,
+                      "correlation undefined for constant samples");
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Online (Welford) and batch descriptive statistics.
+ */
+
+#ifndef UNCERTAIN_STATS_SUMMARY_HPP
+#define UNCERTAIN_STATS_SUMMARY_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace uncertain {
+namespace stats {
+
+/**
+ * Numerically stable streaming summary: count, mean, variance,
+ * extremes. Supports merging two summaries (parallel reduction).
+ */
+class OnlineSummary
+{
+  public:
+    OnlineSummary() = default;
+
+    /** Fold one observation into the summary. */
+    void add(double x);
+
+    /** Fold every element of @p xs into the summary. */
+    void addAll(const std::vector<double>& xs);
+
+    /** Merge another summary (Chan et al. pairwise update). */
+    void merge(const OnlineSummary& other);
+
+    std::size_t count() const { return count_; }
+    /** Mean of the observations; requires count() >= 1. */
+    double mean() const;
+    /** Unbiased sample variance; requires count() >= 2. */
+    double variance() const;
+    /** sqrt(variance()). */
+    double stddev() const;
+    /** Standard error of the mean: stddev / sqrt(n). */
+    double standardError() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Quantile of a sample by linear interpolation of order statistics
+ * (type-7, matching Empirical::quantile). Sorts a copy. Requires a
+ * non-empty sample and p in [0, 1].
+ */
+double quantile(std::vector<double> xs, double p);
+
+/** Median shorthand. */
+double median(std::vector<double> xs);
+
+/** Sample mean; requires non-empty input. */
+double mean(const std::vector<double>& xs);
+
+/** Unbiased sample variance; requires >= 2 elements. */
+double variance(const std::vector<double>& xs);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double>& xs);
+
+/** Pearson correlation of two equal-length samples (>= 2 elements). */
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_SUMMARY_HPP

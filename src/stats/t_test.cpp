@@ -1,0 +1,41 @@
+#include "stats/t_test.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace stats {
+
+TTestResult
+welchTTest(const OnlineSummary& a, const OnlineSummary& b)
+{
+    UNCERTAIN_REQUIRE(a.count() >= 2 && b.count() >= 2,
+                      "welchTTest requires >= 2 observations each");
+    double na = static_cast<double>(a.count());
+    double nb = static_cast<double>(b.count());
+    double va = a.variance() / na;
+    double vb = b.variance() / nb;
+    UNCERTAIN_REQUIRE(va + vb > 0.0,
+                      "welchTTest: both samples are constant");
+
+    double t = (a.mean() - b.mean()) / std::sqrt(va + vb);
+    double nu = (va + vb) * (va + vb)
+                / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    double tail = math::studentTCdf(-std::fabs(t), nu);
+    return {t, nu, 2.0 * tail};
+}
+
+TTestResult
+welchTTest(const std::vector<double>& a, const std::vector<double>& b)
+{
+    OnlineSummary sa;
+    sa.addAll(a);
+    OnlineSummary sb;
+    sb.addAll(b);
+    return welchTTest(sa, sb);
+}
+
+} // namespace stats
+} // namespace uncertain

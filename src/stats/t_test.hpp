@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Welch's two-sample t-test: are two measured means different? Used
+ * to compare bench configurations (e.g. variant error rates) with a
+ * principled significance statement instead of eyeballing.
+ */
+
+#ifndef UNCERTAIN_STATS_T_TEST_HPP
+#define UNCERTAIN_STATS_T_TEST_HPP
+
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace uncertain {
+namespace stats {
+
+/** Result of a Welch t-test. */
+struct TTestResult
+{
+    double statistic;        //!< Welch t
+    double degreesOfFreedom; //!< Welch-Satterthwaite approximation
+    double pValue;           //!< two-sided
+
+    bool rejectAt(double alpha) const { return pValue < alpha; }
+};
+
+/**
+ * Welch's unequal-variance t-test of mean(a) == mean(b). Requires
+ * both samples to have >= 2 elements and non-zero variance in at
+ * least one sample.
+ */
+TTestResult welchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/** Summary-based overload (counts/means/variances already known). */
+TTestResult welchTTest(const OnlineSummary& a, const OnlineSummary& b);
+
+} // namespace stats
+} // namespace uncertain
+
+#endif // UNCERTAIN_STATS_T_TEST_HPP

@@ -1,0 +1,29 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace uncertain {
+namespace detail {
+
+void
+throwError(const char* file, int line, const std::string& message)
+{
+    std::ostringstream out;
+    out << message << " (" << file << ":" << line << ")";
+    throw Error(out.str());
+}
+
+void
+assertFail(const char* file, int line, const char* expr,
+           const std::string& message)
+{
+    std::fprintf(stderr,
+                 "uncertain: internal assertion `%s` failed at %s:%d: %s\n",
+                 expr, file, line, message.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace uncertain

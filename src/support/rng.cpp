@@ -1,0 +1,169 @@
+#include "support/rng.hpp"
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+
+namespace {
+
+inline std::uint64_t
+rotl64(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed)
+{
+    SplitMix64 expander(seed);
+    for (auto& word : state_)
+        word = expander.next();
+    // An all-zero state is the one invalid state; the SplitMix64
+    // expansion of any seed cannot produce it, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t
+Xoshiro256StarStar::next()
+{
+    const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl64(state_[3], 45);
+
+    return result;
+}
+
+void
+Xoshiro256StarStar::jump()
+{
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL,
+    };
+
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t word : kJump) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (1ULL << bit)) {
+                s0 ^= state_[0];
+                s1 ^= state_[1];
+                s2 ^= state_[2];
+                s3 ^= state_[3];
+            }
+            next();
+        }
+    }
+    state_ = {s0, s1, s2, s3};
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1) | 1)
+{
+    next();
+    state_ += seed;
+    next();
+}
+
+std::uint32_t
+Pcg32::next()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits scaled by 2^-53 gives the canonical [0, 1) double.
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDoubleOpen()
+{
+    // (x + 0.5) * 2^-53 lies strictly inside (0, 1) for all x.
+    return (static_cast<double>(nextU64() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+double
+Rng::nextRange(double lo, double hi)
+{
+    UNCERTAIN_REQUIRE(lo < hi, "Rng::nextRange requires lo < hi");
+    return lo + (hi - lo) * nextDouble();
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    UNCERTAIN_REQUIRE(bound > 0, "Rng::nextBelow requires bound > 0");
+    // Rejection to remove modulo bias (Lemire-style threshold).
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t raw = nextU64();
+        if (raw >= threshold)
+            return raw % bound;
+    }
+}
+
+bool
+Rng::nextBool(double p)
+{
+    UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0,
+                      "Rng::nextBool requires p in [0, 1]");
+    return nextDouble() < p;
+}
+
+Rng
+Rng::fork()
+{
+    Xoshiro256StarStar child = engine_;
+    child.jump();
+    engine_.jump();
+    engine_.jump();
+    return Rng(child);
+}
+
+namespace {
+
+std::atomic<std::uint64_t> threadSeedCounter{0x5eedULL};
+
+} // namespace
+
+Rng&
+globalRng()
+{
+    thread_local Rng rng(threadSeedCounter.fetch_add(
+        0x9e3779b97f4a7c15ULL, std::memory_order_relaxed));
+    return rng;
+}
+
+void
+seedGlobalRng(std::uint64_t seed)
+{
+    globalRng() = Rng(seed);
+}
+
+} // namespace uncertain

@@ -1,0 +1,255 @@
+#include "support/special_math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace math {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730950488;
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+
+} // namespace
+
+double
+normalPdf(double x)
+{
+    return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / kSqrt2);
+}
+
+double
+normalQuantile(double p)
+{
+    UNCERTAIN_REQUIRE(p > 0.0 && p < 1.0,
+                      "normalQuantile requires p in (0, 1)");
+
+    // Acklam's rational approximation (relative error < 1.15e-9).
+    static constexpr double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00,
+    };
+    static constexpr double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01,
+    };
+    static constexpr double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00,
+    };
+    static constexpr double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00,
+    };
+
+    constexpr double plow = 0.02425;
+    double x;
+    if (p < plow) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+             + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - plow) {
+        double q = p - 0.5;
+        double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+             + a[5])
+            * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r
+               + 1.0);
+    } else {
+        double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+              + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step drives the error to ~1e-15.
+    double e = normalCdf(x) - p;
+    double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+    x = x - u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+double
+logGamma(double x)
+{
+    UNCERTAIN_REQUIRE(x > 0.0, "logGamma requires x > 0");
+    return std::lgamma(x);
+}
+
+namespace {
+
+/** Series expansion of P(a, x), valid (fast) for x < a + 1. */
+double
+gammaPSeries(double a, double x)
+{
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < kMaxIterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * kEpsilon)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - logGamma(a));
+}
+
+/** Lentz continued fraction for Q(a, x), valid (fast) for x >= a + 1. */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    constexpr double kTiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / kTiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= kMaxIterations; ++i) {
+        double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < kTiny)
+            d = kTiny;
+        c = b + an / c;
+        if (std::fabs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < kEpsilon)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - logGamma(a));
+}
+
+} // namespace
+
+double
+regularizedGammaP(double a, double x)
+{
+    UNCERTAIN_REQUIRE(a > 0.0 && x >= 0.0,
+                      "regularizedGammaP requires a > 0 and x >= 0");
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+regularizedGammaQ(double a, double x)
+{
+    return 1.0 - regularizedGammaP(a, x);
+}
+
+double
+logBeta(double a, double b)
+{
+    return logGamma(a) + logGamma(b) - logGamma(a + b);
+}
+
+namespace {
+
+/** Lentz continued fraction for the incomplete beta. */
+double
+betaContinuedFraction(double x, double a, double b)
+{
+    constexpr double kTiny = 1e-300;
+    double qab = a + b;
+    double qap = a + 1.0;
+    double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kTiny)
+        d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIterations; ++m) {
+        double dm = static_cast<double>(m);
+        double aa = dm * (b - dm) * x / ((qam + 2.0 * dm) * (a + 2.0 * dm));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + dm) * (qab + dm) * x
+             / ((a + 2.0 * dm) * (qap + 2.0 * dm));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < kEpsilon)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+regularizedBeta(double x, double a, double b)
+{
+    UNCERTAIN_REQUIRE(a > 0.0 && b > 0.0,
+                      "regularizedBeta requires a, b > 0");
+    UNCERTAIN_REQUIRE(x >= 0.0 && x <= 1.0,
+                      "regularizedBeta requires x in [0, 1]");
+    if (x == 0.0)
+        return 0.0;
+    if (x == 1.0)
+        return 1.0;
+
+    double front =
+        std::exp(a * std::log(x) + b * std::log(1.0 - x) - logBeta(a, b));
+    // Use the symmetry relation to stay in the rapidly-converging
+    // region of the continued fraction.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(x, a, b) / a;
+    return 1.0 - front * betaContinuedFraction(1.0 - x, b, a) / b;
+}
+
+double
+chiSquareCdf(double x, double k)
+{
+    UNCERTAIN_REQUIRE(k > 0.0, "chiSquareCdf requires k > 0");
+    if (x <= 0.0)
+        return 0.0;
+    return regularizedGammaP(0.5 * k, 0.5 * x);
+}
+
+double
+studentTCdf(double t, double nu)
+{
+    UNCERTAIN_REQUIRE(nu > 0.0, "studentTCdf requires nu > 0");
+    if (t == 0.0)
+        return 0.5;
+    double x = nu / (nu + t * t);
+    double tail = 0.5 * regularizedBeta(x, 0.5 * nu, 0.5);
+    return t > 0.0 ? 1.0 - tail : tail;
+}
+
+} // namespace math
+} // namespace uncertain

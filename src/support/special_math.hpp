@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Special functions backing distribution CDFs, quantiles, and the
+ * hypothesis tests in src/stats. Implemented from the standard
+ * series/continued-fraction formulations so the library has no
+ * external numeric dependencies.
+ */
+
+#ifndef UNCERTAIN_SUPPORT_SPECIAL_MATH_HPP
+#define UNCERTAIN_SUPPORT_SPECIAL_MATH_HPP
+
+namespace uncertain {
+namespace math {
+
+/** Standard normal probability density at @p x. */
+double normalPdf(double x);
+
+/** Standard normal cumulative distribution Phi(x). */
+double normalCdf(double x);
+
+/**
+ * Inverse standard normal CDF (the probit function), accurate to
+ * ~1e-9 via Acklam's rational approximation plus one Halley step.
+ * Requires p in (0, 1).
+ */
+double normalQuantile(double p);
+
+/** Natural log of the gamma function for x > 0. */
+double logGamma(double x);
+
+/**
+ * Regularized lower incomplete gamma P(a, x) = gamma(a, x)/Gamma(a)
+ * for a > 0, x >= 0. Series for x < a + 1, continued fraction
+ * otherwise.
+ */
+double regularizedGammaP(double a, double x);
+
+/** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). */
+double regularizedGammaQ(double a, double x);
+
+/**
+ * Regularized incomplete beta I_x(a, b) for a, b > 0 and x in [0, 1],
+ * by the Lentz continued-fraction evaluation.
+ */
+double regularizedBeta(double x, double a, double b);
+
+/** Natural log of the beta function B(a, b). */
+double logBeta(double a, double b);
+
+/** Chi-square CDF with @p k degrees of freedom. */
+double chiSquareCdf(double x, double k);
+
+/** Student-t CDF with @p nu degrees of freedom. */
+double studentTCdf(double t, double nu);
+
+} // namespace math
+} // namespace uncertain
+
+#endif // UNCERTAIN_SUPPORT_SPECIAL_MATH_HPP

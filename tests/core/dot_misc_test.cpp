@@ -1,0 +1,96 @@
+/** @file Coverage for DOT escaping, graph sizes, and misc paths. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.hpp"
+#include "gps/geo.hpp"
+#include "random/gaussian.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace core {
+namespace {
+
+TEST(Dot, EscapesQuotesAndBackslashesInLabels)
+{
+    auto leaf = Uncertain<double>::fromSampler(
+        [](Rng& rng) { return rng.nextDouble(); },
+        "weird \"label\" with \\ backslash");
+    std::string dot = toDot(leaf);
+    EXPECT_NE(dot.find("\\\"label\\\""), std::string::npos);
+    EXPECT_NE(dot.find("\\\\ backslash"), std::string::npos);
+}
+
+TEST(GraphNode, DeepChainSizeIsLinear)
+{
+    auto acc = core::fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 1.0));
+    for (int i = 0; i < 100; ++i)
+        acc = acc + 1.0;
+    // Each `+ 1.0` adds one inner node and one point-mass leaf.
+    EXPECT_EQ(acc.graphSize(), 1u + 200u);
+}
+
+TEST(GraphNode, DiamondSharingKeepsSizeLogarithmicInPaths)
+{
+    auto node = core::fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 1.0));
+    for (int i = 0; i < 20; ++i)
+        node = node + node; // 2^20 paths
+    EXPECT_EQ(node.graphSize(), 21u);
+    // And sampling it is instantaneous thanks to memoization.
+    Rng rng = testing::testRng(531);
+    (void)node.sample(rng);
+}
+
+TEST(UncertainBool, TakeSamplesProducesBooleans)
+{
+    auto coin = Uncertain<bool>::fromSampler(
+        [](Rng& rng) { return rng.nextBool(0.5); }, "coin");
+    Rng rng = testing::testRng(532);
+    auto samples = coin.takeSamples(100, rng);
+    ASSERT_EQ(samples.size(), 100u);
+    int heads = 0;
+    for (bool b : samples)
+        heads += b ? 1 : 0;
+    EXPECT_GT(heads, 20);
+    EXPECT_LT(heads, 80);
+}
+
+TEST(Geo, LocalOffsetMatchesDestinationRoundTrip)
+{
+    gps::GeoCoordinate origin{47.6, -122.3};
+    gps::GeoCoordinate moved = gps::destination(origin, 0.0, 120.0);
+    gps::EnuOffset offset = gps::localOffsetMeters(origin, moved);
+    EXPECT_NEAR(offset.north, 120.0, 0.05);
+    EXPECT_NEAR(offset.east, 0.0, 0.05);
+
+    moved = gps::destination(origin, M_PI / 2.0, 75.0);
+    offset = gps::localOffsetMeters(origin, moved);
+    EXPECT_NEAR(offset.east, 75.0, 0.1);
+    EXPECT_NEAR(offset.north, 0.0, 0.1);
+}
+
+TEST(FixedSampleStrategy, ThresholdBoundaryFavorsTheNull)
+{
+    // With estimate exactly at the threshold the strict inequality
+    // keeps the branch untaken.
+    auto coin = Uncertain<bool>::fromSampler(
+        [flip = std::make_shared<int>(0)](Rng&) {
+            return (++*flip % 2) == 0; // exactly half true
+        },
+        "alternating");
+    ConditionalOptions options;
+    options.strategy = ConditionalStrategy::FixedSample;
+    options.fixedSamples = 100;
+    Rng rng = testing::testRng(533);
+    auto result = coin.evaluate(0.5, options, rng);
+    EXPECT_DOUBLE_EQ(result.estimate, 0.5);
+    EXPECT_FALSE(result.toBool());
+}
+
+} // namespace
+} // namespace core
+} // namespace uncertain

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Randomized expression-tree property tests: build random affine
+ * expressions over Gaussian leaves (with deliberate leaf sharing)
+ * and check the sampled moments against exact affine propagation —
+ * a whole-pipeline check of graph construction, coercion, sharing,
+ * and ancestral sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "stats/summary.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace {
+
+/**
+ * An affine expression c0 + sum_i c_i * X_i over shared leaves,
+ * tracked symbolically alongside the Uncertain graph.
+ */
+struct AffineExpression
+{
+    Uncertain<double> value;
+    double constant;
+    std::vector<double> coefficients; // one per leaf
+
+    double
+    exactMean(const std::vector<double>& leafMeans) const
+    {
+        double m = constant;
+        for (std::size_t i = 0; i < coefficients.size(); ++i)
+            m += coefficients[i] * leafMeans[i];
+        return m;
+    }
+
+    double
+    exactVariance(const std::vector<double>& leafSigmas) const
+    {
+        double v = 0.0;
+        for (std::size_t i = 0; i < coefficients.size(); ++i) {
+            double c = coefficients[i] * leafSigmas[i];
+            v += c * c;
+        }
+        return v;
+    }
+};
+
+class ExpressionFuzzer
+{
+  public:
+    ExpressionFuzzer(std::size_t leafCount, Rng& rng) : rng_(rng)
+    {
+        for (std::size_t i = 0; i < leafCount; ++i) {
+            double mu = rng_.nextRange(-5.0, 5.0);
+            double sigma = rng_.nextRange(0.2, 2.0);
+            leafMeans_.push_back(mu);
+            leafSigmas_.push_back(sigma);
+            leaves_.push_back(core::fromDistribution(
+                std::make_shared<random::Gaussian>(mu, sigma)));
+        }
+    }
+
+    /** A random affine expression of the given depth. */
+    AffineExpression
+    build(int depth)
+    {
+        if (depth == 0) {
+            // Leaf or scalar.
+            if (rng_.nextBool(0.25)) {
+                double c = rng_.nextRange(-3.0, 3.0);
+                return {Uncertain<double>(c), c,
+                        std::vector<double>(leaves_.size(), 0.0)};
+            }
+            std::size_t pick = static_cast<std::size_t>(
+                rng_.nextBelow(leaves_.size()));
+            std::vector<double> coefficients(leaves_.size(), 0.0);
+            coefficients[pick] = 1.0;
+            return {leaves_[pick], 0.0, std::move(coefficients)};
+        }
+
+        AffineExpression lhs = build(depth - 1);
+        // Affine-preserving operations: +, -, scalar *, scalar /,
+        // unary -.
+        switch (rng_.nextBelow(5)) {
+          case 0: {
+            AffineExpression rhs = build(depth - 1);
+            AffineExpression out{lhs.value + rhs.value,
+                                 lhs.constant + rhs.constant,
+                                 lhs.coefficients};
+            for (std::size_t i = 0; i < out.coefficients.size(); ++i)
+                out.coefficients[i] += rhs.coefficients[i];
+            return out;
+          }
+          case 1: {
+            AffineExpression rhs = build(depth - 1);
+            AffineExpression out{lhs.value - rhs.value,
+                                 lhs.constant - rhs.constant,
+                                 lhs.coefficients};
+            for (std::size_t i = 0; i < out.coefficients.size(); ++i)
+                out.coefficients[i] -= rhs.coefficients[i];
+            return out;
+          }
+          case 2: {
+            double k = rng_.nextRange(-2.0, 2.0);
+            AffineExpression out{lhs.value * k, lhs.constant * k,
+                                 lhs.coefficients};
+            for (double& c : out.coefficients)
+                c *= k;
+            return out;
+          }
+          case 3: {
+            double k = rng_.nextRange(1.0, 3.0); // avoid /0
+            AffineExpression out{lhs.value / k, lhs.constant / k,
+                                 lhs.coefficients};
+            for (double& c : out.coefficients)
+                c /= k;
+            return out;
+          }
+          default: {
+            AffineExpression out{-lhs.value, -lhs.constant,
+                                 lhs.coefficients};
+            for (double& c : out.coefficients)
+                c = -c;
+            return out;
+          }
+        }
+    }
+
+    const std::vector<double>& leafMeans() const { return leafMeans_; }
+    const std::vector<double>& leafSigmas() const
+    {
+        return leafSigmas_;
+    }
+
+  private:
+    Rng& rng_;
+    std::vector<Uncertain<double>> leaves_;
+    std::vector<double> leafMeans_;
+    std::vector<double> leafSigmas_;
+};
+
+class ExpressionProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ExpressionProperty, MomentsMatchExactAffinePropagation)
+{
+    Rng rng = testing::testRng(
+        static_cast<std::uint64_t>(440 + GetParam()));
+    ExpressionFuzzer fuzzer(4, rng);
+    AffineExpression expr = fuzzer.build(4);
+
+    double exactMean = expr.exactMean(fuzzer.leafMeans());
+    double exactVar = expr.exactVariance(fuzzer.leafSigmas());
+
+    const std::size_t n = 60000;
+    stats::OnlineSummary s;
+    for (double v : expr.value.takeSamples(n, rng))
+        s.add(v);
+
+    double sd = std::sqrt(exactVar);
+    EXPECT_NEAR(s.mean(), exactMean,
+                testing::meanTolerance(sd, n) + 1e-9)
+        << "graph size " << expr.value.graphSize();
+    // Variance estimator tolerance (loose; 4th-moment driven).
+    EXPECT_NEAR(s.variance(), exactVar, 0.08 * exactVar + 1e-9);
+}
+
+TEST_P(ExpressionProperty, SubtractionOfSelfIsZero)
+{
+    Rng rng = testing::testRng(
+        static_cast<std::uint64_t>(460 + GetParam()));
+    ExpressionFuzzer fuzzer(3, rng);
+    AffineExpression expr = fuzzer.build(3);
+    auto zero = expr.value - expr.value;
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(zero.sample(rng), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExpressionProperty,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace uncertain

@@ -1,0 +1,138 @@
+/** @file Lifted math-function tests (core/functions.hpp). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "random/uniform.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace {
+
+Uncertain<double>
+uniformLeaf(double lo, double hi)
+{
+    return core::fromDistribution(
+        std::make_shared<random::Uniform>(lo, hi));
+}
+
+TEST(Functions, SqrtOfUniformHasKnownMean)
+{
+    // E[sqrt(U(0,1))] = 2/3.
+    auto u = uniformLeaf(0.0, 1.0);
+    Rng rng = testing::testRng(301);
+    EXPECT_NEAR(uncertain::sqrt(u).expectedValue(100000, rng),
+                2.0 / 3.0, 0.005);
+}
+
+TEST(Functions, ExpLogRoundTripIsExact)
+{
+    auto u = uniformLeaf(0.5, 2.0);
+    auto roundTrip = uncertain::log(uncertain::exp(u)) - u;
+    Rng rng = testing::testRng(302);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NEAR(roundTrip.sample(rng), 0.0, 1e-12);
+}
+
+TEST(Functions, AbsOfSymmetricGaussianHasHalfNormalMean)
+{
+    auto g = core::fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 1.0));
+    Rng rng = testing::testRng(303);
+    // E|N(0,1)| = sqrt(2/pi).
+    EXPECT_NEAR(uncertain::abs(g).expectedValue(100000, rng),
+                std::sqrt(2.0 / M_PI), 0.01);
+    EXPECT_NEAR(uncertain::fabs(g).expectedValue(100000, rng),
+                std::sqrt(2.0 / M_PI), 0.01);
+}
+
+TEST(Functions, PowWithScalarExponent)
+{
+    auto u = uniformLeaf(0.0, 1.0);
+    Rng rng = testing::testRng(304);
+    // E[U^3] = 1/4.
+    EXPECT_NEAR(uncertain::pow(u, 3.0).expectedValue(100000, rng),
+                0.25, 0.005);
+}
+
+TEST(Functions, PowWithUncertainExponentSharesDraws)
+{
+    // x^1 with an uncertain exponent fixed at a point mass.
+    auto u = uniformLeaf(1.0, 2.0);
+    auto same = uncertain::pow(u, Uncertain<double>(1.0)) - u;
+    Rng rng = testing::testRng(305);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_NEAR(same.sample(rng), 0.0, 1e-12);
+}
+
+TEST(Functions, MinMaxAreOrderedPerSample)
+{
+    auto a = uniformLeaf(0.0, 1.0);
+    auto b = uniformLeaf(0.0, 1.0);
+    auto lo = uncertain::min(a, b);
+    auto hi = uncertain::max(a, b);
+    auto ordered = lo <= hi;
+    Rng rng = testing::testRng(306);
+    EXPECT_DOUBLE_EQ(ordered.probability(2000, rng), 1.0);
+    // E[min(U,U)] = 1/3, E[max(U,U)] = 2/3.
+    EXPECT_NEAR(lo.expectedValue(100000, rng), 1.0 / 3.0, 0.005);
+    EXPECT_NEAR(hi.expectedValue(100000, rng), 2.0 / 3.0, 0.005);
+}
+
+TEST(Functions, MinOfAVariableWithItselfIsItself)
+{
+    auto a = uniformLeaf(0.0, 1.0);
+    auto zero = uncertain::min(a, a) - a;
+    Rng rng = testing::testRng(307);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(zero.sample(rng), 0.0);
+}
+
+TEST(Functions, ClampRestrictsTheSupport)
+{
+    auto g = core::fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 5.0));
+    auto clamped = uncertain::clamp(g, -1.0, 1.0);
+    Rng rng = testing::testRng(308);
+    for (double v : clamped.takeSamples(2000, rng)) {
+        EXPECT_GE(v, -1.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(Functions, BetweenMatchesTheIntervalProbability)
+{
+    auto u = uniformLeaf(0.0, 1.0);
+    Rng rng = testing::testRng(309);
+    double p = between(u, 0.25, 0.75).probability(100000, rng);
+    EXPECT_NEAR(p, 0.5, testing::proportionTolerance(0.5, 100000));
+}
+
+TEST(Functions, RoundingFunctionsQuantize)
+{
+    auto u = uniformLeaf(0.0, 10.0);
+    auto gap = uncertain::ceil(u) - uncertain::floor(u);
+    Rng rng = testing::testRng(310);
+    // ceil - floor is 1 almost surely (0 only on exact integers).
+    EXPECT_NEAR(gap.expectedValue(20000, rng), 1.0, 1e-9);
+    auto rounded = uncertain::round(u) - u;
+    for (double v : rounded.takeSamples(1000, rng))
+        EXPECT_LE(std::fabs(v), 0.5);
+}
+
+TEST(Functions, TrigIdentityHoldsPerSample)
+{
+    auto u = uniformLeaf(-3.0, 3.0);
+    auto identity = uncertain::sin(u) * uncertain::sin(u)
+                    + uncertain::cos(u) * uncertain::cos(u);
+    Rng rng = testing::testRng(311);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NEAR(identity.sample(rng), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace uncertain

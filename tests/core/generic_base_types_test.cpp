@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Uncertain<T> over non-scalar base types (the paper's
+ * GeoCoordinate is "a pair of doubles ... and so is numeric") and
+ * the global-generator convenience overloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.hpp"
+#include "gps/gps_library.hpp"
+#include "random/gaussian.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace core {
+namespace {
+
+TEST(GenericBaseTypes, ExpectedValueOfGeoCoordinate)
+{
+    // E over a vector-like type: the posterior around a fix must
+    // average back to (nearly) the fix center.
+    gps::GeoCoordinate center{47.64, -122.14};
+    auto location = gps::getLocation({center, 4.0, 0.0});
+    Rng rng = testing::testRng(541);
+    gps::GeoCoordinate mean = location.expectedValue(20000, rng);
+    EXPECT_LT(gps::distanceMeters(center, mean), 0.1);
+}
+
+TEST(GenericBaseTypes, ArithmeticOnGeoCoordinates)
+{
+    // Midpoint of two uncertain locations via the lifted algebra.
+    gps::GeoCoordinate a{10.0, 20.0};
+    gps::GeoCoordinate b{12.0, 24.0};
+    Uncertain<gps::GeoCoordinate> ua(a);
+    Uncertain<gps::GeoCoordinate> ub(b);
+    auto midpoint = (ua + ub) / 2.0;
+    Rng rng = testing::testRng(542);
+    gps::GeoCoordinate m = midpoint.sample(rng);
+    EXPECT_DOUBLE_EQ(m.latitude, 11.0);
+    EXPECT_DOUBLE_EQ(m.longitude, 22.0);
+}
+
+TEST(GenericBaseTypes, UncertainIntArithmetic)
+{
+    auto die = Uncertain<int>::fromSampler(
+        [](Rng& rng) { return static_cast<int>(rng.nextBelow(6)) + 1; },
+        "d6");
+    auto two = die + die; // two rolls? No: the SAME roll, doubled.
+    Rng rng = testing::testRng(543);
+    for (int v : two.takeSamples(100, rng))
+        EXPECT_EQ(v % 2, 0); // always even: shared leaf
+    // E[2 * d6] = 7.
+    EXPECT_NEAR(static_cast<double>(two.expectedValue(40000, rng)),
+                7.0, 0.2);
+}
+
+TEST(GenericBaseTypes, GlobalGeneratorOverloadsWork)
+{
+    seedGlobalRng(testing::testRng(544).nextU64());
+    auto g = fromDistribution(
+        std::make_shared<random::Gaussian>(5.0, 1.0));
+
+    EXPECT_NEAR(g.expectedValue(20000), 5.0, 0.1);
+    EXPECT_EQ(g.takeSamples(17).size(), 17u);
+    (void)g.sample();
+
+    auto high = g > 3.0;
+    EXPECT_NEAR(high.probability(20000), 0.977, 0.02);
+    EXPECT_TRUE(high.pr());
+    EXPECT_TRUE(high.pr(0.9));
+
+    auto adaptive = g.expectedValueAdaptive();
+    EXPECT_NEAR(adaptive.mean, 5.0, 0.2);
+}
+
+TEST(GenericBaseTypes, DescribeSkewedDistributionQuantiles)
+{
+    // Rayleigh is right-skewed: mean > median, q975 far from q025.
+    auto r = fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 1.0));
+    auto skewed = uncertain::exp(r); // lognormal
+    Rng rng = testing::testRng(545);
+    Description d = describe(skewed, 30000, rng);
+    EXPECT_GT(d.mean, d.median);
+    EXPECT_NEAR(d.median, 1.0, 0.05);
+    EXPECT_GT(d.q975 - d.median, d.median - d.q025);
+}
+
+TEST(GenericBaseTypes, LiftedComparisonOfGeoCoordinateComponents)
+{
+    // Comparisons lift through map: "is the fix north of the line?".
+    gps::GeoCoordinate center{47.64, -122.14};
+    auto location = gps::getLocation({center, 4.0, 0.0});
+    auto northing = location.map(
+        [](const gps::GeoCoordinate& p) { return p.latitude; },
+        "latitude");
+    Rng rng = testing::testRng(546);
+    double p = (northing > center.latitude).probability(20000, rng);
+    EXPECT_NEAR(p, 0.5, 0.02); // isotropic error
+}
+
+} // namespace
+} // namespace core
+} // namespace uncertain

@@ -1,0 +1,86 @@
+/** @file describe() inspection tests. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace core {
+namespace {
+
+TEST(Describe, SummarizesAGaussianFaithfully)
+{
+    auto g = fromDistribution(
+        std::make_shared<random::Gaussian>(10.0, 2.0));
+    Rng rng = testing::testRng(411);
+    Description d = describe(g, 20000, rng);
+
+    EXPECT_EQ(d.samples, 20000u);
+    EXPECT_NEAR(d.mean, 10.0, 0.1);
+    EXPECT_NEAR(d.stddev, 2.0, 0.1);
+    EXPECT_NEAR(d.median, 10.0, 0.1);
+    EXPECT_NEAR(d.q025, 10.0 - 1.96 * 2.0, 0.2);
+    EXPECT_NEAR(d.q975, 10.0 + 1.96 * 2.0, 0.2);
+    EXPECT_TRUE(d.meanCi.contains(10.0));
+    EXPECT_LT(d.min, d.q025);
+    EXPECT_GT(d.max, d.q975);
+}
+
+TEST(Describe, PointMassIsDegenerate)
+{
+    Uncertain<double> five(5.0);
+    Rng rng = testing::testRng(412);
+    Description d = describe(five, 100, rng);
+    EXPECT_DOUBLE_EQ(d.mean, 5.0);
+    EXPECT_DOUBLE_EQ(d.min, 5.0);
+    EXPECT_DOUBLE_EQ(d.max, 5.0);
+    EXPECT_DOUBLE_EQ(d.q025, 5.0);
+    EXPECT_DOUBLE_EQ(d.q975, 5.0);
+}
+
+TEST(Describe, ToStringContainsTheKeyNumbers)
+{
+    Uncertain<double> five(5.0);
+    Rng rng = testing::testRng(413);
+    std::string text = describe(five, 100, rng).toString();
+    EXPECT_NE(text.find("5.000"), std::string::npos);
+    EXPECT_NE(text.find("+/-"), std::string::npos);
+    EXPECT_NE(text.find("95%"), std::string::npos);
+    EXPECT_NE(text.find("100 samples"), std::string::npos);
+}
+
+TEST(Describe, WorksThroughComputations)
+{
+    auto g = fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 1.0));
+    auto shifted = g * 3.0 + 100.0;
+    Rng rng = testing::testRng(414);
+    Description d = describe(shifted, 20000, rng);
+    EXPECT_NEAR(d.mean, 100.0, 0.2);
+    EXPECT_NEAR(d.stddev, 3.0, 0.15);
+}
+
+TEST(Describe, RequiresEnoughSamples)
+{
+    Uncertain<double> five(5.0);
+    Rng rng = testing::testRng(415);
+    EXPECT_THROW(describe(five, 8, rng), Error);
+}
+
+TEST(Describe, CountsTowardEvalStats)
+{
+    resetEvalStats();
+    Uncertain<double> five(5.0);
+    Rng rng = testing::testRng(416);
+    (void)describe(five, 64, rng);
+    EXPECT_EQ(evalStats().rootSamples, 64u);
+}
+
+} // namespace
+} // namespace core
+} // namespace uncertain

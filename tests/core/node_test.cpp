@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bayesian-network node tests: epoch memoization (the paper's
+ * Figure 8 shared-dependence semantics), graph topology, and DOT
+ * export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "stats/summary.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace core {
+namespace {
+
+Uncertain<double>
+gaussianLeaf(double mu, double sigma)
+{
+    return fromDistribution(
+        std::make_shared<random::Gaussian>(mu, sigma));
+}
+
+TEST(SampleContext, EpochsAreUniqueAndIncreasing)
+{
+    Rng rng = testing::testRng(91);
+    SampleContext a(rng);
+    auto first = a.epoch();
+    a.newEpoch();
+    EXPECT_GT(a.epoch(), first);
+
+    SampleContext b(rng);
+    EXPECT_NE(b.epoch(), a.epoch());
+}
+
+TEST(Node, LeafDrawsFreshValuesAcrossEpochs)
+{
+    auto x = gaussianLeaf(0.0, 1.0);
+    Rng rng = testing::testRng(92);
+    SampleContext ctx(rng);
+    double a = x.node()->sample(ctx);
+    ctx.newEpoch();
+    double b = x.node()->sample(ctx);
+    EXPECT_NE(a, b);
+}
+
+TEST(Node, MemoizationGivesOneDrawPerEpoch)
+{
+    auto x = gaussianLeaf(0.0, 1.0);
+    Rng rng = testing::testRng(93);
+    SampleContext ctx(rng);
+    double a = x.node()->sample(ctx);
+    double b = x.node()->sample(ctx);
+    EXPECT_EQ(a, b); // same epoch: identical draw
+}
+
+TEST(Node, SharedSubexpressionIsSampledOnce)
+{
+    // Figure 8: B = (Y + X) + X must treat both X occurrences as the
+    // same variable. Then B - Y - 2X == 0 identically.
+    auto x = gaussianLeaf(0.0, 1.0);
+    auto y = gaussianLeaf(0.0, 1.0);
+    auto a = y + x;
+    auto b = a + x;
+    auto residual = b - y - (x * 2.0);
+    Rng rng = testing::testRng(94);
+    // Zero up to floating-point association error; without sharing
+    // the residual would be a fresh Gaussian draw of unit scale.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NEAR(residual.sample(rng), 0.0, 1e-12);
+
+    // Exact identity where no re-association is involved.
+    auto zero = x - x;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(zero.sample(rng), 0.0);
+}
+
+TEST(Node, SharedDependenceDoublesVarianceContribution)
+{
+    // Var[(Y + X) + X] = Var[Y] + 4 Var[X] (correct network), not
+    // Var[Y] + 2 Var[X] (the wrong network of Figure 8(a)).
+    auto x = gaussianLeaf(0.0, 1.0);
+    auto y = gaussianLeaf(0.0, 1.0);
+    auto b = (y + x) + x;
+    Rng rng = testing::testRng(95);
+    stats::OnlineSummary s;
+    for (auto v : b.takeSamples(100000, rng))
+        s.add(v);
+    EXPECT_NEAR(s.variance(), 5.0, 0.25);
+}
+
+TEST(Node, PointMassNeverConsumesRandomness)
+{
+    Uncertain<double> five(5.0);
+    Rng a = testing::testRng(96);
+    Rng b = testing::testRng(96);
+    (void)five.sample(a);
+    // The stream is untouched: both generators still agree.
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(GraphNode, GraphSizeCountsUniqueNodes)
+{
+    auto x = gaussianLeaf(0.0, 1.0);
+    auto y = gaussianLeaf(0.0, 1.0);
+    auto b = (y + x) + x; // 2 leaves + 2 inner nodes = 4 unique
+    EXPECT_EQ(b.graphSize(), 4u);
+
+    auto c = x + x; // 1 leaf + 1 inner
+    EXPECT_EQ(c.graphSize(), 2u);
+}
+
+TEST(GraphNode, OpNamesDescribeTheComputation)
+{
+    auto x = gaussianLeaf(1.0, 2.0);
+    auto sum = x + 3.0;
+    EXPECT_EQ(sum.node()->opName(), "+");
+    auto children = sum.node()->children();
+    ASSERT_EQ(children.size(), 2u);
+    EXPECT_EQ(children[0]->opName(), "leaf:Gaussian(1, 2)");
+    EXPECT_EQ(children[1]->opName(), "pointmass");
+}
+
+TEST(Dot, ExportContainsNodesAndEdges)
+{
+    auto x = gaussianLeaf(0.0, 1.0);
+    auto y = gaussianLeaf(0.0, 1.0);
+    auto c = x + y;
+    std::string dot = toDot(c);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("\"+\""), std::string::npos);
+    EXPECT_NE(dot.find("leaf:Gaussian"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    // Two leaves feeding one inner node: exactly two edges.
+    std::size_t edges = 0;
+    for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+         pos = dot.find("->", pos + 1)) {
+        ++edges;
+    }
+    EXPECT_EQ(edges, 2u);
+}
+
+TEST(Dot, SharedNodesAppearOnce)
+{
+    auto x = gaussianLeaf(0.0, 1.0);
+    auto b = (x + x) + x;
+    std::string dot = toDot(b);
+    std::size_t leaves = 0;
+    for (std::size_t pos = dot.find("leaf:"); pos != std::string::npos;
+         pos = dot.find("leaf:", pos + 1)) {
+        ++leaves;
+    }
+    EXPECT_EQ(leaves, 1u);
+}
+
+} // namespace
+} // namespace core
+} // namespace uncertain

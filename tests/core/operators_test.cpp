@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The Table 1 operator algebra: arithmetic propagates moments
+ * correctly, comparisons produce the right Bernoulli parameters,
+ * logical operators compose events, plain values coerce to point
+ * masses, and mixed base types lift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "random/uniform.hpp"
+#include "stats/summary.hpp"
+#include "support/special_math.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace {
+
+Uncertain<double>
+gaussianLeaf(double mu, double sigma)
+{
+    return core::fromDistribution(
+        std::make_shared<random::Gaussian>(mu, sigma));
+}
+
+stats::OnlineSummary
+summarize(const Uncertain<double>& u, std::size_t n, std::uint64_t seed)
+{
+    Rng rng = testing::testRng(seed);
+    stats::OnlineSummary s;
+    for (double v : u.takeSamples(n, rng))
+        s.add(v);
+    return s;
+}
+
+TEST(Arithmetic, SumOfIndependentGaussians)
+{
+    auto a = gaussianLeaf(4.0, 1.0);
+    auto b = gaussianLeaf(5.0, 2.0);
+    auto c = a + b;
+    auto s = summarize(c, 100000, 101);
+    EXPECT_NEAR(s.mean(), 9.0, testing::meanTolerance(std::sqrt(5.0),
+                                                      100000));
+    EXPECT_NEAR(s.variance(), 5.0, 0.2);
+}
+
+TEST(Arithmetic, DifferenceCancelsMeansAddsVariances)
+{
+    auto a = gaussianLeaf(10.0, 1.5);
+    auto b = gaussianLeaf(4.0, 2.0);
+    auto s = summarize(a - b, 100000, 102);
+    EXPECT_NEAR(s.mean(), 6.0, testing::meanTolerance(2.5, 100000));
+    EXPECT_NEAR(s.variance(), 1.5 * 1.5 + 4.0, 0.3);
+}
+
+TEST(Arithmetic, ProductOfIndependentVariables)
+{
+    auto a = gaussianLeaf(3.0, 0.5);
+    auto b = gaussianLeaf(2.0, 0.5);
+    auto s = summarize(a * b, 100000, 103);
+    EXPECT_NEAR(s.mean(), 6.0, 0.05);
+    // Var[XY] = (muX^2 + sX^2)(muY^2 + sY^2) - muX^2 muY^2.
+    double expected = (9.25 * 4.25) - 36.0;
+    EXPECT_NEAR(s.variance(), expected, 0.3);
+}
+
+TEST(Arithmetic, DivisionByPointMass)
+{
+    auto a = gaussianLeaf(8.0, 2.0);
+    auto s = summarize(a / 2.0, 100000, 104);
+    EXPECT_NEAR(s.mean(), 4.0, 0.05);
+    EXPECT_NEAR(s.variance(), 1.0, 0.05);
+}
+
+TEST(Arithmetic, ScalarCoercionBothSides)
+{
+    auto a = gaussianLeaf(1.0, 1.0);
+    auto left = 10.0 - a;
+    auto right = a + 2;
+    EXPECT_NEAR(summarize(left, 50000, 105).mean(), 9.0, 0.05);
+    EXPECT_NEAR(summarize(right, 50000, 106).mean(), 3.0, 0.05);
+}
+
+TEST(Arithmetic, UnaryNegation)
+{
+    auto a = gaussianLeaf(3.0, 1.0);
+    EXPECT_NEAR(summarize(-a, 50000, 107).mean(), -3.0, 0.05);
+}
+
+TEST(Arithmetic, ComputationCompoundsUncertainty)
+{
+    // Figure 6: the result of a + b is wider than either operand.
+    auto a = gaussianLeaf(0.0, 1.0);
+    auto b = gaussianLeaf(0.0, 1.0);
+    auto c = a + b;
+    EXPECT_GT(summarize(c, 50000, 108).stddev(),
+              summarize(a, 50000, 109).stddev() * 1.3);
+}
+
+TEST(Comparison, BernoulliParameterMatchesAnalyticTail)
+{
+    auto a = gaussianLeaf(4.0, 1.0);
+    Uncertain<bool> gt = a > 5.0;
+    Rng rng = testing::testRng(110);
+    double p = gt.probability(100000, rng);
+    double expected = 1.0 - math::normalCdf(1.0);
+    EXPECT_NEAR(p, expected, testing::proportionTolerance(expected,
+                                                          100000));
+}
+
+TEST(Comparison, AllOrderOperatorsAreConsistent)
+{
+    auto a = gaussianLeaf(0.0, 1.0);
+    Rng rng = testing::testRng(111);
+    // Pr[a < 0] + Pr[a >= 0] must be 1 on identical sampling: check
+    // via complementary estimates on separate streams.
+    double pLt = (a < 0.0).probability(50000, rng);
+    double pGe = (a >= 0.0).probability(50000, rng);
+    EXPECT_NEAR(pLt + pGe, 1.0, 0.02);
+    double pLe = (a <= 0.0).probability(50000, rng);
+    double pGt = (a > 0.0).probability(50000, rng);
+    EXPECT_NEAR(pLe + pGt, 1.0, 0.02);
+}
+
+TEST(Comparison, ExactEqualityOfContinuousIsAlmostSurelyFalse)
+{
+    auto a = gaussianLeaf(0.0, 1.0);
+    auto b = gaussianLeaf(0.0, 1.0);
+    Rng rng = testing::testRng(112);
+    EXPECT_DOUBLE_EQ((a == b).probability(5000, rng), 0.0);
+    // But a variable always equals itself (shared node).
+    EXPECT_DOUBLE_EQ((a == a).probability(5000, rng), 1.0);
+}
+
+TEST(Comparison, ApproxEqualHasTheIntervalProbability)
+{
+    auto a = gaussianLeaf(3.0, 1.0);
+    Rng rng = testing::testRng(113);
+    double p = approxEqual(a, 3.0, 0.5).probability(100000, rng);
+    double expected = math::normalCdf(0.5) - math::normalCdf(-0.5);
+    EXPECT_NEAR(p, expected, testing::proportionTolerance(expected,
+                                                          100000));
+}
+
+TEST(Comparison, NotEqualOnDiscreteBaseType)
+{
+    auto die = Uncertain<int>::fromSampler(
+        [](Rng& rng) { return static_cast<int>(rng.nextBelow(6)) + 1; },
+        "d6");
+    Rng rng = testing::testRng(114);
+    double p = (die == 3).probability(60000, rng);
+    EXPECT_NEAR(p, 1.0 / 6.0,
+                testing::proportionTolerance(1.0 / 6.0, 60000));
+    double pNe = (die != 3).probability(60000, rng);
+    EXPECT_NEAR(pNe, 5.0 / 6.0,
+                testing::proportionTolerance(5.0 / 6.0, 60000));
+}
+
+TEST(Logical, ConjunctionSharesDrawsAcrossOperands)
+{
+    // Pr[3 < a && a < 5] must be the interval probability, not the
+    // product of marginals: both comparisons see the same draw.
+    auto a = gaussianLeaf(4.0, 1.0);
+    auto both = (a > 3.0) && (a < 5.0);
+    Rng rng = testing::testRng(115);
+    double p = both.probability(100000, rng);
+    double expected = math::normalCdf(1.0) - math::normalCdf(-1.0);
+    EXPECT_NEAR(p, expected, testing::proportionTolerance(expected,
+                                                          100000));
+}
+
+TEST(Logical, DisjunctionAndNegation)
+{
+    auto a = gaussianLeaf(0.0, 1.0);
+    auto either = (a < -1.0) || (a > 1.0);
+    Rng rng = testing::testRng(116);
+    double expected = 2.0 * (1.0 - math::normalCdf(1.0));
+    EXPECT_NEAR(either.probability(100000, rng), expected,
+                testing::proportionTolerance(expected, 100000));
+
+    auto neither = !either;
+    EXPECT_NEAR(neither.probability(100000, rng), 1.0 - expected,
+                testing::proportionTolerance(expected, 100000));
+}
+
+TEST(Logical, MixingWithPlainBools)
+{
+    auto a = gaussianLeaf(10.0, 0.1);
+    Rng rng = testing::testRng(117);
+    EXPECT_NEAR((true && (a > 5.0)).probability(1000, rng), 1.0, 1e-12);
+    EXPECT_NEAR((false && (a > 5.0)).probability(1000, rng), 0.0,
+                1e-12);
+    EXPECT_NEAR((false || (a > 5.0)).probability(1000, rng), 1.0,
+                1e-12);
+}
+
+TEST(Logical, ExcludedMiddleHoldsUnderSharedSampling)
+{
+    // x < 2 || x >= 2 is a tautology only because both operands share
+    // the same draw per pass.
+    auto x = gaussianLeaf(2.0, 5.0);
+    auto tautology = (x < 2.0) || (x >= 2.0);
+    Rng rng = testing::testRng(118);
+    EXPECT_DOUBLE_EQ(tautology.probability(5000, rng), 1.0);
+}
+
+TEST(Lift, MixedBaseTypesFollowTheFunctor)
+{
+    // Real division of integers: Int -> Int -> Double (the paper's
+    // example of a lifted operator with any type).
+    auto numerator = Uncertain<int>::fromSampler(
+        [](Rng& rng) { return static_cast<int>(rng.nextBelow(10)); },
+        "digit");
+    auto ratio = core::liftBinary(
+        [](int a, int b) {
+            return static_cast<double>(a) / static_cast<double>(b);
+        },
+        numerator, Uncertain<int>(4), "intdiv");
+    static_assert(
+        std::is_same_v<decltype(ratio), Uncertain<double>>);
+    Rng rng = testing::testRng(119);
+    EXPECT_NEAR(ratio.expectedValue(50000, rng), 4.5 / 4.0, 0.02);
+}
+
+TEST(Lift, MapAppliesArbitraryFunctions)
+{
+    auto u = core::fromDistribution(
+        std::make_shared<random::Uniform>(0.0, 1.0));
+    auto squared = u.map([](double x) { return x * x; }, "square");
+    Rng rng = testing::testRng(120);
+    EXPECT_NEAR(squared.expectedValue(100000, rng), 1.0 / 3.0, 0.01);
+}
+
+TEST(ExpectedValue, MatchesDistributionMean)
+{
+    auto a = gaussianLeaf(7.0, 3.0);
+    Rng rng = testing::testRng(121);
+    EXPECT_NEAR(a.expectedValue(100000, rng), 7.0,
+                testing::meanTolerance(3.0, 100000));
+}
+
+TEST(ExpectedValue, AdaptiveConvergesToTheMean)
+{
+    auto a = gaussianLeaf(20.0, 2.0);
+    Rng rng = testing::testRng(122);
+    stats::AdaptiveMeanOptions options;
+    options.relativeTolerance = 0.005;
+    auto result = a.expectedValueAdaptive(options, rng);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.mean, 20.0, 0.5);
+}
+
+TEST(ExpectedValue, PointMassIsExact)
+{
+    Uncertain<double> five(5.0);
+    Rng rng = testing::testRng(123);
+    EXPECT_DOUBLE_EQ(five.expectedValue(10, rng), 5.0);
+}
+
+} // namespace
+} // namespace uncertain

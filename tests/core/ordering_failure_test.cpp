@@ -1,0 +1,173 @@
+/**
+ * @file
+ * E-based total ordering tests, plus failure injection: leaves whose
+ * sampling functions throw must propagate cleanly (no corruption of
+ * later evaluations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/core.hpp"
+#include "core/ordering.hpp"
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace core {
+namespace {
+
+Uncertain<double>
+gaussianLeaf(double mu, double sigma)
+{
+    return fromDistribution(
+        std::make_shared<random::Gaussian>(mu, sigma));
+}
+
+TEST(Ordering, SortsWellSeparatedDistributionsByMean)
+{
+    Rng rng = testing::testRng(501);
+    std::vector<Uncertain<double>> values{
+        gaussianLeaf(5.0, 1.0), gaussianLeaf(-2.0, 1.0),
+        gaussianLeaf(9.0, 1.0), gaussianLeaf(1.0, 1.0)};
+    auto order = rankByExpectedValue(values, 4000, rng);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u); // -2
+    EXPECT_EQ(order[1], 3u); //  1
+    EXPECT_EQ(order[2], 0u); //  5
+    EXPECT_EQ(order[3], 2u); //  9
+}
+
+TEST(Ordering, SortInPlaceYieldsAscendingExpectations)
+{
+    Rng rng = testing::testRng(502);
+    std::vector<Uncertain<double>> values;
+    for (double mu : {3.0, -1.0, 7.0, 0.0, 5.0})
+        values.push_back(gaussianLeaf(mu, 0.5));
+    sortByExpectedValue(values, 4000, rng);
+    double previous = values.front().expectedValue(4000, rng);
+    for (std::size_t i = 1; i < values.size(); ++i) {
+        double current = values[i].expectedValue(4000, rng);
+        EXPECT_GT(current, previous - 0.2);
+        previous = current;
+    }
+}
+
+TEST(Ordering, OverlappingDistributionsStillGetATotalOrder)
+{
+    // Direct `<` between these would be inconclusive; E always
+    // produces an order (the paper's point about sorting).
+    Rng rng = testing::testRng(503);
+    std::vector<Uncertain<double>> values{
+        gaussianLeaf(0.00, 5.0), gaussianLeaf(0.01, 5.0),
+        gaussianLeaf(0.02, 5.0)};
+    auto order = rankByExpectedValue(values, 1000, rng);
+    // Some permutation of all indices: a strict total order.
+    std::vector<bool> seen(3, false);
+    for (std::size_t i : order) {
+        ASSERT_LT(i, 3u);
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+    }
+}
+
+TEST(Ordering, PointMassesSortExactly)
+{
+    Rng rng = testing::testRng(504);
+    std::vector<Uncertain<double>> values{
+        Uncertain<double>(3.0), Uncertain<double>(1.0),
+        Uncertain<double>(2.0)};
+    sortByExpectedValue(values, 16, rng);
+    EXPECT_DOUBLE_EQ(values[0].sample(rng), 1.0);
+    EXPECT_DOUBLE_EQ(values[1].sample(rng), 2.0);
+    EXPECT_DOUBLE_EQ(values[2].sample(rng), 3.0);
+}
+
+// ----------------------------------------------------------------------
+// Failure injection.
+// ----------------------------------------------------------------------
+
+Uncertain<double>
+throwingLeaf(int throwAfter)
+{
+    auto counter = std::make_shared<int>(0);
+    return Uncertain<double>::fromSampler(
+        [counter, throwAfter](Rng& rng) {
+            if (++*counter > throwAfter)
+                throw std::runtime_error("sensor disconnected");
+            return rng.nextDouble();
+        },
+        "flaky");
+}
+
+TEST(FailureInjection, LeafExceptionPropagatesFromSample)
+{
+    Rng rng = testing::testRng(505);
+    auto flaky = throwingLeaf(0);
+    EXPECT_THROW((void)flaky.sample(rng), std::runtime_error);
+}
+
+TEST(FailureInjection, ExceptionPropagatesThroughComputations)
+{
+    Rng rng = testing::testRng(506);
+    auto flaky = throwingLeaf(0) + gaussianLeaf(0.0, 1.0);
+    EXPECT_THROW((void)flaky.sample(rng), std::runtime_error);
+    EXPECT_THROW((void)flaky.expectedValue(100, rng),
+                 std::runtime_error);
+}
+
+TEST(FailureInjection, ExceptionPropagatesFromConditionals)
+{
+    Rng rng = testing::testRng(507);
+    auto condition = throwingLeaf(5) > 0.5;
+    ConditionalOptions options;
+    EXPECT_THROW((void)condition.pr(0.5, options, rng),
+                 std::runtime_error);
+}
+
+TEST(FailureInjection, HealthyGraphsAreUnaffectedAfterAFailure)
+{
+    Rng rng = testing::testRng(508);
+    auto flaky = throwingLeaf(3);
+    auto healthy = gaussianLeaf(2.0, 1.0);
+
+    // Use up the flaky leaf's budget.
+    try {
+        (void)flaky.expectedValue(100, rng);
+    } catch (const std::runtime_error&) {
+    }
+
+    // Unrelated graphs keep working: no shared poisoned state.
+    EXPECT_NEAR(healthy.expectedValue(20000, rng), 2.0, 0.1);
+    if (healthy > 0.0) {
+        SUCCEED();
+    } else {
+        FAIL() << "healthy conditional misfired after injection";
+    }
+}
+
+TEST(FailureInjection, PartiallyFailingLeafCanRecoverMidGraph)
+{
+    // A leaf that throws only once: the first pass fails, later
+    // passes succeed, and the epoch cache never serves a value from
+    // the failed pass.
+    Rng rng = testing::testRng(509);
+    auto fragile = Uncertain<double>::fromSampler(
+        [count = std::make_shared<int>(0)](Rng&) {
+            if (++*count == 1)
+                throw std::runtime_error("transient");
+            return 7.0;
+        },
+        "transient");
+    auto doubled = fragile * 2.0;
+    EXPECT_THROW((void)doubled.sample(rng), std::runtime_error);
+    EXPECT_DOUBLE_EQ(doubled.sample(rng), 14.0);
+}
+
+} // namespace
+} // namespace core
+} // namespace uncertain

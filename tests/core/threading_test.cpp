@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Concurrency contract tests: one graph per thread is supported (the
+ * documented usage), per-thread global generators are independent,
+ * and epoch allocation never collides across threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/core.hpp"
+#include "random/gaussian.hpp"
+#include "stats/summary.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace core {
+namespace {
+
+TEST(Threading, IndependentGraphsOnIndependentThreads)
+{
+    constexpr int kThreads = 8;
+    std::vector<double> means(kThreads, 0.0);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &means] {
+            // Each thread builds and samples its own graph with its
+            // own generator.
+            Rng rng = testing::testRng(
+                static_cast<std::uint64_t>(500 + t));
+            auto a = fromDistribution(
+                std::make_shared<random::Gaussian>(
+                    static_cast<double>(t), 1.0));
+            auto expr = (a + 1.0) * 2.0;
+            means[t] = expr.expectedValue(20000, rng);
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_NEAR(means[t], 2.0 * (t + 1.0), 0.1) << "thread " << t;
+}
+
+TEST(Threading, EpochsAreGloballyUniqueAcrossThreads)
+{
+    constexpr int kThreads = 8;
+    constexpr int kEpochsPerThread = 2000;
+    std::vector<std::vector<std::uint64_t>> perThread(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &perThread] {
+            Rng rng = testing::testRng(
+                static_cast<std::uint64_t>(520 + t));
+            SampleContext ctx(rng);
+            perThread[t].reserve(kEpochsPerThread);
+            for (int i = 0; i < kEpochsPerThread; ++i) {
+                perThread[t].push_back(ctx.epoch());
+                ctx.newEpoch();
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+
+    std::set<std::uint64_t> all;
+    for (const auto& epochs : perThread)
+        for (std::uint64_t e : epochs)
+            EXPECT_TRUE(all.insert(e).second)
+                << "duplicate epoch " << e;
+}
+
+TEST(Threading, GlobalRngIsPerThread)
+{
+    // Each thread gets its own deterministic stream; concurrent use
+    // must not interleave or crash.
+    constexpr int kThreads = 6;
+    std::vector<double> sums(kThreads, 0.0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &sums] {
+            seedGlobalRng(static_cast<std::uint64_t>(t));
+            double total = 0.0;
+            for (int i = 0; i < 10000; ++i)
+                total += globalRng().nextDouble();
+            sums[t] = total;
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_NEAR(sums[t], 5000.0, 200.0);
+}
+
+TEST(Threading, EvalStatsAreThreadLocal)
+{
+    resetEvalStats();
+    std::atomic<bool> childSawZero{false};
+    std::thread child([&childSawZero] {
+        resetEvalStats();
+        Rng rng = testing::testRng(530);
+        auto a = fromDistribution(
+            std::make_shared<random::Gaussian>(0.0, 1.0));
+        (void)a.sample(rng);
+        childSawZero = evalStats().rootSamples == 1;
+    });
+    child.join();
+    EXPECT_TRUE(childSawZero);
+    // The child's sampling did not touch this thread's counters.
+    EXPECT_EQ(evalStats().rootSamples, 0u);
+}
+
+} // namespace
+} // namespace core
+} // namespace uncertain

@@ -1,0 +1,107 @@
+/** @file Geodesy tests: haversine distances and destination points. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gps/geo.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace gps {
+namespace {
+
+TEST(Geo, DistanceToSelfIsZero)
+{
+    GeoCoordinate p{47.6, -122.3};
+    EXPECT_DOUBLE_EQ(distanceMeters(p, p), 0.0);
+}
+
+TEST(Geo, DistanceIsSymmetric)
+{
+    GeoCoordinate a{47.6, -122.3};
+    GeoCoordinate b{47.7, -122.2};
+    EXPECT_NEAR(distanceMeters(a, b), distanceMeters(b, a), 1e-9);
+}
+
+TEST(Geo, OneDegreeOfLatitudeIsAbout111Km)
+{
+    GeoCoordinate a{0.0, 0.0};
+    GeoCoordinate b{1.0, 0.0};
+    EXPECT_NEAR(distanceMeters(a, b), 111195.0, 50.0);
+}
+
+TEST(Geo, LongitudeDegreesShrinkWithLatitude)
+{
+    GeoCoordinate equatorA{0.0, 0.0};
+    GeoCoordinate equatorB{0.0, 1.0};
+    GeoCoordinate northA{60.0, 0.0};
+    GeoCoordinate northB{60.0, 1.0};
+    double atEquator = distanceMeters(equatorA, equatorB);
+    double atSixty = distanceMeters(northA, northB);
+    EXPECT_NEAR(atSixty / atEquator, 0.5, 0.01); // cos(60 deg)
+}
+
+TEST(Geo, DestinationTravelsTheRequestedDistance)
+{
+    GeoCoordinate start{47.6420, -122.1370};
+    Rng rng = testing::testRng(161);
+    for (int i = 0; i < 50; ++i) {
+        double bearing = rng.nextRange(0.0, 2.0 * M_PI);
+        double meters = rng.nextRange(0.5, 5000.0);
+        GeoCoordinate end = destination(start, bearing, meters);
+        EXPECT_NEAR(distanceMeters(start, end), meters,
+                    meters * 1e-6 + 1e-6);
+    }
+}
+
+TEST(Geo, DestinationNorthIncreasesLatitudeOnly)
+{
+    GeoCoordinate start{10.0, 20.0};
+    GeoCoordinate end = destination(start, 0.0, 1000.0);
+    EXPECT_GT(end.latitude, start.latitude);
+    EXPECT_NEAR(end.longitude, start.longitude, 1e-9);
+}
+
+TEST(Geo, DestinationEastIncreasesLongitude)
+{
+    GeoCoordinate start{10.0, 20.0};
+    GeoCoordinate end = destination(start, M_PI / 2.0, 1000.0);
+    EXPECT_GT(end.longitude, start.longitude);
+    EXPECT_NEAR(end.latitude, start.latitude, 1e-4);
+}
+
+TEST(Geo, OppositeBearingsRoundTrip)
+{
+    GeoCoordinate start{47.0, -122.0};
+    GeoCoordinate out = destination(start, 1.2, 800.0);
+    GeoCoordinate back = destination(out, 1.2 + M_PI, 800.0);
+    // Great-circle bearings change along the path, so the reverse
+    // leg does not retrace exactly; sub-meter over 800 m is correct.
+    EXPECT_NEAR(distanceMeters(start, back), 0.0, 1.0);
+}
+
+TEST(Geo, CoordinateArithmeticIsComponentWise)
+{
+    GeoCoordinate a{1.0, 2.0};
+    GeoCoordinate b{0.5, -1.0};
+    GeoCoordinate sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.latitude, 1.5);
+    EXPECT_DOUBLE_EQ(sum.longitude, 1.0);
+    GeoCoordinate scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled.latitude, 2.0);
+    GeoCoordinate halved = a / 2.0;
+    EXPECT_DOUBLE_EQ(halved.longitude, 1.0);
+    EXPECT_TRUE(a == GeoCoordinate(1.0, 2.0));
+}
+
+TEST(Geo, UnitConversions)
+{
+    EXPECT_NEAR(toRadians(180.0), M_PI, 1e-12);
+    EXPECT_NEAR(toDegrees(M_PI / 2.0), 90.0, 1e-12);
+    EXPECT_NEAR(10.0 * kMpsToMph, 22.369362920544, 1e-9);
+}
+
+} // namespace
+} // namespace gps
+} // namespace uncertain

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * GPS sensor/library tests, anchored on the paper's quantitative
+ * claims: 95% of fixes fall within the horizontal-accuracy radius,
+ * and a pair of 4 m fixes yields a speed with a ~12.7 mph 95%
+ * confidence radius (section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gps/gps_library.hpp"
+#include "gps/sensor.hpp"
+#include "stats/summary.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace gps {
+namespace {
+
+const GeoCoordinate kHome{47.6420, -122.1370};
+
+TEST(GpsSensor, ErrorsRespectTheAdvertised95PercentRadius)
+{
+    GpsSensor sensor(4.0);
+    Rng rng = testing::testRng(171);
+    const int n = 20000;
+    int inside = 0;
+    for (int i = 0; i < n; ++i) {
+        GpsFix fix = sensor.read(kHome, 0.0, rng);
+        if (distanceMeters(kHome, fix.coordinate) <= 4.0)
+            ++inside;
+    }
+    double p = static_cast<double>(inside) / n;
+    EXPECT_NEAR(p, 0.95, testing::proportionTolerance(0.95, n));
+}
+
+TEST(GpsSensor, ReportsTheConfiguredAccuracy)
+{
+    GpsSensor sensor(7.5);
+    Rng rng = testing::testRng(172);
+    GpsFix fix = sensor.read(kHome, 3.0, rng);
+    EXPECT_DOUBLE_EQ(fix.horizontalAccuracy, 7.5);
+    EXPECT_DOUBLE_EQ(fix.timeSeconds, 3.0);
+}
+
+TEST(GetLocation, PosteriorSpreadsAroundTheFix)
+{
+    GpsFix fix{kHome, 4.0, 0.0};
+    auto location = getLocation(fix);
+    Rng rng = testing::testRng(173);
+    const int n = 20000;
+    int inside = 0;
+    stats::OnlineSummary radial;
+    for (const auto& sample : location.takeSamples(n, rng)) {
+        double r = distanceMeters(kHome, sample);
+        radial.add(r);
+        if (r <= 4.0)
+            ++inside;
+    }
+    // 95% of posterior mass within epsilon of the fix center.
+    EXPECT_NEAR(static_cast<double>(inside) / n, 0.95,
+                testing::proportionTolerance(0.95, n));
+    // Rayleigh mean = rho * sqrt(pi/2) with rho = 4/sqrt(ln 400).
+    double rho = 4.0 / std::sqrt(std::log(400.0));
+    EXPECT_NEAR(radial.mean(), rho * std::sqrt(M_PI / 2.0), 0.05);
+}
+
+TEST(GetLocation, TrueLocationIsRarelyAtTheCenter)
+{
+    // Figure 11's point: the mode of the radial error is away from
+    // zero, so very little mass sits within a small disc.
+    GpsFix fix{kHome, 4.0, 0.0};
+    auto location = getLocation(fix);
+    Rng rng = testing::testRng(174);
+    int nearCenter = 0;
+    const int n = 20000;
+    for (const auto& sample : location.takeSamples(n, rng)) {
+        if (distanceMeters(kHome, sample) < 0.25)
+            ++nearCenter;
+    }
+    EXPECT_LT(static_cast<double>(nearCenter) / n, 0.02);
+}
+
+TEST(UncertainDistance, TwoCleanFixesGiveTheTrueDistance)
+{
+    GeoCoordinate away = destination(kHome, 0.3, 100.0);
+    auto a = getLocation({kHome, 0.01, 0.0});
+    auto b = getLocation({away, 0.01, 1.0});
+    Rng rng = testing::testRng(175);
+    EXPECT_NEAR(uncertainDistance(a, b).expectedValue(2000, rng),
+                100.0, 0.1);
+}
+
+TEST(UncertainSpeed, PaperAnchor95PercentIntervalIs12Point7Mph)
+{
+    // Two stationary fixes with 4 m accuracy, 1 s apart: the paper
+    // says the speed's 95% confidence radius is 12.7 mph.
+    auto a = getLocation({kHome, 4.0, 0.0});
+    auto b = getLocation({kHome, 4.0, 1.0});
+    auto speed = uncertainSpeedMph(a, b, 1.0);
+    Rng rng = testing::testRng(176);
+    std::vector<double> samples = speed.takeSamples(40000, rng);
+    std::sort(samples.begin(), samples.end());
+    double q95 = samples[static_cast<std::size_t>(0.95
+                                                  * samples.size())];
+    EXPECT_NEAR(q95, 12.7, 0.4);
+}
+
+TEST(UncertainSpeed, StationaryUserStillShowsPositiveSpeed)
+{
+    // The bias that produces Figure 3's absurd readings: |error|/dt
+    // is strictly positive even when the user does not move.
+    auto a = getLocation({kHome, 4.0, 0.0});
+    auto b = getLocation({kHome, 4.0, 1.0});
+    auto speed = uncertainSpeedMph(a, b, 1.0);
+    Rng rng = testing::testRng(177);
+    EXPECT_GT(speed.expectedValue(5000, rng), 3.0);
+}
+
+TEST(NaiveSpeed, MatchesPointEstimateArithmetic)
+{
+    GeoCoordinate away = destination(kHome, 1.0, 10.0);
+    GpsFix f1{kHome, 4.0, 0.0};
+    GpsFix f2{away, 4.0, 2.0};
+    // 10 m in 2 s = 5 m/s.
+    EXPECT_NEAR(naiveSpeedMph(f1, f2), 5.0 * kMpsToMph, 1e-6);
+    EXPECT_THROW(naiveSpeedMph(f2, f1), Error);
+}
+
+} // namespace
+} // namespace gps
+} // namespace uncertain

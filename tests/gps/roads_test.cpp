@@ -1,0 +1,179 @@
+/** @file Road network, road prior, and generic-SIR snapping tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gps/gps_library.hpp"
+#include "gps/roads.hpp"
+#include "inference/generic_reweight.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace gps {
+namespace {
+
+const GeoCoordinate kCenter{47.6200, -122.3500};
+
+RoadNetwork
+northSouthRoad()
+{
+    return RoadNetwork({{destination(kCenter, M_PI, 500.0),
+                         destination(kCenter, 0.0, 500.0)}});
+}
+
+TEST(RoadNetwork, DistanceToAPointOnTheRoadIsZero)
+{
+    RoadNetwork road = northSouthRoad();
+    EXPECT_NEAR(road.distanceToNearestRoad(kCenter), 0.0, 0.02);
+    GeoCoordinate along = destination(kCenter, 0.0, 200.0);
+    EXPECT_NEAR(road.distanceToNearestRoad(along), 0.0, 0.05);
+}
+
+TEST(RoadNetwork, PerpendicularOffsetIsTheDistance)
+{
+    RoadNetwork road = northSouthRoad();
+    for (double offset : {3.0, 10.0, 50.0}) {
+        GeoCoordinate beside =
+            destination(kCenter, M_PI / 2.0, offset);
+        EXPECT_NEAR(road.distanceToNearestRoad(beside), offset,
+                    0.05 + offset * 1e-3)
+            << "offset " << offset;
+    }
+}
+
+TEST(RoadNetwork, BeyondTheEndpointMeasuresToTheEndpoint)
+{
+    RoadNetwork road = northSouthRoad();
+    GeoCoordinate past = destination(kCenter, 0.0, 600.0);
+    EXPECT_NEAR(road.distanceToNearestRoad(past), 100.0, 0.5);
+}
+
+TEST(RoadNetwork, GridCoversBothDirections)
+{
+    RoadNetwork grid = RoadNetwork::grid(kCenter, 100.0, 3);
+    EXPECT_EQ(grid.segmentCount(), 6u);
+    // Any point within the grid is at most half a spacing from a
+    // street.
+    Rng rng = testing::testRng(361);
+    for (int i = 0; i < 200; ++i) {
+        double east = rng.nextRange(-100.0, 100.0);
+        double north = rng.nextRange(-100.0, 100.0);
+        GeoCoordinate p = destination(
+            destination(kCenter, M_PI / 2.0, east), 0.0, north);
+        EXPECT_LE(grid.distanceToNearestRoad(p), 50.0 + 0.5);
+    }
+    EXPECT_THROW(RoadNetwork({}), Error);
+    EXPECT_THROW(RoadNetwork::grid(kCenter, 0.0, 3), Error);
+}
+
+TEST(RoadPrior, DensityPeaksOnTheRoadWithAFloor)
+{
+    RoadPrior prior(northSouthRoad(), 5.0, 1e-3);
+    double onRoad = prior.logDensity(kCenter);
+    double nearRoad =
+        prior.logDensity(destination(kCenter, M_PI / 2.0, 5.0));
+    double farAway =
+        prior.logDensity(destination(kCenter, M_PI / 2.0, 500.0));
+    double fartherAway =
+        prior.logDensity(destination(kCenter, M_PI / 2.0, 2000.0));
+    EXPECT_GT(onRoad, nearRoad);
+    EXPECT_GT(nearRoad, farAway);
+    // The uniform floor: far off-road the density stops decaying.
+    EXPECT_NEAR(farAway, fartherAway, 1e-9);
+    EXPECT_THROW(RoadPrior(northSouthRoad(), 0.0), Error);
+    EXPECT_THROW(RoadPrior(northSouthRoad(), 5.0, 2.0), Error);
+}
+
+TEST(SnapToRoads, PosteriorMovesTowardTheRoad)
+{
+    Rng rng = testing::testRng(362);
+    RoadPrior prior(northSouthRoad(), 6.0);
+    GeoCoordinate fixCenter = destination(kCenter, M_PI / 2.0, 10.0);
+    auto raw = getLocation({fixCenter, 8.0, 0.0});
+    inference::ReweightOptions options;
+    options.proposalSamples = 8000;
+    options.resampleSize = 4000;
+    auto snapped = snapToRoads(raw, prior, options, rng);
+
+    RoadNetwork road = northSouthRoad();
+    auto meanDistance = [&](const Uncertain<GeoCoordinate>& u) {
+        double total = 0.0;
+        for (const auto& p : u.takeSamples(2000, rng))
+            total += road.distanceToNearestRoad(p);
+        return total / 2000.0;
+    };
+    EXPECT_LT(meanDistance(snapped), meanDistance(raw) - 1.0);
+}
+
+TEST(SnapToRoads, EmphaticallyOffRoadEvidenceWins)
+{
+    // Figure 10's caveat: with the fix far from any road, the floor
+    // dominates and snapping barely moves the posterior.
+    Rng rng = testing::testRng(363);
+    RoadPrior prior(northSouthRoad(), 6.0);
+    GeoCoordinate fixCenter = destination(kCenter, M_PI / 2.0, 80.0);
+    auto raw = getLocation({fixCenter, 4.0, 0.0});
+    inference::ReweightOptions options;
+    options.proposalSamples = 8000;
+    options.resampleSize = 4000;
+    auto snapped = snapToRoads(raw, prior, options, rng);
+
+    EnuOffset rawMean{0.0, 0.0};
+    EnuOffset snappedMean{0.0, 0.0};
+    for (const auto& p : raw.takeSamples(2000, rng)) {
+        EnuOffset o = localOffsetMeters(kCenter, p);
+        rawMean.east += o.east / 2000.0;
+        rawMean.north += o.north / 2000.0;
+    }
+    for (const auto& p : snapped.takeSamples(2000, rng)) {
+        EnuOffset o = localOffsetMeters(kCenter, p);
+        snappedMean.east += o.east / 2000.0;
+        snappedMean.north += o.north / 2000.0;
+    }
+    EXPECT_NEAR(snappedMean.east, rawMean.east, 1.0);
+}
+
+TEST(GenericReweight, WorksOverNonScalarTypes)
+{
+    // Uniform square posterior restricted to the right half-plane.
+    Rng rng = testing::testRng(364);
+    auto square = Uncertain<gps::EnuOffset>::fromSampler(
+        [](Rng& r) {
+            return EnuOffset{r.nextRange(-1.0, 1.0),
+                             r.nextRange(-1.0, 1.0)};
+        },
+        "square");
+    auto result = inference::reweightSamples(
+        square,
+        [](const EnuOffset& p) {
+            return p.east >= 0.0
+                       ? 0.0
+                       : -std::numeric_limits<double>::infinity();
+        },
+        inference::ReweightOptions{4000, 2000}, rng);
+    for (const auto& p : result.posterior.takeSamples(1000, rng))
+        EXPECT_GE(p.east, 0.0);
+    // Half the proposals carry weight: ESS ~ half the pool.
+    EXPECT_NEAR(result.effectiveSampleSize, 2000.0, 200.0);
+}
+
+TEST(GenericReweight, ThrowsOnZeroOverlap)
+{
+    Rng rng = testing::testRng(365);
+    auto point = Uncertain<double>::fromSampler(
+        [](Rng&) { return 1.0; }, "one");
+    EXPECT_THROW(
+        inference::reweightSamples(
+            point,
+            [](double) {
+                return -std::numeric_limits<double>::infinity();
+            },
+            inference::ReweightOptions{100, 50}, rng),
+        Error);
+}
+
+} // namespace
+} // namespace gps
+} // namespace uncertain

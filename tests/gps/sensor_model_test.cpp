@@ -1,0 +1,134 @@
+/**
+ * @file
+ * GPS sensor error-process tests: the AR(1)/glitch receiver model
+ * must keep the paper's Rayleigh marginal while adding the temporal
+ * correlation that shapes real traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gps/sensor.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/ks_test.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace gps {
+namespace {
+
+const GeoCoordinate kHome{47.6420, -122.1370};
+
+TEST(SensorModel, ValidatesConfiguration)
+{
+    GpsSensorConfig config;
+    config.epsilon95 = 0.0;
+    EXPECT_THROW(GpsSensor{config}, Error);
+    config = GpsSensorConfig{};
+    config.correlation = 1.0;
+    EXPECT_THROW(GpsSensor{config}, Error);
+    config = GpsSensorConfig{};
+    config.glitchProbability = 1.5;
+    EXPECT_THROW(GpsSensor{config}, Error);
+    config = GpsSensorConfig{};
+    config.glitchScale = 0.5;
+    EXPECT_THROW(GpsSensor{config}, Error);
+}
+
+TEST(SensorModel, CorrelatedErrorsKeepTheRayleighMarginal)
+{
+    GpsSensorConfig config;
+    config.epsilon95 = 4.0;
+    config.correlation = 0.9;
+    GpsSensor sensor(config);
+    Rng rng = testing::testRng(351);
+
+    // Discard a warmup, then check the stationary radial law.
+    std::vector<double> radii;
+    for (int i = 0; i < 21000; ++i) {
+        GpsFix fix = sensor.read(kHome, i, rng);
+        if (i >= 1000)
+            radii.push_back(distanceMeters(kHome, fix.coordinate));
+    }
+    // KS against the Rayleigh marginal. Correlated samples inflate
+    // the KS statistic, so test a thinned subsequence.
+    std::vector<double> thinned;
+    for (std::size_t i = 0; i < radii.size(); i += 40)
+        thinned.push_back(radii[i]);
+    auto result = stats::ksTest(thinned, sensor.errorModel());
+    EXPECT_GT(result.pValue, 1e-4);
+}
+
+TEST(SensorModel, ErrorsAreTemporallyCorrelated)
+{
+    GpsSensorConfig config;
+    config.epsilon95 = 4.0;
+    config.correlation = 0.95;
+    GpsSensor sensor(config);
+    Rng rng = testing::testRng(352);
+
+    std::vector<double> east;
+    GeoCoordinate reference = destination(kHome, M_PI / 2.0, 1000.0);
+    for (int i = 0; i < 5000; ++i) {
+        GpsFix fix = sensor.read(kHome, i, rng);
+        // Project the error loosely onto the east axis by comparing
+        // longitudes.
+        east.push_back(fix.coordinate.longitude - kHome.longitude);
+    }
+    EXPECT_GT(stats::autocorrelation(east, 1), 0.85);
+    (void)reference;
+}
+
+TEST(SensorModel, IndependentConfigurationIsUncorrelated)
+{
+    GpsSensor sensor(4.0);
+    Rng rng = testing::testRng(353);
+    std::vector<double> east;
+    for (int i = 0; i < 5000; ++i) {
+        GpsFix fix = sensor.read(kHome, i, rng);
+        east.push_back(fix.coordinate.longitude - kHome.longitude);
+    }
+    EXPECT_NEAR(stats::autocorrelation(east, 1), 0.0, 0.05);
+}
+
+TEST(SensorModel, GlitchesProduceErrorJumps)
+{
+    GpsSensorConfig calm;
+    calm.epsilon95 = 2.0;
+    calm.correlation = 0.95;
+    GpsSensorConfig glitchy = calm;
+    glitchy.glitchProbability = 0.05;
+    glitchy.glitchScale = 5.0;
+
+    Rng rng = testing::testRng(354);
+    auto maxJump = [&](GpsSensorConfig config) {
+        GpsSensor sensor(config);
+        Rng local = rng.fork();
+        GpsFix previous = sensor.read(kHome, 0, local);
+        double worst = 0.0;
+        for (int i = 1; i < 2000; ++i) {
+            GpsFix fix = sensor.read(kHome, i, local);
+            worst = std::max(worst,
+                             distanceMeters(previous.coordinate,
+                                            fix.coordinate));
+            previous = fix;
+        }
+        return worst;
+    };
+
+    EXPECT_GT(maxJump(glitchy), 2.0 * maxJump(calm));
+}
+
+TEST(SensorModel, PhonePresetIsCorrelatedAndGlitchy)
+{
+    GpsSensor sensor = GpsSensor::phone(3.0);
+    EXPECT_DOUBLE_EQ(sensor.horizontalAccuracy(), 3.0);
+    EXPECT_GT(sensor.config().correlation, 0.5);
+    EXPECT_GT(sensor.config().glitchProbability, 0.0);
+}
+
+} // namespace
+} // namespace gps
+} // namespace uncertain

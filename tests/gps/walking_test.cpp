@@ -1,0 +1,154 @@
+/** @file GPS-Walking application logic and trajectory tests. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gps/trajectory.hpp"
+#include "gps/walking.hpp"
+#include "random/gaussian.hpp"
+#include "stats/summary.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace gps {
+namespace {
+
+Uncertain<double>
+speedDistribution(double mean, double sigma)
+{
+    return core::fromDistribution(
+        std::make_shared<random::Gaussian>(mean, sigma));
+}
+
+TEST(Advise, ClearlyFastUserGetsGoodJob)
+{
+    Rng rngSeed = testing::testRng(181);
+    seedGlobalRng(rngSeed.nextU64());
+    EXPECT_EQ(advise(speedDistribution(6.0, 0.5)), Advice::GoodJob);
+}
+
+TEST(Advise, ClearlySlowUserGetsSpeedUp)
+{
+    seedGlobalRng(testing::testRng(182).nextU64());
+    EXPECT_EQ(advise(speedDistribution(2.0, 0.5)), Advice::SpeedUp);
+}
+
+TEST(Advise, BorderlineSlowUserIsNotAdmonished)
+{
+    // Somewhat under 4 mph with wide error: Pr[slow] ~ 0.63, which
+    // clears neither the implicit 0.5 bar for GoodJob (Pr[fast] ~
+    // 0.37) nor the 0.9 bar for SpeedUp — the developer chose to
+    // avoid false accusations, so the app says nothing.
+    seedGlobalRng(testing::testRng(183).nextU64());
+    EXPECT_EQ(advise(speedDistribution(3.5, 1.5)), Advice::None);
+}
+
+TEST(Advise, NaiveVersionAlwaysSpeaks)
+{
+    EXPECT_EQ(naiveAdvise(4.5), Advice::GoodJob);
+    EXPECT_EQ(naiveAdvise(3.9), Advice::SpeedUp);
+    // No inconclusive option exists for the naive program.
+}
+
+TEST(WalkingPrior, AssignsNoMassToAbsurdSpeeds)
+{
+    auto prior = walkingSpeedPrior();
+    Rng rng = testing::testRng(184);
+    for (int i = 0; i < 5000; ++i) {
+        double v = prior->sample(rng);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 10.0);
+    }
+    EXPECT_DOUBLE_EQ(prior->pdf(59.0), 0.0);
+    EXPECT_GT(prior->pdf(3.0), prior->pdf(9.0));
+}
+
+TEST(ImproveSpeed, PullsAbsurdEstimatesIntoTheHumanRange)
+{
+    // A wildly uncertain "59 mph" estimate (Figure 3's artifact)
+    // must come back to plausible walking speed under the prior
+    // (Figure 13's improvement).
+    Rng rng = testing::testRng(185);
+    seedGlobalRng(rng.nextU64());
+    auto absurd = speedDistribution(30.0, 20.0);
+    auto improved = improveSpeed(absurd);
+    double e = improved.expectedValue(4000);
+    EXPECT_LE(e, 10.0);
+    EXPECT_GE(e, 0.0);
+}
+
+TEST(ImproveSpeed, TightensTheConfidenceInterval)
+{
+    Rng rng = testing::testRng(186);
+    seedGlobalRng(rng.nextU64());
+    auto noisy = speedDistribution(5.0, 6.0);
+    auto improved = improveSpeed(noisy);
+
+    stats::OnlineSummary before;
+    before.addAll(noisy.takeSamples(4000));
+    stats::OnlineSummary after;
+    after.addAll(improved.takeSamples(4000));
+    EXPECT_LT(after.stddev(), before.stddev());
+}
+
+TEST(Trajectory, ProducesTheConfiguredDuration)
+{
+    WalkConfig config;
+    config.durationSeconds = 120.0;
+    Rng rng = testing::testRng(187);
+    auto walk = simulateWalk(config, rng);
+    ASSERT_EQ(walk.size(), 121u);
+    EXPECT_DOUBLE_EQ(walk.front().timeSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(walk.back().timeSeconds, 120.0);
+}
+
+TEST(Trajectory, SpeedsStayInTheHumanWalkingRange)
+{
+    WalkConfig config;
+    Rng rng = testing::testRng(188);
+    auto walk = simulateWalk(config, rng);
+    stats::OnlineSummary speeds;
+    for (const auto& p : walk) {
+        EXPECT_GE(p.speedMph, 0.0);
+        EXPECT_LE(p.speedMph, 6.0);
+        speeds.add(p.speedMph);
+    }
+    EXPECT_NEAR(speeds.mean(), 3.0, 1.0);
+}
+
+TEST(Trajectory, ConsecutivePositionsAreConsistentWithSpeed)
+{
+    WalkConfig config;
+    Rng rng = testing::testRng(189);
+    auto walk = simulateWalk(config, rng);
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+        double meters = distanceMeters(walk[i - 1].coordinate,
+                                       walk[i].coordinate);
+        // Step length equals the post-update speed times 1 s.
+        EXPECT_NEAR(meters, walk[i].speedMph / kMpsToMph, 1e-6);
+    }
+}
+
+TEST(Trajectory, ObserveWalkPreservesTimestamps)
+{
+    WalkConfig config;
+    config.durationSeconds = 30.0;
+    Rng rng = testing::testRng(190);
+    auto walk = simulateWalk(config, rng);
+    GpsSensor sensor(4.0);
+    auto fixes = observeWalk(walk, sensor, rng);
+    ASSERT_EQ(fixes.size(), walk.size());
+    for (std::size_t i = 0; i < fixes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(fixes[i].timeSeconds, walk[i].timeSeconds);
+        EXPECT_DOUBLE_EQ(fixes[i].horizontalAccuracy, 4.0);
+        // A 4 m sensor almost never errs by a kilometer.
+        EXPECT_LT(distanceMeters(fixes[i].coordinate,
+                                 walk[i].coordinate),
+                  1000.0);
+    }
+}
+
+} // namespace
+} // namespace gps
+} // namespace uncertain

@@ -1,0 +1,118 @@
+/** @file Compositional-prior tests (inference/composite.hpp). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/core.hpp"
+#include "inference/composite.hpp"
+#include "random/gaussian.hpp"
+#include "random/uniform.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace inference {
+namespace {
+
+Uncertain<double>
+gaussianLeaf(double mu, double sigma)
+{
+    return core::fromDistribution(
+        std::make_shared<random::Gaussian>(mu, sigma));
+}
+
+TEST(CompositePrior, LogDensityIsTheSumOfComponents)
+{
+    auto a = std::make_shared<random::Gaussian>(0.0, 1.0);
+    auto b = std::make_shared<random::Gaussian>(1.0, 2.0);
+    CompositePrior priors({a, b});
+    EXPECT_NEAR(priors.logDensity(0.5),
+                a->logPdf(0.5) + b->logPdf(0.5), 1e-12);
+}
+
+TEST(CompositePrior, ExponentsTemperComponents)
+{
+    auto a = std::make_shared<random::Gaussian>(0.0, 1.0);
+    CompositePrior priors({});
+    priors.add(a, 2.0);
+    EXPECT_NEAR(priors.logDensity(1.0), 2.0 * a->logPdf(1.0), 1e-12);
+    EXPECT_THROW(priors.add(a, 0.0), Error);
+    EXPECT_THROW(priors.add(nullptr), Error);
+}
+
+TEST(ApplyPriors, TwoGaussianPriorsFuseLikeSequentialUpdates)
+{
+    // estimate N(2,1) x prior N(0,1) x prior N(1,1): the posterior
+    // is Gaussian with precision 3 and mean (2 + 0 + 1)/3 = 1.
+    Rng rng = testing::testRng(321);
+    auto estimate = gaussianLeaf(2.0, 1.0);
+    CompositePrior priors(
+        {std::make_shared<random::Gaussian>(0.0, 1.0),
+         std::make_shared<random::Gaussian>(1.0, 1.0)});
+    ReweightOptions options;
+    options.proposalSamples = 40000;
+    options.resampleSize = 20000;
+    auto posterior = applyPriors(estimate, priors, options, rng);
+
+    stats::OnlineSummary s;
+    s.addAll(posterior.takeSamples(20000, rng));
+    EXPECT_NEAR(s.mean(), 1.0, 0.05);
+    EXPECT_NEAR(s.variance(), 1.0 / 3.0, 0.05);
+}
+
+TEST(ApplyPriors, MixAndMatchWindowsIntersect)
+{
+    // The paper's maps+calendar+physics scenario in miniature: two
+    // interval constraints intersect.
+    Rng rng = testing::testRng(322);
+    auto estimate = gaussianLeaf(5.0, 10.0);
+    CompositePrior priors(
+        {std::make_shared<random::Uniform>(0.0, 6.0),
+         std::make_shared<random::Uniform>(4.0, 20.0)});
+    ReweightOptions options;
+    auto posterior = applyPriors(estimate, priors, options, rng);
+    for (double v : posterior.takeSamples(3000, rng)) {
+        EXPECT_GE(v, 4.0);
+        EXPECT_LE(v, 6.0);
+    }
+}
+
+TEST(ApplyPriors, SingleComponentMatchesApplyPrior)
+{
+    Rng rngA = testing::testRng(323);
+    Rng rngB = testing::testRng(323);
+    auto estimate = gaussianLeaf(2.0, 1.0);
+    random::Gaussian prior(0.0, 1.0);
+
+    ReweightOptions options;
+    options.proposalSamples = 20000;
+    options.resampleSize = 10000;
+
+    auto viaComposite = applyPriors(
+        estimate,
+        CompositePrior({std::make_shared<random::Gaussian>(0.0, 1.0)}),
+        options, rngA);
+    auto viaSingle = applyPrior(estimate, prior, options, rngB);
+
+    // Identical streams and weights: identical resampled pools.
+    stats::OnlineSummary a;
+    a.addAll(viaComposite.takeSamples(5000, rngA));
+    stats::OnlineSummary b;
+    b.addAll(viaSingle.takeSamples(5000, rngB));
+    EXPECT_NEAR(a.mean(), b.mean(), 1e-9);
+}
+
+TEST(ApplyPriors, RejectsEmptyComposite)
+{
+    Rng rng = testing::testRng(324);
+    auto estimate = gaussianLeaf(0.0, 1.0);
+    CompositePrior priors({});
+    ReweightOptions options;
+    EXPECT_THROW(applyPriors(estimate, priors, options, rng), Error);
+}
+
+} // namespace
+} // namespace inference
+} // namespace uncertain

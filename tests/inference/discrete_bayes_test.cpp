@@ -1,0 +1,119 @@
+/** @file Discrete Bayes and conjugate-update tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/conjugate.hpp"
+#include "inference/discrete_bayes.hpp"
+#include "inference/likelihood.hpp"
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace inference {
+namespace {
+
+TEST(DiscreteBayes, BinarySensorMapEqualsNearestHypothesis)
+{
+    // The BayesLife derivation: with equal priors and symmetric
+    // Gaussian likelihoods around 0 and 1, the MAP hypothesis is
+    // whichever of 0/1 is closer to the reading.
+    std::vector<Hypothesis> hypotheses{{0.0, 0.5}, {1.0, 0.5}};
+    for (double reading : {-0.7, 0.1, 0.49, 0.51, 0.9, 1.8}) {
+        GaussianLikelihood likelihood(reading, 0.3);
+        DiscretePosterior posterior(hypotheses, likelihood);
+        double expected = reading > 0.5 ? 1.0 : 0.0;
+        EXPECT_DOUBLE_EQ(posterior.mapValue(), expected)
+            << "reading = " << reading;
+    }
+}
+
+TEST(DiscreteBayes, PosteriorMatchesBayesRuleByHand)
+{
+    // Two hypotheses, unequal priors, explicit likelihoods.
+    std::vector<Hypothesis> hypotheses{{0.0, 0.9}, {1.0, 0.1}};
+    GaussianLikelihood likelihood(1.0, 0.5);
+    DiscretePosterior posterior(hypotheses, likelihood);
+
+    double l0 = std::exp(likelihood.logLikelihood(0.0)) * 0.9;
+    double l1 = std::exp(likelihood.logLikelihood(1.0)) * 0.1;
+    EXPECT_NEAR(posterior.probability(0), l0 / (l0 + l1), 1e-10);
+    EXPECT_NEAR(posterior.probability(1), l1 / (l0 + l1), 1e-10);
+    EXPECT_NEAR(posterior.probability(0) + posterior.probability(1),
+                1.0, 1e-12);
+}
+
+TEST(DiscreteBayes, StrongPriorOverridesWeakEvidence)
+{
+    std::vector<Hypothesis> hypotheses{{0.0, 0.999}, {1.0, 0.001}};
+    GaussianLikelihood likelihood(0.6, 0.5); // slightly favors 1
+    DiscretePosterior posterior(hypotheses, likelihood);
+    EXPECT_DOUBLE_EQ(posterior.mapValue(), 0.0);
+}
+
+TEST(DiscreteBayes, PosteriorMeanInterpolates)
+{
+    std::vector<Hypothesis> hypotheses{{0.0, 0.5}, {1.0, 0.5}};
+    GaussianLikelihood likelihood(0.5, 0.4); // perfectly ambiguous
+    DiscretePosterior posterior(hypotheses, likelihood);
+    EXPECT_NEAR(posterior.mean(), 0.5, 1e-10);
+}
+
+TEST(DiscreteBayes, ZeroPriorHypothesisGetsZeroPosterior)
+{
+    std::vector<Hypothesis> hypotheses{{0.0, 1.0}, {1.0, 0.0}};
+    GaussianLikelihood likelihood(1.0, 0.1); // evidence screams "1"
+    DiscretePosterior posterior(hypotheses, likelihood);
+    EXPECT_DOUBLE_EQ(posterior.probability(1), 0.0);
+    EXPECT_DOUBLE_EQ(posterior.mapValue(), 0.0);
+}
+
+TEST(DiscreteBayes, ValidatesInput)
+{
+    GaussianLikelihood likelihood(0.0, 1.0);
+    EXPECT_THROW(DiscretePosterior({}, likelihood), Error);
+    EXPECT_THROW(
+        DiscretePosterior({{0.0, -1.0}}, likelihood), Error);
+    EXPECT_THROW(
+        DiscretePosterior({{0.0, 0.0}, {1.0, 0.0}}, likelihood),
+        Error);
+    DiscretePosterior ok({{0.0, 1.0}}, likelihood);
+    EXPECT_THROW(ok.probability(5), Error);
+}
+
+TEST(Conjugate, GaussianPosteriorInterpolatesPrecisionWeighted)
+{
+    random::Gaussian prior(0.0, 1.0);
+    auto post = gaussianPosterior(prior, 2.0, 1.0);
+    EXPECT_NEAR(post.mu(), 1.0, 1e-12);
+    EXPECT_NEAR(post.sigma(), std::sqrt(0.5), 1e-12);
+}
+
+TEST(Conjugate, ManyObservationsOverwhelmThePrior)
+{
+    random::Gaussian prior(0.0, 1.0);
+    auto post = gaussianPosterior(prior, 5.0, 1.0, 10000);
+    EXPECT_NEAR(post.mu(), 5.0, 0.01);
+    EXPECT_LT(post.sigma(), 0.02);
+}
+
+TEST(Conjugate, BetaBernoulliCounts)
+{
+    random::Beta prior(1.0, 1.0);
+    auto post = betaPosterior(prior, 7, 3);
+    EXPECT_DOUBLE_EQ(post.a(), 8.0);
+    EXPECT_DOUBLE_EQ(post.b(), 4.0);
+    EXPECT_NEAR(post.mean(), 8.0 / 12.0, 1e-12);
+}
+
+TEST(Conjugate, ValidatesParameters)
+{
+    random::Gaussian prior(0.0, 1.0);
+    EXPECT_THROW(gaussianPosterior(prior, 1.0, 0.0), Error);
+    EXPECT_THROW(gaussianPosterior(prior, 1.0, 1.0, 0), Error);
+}
+
+} // namespace
+} // namespace inference
+} // namespace uncertain

@@ -1,0 +1,105 @@
+/** @file Exact Game of Life substrate tests. */
+
+#include <gtest/gtest.h>
+
+#include "life/board.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace life {
+namespace {
+
+TEST(LifeRule, MatchesTheFourPaperRules)
+{
+    // Live cell with 2 or 3 neighbors lives.
+    EXPECT_TRUE(lifeRule(true, 2));
+    EXPECT_TRUE(lifeRule(true, 3));
+    // Fewer than 2: dies.
+    EXPECT_FALSE(lifeRule(true, 0));
+    EXPECT_FALSE(lifeRule(true, 1));
+    // More than 3: dies.
+    EXPECT_FALSE(lifeRule(true, 4));
+    EXPECT_FALSE(lifeRule(true, 8));
+    // Dead cell with exactly 3 becomes live.
+    EXPECT_TRUE(lifeRule(false, 3));
+    EXPECT_FALSE(lifeRule(false, 2));
+    EXPECT_FALSE(lifeRule(false, 4));
+}
+
+TEST(Board, NeighborCountsRespectEdges)
+{
+    Board board(3, 3);
+    for (std::size_t y = 0; y < 3; ++y)
+        for (std::size_t x = 0; x < 3; ++x)
+            board.setAlive(x, y, true);
+    EXPECT_EQ(board.countLiveNeighbors(1, 1), 8);
+    EXPECT_EQ(board.countLiveNeighbors(0, 0), 3);
+    EXPECT_EQ(board.countLiveNeighbors(1, 0), 5);
+}
+
+TEST(Board, BlockIsAStillLife)
+{
+    Board board(4, 4);
+    board.setAlive(1, 1, true);
+    board.setAlive(1, 2, true);
+    board.setAlive(2, 1, true);
+    board.setAlive(2, 2, true);
+    EXPECT_TRUE(board.stepExact() == board);
+}
+
+TEST(Board, BlinkerOscillatesWithPeriodTwo)
+{
+    Board board(5, 5);
+    board.setAlive(1, 2, true);
+    board.setAlive(2, 2, true);
+    board.setAlive(3, 2, true);
+
+    Board next = board.stepExact();
+    EXPECT_FALSE(next == board);
+    EXPECT_TRUE(next.alive(2, 1));
+    EXPECT_TRUE(next.alive(2, 2));
+    EXPECT_TRUE(next.alive(2, 3));
+    EXPECT_TRUE(next.stepExact() == board);
+}
+
+TEST(Board, LoneCellDiesAndStaysDead)
+{
+    Board board(3, 3);
+    board.setAlive(1, 1, true);
+    Board next = board.stepExact();
+    EXPECT_EQ(next.population(), 0u);
+    EXPECT_EQ(next.stepExact().population(), 0u);
+}
+
+TEST(Board, RandomizeHitsTheRequestedDensity)
+{
+    Board board(50, 50);
+    Rng rng = testing::testRng(201);
+    board.randomize(rng, 0.35);
+    double density = static_cast<double>(board.population())
+                     / static_cast<double>(board.cellCount());
+    EXPECT_NEAR(density, 0.35,
+                testing::proportionTolerance(0.35, 2500));
+}
+
+TEST(Board, ValidatesArguments)
+{
+    EXPECT_THROW(Board(0, 5), Error);
+    Board board(2, 2);
+    EXPECT_THROW(board.alive(2, 0), Error);
+    EXPECT_THROW(board.setAlive(0, 2, true), Error);
+    Rng rng = testing::testRng(202);
+    EXPECT_THROW(board.randomize(rng, 1.5), Error);
+}
+
+TEST(Board, RenderShowsPopulation)
+{
+    Board board(2, 1);
+    board.setAlive(0, 0, true);
+    EXPECT_EQ(board.render(), "#.\n");
+}
+
+} // namespace
+} // namespace life
+} // namespace uncertain

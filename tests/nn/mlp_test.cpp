@@ -1,0 +1,116 @@
+/** @file MLP forward/backward tests, including finite differences. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace nn {
+namespace {
+
+TEST(Mlp, ParameterCountMatchesTopology)
+{
+    // 9 -> 8 -> 1: 9*8 + 8 + 8*1 + 1 = 89 (Parrot's Sobel network).
+    Mlp network({9, 8, 1});
+    EXPECT_EQ(network.parameterCount(), 89u);
+
+    Mlp linear({1, 1});
+    EXPECT_EQ(linear.parameterCount(), 2u);
+}
+
+TEST(Mlp, LinearNetworkComputesAffineFunction)
+{
+    Mlp network({1, 1});
+    // weights = [w, b]: y = w x + b (output layer is linear).
+    std::vector<double> weights{2.0, -1.0};
+    EXPECT_DOUBLE_EQ(network.forward(weights, {3.0}), 5.0);
+    EXPECT_DOUBLE_EQ(network.forward(weights, {0.0}), -1.0);
+}
+
+TEST(Mlp, HiddenLayerAppliesTanh)
+{
+    // 1 -> 1 -> 1 with unit weights, zero biases: y = tanh(x).
+    Mlp network({1, 1, 1});
+    std::vector<double> weights{1.0, 0.0, 1.0, 0.0};
+    EXPECT_NEAR(network.forward(weights, {0.7}), std::tanh(0.7),
+                1e-12);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences)
+{
+    Mlp network({3, 4, 1});
+    Rng rng = testing::testRng(231);
+    std::vector<double> weights = network.initialWeights(rng);
+    std::vector<double> input{0.3, -0.7, 1.2};
+    const double target = 0.25;
+
+    std::vector<double> grad(network.parameterCount(), 0.0);
+    network.accumulateGradient(weights, input, target, grad);
+
+    const double h = 1e-6;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        std::vector<double> plus = weights;
+        std::vector<double> minus = weights;
+        plus[i] += h;
+        minus[i] -= h;
+        double rp = network.forward(plus, input) - target;
+        double rm = network.forward(minus, input) - target;
+        double numeric = (0.5 * rp * rp - 0.5 * rm * rm) / (2.0 * h);
+        EXPECT_NEAR(grad[i], numeric, 1e-5)
+            << "parameter " << i;
+    }
+}
+
+TEST(Mlp, GradientAccumulatesAcrossExamples)
+{
+    Mlp network({2, 1});
+    std::vector<double> weights{1.0, 1.0, 0.0};
+    std::vector<double> gradOnce(3, 0.0);
+    network.accumulateGradient(weights, {1.0, 2.0}, 0.0, gradOnce);
+
+    std::vector<double> gradTwice(3, 0.0);
+    network.accumulateGradient(weights, {1.0, 2.0}, 0.0, gradTwice);
+    network.accumulateGradient(weights, {1.0, 2.0}, 0.0, gradTwice);
+
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(gradTwice[i], 2.0 * gradOnce[i], 1e-12);
+}
+
+TEST(Mlp, ResidualIsReturned)
+{
+    Mlp network({1, 1});
+    std::vector<double> weights{1.0, 0.0};
+    std::vector<double> grad(2, 0.0);
+    double r = network.accumulateGradient(weights, {2.0}, 0.5, grad);
+    EXPECT_DOUBLE_EQ(r, 1.5);
+}
+
+TEST(Mlp, MeanSquaredError)
+{
+    Mlp network({1, 1});
+    std::vector<double> weights{1.0, 0.0}; // identity
+    Dataset data;
+    data.inputs = {{1.0}, {2.0}};
+    data.targets = {1.5, 1.5};
+    // Residuals -0.5 and 0.5: MSE = 0.25.
+    EXPECT_DOUBLE_EQ(network.meanSquaredError(weights, data), 0.25);
+}
+
+TEST(Mlp, ValidatesShapes)
+{
+    EXPECT_THROW(Mlp({5}), Error);
+    EXPECT_THROW(Mlp({3, 2}), Error); // output must be width 1
+    Mlp network({2, 1});
+    std::vector<double> weights{1.0, 1.0, 0.0};
+    EXPECT_THROW(network.forward(weights, {1.0}), Error);
+    EXPECT_THROW(network.forward({1.0}, {1.0, 2.0}), Error);
+}
+
+} // namespace
+} // namespace nn
+} // namespace uncertain

@@ -1,0 +1,188 @@
+/** @file Sobel workload and Parakeet model tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/parakeet.hpp"
+#include "nn/sobel.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace nn {
+namespace {
+
+TEST(Sobel, FlatPatchHasZeroResponse)
+{
+    Patch flat;
+    flat.fill(0.6);
+    EXPECT_NEAR(sobel(flat), 0.0, 1e-12);
+}
+
+TEST(Sobel, VerticalStepEdgeHasKnownResponse)
+{
+    // Left column 0, right column 1, middle column 0.5: Gx = 4,
+    // Gy = 0, normalized = 4 / (4 sqrt 2) = 1/sqrt(2).
+    Patch step{0.0, 0.5, 1.0, 0.0, 0.5, 1.0, 0.0, 0.5, 1.0};
+    EXPECT_NEAR(sobel(step), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Sobel, ResponseIsRotationInvariantForTransposedPatch)
+{
+    Patch p{0.1, 0.2, 0.9, 0.3, 0.4, 0.8, 0.0, 0.6, 0.7};
+    Patch t{p[0], p[3], p[6], p[1], p[4], p[7], p[2], p[5], p[8]};
+    EXPECT_NEAR(sobel(p), sobel(t), 1e-12);
+}
+
+TEST(Sobel, ResponseIsBoundedToUnitInterval)
+{
+    Rng rng = testing::testRng(251);
+    for (int i = 0; i < 1000; ++i) {
+        Patch p;
+        for (double& v : p)
+            v = rng.nextDouble();
+        double s = sobel(p);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST(SyntheticImage, PixelsAreValidIntensities)
+{
+    Rng rng = testing::testRng(252);
+    SyntheticImage image(32, rng);
+    for (std::size_t y = 0; y < image.size(); ++y) {
+        for (std::size_t x = 0; x < image.size(); ++x) {
+            EXPECT_GE(image.at(x, y), 0.0);
+            EXPECT_LE(image.at(x, y), 1.0);
+        }
+    }
+    EXPECT_THROW(image.at(32, 0), Error);
+    EXPECT_THROW(image.patchAt(0, 5), Error);
+}
+
+TEST(SyntheticImage, ContainsBothEdgesAndFlatRegions)
+{
+    Rng rng = testing::testRng(253);
+    int edges = 0;
+    int flats = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        SyntheticImage image(32, rng);
+        for (std::size_t y = 1; y + 1 < 32; ++y) {
+            for (std::size_t x = 1; x + 1 < 32; ++x) {
+                double s = sobel(image.patchAt(x, y));
+                edges += s > kEdgeThreshold ? 1 : 0;
+                flats += s <= kEdgeThreshold ? 1 : 0;
+            }
+        }
+    }
+    EXPECT_GT(edges, 100);
+    EXPECT_GT(flats, 1000);
+}
+
+TEST(MakeSobelDataset, ShapesAndLabelsAreConsistent)
+{
+    Rng rng = testing::testRng(254);
+    Dataset data = makeSobelDataset(500, rng);
+    ASSERT_EQ(data.size(), 500u);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(data.inputs[i].size(), 9u);
+        Patch p;
+        std::copy(data.inputs[i].begin(), data.inputs[i].end(),
+                  p.begin());
+        EXPECT_DOUBLE_EQ(data.targets[i], sobel(p));
+    }
+}
+
+class ParakeetFixture : public ::testing::Test
+{
+  protected:
+    // Train one small model for every test in this suite; training
+    // is the expensive part.
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng = testing::testRng(255);
+        Dataset data = makeSobelDataset(800, rng);
+        ParakeetOptions options;
+        options.sgd.epochs = 120;
+        options.hmc.burnIn = 150;
+        options.hmc.thinning = 4;
+        options.hmc.posteriorSamples = 40;
+        options.hmcDataLimit = 400;
+        model_ = new Parakeet(Parakeet::train(data, options, rng));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        model_ = nullptr;
+    }
+
+    static Parakeet* model_;
+};
+
+Parakeet* ParakeetFixture::model_ = nullptr;
+
+TEST_F(ParakeetFixture, ParrotLearnsTheSobelOperator)
+{
+    // The paper reports ~3.4% RMS error for Parrot; our synthetic
+    // substrate should land in the same ballpark (< 10%).
+    EXPECT_LT(std::sqrt(model_->parrotTrainingMse()), 0.10);
+}
+
+TEST_F(ParakeetFixture, PoolHasTheRequestedSize)
+{
+    EXPECT_EQ(model_->poolSize(), 40u);
+}
+
+TEST_F(ParakeetFixture, PpdSamplesComeFromThePool)
+{
+    Rng rng = testing::testRng(256);
+    std::vector<double> input(9, 0.5);
+    auto ppd = model_->predict(input);
+    auto poolPredictions = model_->posteriorPredictions(input);
+    for (double draw : ppd.takeSamples(200, rng)) {
+        bool found = false;
+        for (double p : poolPredictions)
+            found = found || p == draw;
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST_F(ParakeetFixture, PpdHasNonZeroSpread)
+{
+    Rng rng = testing::testRng(257);
+    Patch step{0.0, 0.5, 1.0, 0.0, 0.5, 1.0, 0.0, 0.5, 1.0};
+    std::vector<double> input(step.begin(), step.end());
+    auto ppd = model_->predict(input);
+    stats::OnlineSummary s;
+    s.addAll(ppd.takeSamples(500, rng));
+    EXPECT_GT(s.stddev(), 0.0);
+}
+
+TEST_F(ParakeetFixture, EvidenceThresholdsTradePrecisionForRecall)
+{
+    // Higher alpha must predict fewer (or equal) edges.
+    Rng rng = testing::testRng(258);
+    Dataset eval = makeSobelDataset(150, rng);
+    core::ConditionalOptions options;
+    options.sprt.maxSamples = 200;
+    int lowCount = 0;
+    int highCount = 0;
+    for (const auto& input : eval.inputs) {
+        auto evidence = model_->predict(input) > kEdgeThreshold;
+        if (evidence.pr(0.2, options, rng))
+            ++lowCount;
+        if (evidence.pr(0.9, options, rng))
+            ++highCount;
+    }
+    EXPECT_LE(highCount, lowCount);
+}
+
+} // namespace
+} // namespace nn
+} // namespace uncertain

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The prob -> core bridge: generative-model posteriors consumed as
+ * Uncertain<double> values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+#include "prob/model.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace prob {
+namespace {
+
+TEST(QueryAsUncertain, AlarmPosteriorSupportsConditionals)
+{
+    Rng rng = testing::testRng(381);
+    auto phoneWorking = queryAsUncertain(alarmModel, 2000, rng);
+
+    // Pr[phoneWorking | alarm] ~ 0.964: strong evidence above 0.9,
+    // none above 0.99.
+    core::ConditionalOptions options;
+    options.sprt.maxSamples = 2000;
+    auto asEvent = phoneWorking > 0.5; // pool values are 0/1
+    EXPECT_TRUE(asEvent.pr(0.9, options, rng));
+    EXPECT_FALSE(asEvent.pr(0.99, options, rng));
+}
+
+TEST(QueryAsUncertain, PosteriorMeanMatchesAnalytic)
+{
+    const double pe = 0.0001;
+    const double pb = 0.001;
+    const double expected = (pe * 0.7 + (1.0 - pe) * pb * 0.99)
+                            / (pe + pb - pe * pb);
+    Rng rng = testing::testRng(382);
+    auto posterior = queryAsUncertain(alarmModel, 4000, rng);
+    EXPECT_NEAR(posterior.expectedValue(20000, rng), expected, 0.02);
+}
+
+TEST(QueryAsUncertain, ComposesWithTheOperatorAlgebra)
+{
+    Rng rng = testing::testRng(383);
+    auto posterior = queryAsUncertain(alarmModel, 1000, rng);
+    // Arbitrary downstream computation: a risk score.
+    auto risk = (1.0 - posterior) * 100.0;
+    double e = risk.expectedValue(20000, rng);
+    EXPECT_GT(e, 0.5);
+    EXPECT_LT(e, 15.0);
+}
+
+TEST(QueryAsUncertain, ThrowsWhenEvidenceIsImpossible)
+{
+    Rng rng = testing::testRng(384);
+    EXPECT_THROW(queryAsUncertain(
+                     [](Sampler& s) {
+                         s.observe(false);
+                         return 0.0;
+                     },
+                     10, rng, 1000),
+                 Error);
+}
+
+} // namespace
+} // namespace prob
+} // namespace uncertain

@@ -1,0 +1,112 @@
+/** @file Likelihood-weighting (soft conditioning) tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/conjugate.hpp"
+#include "prob/model.hpp"
+#include "random/gaussian.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace prob {
+namespace {
+
+/**
+ * Latent temperature ~ N(20, 5); a sensor reads 25 with N(0, 2)
+ * noise, scored with factor(). The exact posterior is the Gaussian
+ * conjugate update.
+ */
+double
+temperatureModel(Sampler& s)
+{
+    double temperature = s.gaussian(20.0, 5.0);
+    s.factor(random::Gaussian(temperature, 2.0).logPdf(25.0));
+    return temperature;
+}
+
+TEST(LikelihoodWeighting, MatchesTheConjugatePosterior)
+{
+    Rng rng = testing::testRng(421);
+    auto result = likelihoodWeightedQuery(temperatureModel, 50000,
+                                          rng);
+    random::Gaussian exact = inference::gaussianPosterior(
+        random::Gaussian(20.0, 5.0), 25.0, 2.0);
+    EXPECT_NEAR(result.mean(), exact.mu(), 0.1);
+}
+
+TEST(LikelihoodWeighting, NeverDiscardsSoftTraces)
+{
+    Rng rng = testing::testRng(422);
+    auto result = likelihoodWeightedQuery(temperatureModel, 5000,
+                                          rng);
+    EXPECT_EQ(result.samples.size(), 5000u);
+    EXPECT_EQ(result.simulations, 5000u);
+}
+
+TEST(LikelihoodWeighting, EffectiveSampleSizeReflectsMismatch)
+{
+    Rng rng = testing::testRng(423);
+    // Weak evidence: posterior ~ prior, weights nearly uniform.
+    auto weak = likelihoodWeightedQuery(
+        [](Sampler& s) {
+            double t = s.gaussian(20.0, 5.0);
+            s.factor(random::Gaussian(t, 50.0).logPdf(21.0));
+            return t;
+        },
+        5000, rng);
+    // Sharp evidence far in the tail: weights concentrate.
+    auto sharp = likelihoodWeightedQuery(
+        [](Sampler& s) {
+            double t = s.gaussian(20.0, 5.0);
+            s.factor(random::Gaussian(t, 0.1).logPdf(40.0));
+            return t;
+        },
+        5000, rng);
+    EXPECT_GT(weak.effectiveSampleSize(),
+              10.0 * sharp.effectiveSampleSize());
+}
+
+TEST(LikelihoodWeighting, HardObserveStillRejects)
+{
+    Rng rng = testing::testRng(424);
+    auto result = likelihoodWeightedQuery(
+        [](Sampler& s) {
+            bool heads = s.flip(0.5);
+            s.observe(heads);
+            return heads ? 1.0 : 0.0;
+        },
+        2000, rng);
+    // Roughly half the traces survive, and all survivors are heads.
+    EXPECT_NEAR(static_cast<double>(result.samples.size()), 1000.0,
+                100.0);
+    EXPECT_NEAR(result.mean(), 1.0, 1e-12);
+}
+
+TEST(LikelihoodWeighting, FactorValidatesInput)
+{
+    Rng rng = testing::testRng(425);
+    Sampler sampler(rng);
+    EXPECT_THROW(sampler.factor(std::nan("")), Error);
+    sampler.factor(1.5); // positive log weights are legal
+    EXPECT_DOUBLE_EQ(sampler.logWeight(), 1.5);
+}
+
+TEST(LikelihoodWeighting, EmptyOrZeroWeightResultsThrow)
+{
+    Rng rng = testing::testRng(426);
+    auto impossible = likelihoodWeightedQuery(
+        [](Sampler& s) {
+            s.observe(false);
+            return 0.0;
+        },
+        100, rng);
+    EXPECT_TRUE(impossible.samples.empty());
+    EXPECT_THROW(impossible.mean(), Error);
+}
+
+} // namespace
+} // namespace prob
+} // namespace uncertain

@@ -1,0 +1,109 @@
+/** @file Church-style rejection-sampling baseline tests. */
+
+#include <gtest/gtest.h>
+
+#include "prob/model.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace prob {
+namespace {
+
+TEST(Sampler, FlipMatchesProbability)
+{
+    Rng rng = testing::testRng(261);
+    Sampler sampler(rng);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += sampler.flip(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25,
+                testing::proportionTolerance(0.25, n));
+}
+
+TEST(Sampler, ObserveRejectsTheTrace)
+{
+    Rng rng = testing::testRng(262);
+    Sampler sampler(rng);
+    EXPECT_FALSE(sampler.rejected());
+    sampler.observe(true);
+    EXPECT_FALSE(sampler.rejected());
+    sampler.observe(false);
+    EXPECT_TRUE(sampler.rejected());
+    sampler.observe(true); // rejection is sticky
+    EXPECT_TRUE(sampler.rejected());
+}
+
+TEST(RejectionQuery, UnconditionedModelAcceptsEverything)
+{
+    Rng rng = testing::testRng(263);
+    auto result = rejectionQuery(
+        [](Sampler& s) { return s.flip(0.5) ? 1.0 : 0.0; }, 1000, rng);
+    EXPECT_EQ(result.samples.size(), 1000u);
+    EXPECT_EQ(result.simulations, 1000u);
+    EXPECT_DOUBLE_EQ(result.acceptanceRate(), 1.0);
+    EXPECT_NEAR(result.mean(), 0.5, 0.1);
+}
+
+TEST(RejectionQuery, ConditioningInflatesSimulationCount)
+{
+    // Observe a 1-in-100 event: ~100 simulations per sample.
+    Rng rng = testing::testRng(264);
+    auto result = rejectionQuery(
+        [](Sampler& s) {
+            bool rare = s.flip(0.01);
+            s.observe(rare);
+            return 1.0;
+        },
+        200, rng);
+    EXPECT_EQ(result.samples.size(), 200u);
+    EXPECT_GT(result.simulations, 200u * 50);
+    EXPECT_NEAR(result.acceptanceRate(), 0.01, 0.005);
+}
+
+TEST(RejectionQuery, GivesUpAtTheSimulationCap)
+{
+    Rng rng = testing::testRng(265);
+    auto result = rejectionQuery(
+        [](Sampler& s) {
+            s.observe(false); // impossible evidence
+            return 0.0;
+        },
+        10, rng, 5000);
+    EXPECT_TRUE(result.samples.empty());
+    EXPECT_EQ(result.simulations, 5000u);
+}
+
+TEST(AlarmModel, PosteriorMatchesTheAnalyticAnswer)
+{
+    // Pr[phone | alarm] by total probability over the four worlds:
+    //   Pr[alarm] = 1 - (1 - 1e-4)(1 - 1e-3)
+    //   phone is 0.7 under earthquake, 0.99 otherwise.
+    const double pe = 0.0001;
+    const double pb = 0.001;
+    const double pAlarm = pe + pb - pe * pb;
+    const double pPhoneAndAlarm =
+        pe * 0.7 + (1.0 - pe) * pb * 0.99;
+    const double expected = pPhoneAndAlarm / pAlarm;
+
+    Rng rng = testing::testRng(266);
+    auto result = rejectionQuery(alarmModel, 3000, rng);
+    ASSERT_EQ(result.samples.size(), 3000u);
+    EXPECT_NEAR(result.mean(), expected, 0.02);
+    // The paper's complaint: only ~0.11% of traces are accepted.
+    EXPECT_NEAR(result.acceptanceRate(), pAlarm, pAlarm);
+    EXPECT_LT(result.acceptanceRate(), 0.005);
+}
+
+TEST(RejectionQuery, ValidatesArguments)
+{
+    Rng rng = testing::testRng(267);
+    EXPECT_THROW(rejectionQuery(Model{}, 10, rng), Error);
+    EXPECT_THROW(
+        rejectionQuery([](Sampler&) { return 0.0; }, 0, rng), Error);
+}
+
+} // namespace
+} // namespace prob
+} // namespace uncertain

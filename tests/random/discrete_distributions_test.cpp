@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Goodness-of-fit and edge-case tests for the discrete distributions
+ * (Bernoulli, Binomial, Poisson, Discrete/alias method).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "random/bernoulli.hpp"
+#include "random/binomial.hpp"
+#include "random/discrete.hpp"
+#include "random/poisson.hpp"
+#include "stats/chi_square.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace random {
+namespace {
+
+TEST(Bernoulli, FrequenciesMatchP)
+{
+    Bernoulli dist(0.2);
+    Rng rng = testing::testRng(21);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += dist.sampleBool(rng) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.2,
+                testing::proportionTolerance(0.2, n));
+}
+
+TEST(Bernoulli, PmfAndCdf)
+{
+    Bernoulli dist(0.7);
+    EXPECT_DOUBLE_EQ(dist.pdf(0.0), 0.3);
+    EXPECT_DOUBLE_EQ(dist.pdf(1.0), 0.7);
+    EXPECT_DOUBLE_EQ(dist.pdf(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(-0.1), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.3);
+    EXPECT_DOUBLE_EQ(dist.cdf(1.0), 1.0);
+    EXPECT_THROW(Bernoulli(1.2), Error);
+}
+
+TEST(Binomial, ChiSquareAgainstPmf)
+{
+    Binomial dist(10, 0.35);
+    Rng rng = testing::testRng(22);
+    const int n = 100000;
+    std::vector<std::size_t> observed(11, 0);
+    for (int i = 0; i < n; ++i)
+        ++observed[static_cast<std::size_t>(dist.sample(rng))];
+    std::vector<double> expected;
+    for (int k = 0; k <= 10; ++k)
+        expected.push_back(dist.pdf(k));
+    auto result = stats::chiSquareGof(observed, expected);
+    EXPECT_GT(result.pValue, 1e-4);
+}
+
+TEST(Binomial, DegenerateProbabilities)
+{
+    Rng rng = testing::testRng(23);
+    Binomial zeros(20, 0.0);
+    Binomial ones(20, 1.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(zeros.sample(rng), 0.0);
+        EXPECT_DOUBLE_EQ(ones.sample(rng), 20.0);
+    }
+}
+
+TEST(Binomial, CdfMatchesPmfSum)
+{
+    Binomial dist(15, 0.6);
+    double cumulative = 0.0;
+    for (int k = 0; k <= 15; ++k) {
+        cumulative += dist.pdf(k);
+        EXPECT_NEAR(dist.cdf(k), cumulative, 1e-9) << "k=" << k;
+    }
+}
+
+TEST(Binomial, LargeNSparsePathHasRightMoments)
+{
+    Binomial dist(2000, 0.002);
+    Rng rng = testing::testRng(24);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += dist.sample(rng);
+    EXPECT_NEAR(sum / n, 4.0, testing::meanTolerance(2.0, n));
+}
+
+TEST(Poisson, ChiSquareAgainstPmf)
+{
+    Poisson dist(4.0);
+    Rng rng = testing::testRng(25);
+    const int n = 100000;
+    // Bin counts 0..14, 15+ pooled.
+    std::vector<std::size_t> observed(16, 0);
+    for (int i = 0; i < n; ++i) {
+        auto k = static_cast<std::size_t>(dist.sample(rng));
+        ++observed[std::min<std::size_t>(k, 15)];
+    }
+    std::vector<double> expected;
+    double tail = 1.0;
+    for (int k = 0; k < 15; ++k) {
+        double mass = dist.pdf(k);
+        expected.push_back(mass);
+        tail -= mass;
+    }
+    expected.push_back(tail);
+    auto result = stats::chiSquareGof(observed, expected);
+    EXPECT_GT(result.pValue, 1e-4);
+}
+
+TEST(Poisson, CdfConsistentWithPmf)
+{
+    Poisson dist(2.5);
+    double cumulative = 0.0;
+    for (int k = 0; k <= 12; ++k) {
+        cumulative += dist.pdf(k);
+        EXPECT_NEAR(dist.cdf(k), cumulative, 1e-9) << "k=" << k;
+    }
+}
+
+TEST(Discrete, AliasMethodMatchesWeights)
+{
+    Discrete dist({10.0, 20.0, 30.0, 40.0}, {1.0, 2.0, 3.0, 4.0});
+    Rng rng = testing::testRng(26);
+    const int n = 200000;
+    std::map<double, int> counts;
+    for (int i = 0; i < n; ++i)
+        ++counts[dist.sample(rng)];
+    EXPECT_NEAR(counts[10.0] / static_cast<double>(n), 0.1,
+                testing::proportionTolerance(0.1, n));
+    EXPECT_NEAR(counts[40.0] / static_cast<double>(n), 0.4,
+                testing::proportionTolerance(0.4, n));
+}
+
+TEST(Discrete, MomentsAndQueries)
+{
+    Discrete dist({0.0, 1.0}, {0.25, 0.75});
+    EXPECT_NEAR(dist.mean(), 0.75, 1e-12);
+    EXPECT_NEAR(dist.variance(), 0.1875, 1e-12);
+    EXPECT_NEAR(dist.pdf(1.0), 0.75, 1e-12);
+    EXPECT_NEAR(dist.cdf(0.5), 0.25, 1e-12);
+}
+
+TEST(Discrete, HandlesZeroWeightEntries)
+{
+    Discrete dist({1.0, 2.0, 3.0}, {0.0, 1.0, 0.0});
+    Rng rng = testing::testRng(27);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_DOUBLE_EQ(dist.sample(rng), 2.0);
+}
+
+TEST(Discrete, SingleValueDistribution)
+{
+    Discrete dist({7.5}, {3.0});
+    Rng rng = testing::testRng(28);
+    EXPECT_DOUBLE_EQ(dist.sample(rng), 7.5);
+    EXPECT_DOUBLE_EQ(dist.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(dist.variance(), 0.0);
+}
+
+TEST(Discrete, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(Discrete({}, {}), Error);
+    EXPECT_THROW(Discrete({1.0}, {1.0, 2.0}), Error);
+    EXPECT_THROW(Discrete({1.0, 2.0}, {0.0, 0.0}), Error);
+    EXPECT_THROW(Discrete({1.0}, {-1.0}), Error);
+}
+
+TEST(Discrete, RepeatedValuesAggregateMass)
+{
+    Discrete dist({5.0, 5.0, 6.0}, {1.0, 1.0, 2.0});
+    EXPECT_NEAR(dist.pdf(5.0), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,149 @@
+/** @file Empirical pool, KDE, truncation, and point-mass tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "random/empirical.hpp"
+#include "random/gaussian.hpp"
+#include "random/kde.hpp"
+#include "random/point_mass.hpp"
+#include "random/truncated.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace random {
+namespace {
+
+TEST(Empirical, SamplesOnlyPoolValues)
+{
+    Empirical dist({1.0, 2.0, 3.0});
+    Rng rng = testing::testRng(31);
+    for (int i = 0; i < 1000; ++i) {
+        double x = dist.sample(rng);
+        EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+    }
+}
+
+TEST(Empirical, MomentsMatchPool)
+{
+    Empirical dist({2.0, 4.0, 6.0, 8.0});
+    EXPECT_DOUBLE_EQ(dist.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(dist.variance(), 5.0);
+}
+
+TEST(Empirical, CdfIsTheEmpiricalCdf)
+{
+    Empirical dist({1.0, 2.0, 2.0, 10.0});
+    EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(dist.cdf(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(dist.cdf(100.0), 1.0);
+}
+
+TEST(Empirical, QuantileInterpolatesOrderStatistics)
+{
+    Empirical dist({0.0, 10.0});
+    EXPECT_DOUBLE_EQ(dist.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(1.0), 10.0);
+    EXPECT_THROW(dist.quantile(1.5), Error);
+    EXPECT_THROW(Empirical({}), Error);
+}
+
+TEST(GaussianKde, RecoversUnderlyingDensityShape)
+{
+    // Pool from N(0, 1); the KDE density near 0 should approach the
+    // true density.
+    Gaussian source(0.0, 1.0);
+    Rng rng = testing::testRng(32);
+    std::vector<double> pool;
+    for (int i = 0; i < 5000; ++i)
+        pool.push_back(source.sample(rng));
+    GaussianKde kde(pool);
+    EXPECT_NEAR(kde.pdf(0.0), source.pdf(0.0), 0.05);
+    EXPECT_NEAR(kde.cdf(0.0), 0.5, 0.03);
+    EXPECT_NEAR(kde.mean(), 0.0, 0.05);
+}
+
+TEST(GaussianKde, SamplesHaveInflatedVarianceByBandwidth)
+{
+    std::vector<double> pool{-1.0, 1.0};
+    GaussianKde kde(pool, 0.5);
+    // Var = pool variance (1.0) + h^2 (0.25).
+    EXPECT_NEAR(kde.variance(), 1.25, 1e-12);
+    Rng rng = testing::testRng(33);
+    stats::OnlineSummary s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(kde.sample(rng));
+    EXPECT_NEAR(s.variance(), 1.25, 0.05);
+}
+
+TEST(GaussianKde, DegeneratePoolGetsPositiveBandwidth)
+{
+    GaussianKde kde({3.0, 3.0, 3.0});
+    EXPECT_GT(kde.bandwidth(), 0.0);
+}
+
+TEST(Truncated, SamplesStayInBounds)
+{
+    auto base = std::make_shared<Gaussian>(0.0, 2.0);
+    Truncated dist(base, -1.0, 1.5);
+    Rng rng = testing::testRng(34);
+    for (int i = 0; i < 20000; ++i) {
+        double x = dist.sample(rng);
+        EXPECT_GE(x, -1.0);
+        EXPECT_LE(x, 1.5);
+    }
+}
+
+TEST(Truncated, CdfIsRenormalized)
+{
+    auto base = std::make_shared<Gaussian>(0.0, 1.0);
+    Truncated dist(base, -1.0, 1.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(1.0), 1.0);
+    EXPECT_NEAR(dist.cdf(0.0), 0.5, 1e-10);
+}
+
+TEST(Truncated, MeanOfSymmetricTruncationIsCenter)
+{
+    auto base = std::make_shared<Gaussian>(2.0, 1.0);
+    Truncated dist(base, 0.0, 4.0);
+    EXPECT_NEAR(dist.mean(), 2.0, 1e-6);
+}
+
+TEST(Truncated, KnownTruncatedGaussianMean)
+{
+    // One-sided truncation of N(0,1) to [0, inf) has mean
+    // sqrt(2/pi) ~ 0.79788; use [0, 8] as a numerical stand-in.
+    auto base = std::make_shared<Gaussian>(0.0, 1.0);
+    Truncated dist(base, 0.0, 8.0);
+    EXPECT_NEAR(dist.mean(), std::sqrt(2.0 / M_PI), 1e-4);
+}
+
+TEST(Truncated, RejectsEmptyMassInterval)
+{
+    auto base = std::make_shared<Gaussian>(0.0, 1.0);
+    EXPECT_THROW(Truncated(base, 50.0, 51.0), Error);
+}
+
+TEST(PointMass, AllQueriesAreDegenerate)
+{
+    PointMass dist(4.2);
+    Rng rng = testing::testRng(35);
+    EXPECT_DOUBLE_EQ(dist.sample(rng), 4.2);
+    EXPECT_DOUBLE_EQ(dist.mean(), 4.2);
+    EXPECT_DOUBLE_EQ(dist.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(4.19), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(4.2), 1.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.3), 4.2);
+}
+
+} // namespace
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,175 @@
+/** @file Laplace, Weibull, and Cauchy tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "random/cauchy.hpp"
+#include "random/chi_squared.hpp"
+#include "random/exponential.hpp"
+#include "random/gaussian.hpp"
+#include "random/laplace.hpp"
+#include "random/rayleigh.hpp"
+#include "random/weibull.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace random {
+namespace {
+
+TEST(Laplace, MomentsAndSamples)
+{
+    Laplace dist(1.0, 2.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(dist.variance(), 8.0);
+    Rng rng = testing::testRng(341);
+    stats::OnlineSummary s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(dist.sample(rng));
+    EXPECT_NEAR(s.mean(), 1.0,
+                testing::meanTolerance(dist.stddev(), 100000));
+    EXPECT_NEAR(s.variance(), 8.0, 0.5);
+}
+
+TEST(Laplace, SamplesPassKs)
+{
+    Laplace dist(-0.5, 1.3);
+    Rng rng = testing::testRng(342);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(dist.sample(rng));
+    EXPECT_GT(stats::ksTest(std::move(xs), dist).pValue, 1e-4);
+}
+
+TEST(Laplace, QuantileRoundTrip)
+{
+    Laplace dist(0.0, 1.0);
+    for (double p : {0.01, 0.25, 0.5, 0.75, 0.99})
+        EXPECT_NEAR(dist.cdf(dist.quantile(p)), p, 1e-10);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.5), 0.0);
+    EXPECT_THROW(Laplace(0.0, 0.0), Error);
+}
+
+TEST(Weibull, ShapeOneIsExponential)
+{
+    // Weibull(1, 1/lambda) == Exponential(lambda).
+    Weibull weibull(1.0, 2.0);
+    Exponential exponential(0.5);
+    for (double x : {0.1, 0.5, 1.0, 3.0, 8.0})
+        EXPECT_NEAR(weibull.cdf(x), exponential.cdf(x), 1e-12);
+}
+
+TEST(Weibull, ShapeTwoIsRayleigh)
+{
+    // Weibull(2, sqrt(2) rho) == Rayleigh(rho).
+    double rho = 1.5;
+    Weibull weibull(2.0, std::sqrt(2.0) * rho);
+    Rayleigh rayleigh(rho);
+    for (double x : {0.2, 1.0, 2.0, 4.0})
+        EXPECT_NEAR(weibull.cdf(x), rayleigh.cdf(x), 1e-12);
+}
+
+TEST(Weibull, SamplesPassKs)
+{
+    Weibull dist(1.7, 2.2);
+    Rng rng = testing::testRng(343);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(dist.sample(rng));
+    EXPECT_GT(stats::ksTest(std::move(xs), dist).pValue, 1e-4);
+}
+
+TEST(Weibull, MeanMatchesGammaFormula)
+{
+    Weibull dist(2.0, 1.0);
+    // E = scale * Gamma(1.5) = sqrt(pi)/2.
+    EXPECT_NEAR(dist.mean(), std::sqrt(M_PI) / 2.0, 1e-10);
+    Rng rng = testing::testRng(344);
+    stats::OnlineSummary s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(dist.sample(rng));
+    EXPECT_NEAR(s.mean(), dist.mean(),
+                testing::meanTolerance(dist.stddev(), 100000));
+}
+
+TEST(ChiSquared, MomentsMatchDegreesOfFreedom)
+{
+    ChiSquared dist(7.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(dist.variance(), 14.0);
+    EXPECT_THROW(ChiSquared(0.0), Error);
+}
+
+TEST(ChiSquared, IsTheSquaredNormInDistribution)
+{
+    // Sum of k squared standard normals ~ ChiSquared(k).
+    const int k = 3;
+    ChiSquared reference(k);
+    Gaussian normal(0.0, 1.0);
+    Rng rng = testing::testRng(347);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) {
+        double total = 0.0;
+        for (int j = 0; j < k; ++j) {
+            double z = normal.sample(rng);
+            total += z * z;
+        }
+        xs.push_back(total);
+    }
+    EXPECT_GT(stats::ksTest(std::move(xs), reference).pValue, 1e-4);
+}
+
+TEST(ChiSquared, KnownCriticalValue)
+{
+    ChiSquared dist(1.0);
+    EXPECT_NEAR(dist.cdf(3.841458820694124), 0.95, 1e-8);
+}
+
+TEST(Cauchy, QuartilesAtPlusMinusScale)
+{
+    Cauchy dist(2.0, 3.0);
+    EXPECT_NEAR(dist.quantile(0.25), -1.0, 1e-9);
+    EXPECT_NEAR(dist.quantile(0.5), 2.0, 1e-9);
+    EXPECT_NEAR(dist.quantile(0.75), 5.0, 1e-9);
+    EXPECT_NEAR(dist.cdf(2.0), 0.5, 1e-12);
+}
+
+TEST(Cauchy, SamplesPassKs)
+{
+    Cauchy dist(0.0, 1.0);
+    Rng rng = testing::testRng(345);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(dist.sample(rng));
+    EXPECT_GT(stats::ksTest(std::move(xs), dist).pValue, 1e-4);
+}
+
+TEST(Cauchy, MomentsDoNotExist)
+{
+    Cauchy dist(0.0, 1.0);
+    EXPECT_THROW(dist.mean(), Error);
+    EXPECT_THROW(dist.variance(), Error);
+    EXPECT_THROW(Cauchy(0.0, -1.0), Error);
+}
+
+TEST(Cauchy, MedianIsStableEvenWithoutAMean)
+{
+    // The practical upshot for Uncertain<T>: conditionals on a
+    // Cauchy (quantile questions) are fine even though E() is not.
+    Cauchy dist(5.0, 1.0);
+    Rng rng = testing::testRng(346);
+    int above = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        above += dist.sample(rng) > 5.0 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(above) / n, 0.5,
+                testing::proportionTolerance(0.5, n));
+}
+
+} // namespace
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,105 @@
+/** @file Mixture-distribution tests. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "random/gaussian.hpp"
+#include "random/mixture.hpp"
+#include "random/point_mass.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace random {
+namespace {
+
+Mixture
+bimodal()
+{
+    return Mixture({std::make_shared<Gaussian>(-2.0, 0.5),
+                    std::make_shared<Gaussian>(3.0, 1.0)},
+                   {0.3, 0.7});
+}
+
+TEST(Mixture, MeanIsTheWeightedComponentMean)
+{
+    Mixture m = bimodal();
+    EXPECT_NEAR(m.mean(), 0.3 * -2.0 + 0.7 * 3.0, 1e-12);
+}
+
+TEST(Mixture, VarianceFollowsTheLawOfTotalVariance)
+{
+    Mixture m = bimodal();
+    double mu = m.mean();
+    double expected = 0.3 * (0.25 + (-2.0 - mu) * (-2.0 - mu))
+                      + 0.7 * (1.0 + (3.0 - mu) * (3.0 - mu));
+    EXPECT_NEAR(m.variance(), expected, 1e-12);
+}
+
+TEST(Mixture, SamplesPassKsAgainstTheMixtureCdf)
+{
+    Mixture m = bimodal();
+    Rng rng = testing::testRng(391);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(m.sample(rng));
+    EXPECT_GT(stats::ksTest(std::move(xs), m).pValue, 1e-4);
+}
+
+TEST(Mixture, SampleMomentsMatch)
+{
+    Mixture m = bimodal();
+    Rng rng = testing::testRng(392);
+    stats::OnlineSummary s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(m.sample(rng));
+    EXPECT_NEAR(s.mean(), m.mean(),
+                testing::meanTolerance(m.stddev(), 100000));
+    EXPECT_NEAR(s.variance(), m.variance(), 0.1 * m.variance());
+}
+
+TEST(Mixture, PdfIsTheWeightedSum)
+{
+    auto a = std::make_shared<Gaussian>(0.0, 1.0);
+    auto b = std::make_shared<Gaussian>(5.0, 2.0);
+    Mixture m({a, b}, {1.0, 3.0});
+    for (double x : {-1.0, 0.0, 2.0, 5.0}) {
+        EXPECT_NEAR(m.pdf(x), 0.25 * a->pdf(x) + 0.75 * b->pdf(x),
+                    1e-12);
+        EXPECT_NEAR(m.cdf(x), 0.25 * a->cdf(x) + 0.75 * b->cdf(x),
+                    1e-12);
+    }
+    EXPECT_NEAR(m.weightOf(0), 0.25, 1e-12);
+    EXPECT_NEAR(m.weightOf(1), 0.75, 1e-12);
+}
+
+TEST(Mixture, GlitchyReceiverScenarioIsBimodal)
+{
+    // The GPS use case: 97% accurate, 3% multipath. The tail mass
+    // beyond 10 m comes almost entirely from the glitch component.
+    Mixture m({std::make_shared<Gaussian>(0.0, 2.0),
+               std::make_shared<Gaussian>(0.0, 30.0)},
+              {0.97, 0.03});
+    double tail = 1.0 - m.cdf(10.0) + m.cdf(-10.0);
+    double glitchTail =
+        0.03 * 2.0 * (1.0 - Gaussian(0.0, 30.0).cdf(10.0));
+    EXPECT_NEAR(tail, glitchTail, 0.002);
+}
+
+TEST(Mixture, ValidatesConstruction)
+{
+    EXPECT_THROW(Mixture({}, {}), Error);
+    EXPECT_THROW(Mixture({nullptr}, {1.0}), Error);
+    EXPECT_THROW(
+        Mixture({std::make_shared<PointMass>(0.0)}, {0.0}), Error);
+    EXPECT_THROW(Mixture({std::make_shared<PointMass>(0.0)},
+                         {1.0, 2.0}),
+                 Error);
+}
+
+} // namespace
+} // namespace random
+} // namespace uncertain

@@ -1,0 +1,106 @@
+/** @file Autocorrelation and effective-sample-size tests. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "random/gaussian.hpp"
+#include "stats/autocorrelation.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+/** AR(1) series with coefficient @p phi and unit innovations. */
+std::vector<double>
+ar1Series(double phi, std::size_t n, Rng& rng)
+{
+    std::vector<double> xs;
+    xs.reserve(n);
+    double x = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = phi * x + random::Gaussian::standardSample(rng);
+        xs.push_back(x);
+    }
+    return xs;
+}
+
+TEST(Autocorrelation, LagZeroIsOne)
+{
+    Rng rng = testing::testRng(331);
+    auto xs = ar1Series(0.5, 1000, rng);
+    EXPECT_DOUBLE_EQ(autocorrelation(xs, 0), 1.0);
+}
+
+TEST(Autocorrelation, Ar1MatchesPhiAtLagOne)
+{
+    Rng rng = testing::testRng(332);
+    for (double phi : {0.2, 0.5, 0.8}) {
+        auto xs = ar1Series(phi, 50000, rng);
+        EXPECT_NEAR(autocorrelation(xs, 1), phi, 0.03)
+            << "phi = " << phi;
+        EXPECT_NEAR(autocorrelation(xs, 2), phi * phi, 0.04);
+    }
+}
+
+TEST(Autocorrelation, WhiteNoiseIsUncorrelated)
+{
+    Rng rng = testing::testRng(333);
+    auto xs = ar1Series(0.0, 50000, rng);
+    for (std::size_t lag : {1u, 5u, 20u})
+        EXPECT_NEAR(autocorrelation(xs, lag), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, FunctionStartsAtOneAndDecays)
+{
+    Rng rng = testing::testRng(334);
+    auto xs = ar1Series(0.9, 20000, rng);
+    auto acf = autocorrelationFunction(xs, 10);
+    ASSERT_EQ(acf.size(), 11u);
+    EXPECT_DOUBLE_EQ(acf[0], 1.0);
+    EXPECT_GT(acf[1], acf[5]);
+    EXPECT_GT(acf[5], acf[10] - 0.05);
+}
+
+TEST(Autocorrelation, ValidatesInput)
+{
+    EXPECT_THROW(autocorrelation({1.0}, 0), Error);
+    EXPECT_THROW(autocorrelation({1.0, 2.0}, 2), Error);
+    EXPECT_THROW(autocorrelation({3.0, 3.0, 3.0}, 1), Error);
+}
+
+TEST(EffectiveSampleSize, WhiteNoiseKeepsNearlyAllSamples)
+{
+    Rng rng = testing::testRng(335);
+    auto xs = ar1Series(0.0, 10000, rng);
+    EXPECT_GT(effectiveSampleSize(xs), 8000.0);
+}
+
+TEST(EffectiveSampleSize, CorrelationShrinksTheChain)
+{
+    Rng rng = testing::testRng(336);
+    auto correlated = ar1Series(0.9, 10000, rng);
+    double ess = effectiveSampleSize(correlated);
+    // Theoretical ESS factor for AR(1): (1-phi)/(1+phi) = 1/19.
+    EXPECT_LT(ess, 1500.0);
+    EXPECT_GT(ess, 200.0);
+}
+
+TEST(EffectiveSampleSize, ThinningRecoversIndependence)
+{
+    Rng rng = testing::testRng(337);
+    auto chain = ar1Series(0.9, 100000, rng);
+    std::vector<double> thinned;
+    for (std::size_t i = 0; i < chain.size(); i += 50)
+        thinned.push_back(chain[i]);
+    // Every 50th draw of a phi=0.9 chain is essentially independent.
+    EXPECT_GT(effectiveSampleSize(thinned),
+              0.7 * static_cast<double>(thinned.size()));
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

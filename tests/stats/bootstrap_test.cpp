@@ -1,0 +1,96 @@
+/** @file Bootstrap confidence-interval tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "random/gaussian.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+TEST(Bootstrap, MeanIntervalAgreesWithTheTInterval)
+{
+    random::Gaussian dist(3.0, 2.0);
+    Rng rng = testing::testRng(401);
+    std::vector<double> sample;
+    for (int i = 0; i < 200; ++i)
+        sample.push_back(dist.sample(rng));
+
+    auto statistic = [](const std::vector<double>& xs) {
+        return mean(xs);
+    };
+    BootstrapOptions options;
+    options.resamples = 3000;
+    auto result = bootstrap(sample, statistic, options, rng);
+    auto tInterval = meanConfidenceInterval(sample);
+
+    EXPECT_NEAR(result.estimate, mean(sample), 1e-12);
+    EXPECT_NEAR(result.interval.lo, tInterval.lo, 0.15);
+    EXPECT_NEAR(result.interval.hi, tInterval.hi, 0.15);
+}
+
+TEST(Bootstrap, CoversTheTrueMedianAtNominalRate)
+{
+    random::Gaussian dist(0.0, 1.0);
+    Rng rng = testing::testRng(402);
+    auto statistic = [](const std::vector<double>& xs) {
+        return median(xs);
+    };
+    BootstrapOptions options;
+    options.resamples = 300;
+    int covered = 0;
+    const int experiments = 200;
+    for (int e = 0; e < experiments; ++e) {
+        std::vector<double> sample;
+        for (int i = 0; i < 60; ++i)
+            sample.push_back(dist.sample(rng));
+        if (bootstrap(sample, statistic, options, rng)
+                .interval.contains(0.0)) {
+            ++covered;
+        }
+    }
+    // Percentile bootstrap is approximate; demand >= 85% coverage.
+    EXPECT_GE(covered, static_cast<int>(0.85 * experiments));
+}
+
+TEST(Bootstrap, IntervalShrinksWithSampleSize)
+{
+    random::Gaussian dist(0.0, 1.0);
+    Rng rng = testing::testRng(403);
+    auto statistic = [](const std::vector<double>& xs) {
+        return mean(xs);
+    };
+    auto widthFor = [&](int n) {
+        std::vector<double> sample;
+        for (int i = 0; i < n; ++i)
+            sample.push_back(dist.sample(rng));
+        return bootstrap(sample, statistic, {}, rng).interval.width();
+    };
+    EXPECT_LT(widthFor(2000), widthFor(50));
+}
+
+TEST(Bootstrap, ValidatesInput)
+{
+    Rng rng = testing::testRng(404);
+    auto statistic = [](const std::vector<double>& xs) {
+        return mean(xs);
+    };
+    EXPECT_THROW(bootstrap({}, statistic, {}, rng), Error);
+    BootstrapOptions bad;
+    bad.resamples = 5;
+    EXPECT_THROW(bootstrap({1.0, 2.0}, statistic, bad, rng), Error);
+    bad = BootstrapOptions{};
+    bad.confidence = 1.0;
+    EXPECT_THROW(bootstrap({1.0, 2.0}, statistic, bad, rng), Error);
+    EXPECT_THROW(bootstrap({1.0}, nullptr, {}, rng), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,151 @@
+/** @file Confidence-interval and histogram tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "random/gaussian.hpp"
+#include "stats/confidence.hpp"
+#include "stats/histogram.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+TEST(MeanConfidenceInterval, CoversTheTrueMeanAtTheNominalRate)
+{
+    random::Gaussian dist(3.0, 2.0);
+    Rng rng = testing::testRng(61);
+    const int experiments = 2000;
+    const int perExperiment = 30;
+    int covered = 0;
+    for (int e = 0; e < experiments; ++e) {
+        OnlineSummary s;
+        for (int i = 0; i < perExperiment; ++i)
+            s.add(dist.sample(rng));
+        if (meanConfidenceInterval(s, 0.95).contains(3.0))
+            ++covered;
+    }
+    double coverage = static_cast<double>(covered) / experiments;
+    EXPECT_NEAR(coverage, 0.95,
+                testing::proportionTolerance(0.95, experiments));
+}
+
+TEST(MeanConfidenceInterval, WidthShrinksWithSampleSize)
+{
+    random::Gaussian dist(0.0, 1.0);
+    Rng rng = testing::testRng(62);
+    OnlineSummary small;
+    for (int i = 0; i < 20; ++i)
+        small.add(dist.sample(rng));
+    OnlineSummary large;
+    for (int i = 0; i < 2000; ++i)
+        large.add(dist.sample(rng));
+    EXPECT_LT(meanConfidenceInterval(large).width(),
+              meanConfidenceInterval(small).width());
+}
+
+TEST(MeanConfidenceInterval, RequiresTwoObservations)
+{
+    OnlineSummary s;
+    s.add(1.0);
+    EXPECT_THROW(meanConfidenceInterval(s), Error);
+}
+
+TEST(ProportionConfidenceInterval, ContainsPHat)
+{
+    auto interval = proportionConfidenceInterval(30, 100);
+    EXPECT_LE(interval.lo, 0.3);
+    EXPECT_GE(interval.hi, 0.3);
+    EXPECT_GT(interval.lo, 0.0);
+    EXPECT_LT(interval.hi, 1.0);
+}
+
+TEST(ProportionConfidenceInterval, HandlesExtremes)
+{
+    auto zero = proportionConfidenceInterval(0, 50);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    EXPECT_GT(zero.hi, 0.0);
+
+    auto all = proportionConfidenceInterval(50, 50);
+    EXPECT_DOUBLE_EQ(all.hi, 1.0);
+    EXPECT_LT(all.lo, 1.0);
+
+    EXPECT_THROW(proportionConfidenceInterval(5, 0), Error);
+    EXPECT_THROW(proportionConfidenceInterval(10, 5), Error);
+}
+
+TEST(ProportionConfidenceInterval, CoversAtNominalRate)
+{
+    Rng rng = testing::testRng(63);
+    const double p = 0.2;
+    const int experiments = 2000;
+    int covered = 0;
+    for (int e = 0; e < experiments; ++e) {
+        std::size_t hits = 0;
+        for (int i = 0; i < 40; ++i)
+            hits += rng.nextBool(p) ? 1 : 0;
+        if (proportionConfidenceInterval(hits, 40).contains(p))
+            ++covered;
+    }
+    double coverage = static_cast<double>(covered) / experiments;
+    // Wilson is approximate for n = 40; allow a point of slack below
+    // the asymptotic tolerance.
+    EXPECT_GT(coverage, 0.91);
+}
+
+TEST(Histogram, CountsLandInTheRightBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(9.99);
+    EXPECT_EQ(h.countAt(0), 1u);
+    EXPECT_EQ(h.countAt(1), 2u);
+    EXPECT_EQ(h.countAt(9), 1u);
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_NEAR(h.density(1), 0.5, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.countAt(0), 1u);
+    EXPECT_EQ(h.countAt(3), 1u);
+}
+
+TEST(Histogram, FromSamplesSpansTheData)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    auto h = Histogram::fromSamples(xs, 4);
+    EXPECT_EQ(h.totalCount(), 4u);
+    std::size_t nonEmpty = 0;
+    for (std::size_t i = 0; i < h.binCount(); ++i)
+        nonEmpty += h.countAt(i) > 0 ? 1 : 0;
+    EXPECT_EQ(nonEmpty, 4u);
+}
+
+TEST(Histogram, RenderContainsEveryBin)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    std::string text = h.render(10);
+    EXPECT_NE(text.find('#'), std::string::npos);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(Histogram, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,138 @@
+/** @file KS test, chi-square, and confusion-matrix tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "random/gaussian.hpp"
+#include "random/uniform.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/precision_recall.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+TEST(KsTest, AcceptsSamplesFromTheReference)
+{
+    random::Gaussian dist(0.0, 1.0);
+    Rng rng = testing::testRng(81);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i)
+        xs.push_back(dist.sample(rng));
+    auto result = ksTest(std::move(xs), dist);
+    EXPECT_GT(result.pValue, 0.001);
+}
+
+TEST(KsTest, RejectsSamplesFromADifferentLaw)
+{
+    random::Gaussian reference(0.0, 1.0);
+    random::Gaussian shifted(0.5, 1.0);
+    Rng rng = testing::testRng(82);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i)
+        xs.push_back(shifted.sample(rng));
+    auto result = ksTest(std::move(xs), reference);
+    EXPECT_LT(result.pValue, 1e-6);
+    EXPECT_TRUE(result.rejectAt(0.01));
+}
+
+TEST(KsTest2, SameLawAccepted)
+{
+    random::Uniform dist(0.0, 1.0);
+    Rng rng = testing::testRng(83);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 3000; ++i) {
+        xs.push_back(dist.sample(rng));
+        ys.push_back(dist.sample(rng));
+    }
+    EXPECT_GT(ksTest2(std::move(xs), std::move(ys)).pValue, 0.001);
+}
+
+TEST(KsTest2, DifferentLawsRejected)
+{
+    random::Uniform a(0.0, 1.0);
+    random::Uniform b(0.2, 1.2);
+    Rng rng = testing::testRng(84);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 3000; ++i) {
+        xs.push_back(a.sample(rng));
+        ys.push_back(b.sample(rng));
+    }
+    EXPECT_LT(ksTest2(std::move(xs), std::move(ys)).pValue, 1e-6);
+}
+
+TEST(KolmogorovSurvival, BoundaryBehaviour)
+{
+    EXPECT_DOUBLE_EQ(kolmogorovSurvival(0.0), 1.0);
+    EXPECT_NEAR(kolmogorovSurvival(10.0), 0.0, 1e-12);
+    EXPECT_GT(kolmogorovSurvival(0.5), kolmogorovSurvival(1.5));
+}
+
+TEST(ChiSquare, UniformCountsAccepted)
+{
+    std::vector<std::size_t> observed{100, 98, 103, 99};
+    std::vector<double> expected{1.0, 1.0, 1.0, 1.0};
+    auto result = chiSquareGof(observed, expected);
+    EXPECT_GT(result.pValue, 0.5);
+    EXPECT_DOUBLE_EQ(result.degreesOfFreedom, 3.0);
+}
+
+TEST(ChiSquare, SkewedCountsRejected)
+{
+    std::vector<std::size_t> observed{400, 10, 10, 10};
+    std::vector<double> expected{1.0, 1.0, 1.0, 1.0};
+    EXPECT_LT(chiSquareGof(observed, expected).pValue, 1e-10);
+}
+
+TEST(ChiSquare, ValidatesInput)
+{
+    EXPECT_THROW(chiSquareGof({}, {}), Error);
+    EXPECT_THROW(chiSquareGof({1, 2}, {1.0}), Error);
+    EXPECT_THROW(chiSquareGof({1, 2}, {1.0, 0.0}), Error);
+    EXPECT_THROW(chiSquareGof({1, 2}, {1.0, 1.0}, 1), Error);
+}
+
+TEST(ConfusionMatrix, CountsAndDerivedRates)
+{
+    ConfusionMatrix m;
+    // 3 TP, 1 FP, 2 TN, 1 FN.
+    m.add(true, true);
+    m.add(true, true);
+    m.add(true, true);
+    m.add(false, true);
+    m.add(false, false);
+    m.add(false, false);
+    m.add(true, false);
+
+    EXPECT_EQ(m.truePositives(), 3u);
+    EXPECT_EQ(m.falsePositives(), 1u);
+    EXPECT_EQ(m.trueNegatives(), 2u);
+    EXPECT_EQ(m.falseNegatives(), 1u);
+    EXPECT_NEAR(m.precision(), 0.75, 1e-12);
+    EXPECT_NEAR(m.recall(), 0.75, 1e-12);
+    EXPECT_NEAR(m.f1(), 0.75, 1e-12);
+    EXPECT_NEAR(m.accuracy(), 5.0 / 7.0, 1e-12);
+    EXPECT_NEAR(m.falsePositiveRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, DegenerateCasesAreDefined)
+{
+    ConfusionMatrix m;
+    EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+    EXPECT_THROW(m.accuracy(), Error);
+
+    m.add(false, false);
+    EXPECT_DOUBLE_EQ(m.recall(), 1.0); // no actual positives
+    EXPECT_DOUBLE_EQ(m.falsePositiveRate(), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,126 @@
+/** @file Group-sequential test and adaptive-mean tests. */
+
+#include <gtest/gtest.h>
+
+#include "random/gaussian.hpp"
+#include "stats/sequential.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+TEST(GroupSequential, RejectsBadParameters)
+{
+    EXPECT_THROW(GroupSequentialTest(0.5, 0, 100), Error);
+    EXPECT_THROW(GroupSequentialTest(0.5, 11, 100), Error);
+    EXPECT_THROW(GroupSequentialTest(0.5, 5, 3), Error);
+    EXPECT_THROW(GroupSequentialTest(0.0, 5, 100), Error);
+    EXPECT_THROW(GroupSequentialTest(0.5, 5, 100, 0.1), Error);
+}
+
+TEST(GroupSequential, SampleSizeIsBoundedByDesign)
+{
+    Rng rng = testing::testRng(71);
+    GroupSequentialTest test(0.5, 5, 500);
+    while (test.decision() == TestDecision::Inconclusive
+           && test.samplesUsed() < test.maxSamples()) {
+        test.add(rng.nextBool(0.5));
+    }
+    EXPECT_LE(test.samplesUsed(), 500u);
+}
+
+TEST(GroupSequential, DetectsClearAlternativeEarly)
+{
+    Rng rng = testing::testRng(72);
+    GroupSequentialTest test(0.5, 5, 1000);
+    while (test.decision() == TestDecision::Inconclusive
+           && test.samplesUsed() < test.maxSamples()) {
+        test.add(rng.nextBool(0.95));
+    }
+    EXPECT_EQ(test.decision(), TestDecision::AcceptAlternative);
+    // Should stop at the first look, not exhaust the budget.
+    EXPECT_LE(test.samplesUsed(), 200u);
+}
+
+TEST(GroupSequential, DetectsClearNull)
+{
+    Rng rng = testing::testRng(73);
+    GroupSequentialTest test(0.5, 5, 1000);
+    while (test.decision() == TestDecision::Inconclusive
+           && test.samplesUsed() < test.maxSamples()) {
+        test.add(rng.nextBool(0.05));
+    }
+    EXPECT_EQ(test.decision(), TestDecision::AcceptNull);
+}
+
+TEST(GroupSequential, TypeIErrorNearNominal)
+{
+    Rng rng = testing::testRng(74);
+    const int trials = 1000;
+    int rejections = 0;
+    for (int t = 0; t < trials; ++t) {
+        GroupSequentialTest test(0.5, 5, 500);
+        while (test.decision() == TestDecision::Inconclusive
+               && test.samplesUsed() < test.maxSamples()) {
+            test.add(rng.nextBool(0.5)); // H0 exactly true
+        }
+        if (test.decision() != TestDecision::Inconclusive)
+            ++rejections;
+    }
+    double rate = static_cast<double>(rejections) / trials;
+    // Two-sided alpha = 0.05 plus Monte Carlo slack.
+    EXPECT_LE(rate, 0.05 + testing::proportionTolerance(0.05, trials));
+}
+
+TEST(AdaptiveMean, ConvergesToTheMean)
+{
+    random::Gaussian dist(5.0, 1.0);
+    Rng rng = testing::testRng(75);
+    AdaptiveMeanOptions options;
+    options.relativeTolerance = 0.01;
+    auto result =
+        adaptiveMean([&]() { return dist.sample(rng); }, options);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.mean, 5.0, 3.0 * result.halfWidth);
+    EXPECT_LE(result.halfWidth, 0.01 * std::abs(result.mean) + 1e-12);
+}
+
+TEST(AdaptiveMean, UsesFewerSamplesForTighterDistributions)
+{
+    Rng rng = testing::testRng(76);
+    random::Gaussian tight(10.0, 0.1);
+    random::Gaussian wide(10.0, 3.0);
+    AdaptiveMeanOptions options;
+    options.relativeTolerance = 0.005;
+    auto tightResult =
+        adaptiveMean([&]() { return tight.sample(rng); }, options);
+    auto wideResult =
+        adaptiveMean([&]() { return wide.sample(rng); }, options);
+    EXPECT_LT(tightResult.samplesUsed, wideResult.samplesUsed);
+}
+
+TEST(AdaptiveMean, ReportsNonConvergenceAtTheCap)
+{
+    Rng rng = testing::testRng(77);
+    random::Gaussian dist(0.0, 100.0); // mean ~0: relative tol hopeless
+    AdaptiveMeanOptions options;
+    options.relativeTolerance = 1e-6;
+    options.maxSamples = 500;
+    auto result =
+        adaptiveMean([&]() { return dist.sample(rng); }, options);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.samplesUsed, 500u);
+}
+
+TEST(CriticalZ, MatchesKnownValues)
+{
+    EXPECT_NEAR(criticalZ(0.95), 1.959963984540054, 1e-8);
+    EXPECT_NEAR(criticalZ(0.99), 2.5758293035489004, 1e-8);
+    EXPECT_THROW(criticalZ(1.0), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

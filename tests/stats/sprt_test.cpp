@@ -1,0 +1,186 @@
+/**
+ * @file
+ * SPRT unit tests and operating-characteristic property tests: the
+ * paper's accuracy claims rest on the SPRT bounding false positives
+ * by alpha and false negatives by beta (section 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "stats/sprt.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+/** Run one SPRT to its decision with Bernoulli(p) observations. */
+TestDecision
+runOnce(double trueP, double threshold, const SprtOptions& options,
+        Rng& rng, std::size_t* samplesUsed = nullptr)
+{
+    Sprt test(threshold, options);
+    while (!test.isDecided() && !test.isCapped())
+        test.add(rng.nextBool(trueP));
+    if (samplesUsed != nullptr)
+        *samplesUsed = test.samplesUsed();
+    return test.decision();
+}
+
+TEST(Sprt, RejectsBadParameters)
+{
+    EXPECT_THROW(Sprt(0.0), Error);
+    EXPECT_THROW(Sprt(1.0), Error);
+    SprtOptions bad;
+    bad.alpha = 0.0;
+    EXPECT_THROW(Sprt(0.5, bad), Error);
+    bad = SprtOptions{};
+    bad.indifference = 0.0;
+    EXPECT_THROW(Sprt(0.5, bad), Error);
+}
+
+TEST(Sprt, ClearEvidenceDecidesQuickly)
+{
+    Rng rng = testing::testRng(51);
+    SprtOptions options;
+    options.maxSamples = 10000;
+    std::size_t used = 0;
+    EXPECT_EQ(runOnce(0.95, 0.5, options, rng, &used),
+              TestDecision::AcceptAlternative);
+    EXPECT_LT(used, 100u);
+
+    EXPECT_EQ(runOnce(0.05, 0.5, options, rng, &used),
+              TestDecision::AcceptNull);
+    EXPECT_LT(used, 100u);
+}
+
+TEST(Sprt, IndifferentCaseHitsTheCap)
+{
+    // The absorption time of the boundary random walk is ~225 draws
+    // for these parameters; a cap of 100 leaves most runs undecided.
+    Rng rng = testing::testRng(52);
+    SprtOptions options;
+    options.maxSamples = 100;
+    int inconclusive = 0;
+    for (int i = 0; i < 50; ++i) {
+        if (runOnce(0.5, 0.5, options, rng)
+            == TestDecision::Inconclusive) {
+            ++inconclusive;
+        }
+    }
+    // At p exactly on the threshold the walk has no drift; most runs
+    // should end capped rather than decided.
+    EXPECT_GE(inconclusive, 25);
+}
+
+TEST(Sprt, FalsePositiveRateIsBoundedByAlpha)
+{
+    // H0 true with p at the null edge of the indifference region:
+    // the rate of AcceptAlternative must not exceed alpha (within
+    // Monte Carlo error).
+    Rng rng = testing::testRng(53);
+    SprtOptions options;
+    options.indifference = 0.1;
+    options.alpha = 0.05;
+    options.beta = 0.05;
+    options.maxSamples = 100000;
+    const int trials = 2000;
+    int falsePositives = 0;
+    for (int i = 0; i < trials; ++i) {
+        if (runOnce(0.4, 0.5, options, rng)
+            == TestDecision::AcceptAlternative) {
+            ++falsePositives;
+        }
+    }
+    double rate = static_cast<double>(falsePositives) / trials;
+    EXPECT_LE(rate, 0.05 + testing::proportionTolerance(0.05, trials));
+}
+
+TEST(Sprt, PowerIsBoundedByBeta)
+{
+    // H1 true with p at the alternative edge: the rate of
+    // AcceptNull must not exceed beta.
+    Rng rng = testing::testRng(54);
+    SprtOptions options;
+    options.indifference = 0.1;
+    options.alpha = 0.05;
+    options.beta = 0.05;
+    options.maxSamples = 100000;
+    const int trials = 2000;
+    int falseNegatives = 0;
+    for (int i = 0; i < trials; ++i) {
+        if (runOnce(0.6, 0.5, options, rng)
+            == TestDecision::AcceptNull) {
+            ++falseNegatives;
+        }
+    }
+    double rate = static_cast<double>(falseNegatives) / trials;
+    EXPECT_LE(rate, 0.05 + testing::proportionTolerance(0.05, trials));
+}
+
+TEST(Sprt, EasierProblemsUseFewerSamples)
+{
+    // Wald optimality in spirit: average sample number shrinks as
+    // the true p moves away from the threshold.
+    Rng rng = testing::testRng(55);
+    SprtOptions options;
+    options.maxSamples = 100000;
+
+    auto averageSamples = [&](double trueP) {
+        std::size_t total = 0;
+        const int trials = 300;
+        for (int i = 0; i < trials; ++i) {
+            std::size_t used = 0;
+            runOnce(trueP, 0.5, options, rng, &used);
+            total += used;
+        }
+        return static_cast<double>(total) / trials;
+    };
+
+    double near = averageSamples(0.6);
+    double far = averageSamples(0.9);
+    EXPECT_LT(far, near);
+}
+
+TEST(Sprt, EstimateTracksObservations)
+{
+    Sprt test(0.5);
+    test.add(true);
+    test.add(true);
+    test.add(false);
+    EXPECT_NEAR(test.estimate(), 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(test.samplesUsed(), 3u);
+}
+
+TEST(Sprt, ObservationsAfterDecisionAreIgnored)
+{
+    SprtOptions options;
+    options.maxSamples = 100000;
+    Sprt test(0.5, options);
+    while (!test.isDecided())
+        test.add(true);
+    std::size_t used = test.samplesUsed();
+    test.add(false);
+    EXPECT_EQ(test.samplesUsed(), used);
+    EXPECT_EQ(test.decision(), TestDecision::AcceptAlternative);
+}
+
+TEST(Sprt, ExtremeThresholdsRemainTestable)
+{
+    // Thresholds near the edges get clamped hypotheses but must not
+    // blow up.
+    Rng rng = testing::testRng(56);
+    SprtOptions options;
+    options.maxSamples = 5000;
+    EXPECT_EQ(runOnce(0.9999, 0.99, options, rng),
+              TestDecision::AcceptAlternative);
+    EXPECT_EQ(runOnce(0.0001, 0.01, options, rng),
+              TestDecision::AcceptNull);
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,114 @@
+/** @file Descriptive-statistics unit tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+TEST(OnlineSummary, MatchesBatchFormulas)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+    OnlineSummary s;
+    s.addAll(xs);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+    EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(OnlineSummary, MergeEqualsSinglePass)
+{
+    Rng rng = testing::testRng(41);
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(rng.nextRange(-5.0, 5.0));
+
+    OnlineSummary whole;
+    whole.addAll(xs);
+
+    OnlineSummary left;
+    OnlineSummary right;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        (i < 300 ? left : right).add(xs[i]);
+    left.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineSummary, MergeWithEmptyIsIdentity)
+{
+    OnlineSummary s;
+    s.add(3.0);
+    s.add(5.0);
+    OnlineSummary empty;
+    s.merge(empty);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+
+    OnlineSummary other;
+    other.merge(s);
+    EXPECT_EQ(other.count(), 2u);
+    EXPECT_DOUBLE_EQ(other.mean(), 4.0);
+}
+
+TEST(OnlineSummary, RequiresEnoughObservations)
+{
+    OnlineSummary s;
+    EXPECT_THROW(s.mean(), Error);
+    s.add(1.0);
+    EXPECT_NO_THROW(s.mean());
+    EXPECT_THROW(s.variance(), Error);
+}
+
+TEST(OnlineSummary, IsNumericallyStableForLargeOffsets)
+{
+    OnlineSummary s;
+    // Naive sum-of-squares would lose all precision here.
+    for (int i = 0; i < 1000; ++i)
+        s.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+    EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics)
+{
+    std::vector<double> xs{10.0, 0.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 20.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 5.0);
+    EXPECT_DOUBLE_EQ(median(xs), 20.0);
+}
+
+TEST(Quantile, ValidatesInput)
+{
+    EXPECT_THROW(quantile({}, 0.5), Error);
+    EXPECT_THROW(quantile({1.0}, 1.5), Error);
+    EXPECT_DOUBLE_EQ(quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(Correlation, DetectsPerfectAndZeroAssociation)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> linear{2.0, 4.0, 6.0, 8.0};
+    std::vector<double> inverted{8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(correlation(xs, linear), 1.0, 1e-12);
+    EXPECT_NEAR(correlation(xs, inverted), -1.0, 1e-12);
+    EXPECT_THROW(correlation(xs, {1.0}), Error);
+    EXPECT_THROW(correlation({1.0, 1.0}, {2.0, 3.0}), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,90 @@
+/** @file Welch t-test tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "random/gaussian.hpp"
+#include "stats/t_test.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+std::vector<double>
+draw(double mu, double sigma, int n, Rng& rng)
+{
+    random::Gaussian dist(mu, sigma);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (int i = 0; i < n; ++i)
+        xs.push_back(dist.sample(rng));
+    return xs;
+}
+
+TEST(WelchTTest, DetectsAClearMeanDifference)
+{
+    Rng rng = testing::testRng(521);
+    auto a = draw(0.0, 1.0, 200, rng);
+    auto b = draw(1.0, 1.0, 200, rng);
+    auto result = welchTTest(a, b);
+    EXPECT_LT(result.pValue, 1e-6);
+    EXPECT_LT(result.statistic, 0.0); // mean(a) < mean(b)
+}
+
+TEST(WelchTTest, AcceptsEqualMeans)
+{
+    Rng rng = testing::testRng(522);
+    auto a = draw(3.0, 2.0, 200, rng);
+    auto b = draw(3.0, 0.5, 300, rng); // unequal variances, sizes
+    EXPECT_GT(welchTTest(a, b).pValue, 0.01);
+}
+
+TEST(WelchTTest, TypeIErrorNearNominal)
+{
+    Rng rng = testing::testRng(523);
+    const int experiments = 1000;
+    int rejections = 0;
+    for (int e = 0; e < experiments; ++e) {
+        auto a = draw(0.0, 1.0, 30, rng);
+        auto b = draw(0.0, 3.0, 20, rng);
+        if (welchTTest(a, b).rejectAt(0.05))
+            ++rejections;
+    }
+    double rate = static_cast<double>(rejections) / experiments;
+    EXPECT_NEAR(rate, 0.05,
+                testing::proportionTolerance(0.05, experiments));
+}
+
+TEST(WelchTTest, SymmetryFlipsTheStatistic)
+{
+    Rng rng = testing::testRng(524);
+    auto a = draw(0.0, 1.0, 100, rng);
+    auto b = draw(0.5, 1.0, 100, rng);
+    auto ab = welchTTest(a, b);
+    auto ba = welchTTest(b, a);
+    EXPECT_NEAR(ab.statistic, -ba.statistic, 1e-12);
+    EXPECT_NEAR(ab.pValue, ba.pValue, 1e-12);
+}
+
+TEST(WelchTTest, DegreesOfFreedomInTheWelchRange)
+{
+    Rng rng = testing::testRng(525);
+    auto a = draw(0.0, 1.0, 25, rng);
+    auto b = draw(0.0, 1.0, 35, rng);
+    auto result = welchTTest(a, b);
+    EXPECT_GE(result.degreesOfFreedom, 24.0);
+    EXPECT_LE(result.degreesOfFreedom, 58.0);
+}
+
+TEST(WelchTTest, ValidatesInput)
+{
+    EXPECT_THROW(welchTTest({1.0}, {1.0, 2.0}), Error);
+    EXPECT_THROW(welchTTest({1.0, 1.0}, {2.0, 2.0}), Error);
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,127 @@
+/** @file Special-function accuracy tests against known values. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/special_math.hpp"
+
+namespace uncertain {
+namespace math {
+namespace {
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-10);
+    EXPECT_NEAR(normalCdf(-1.0), 0.15865525393145705, 1e-10);
+    EXPECT_NEAR(normalCdf(1.959963984540054), 0.975, 1e-9);
+    EXPECT_NEAR(normalCdf(-6.0), 9.865876450377018e-10, 1e-14);
+}
+
+TEST(NormalPdf, KnownValues)
+{
+    EXPECT_NEAR(normalPdf(0.0), 0.3989422804014327, 1e-12);
+    EXPECT_NEAR(normalPdf(1.0), 0.24197072451914337, 1e-12);
+    EXPECT_NEAR(normalPdf(-2.0), normalPdf(2.0), 1e-15);
+}
+
+TEST(NormalQuantile, RoundTripsWithCdf)
+{
+    for (double p : {1e-6, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                     0.975, 0.999, 1.0 - 1e-6}) {
+        double x = normalQuantile(p);
+        EXPECT_NEAR(normalCdf(x), p, 1e-9) << "p = " << p;
+    }
+}
+
+TEST(NormalQuantile, KnownCriticalValues)
+{
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963984540054, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.95), 1.6448536269514722, 1e-8);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-10);
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain)
+{
+    EXPECT_THROW(normalQuantile(0.0), Error);
+    EXPECT_THROW(normalQuantile(1.0), Error);
+    EXPECT_THROW(normalQuantile(-0.5), Error);
+}
+
+TEST(LogGamma, MatchesFactorials)
+{
+    EXPECT_NEAR(logGamma(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(logGamma(2.0), 0.0, 1e-12);
+    EXPECT_NEAR(logGamma(5.0), std::log(24.0), 1e-10);
+    EXPECT_NEAR(logGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(RegularizedGamma, BoundaryBehaviour)
+{
+    EXPECT_DOUBLE_EQ(regularizedGammaP(2.0, 0.0), 0.0);
+    EXPECT_NEAR(regularizedGammaP(1.0, 1e9), 1.0, 1e-12);
+    EXPECT_NEAR(regularizedGammaP(3.0, 2.0)
+                    + regularizedGammaQ(3.0, 2.0),
+                1.0, 1e-12);
+}
+
+TEST(RegularizedGamma, ExponentialSpecialCase)
+{
+    // P(1, x) = 1 - e^{-x}.
+    for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+        EXPECT_NEAR(regularizedGammaP(1.0, x), 1.0 - std::exp(-x),
+                    1e-10)
+            << "x = " << x;
+    }
+}
+
+TEST(RegularizedBeta, SymmetryAndUniformCase)
+{
+    // I_x(1, 1) = x (uniform CDF).
+    for (double x : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_NEAR(regularizedBeta(x, 1.0, 1.0), x, 1e-10);
+    // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+    EXPECT_NEAR(regularizedBeta(0.3, 2.0, 5.0),
+                1.0 - regularizedBeta(0.7, 5.0, 2.0), 1e-10);
+}
+
+TEST(RegularizedBeta, KnownValue)
+{
+    // I_{0.5}(2, 2) = 0.5 by symmetry of Beta(2, 2).
+    EXPECT_NEAR(regularizedBeta(0.5, 2.0, 2.0), 0.5, 1e-10);
+    // Beta(1, 2) cdf is 1 - (1-x)^2.
+    EXPECT_NEAR(regularizedBeta(0.25, 1.0, 2.0),
+                1.0 - 0.75 * 0.75, 1e-10);
+}
+
+TEST(ChiSquareCdf, KnownCriticalValues)
+{
+    // 95th percentile of chi2(1) is 3.841...
+    EXPECT_NEAR(chiSquareCdf(3.841458820694124, 1.0), 0.95, 1e-8);
+    // chi2(2) is Exponential(1/2).
+    EXPECT_NEAR(chiSquareCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-10);
+    EXPECT_DOUBLE_EQ(chiSquareCdf(-1.0, 3.0), 0.0);
+}
+
+TEST(StudentTCdf, MatchesKnownValues)
+{
+    EXPECT_NEAR(studentTCdf(0.0, 5.0), 0.5, 1e-12);
+    // t(1) is Cauchy: CDF(1) = 3/4.
+    EXPECT_NEAR(studentTCdf(1.0, 1.0), 0.75, 1e-9);
+    // 97.5th percentile of t(10) is 2.228...
+    EXPECT_NEAR(studentTCdf(2.2281388519649385, 10.0), 0.975, 1e-8);
+    // Symmetry.
+    EXPECT_NEAR(studentTCdf(-1.3, 7.0) + studentTCdf(1.3, 7.0), 1.0,
+                1e-10);
+}
+
+TEST(StudentTCdf, ApproachesNormalForLargeNu)
+{
+    EXPECT_NEAR(studentTCdf(1.0, 1e6), normalCdf(1.0), 1e-5);
+}
+
+} // namespace
+} // namespace math
+} // namespace uncertain

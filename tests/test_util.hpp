@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the test suite: deterministic generators and
+ * statistical assertion tolerances.
+ *
+ * Statistical tests use fixed seeds, so they are deterministic; the
+ * tolerances are still chosen at the 5-6 sigma level so that changing
+ * a seed (or an upstream consumer of the stream) does not make them
+ * brittle.
+ */
+
+#ifndef UNCERTAIN_TESTS_TEST_UTIL_HPP
+#define UNCERTAIN_TESTS_TEST_UTIL_HPP
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace testing {
+
+/** A deterministic generator for a test, offset by a local seed. */
+inline Rng
+testRng(std::uint64_t seed = 1)
+{
+    return Rng(0xabcdef1234567890ULL ^ (seed * 0x9e3779b97f4a7c15ULL));
+}
+
+/**
+ * Tolerance for a Monte Carlo mean with @p n samples of a variable
+ * with standard deviation @p sd, at ~5 sigma of the estimator.
+ */
+inline double
+meanTolerance(double sd, std::size_t n)
+{
+    return 5.0 * sd / std::sqrt(static_cast<double>(n));
+}
+
+/**
+ * Tolerance for an empirical proportion around @p p with @p n
+ * samples, at ~5 sigma.
+ */
+inline double
+proportionTolerance(double p, std::size_t n)
+{
+    double sd = std::sqrt(p * (1.0 - p));
+    return 5.0 * sd / std::sqrt(static_cast<double>(n)) + 1e-12;
+}
+
+} // namespace testing
+} // namespace uncertain
+
+#endif // UNCERTAIN_TESTS_TEST_UTIL_HPP
