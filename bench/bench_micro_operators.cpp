@@ -2,11 +2,14 @@
  * @file
  * Microbenchmarks (google-benchmark): the runtime costs behind the
  * abstraction — graph construction, ancestral sampling at varying
- * depths, memoized shared nodes, conditional evaluation, and E().
+ * depths, memoized shared nodes, conditional evaluation, E(), and
+ * the parallel batch engine on a --threads-style axis (the benchmark
+ * argument is the thread count).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <memory>
 
 #include "core/core.hpp"
@@ -135,6 +138,65 @@ BM_LeafSampling(benchmark::State& state)
         benchmark::DoNotOptimize(leaf.sample(rng));
 }
 BENCHMARK(BM_LeafSampling);
+
+// ----------------------------------------------------------------------
+// Parallel batch engine. The argument is the thread count; compare
+// against BM_SerialTakeSamples for the serial-vs-parallel speedup (a
+// single-core host shows ~1x plus dispatch overhead; a multi-core
+// host should approach the thread count on the deep chain).
+// ----------------------------------------------------------------------
+
+void
+BM_SerialTakeSamples(benchmark::State& state)
+{
+    auto chain = buildChain(static_cast<int>(state.range(0)));
+    Rng rng(8);
+    const std::size_t n = 10000;
+    for (auto _ : state) {
+        auto samples = chain.takeSamples(n, rng);
+        benchmark::DoNotOptimize(samples.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_SerialTakeSamples)->Arg(8)->Arg(64);
+
+void
+BM_ParallelTakeSamples(benchmark::State& state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    auto chain = buildChain(static_cast<int>(state.range(1)));
+    Rng rng(8);
+    core::ParallelSampler sampler(
+        core::ParallelOptions{threads, 1024});
+    const std::size_t n = 10000;
+    for (auto _ : state) {
+        auto samples = chain.takeSamples(n, rng, sampler);
+        benchmark::DoNotOptimize(samples.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ParallelTakeSamples)
+    ->ArgsProduct({{1, 2, 4, 8}, {8, 64}});
+
+void
+BM_ParallelConditional(benchmark::State& state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    auto variable = core::fromDistribution(
+        std::make_shared<random::Gaussian>(4.05, 1.0));
+    auto condition = variable > 4.0;
+    Rng rng(9);
+    core::ConditionalOptions options;
+    options.sprt.maxSamples = 1000;
+    core::ParallelSampler sampler(
+        core::ParallelOptions{threads, 256});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            condition.pr(0.5, options, rng, sampler));
+}
+BENCHMARK(BM_ParallelConditional)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

@@ -1,14 +1,18 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction harnesses: aligned
- * table printing and a --paper flag that switches from the default
- * quick configuration to the paper's full experiment scale.
+ * table printing, a --paper flag that switches from the default
+ * quick configuration to the paper's full experiment scale, a
+ * --threads N axis for the parallel sampling engine, and a wall-clock
+ * timer for serial-vs-parallel speedup rows.
  */
 
 #ifndef UNCERTAIN_BENCH_BENCH_UTIL_HPP
 #define UNCERTAIN_BENCH_BENCH_UTIL_HPP
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,6 +29,47 @@ hasFlag(int argc, char** argv, const char* flag)
             return true;
     }
     return false;
+}
+
+/**
+ * Value of an integer option given as "--name N" or "--name=N";
+ * @p fallback when absent or malformed.
+ */
+inline long
+intFlag(int argc, char** argv, const char* flag, long fallback)
+{
+    const std::size_t flagLen = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
+            return std::atol(argv[i + 1]);
+        if (std::strncmp(argv[i], flag, flagLen) == 0
+            && argv[i][flagLen] == '=') {
+            return std::atol(argv[i] + flagLen + 1);
+        }
+    }
+    return fallback;
+}
+
+/**
+ * The --threads axis shared by the harnesses: 1 (serial engine) when
+ * absent.
+ */
+inline unsigned
+threadsFlag(int argc, char** argv)
+{
+    long n = intFlag(argc, argv, "--threads", 1);
+    return n < 1 ? 1u : static_cast<unsigned>(n);
+}
+
+/** Wall-clock seconds spent in @p fn. */
+template <typename F>
+double
+timeSeconds(F&& fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
 }
 
 /** Print a banner naming the figure being reproduced. */

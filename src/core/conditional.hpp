@@ -13,8 +13,10 @@
 #ifndef UNCERTAIN_CORE_CONDITIONAL_HPP
 #define UNCERTAIN_CORE_CONDITIONAL_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "stats/sequential.hpp"
 #include "stats/sprt.hpp"
@@ -138,6 +140,93 @@ evaluateCondition(Sampler&& draw, double threshold,
         // No significance machinery: the estimate decides directly,
         // which is exactly the uncontrolled-approximation-error
         // baseline the paper argues against.
+        auto decision = estimate > threshold
+                            ? stats::TestDecision::AcceptAlternative
+                            : stats::TestDecision::AcceptNull;
+        return {decision, estimate, options.fixedSamples};
+      }
+    }
+    UNCERTAIN_ASSERT(false, "unknown conditional strategy");
+    return {stats::TestDecision::Inconclusive, 0.0, 0};
+}
+
+/**
+ * Chunk-wise conditional evaluation, the parallel engine's entry
+ * point. @p drawChunk is a callable
+ * `void(std::size_t offset, std::size_t count, std::uint8_t* out)`
+ * filling out[0..count) with the Bernoulli observations for sample
+ * indices [offset, offset + count) — typically drawn concurrently
+ * from split() streams. The sequential test consumes each chunk in
+ * index order and the stopping boundaries are consulted between
+ * chunks, so the decision and samplesUsed() match a serial test fed
+ * the same observation sequence; only the number of *drawn* samples
+ * (counted in evalStats) can overshoot the decision point by at most
+ * one chunk.
+ */
+template <typename ChunkSampler>
+ConditionalResult
+evaluateConditionChunked(ChunkSampler&& drawChunk, double threshold,
+                         const ConditionalOptions& options = {},
+                         std::size_t chunkSize = 0)
+{
+    UNCERTAIN_REQUIRE(threshold > 0.0 && threshold < 1.0,
+                      "conditional threshold must be in (0, 1)");
+    EvalStats& counters = evalStats();
+    ++counters.conditionals;
+
+    std::vector<std::uint8_t> chunk;
+    auto draw = [&](std::size_t offset, std::size_t count) {
+        chunk.resize(count);
+        drawChunk(offset, count, chunk.data());
+        counters.rootSamples += count;
+    };
+
+    switch (options.strategy) {
+      case ConditionalStrategy::Sprt: {
+        stats::Sprt test(threshold, options.sprt);
+        // Default to the SPRT batch ("step size k"); the caller may
+        // widen chunks to amortize fan-out overhead.
+        const std::size_t batch =
+            chunkSize > 0 ? chunkSize
+                          : std::max<std::size_t>(options.sprt.batchSize, 1);
+        std::size_t drawn = 0;
+        while (!test.isDecided() && !test.isCapped()) {
+            std::size_t count =
+                std::min(batch, options.sprt.maxSamples - drawn);
+            draw(drawn, count);
+            test.addMany(chunk.data(), count);
+            drawn += count;
+        }
+        return {test.decision(), test.estimate(), test.samplesUsed()};
+      }
+
+      case ConditionalStrategy::GroupSequential: {
+        stats::GroupSequentialTest test(threshold, options.groupLooks,
+                                        options.sprt.maxSamples);
+        // Chunk at look boundaries: decisions only occur at looks, so
+        // this is behaviorally identical to the serial test.
+        const std::size_t perLook = std::max<std::size_t>(
+            1, test.maxSamples() / std::max<std::size_t>(
+                   1, options.groupLooks));
+        std::size_t drawn = 0;
+        while (test.decision() == stats::TestDecision::Inconclusive
+               && drawn < test.maxSamples()) {
+            std::size_t count =
+                std::min(perLook, test.maxSamples() - drawn);
+            draw(drawn, count);
+            test.addMany(chunk.data(), count);
+            drawn += count;
+        }
+        return {test.decision(), test.estimate(), test.samplesUsed()};
+      }
+
+      case ConditionalStrategy::FixedSample: {
+        draw(0, options.fixedSamples);
+        std::size_t successes = 0;
+        for (std::size_t i = 0; i < options.fixedSamples; ++i)
+            successes += chunk[i] ? 1 : 0;
+        double estimate = static_cast<double>(successes)
+                          / static_cast<double>(options.fixedSamples);
         auto decision = estimate > threshold
                             ? stats::TestDecision::AcceptAlternative
                             : stats::TestDecision::AcceptNull;

@@ -7,10 +7,17 @@
  * functions supplied by expert developers) and whose inner nodes are
  * the base-type operators (paper section 3.3). The graph is sampled
  * lazily at conditionals by ancestral sampling (section 4.2): a fresh
- * epoch is opened, and every node caches its value for the duration
- * of that epoch. The epoch cache is what makes shared subexpressions
- * statistically correct — both occurrences of X in (Y + X) + X see
- * the same draw, yielding the correct network of Figure 8(b).
+ * epoch is opened, and every node's value is memoized for the
+ * duration of that epoch. The epoch memo is what makes shared
+ * subexpressions statistically correct — both occurrences of X in
+ * (Y + X) + X see the same draw, yielding the correct network of
+ * Figure 8(b).
+ *
+ * The memo lives in the SampleContext, not in the node: nodes are
+ * fully immutable after construction, so any number of contexts (and
+ * therefore threads) may sample one shared graph concurrently, each
+ * with its own private memo table. See core/parallel.hpp for the
+ * batch engine built on this property.
  */
 
 #ifndef UNCERTAIN_CORE_NODE_HPP
@@ -21,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -30,34 +38,101 @@
 namespace uncertain {
 namespace core {
 
+class GraphNode;
+
 /**
  * One ancestral-sampling pass over a graph. Construct it once per
  * batch of draws; call newEpoch() before each root sample. Epoch
- * numbers are globally unique so caches never alias across contexts.
+ * numbers are globally unique so memo entries never alias across
+ * contexts.
+ *
+ * The context owns the per-epoch memo table (keyed by node identity),
+ * so sampling mutates only the context — never the graph. One context
+ * belongs to one thread at a time; concurrent sampling of a shared
+ * graph is done by giving each thread its own context (see the
+ * concurrency contract in docs/API.md).
  */
 class SampleContext
 {
   public:
-    explicit SampleContext(Rng& rng) : rng_(rng) { newEpoch(); }
+    explicit SampleContext(Rng& rng) : rng_(&rng) { newEpoch(); }
 
     SampleContext(const SampleContext&) = delete;
     SampleContext& operator=(const SampleContext&) = delete;
 
-    Rng& rng() { return rng_; }
+    Rng& rng() { return *rng_; }
     std::uint64_t epoch() const { return epoch_; }
 
-    /** Open a new epoch: invalidates every node's cached draw. */
+    /**
+     * Point this context at a different generator. Used by the batch
+     * engines to give each sample index its own split() stream while
+     * reusing one memo table for the whole chunk.
+     */
+    void rebindRng(Rng& rng) { rng_ = &rng; }
+
+    /** Open a new epoch: invalidates every memoized draw. */
     void
     newEpoch()
     {
         epoch_ = nextEpoch_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /**
+     * One memo entry: the epoch it was written in plus type-erased
+     * storage for the node's value. The slot's payload is allocated
+     * on first touch and reused (overwritten in place) on every
+     * later epoch, so steady-state sampling does not allocate.
+     */
+    struct MemoSlot
+    {
+        std::uint64_t epoch = 0;
+        void* value = nullptr;
+        void (*destroy)(void*) = nullptr;
+
+        MemoSlot() = default;
+        MemoSlot(MemoSlot&& other) noexcept
+            : epoch(other.epoch), value(other.value),
+              destroy(other.destroy)
+        {
+            other.value = nullptr;
+            other.destroy = nullptr;
+        }
+        MemoSlot(const MemoSlot&) = delete;
+        MemoSlot& operator=(const MemoSlot&) = delete;
+        MemoSlot& operator=(MemoSlot&&) = delete;
+        ~MemoSlot()
+        {
+            if (value)
+                destroy(value);
+        }
+    };
+
+    /** The memo slot for @p node, created empty on first use. */
+    MemoSlot& slotFor(const GraphNode* node) { return memo_[node]; }
+
+    /** Pre-size the memo table for a graph of @p nodes nodes. */
+    void reserve(std::size_t nodes) { memo_.reserve(nodes); }
+
   private:
+    /** Pointer hash with SplitMix64-style finalization: allocator
+     *  addresses are too regular for the identity hash. */
+    struct NodeHash
+    {
+        std::size_t
+        operator()(const GraphNode* node) const
+        {
+            auto z = reinterpret_cast<std::uintptr_t>(node) >> 4;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return static_cast<std::size_t>(z ^ (z >> 31));
+        }
+    };
+
     static std::atomic<std::uint64_t> nextEpoch_;
 
-    Rng& rng_;
+    Rng* rng_;
     std::uint64_t epoch_ = 0;
+    std::unordered_map<const GraphNode*, MemoSlot, NodeHash> memo_;
 };
 
 /**
@@ -85,12 +160,14 @@ class GraphNode
 
 /**
  * A random variable of type T in the network. sample() memoizes per
- * epoch; subclasses implement doSample(). Nodes are immutable except
- * for the epoch cache, and are shared via shared_ptr<const Node<T>>.
+ * epoch in the SampleContext's memo table; subclasses implement
+ * doSample(). Nodes are fully immutable after construction and are
+ * shared via shared_ptr<const Node<T>>.
  *
- * Not thread-safe: one graph must be sampled from one thread at a
- * time (the epoch cache is unsynchronized by design — sampling is the
- * hot path).
+ * Concurrency contract: because sampling writes only to the context,
+ * one shared graph may be sampled from any number of threads
+ * concurrently as long as each thread uses its own SampleContext and
+ * Rng. A single context must not be shared across threads.
  */
 template <typename T>
 class Node : public GraphNode
@@ -100,20 +177,24 @@ class Node : public GraphNode
     T
     sample(SampleContext& ctx) const
     {
-        if (cacheEpoch_ == ctx.epoch())
-            return cacheValue_;
+        // References into std::unordered_map are stable across the
+        // inserts doSample()'s recursion may perform.
+        auto& slot = ctx.slotFor(this);
+        if (slot.epoch == ctx.epoch())
+            return *static_cast<const T*>(slot.value);
         T value = doSample(ctx);
-        cacheValue_ = value;
-        cacheEpoch_ = ctx.epoch();
+        if (slot.value == nullptr) {
+            slot.value = new T(value);
+            slot.destroy = [](void* p) { delete static_cast<T*>(p); };
+        } else {
+            *static_cast<T*>(slot.value) = value;
+        }
+        slot.epoch = ctx.epoch();
         return value;
     }
 
   protected:
     virtual T doSample(SampleContext& ctx) const = 0;
-
-  private:
-    mutable std::uint64_t cacheEpoch_ = 0;
-    mutable T cacheValue_{};
 };
 
 template <typename T>

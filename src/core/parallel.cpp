@@ -1,0 +1,110 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+
+namespace uncertain {
+namespace core {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    threads_ = threads;
+    if (threads_ < 2)
+        return; // inline mode: no workers
+    workers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            task = std::move(queue_.back());
+            queue_.pop_back();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        bool idle;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            idle = --pending_ == 0;
+        }
+        if (idle)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body)
+{
+    if (n == 0)
+        return;
+    chunk = std::max<std::size_t>(chunk, 1);
+
+    if (threads_ < 2) {
+        for (std::size_t begin = 0; begin < n; begin += chunk)
+            body(begin, std::min(begin + chunk, n));
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        UNCERTAIN_ASSERT(pending_ == 0 && queue_.empty(),
+                         "ThreadPool::parallelFor is not reentrant");
+        firstError_ = nullptr;
+        for (std::size_t begin = 0; begin < n; begin += chunk) {
+            std::size_t end = std::min(begin + chunk, n);
+            queue_.emplace_back([&body, begin, end] { body(begin, end); });
+        }
+        // Reverse so workers pop chunks in index order (cache locality
+        // of adjacent output writes; correctness does not depend on
+        // order).
+        std::reverse(queue_.begin(), queue_.end());
+        pending_ = queue_.size();
+    }
+    wake_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    if (firstError_) {
+        auto error = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace core
+} // namespace uncertain

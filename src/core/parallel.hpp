@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Parallel ancestral-sampling engine.
+ *
+ * Nodes are immutable and all per-pass state lives in the
+ * SampleContext (core/node.hpp), so one shared graph can be sampled
+ * from many threads at once — each worker gets its own context and
+ * its own deterministic Rng stream. This is the forward-inference
+ * parallelism a compiled PPL runtime exploits: every ancestral pass
+ * is independent, so a batch of N draws is embarrassingly parallel.
+ *
+ * Determinism: batch sample i always draws from `base.split(i)`, a
+ * counter-based child stream derived from the caller's generator
+ * snapshot (support/rng.hpp). Chunking only partitions the index
+ * space, so the output vector is bit-identical for any thread count,
+ * including the inline (threads = 1) path.
+ */
+
+#ifndef UNCERTAIN_CORE_PARALLEL_HPP
+#define UNCERTAIN_CORE_PARALLEL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/conditional.hpp"
+#include "core/node.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace core {
+
+/**
+ * Minimal fixed-size thread pool. Workers are started once and reused
+ * across batches; parallelFor blocks the caller until every chunk has
+ * run. With fewer than two workers the loop runs inline on the
+ * calling thread (no pool threads are ever started), which keeps
+ * single-threaded users allocation- and synchronization-free.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of threads chunks run on (>= 1; 1 means inline). */
+    unsigned threadCount() const { return threads_; }
+
+    /**
+     * Run body(begin, end) over consecutive chunks of [0, n), each at
+     * most @p chunk long, and wait for completion. The first
+     * exception thrown by any chunk is rethrown on the caller.
+     */
+    void parallelFor(std::size_t n, std::size_t chunk,
+                     const std::function<void(std::size_t, std::size_t)>&
+                         body);
+
+  private:
+    void workerLoop();
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::vector<std::function<void()>> queue_;
+    std::size_t pending_ = 0; //!< queued + running tasks
+    std::exception_ptr firstError_;
+    bool stopping_ = false;
+};
+
+/** Tuning for the parallel sampling engine. */
+struct ParallelOptions
+{
+    /** Worker threads; 0 = hardware concurrency, 1 = inline. */
+    unsigned threads = 0;
+    /**
+     * Samples per work item. Large enough to amortize dispatch, small
+     * enough to load-balance a mixed-cost batch.
+     */
+    std::size_t chunkSize = 1024;
+};
+
+/**
+ * Batch sampling engine: draws ancestral samples from a node graph in
+ * parallel chunks with deterministic per-index streams. One engine
+ * may be reused across graphs and calls; it is not itself
+ * thread-safe (use one engine per calling thread).
+ */
+class ParallelSampler
+{
+  public:
+    explicit ParallelSampler(ParallelOptions options = {})
+        : pool_(options.threads),
+          chunkSize_(options.chunkSize > 0 ? options.chunkSize : 1)
+    {}
+
+    explicit ParallelSampler(unsigned threads)
+        : ParallelSampler(ParallelOptions{threads, 1024})
+    {}
+
+    unsigned threads() const { return pool_.threadCount(); }
+    std::size_t chunkSize() const { return chunkSize_; }
+
+    /**
+     * Draw @p n root samples of @p node into a vector. Sample i uses
+     * stream base.split(i); @p rng is advanced once at the end so the
+     * next batch sees a fresh stream family. Bit-identical output for
+     * any thread count.
+     */
+    template <typename T>
+    std::vector<T>
+    takeSamples(const NodePtr<T>& node, std::size_t n, Rng& rng)
+    {
+        UNCERTAIN_REQUIRE(node != nullptr,
+                          "takeSamples requires a node");
+        // A plain array: vector<bool>'s packed bits cannot be written
+        // concurrently.
+        std::unique_ptr<T[]> buffer(new T[n]());
+        sampleInto(node, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        rng.advance();
+        return std::vector<T>(buffer.get(), buffer.get() + n);
+    }
+
+    /**
+     * Mean of @p n samples. The reduction runs serially in index
+     * order after the parallel draw, so the result is bit-identical
+     * for any thread count.
+     */
+    template <typename T>
+    T
+    expectedValue(const NodePtr<T>& node, std::size_t n, Rng& rng)
+    {
+        UNCERTAIN_REQUIRE(n >= 1, "expectedValue requires n >= 1");
+        std::unique_ptr<T[]> buffer(new T[n]());
+        sampleInto(node, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        ++evalStats().expectations;
+        rng.advance();
+        T total = buffer[0];
+        for (std::size_t i = 1; i < n; ++i)
+            total = total + buffer[i];
+        return total / static_cast<double>(n);
+    }
+
+    /** Point estimate of Pr[node] from @p n parallel samples. */
+    double
+    probability(const NodePtr<bool>& node, std::size_t n, Rng& rng)
+    {
+        UNCERTAIN_REQUIRE(n >= 1, "probability requires n >= 1");
+        std::unique_ptr<bool[]> buffer(new bool[n]());
+        sampleInto(node, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        rng.advance();
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            hits += buffer[i] ? 1 : 0;
+        return static_cast<double>(hits) / static_cast<double>(n);
+    }
+
+    /**
+     * Conditional evaluation with chunk-parallel draws: each chunk of
+     * Bernoulli evidence is sampled concurrently, then the sequential
+     * test consumes it in index order and Wald's boundaries are
+     * consulted between chunks (core/conditional.hpp). The decision
+     * matches a serial test fed the same observation sequence.
+     */
+    ConditionalResult
+    evaluateCondition(const NodePtr<bool>& node, double threshold,
+                      const ConditionalOptions& options, Rng& rng)
+    {
+        UNCERTAIN_REQUIRE(node != nullptr,
+                          "evaluateCondition requires a node");
+        // Chunks sized for the pool: a serial-width SPRT batch (k=10)
+        // would leave workers idle.
+        const std::size_t chunk = std::max<std::size_t>(
+            options.sprt.batchSize,
+            static_cast<std::size_t>(pool_.threadCount()) * 64);
+        auto result = evaluateConditionChunked(
+            [&](std::size_t offset, std::size_t count,
+                std::uint8_t* out) {
+                sampleIndexed(node, rng, offset, count, out);
+            },
+            threshold, options, chunk);
+        rng.advance();
+        return result;
+    }
+
+  private:
+    /**
+     * Fill out[0..n) with root draws, sample i from base.split(i).
+     * Does not advance @p base and does not touch evalStats (workers
+     * run on pool threads whose counters are not the caller's).
+     */
+    template <typename T>
+    void
+    sampleInto(const NodePtr<T>& node, std::size_t n, const Rng& base,
+               T* out)
+    {
+        const std::size_t graphNodes = node->graphSize();
+        pool_.parallelFor(
+            n, chunkSize_,
+            [&](std::size_t begin, std::size_t end) {
+                Rng stream = base.split(begin);
+                SampleContext ctx(stream);
+                ctx.reserve(graphNodes);
+                for (std::size_t i = begin; i < end; ++i) {
+                    if (i != begin) {
+                        stream = base.split(i);
+                        ctx.newEpoch();
+                    }
+                    out[i] = node->sample(ctx);
+                }
+            });
+    }
+
+    /** sampleInto for a window [offset, offset+count) of the index
+     *  space, writing Bernoulli observations as bytes. */
+    void
+    sampleIndexed(const NodePtr<bool>& node, const Rng& base,
+                  std::size_t offset, std::size_t count,
+                  std::uint8_t* out)
+    {
+        const std::size_t graphNodes = node->graphSize();
+        pool_.parallelFor(
+            count, chunkSize_,
+            [&](std::size_t begin, std::size_t end) {
+                Rng stream = base.split(offset + begin);
+                SampleContext ctx(stream);
+                ctx.reserve(graphNodes);
+                for (std::size_t i = begin; i < end; ++i) {
+                    if (i != begin) {
+                        stream = base.split(offset + i);
+                        ctx.newEpoch();
+                    }
+                    out[i] = node->sample(ctx) ? 1 : 0;
+                }
+            });
+    }
+
+    ThreadPool pool_;
+    std::size_t chunkSize_;
+};
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_PARALLEL_HPP

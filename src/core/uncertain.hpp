@@ -27,6 +27,7 @@
 
 #include "core/conditional.hpp"
 #include "core/node.hpp"
+#include "core/parallel.hpp"
 #include "random/distribution.hpp"
 #include "support/rng.hpp"
 
@@ -144,6 +145,19 @@ class Uncertain
     }
 
     /**
+     * Draw @p n samples with the parallel engine: chunks of the batch
+     * are sampled concurrently on @p sampler's pool, sample i always
+     * from stream rng.split(i). Output is bit-identical for any
+     * thread count (see core/parallel.hpp).
+     */
+    std::vector<T>
+    takeSamples(std::size_t n, Rng& rng,
+                core::ParallelSampler& sampler) const
+    {
+        return sampler.takeSamples(node_, n, rng);
+    }
+
+    /**
      * Apply an arbitrary unary function, producing a new variable
      * whose network has this one as its operand.
      */
@@ -187,6 +201,15 @@ class Uncertain
         requires core::Accumulable<T> && (!std::same_as<T, bool>)
     {
         return expectedValue(n, globalRng());
+    }
+
+    /** Mean of @p n samples drawn on the parallel engine. */
+    T
+    expectedValue(std::size_t n, Rng& rng,
+                  core::ParallelSampler& sampler) const
+        requires core::Accumulable<T> && (!std::same_as<T, bool>)
+    {
+        return sampler.expectedValue(node_, n, rng);
     }
 
     /** Paper-style shorthand for expectedValue(). */
@@ -283,6 +306,29 @@ class Uncertain
     }
 
     /**
+     * Conditional evaluation with chunk-parallel evidence draws: the
+     * sequential test consults its boundaries between chunks, so the
+     * sample-size behavior stays within one chunk of the serial test.
+     */
+    core::ConditionalResult
+    evaluate(double threshold, const core::ConditionalOptions& options,
+             Rng& rng, core::ParallelSampler& sampler) const
+        requires std::same_as<T, bool>
+    {
+        return sampler.evaluateCondition(node_, threshold, options,
+                                         rng);
+    }
+
+    /** pr() with chunk-parallel evidence draws. */
+    bool
+    pr(double threshold, const core::ConditionalOptions& options,
+       Rng& rng, core::ParallelSampler& sampler) const
+        requires std::same_as<T, bool>
+    {
+        return evaluate(threshold, options, rng, sampler).toBool();
+    }
+
+    /**
      * Implicit conditional operator: "more likely than not", i.e.
      * Pr[this] > 0.5. `explicit` still permits direct use in if/
      * while/&&/|| via contextual conversion, matching the paper's
@@ -321,6 +367,15 @@ class Uncertain
         requires std::same_as<T, bool>
     {
         return probability(n, globalRng());
+    }
+
+    /** Point estimate of Pr[this] from @p n parallel samples. */
+    double
+    probability(std::size_t n, Rng& rng,
+                core::ParallelSampler& sampler) const
+        requires std::same_as<T, bool>
+    {
+        return sampler.probability(node_, n, rng);
     }
 
   private:

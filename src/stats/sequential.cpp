@@ -67,6 +67,17 @@ GroupSequentialTest::add(bool success)
     return decision_;
 }
 
+TestDecision
+GroupSequentialTest::addMany(const std::uint8_t* observations,
+                             std::size_t count)
+{
+    for (std::size_t i = 0;
+         i < count && decision_ == TestDecision::Inconclusive; ++i) {
+        add(observations[i] != 0);
+    }
+    return decision_;
+}
+
 void
 GroupSequentialTest::evaluateLook()
 {

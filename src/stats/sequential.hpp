@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "stats/sprt.hpp"
@@ -50,6 +51,14 @@ class GroupSequentialTest
      * and at exhaustion. Observations after a decision are ignored.
      */
     TestDecision add(bool success);
+
+    /**
+     * Fold in a pre-drawn chunk in index order, stopping at the first
+     * terminal decision (see Sprt::addMany). Returns the running
+     * decision.
+     */
+    TestDecision addMany(const std::uint8_t* observations,
+                         std::size_t count);
 
     TestDecision decision() const { return decision_; }
     std::size_t samplesUsed() const { return samples_; }

@@ -57,6 +57,14 @@ Sprt::add(bool success)
     return decision_;
 }
 
+TestDecision
+Sprt::addMany(const std::uint8_t* observations, std::size_t count)
+{
+    for (std::size_t i = 0; i < count && !isDecided(); ++i)
+        add(observations[i] != 0);
+    return decision_;
+}
+
 bool
 Sprt::isDecided() const
 {

@@ -11,6 +11,7 @@
 #define UNCERTAIN_STATS_SPRT_HPP
 
 #include <cstddef>
+#include <cstdint>
 
 namespace uncertain {
 namespace stats {
@@ -68,6 +69,18 @@ class Sprt
      * Observations after a terminal decision are ignored.
      */
     TestDecision add(bool success);
+
+    /**
+     * Fold in a pre-drawn chunk of observations in index order,
+     * stopping at the first terminal decision. This is how the
+     * parallel engine consumes batches: the chunk is drawn eagerly
+     * (possibly concurrently), but the boundaries see observations in
+     * exactly the order a serial test would, so the decision — and
+     * samplesUsed() — match a serial SPRT fed the same sequence.
+     * Returns the running decision.
+     */
+    TestDecision addMany(const std::uint8_t* observations,
+                         std::size_t count);
 
     /** Current decision (Inconclusive until a boundary is crossed). */
     TestDecision decision() const { return decision_; }

@@ -136,6 +136,36 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+namespace {
+
+/** SplitMix64 finalizer as a stand-alone 64-bit mixing function. */
+inline std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng
+Rng::split(std::uint64_t streamIndex) const
+{
+    // Fold the full 256-bit state and the stream index through the
+    // SplitMix64 finalizer. Each input word is mixed before being
+    // absorbed so that low-entropy indices (0, 1, 2, ...) still flip
+    // about half the seed bits between adjacent children.
+    const auto& s = engine_.state();
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t word : s)
+        h = mix64(h ^ mix64(word));
+    h = mix64(h ^ mix64(streamIndex + 0xbf58476d1ce4e5b9ULL));
+    // The child seed is expanded to a full 256-bit state by the
+    // Xoshiro256StarStar(seed) constructor via SplitMix64.
+    return Rng(h);
+}
+
 Rng
 Rng::fork()
 {

@@ -78,6 +78,13 @@ class Xoshiro256StarStar
      */
     void jump();
 
+    /**
+     * Read-only snapshot of the 256-bit state. Used to derive child
+     * streams deterministically (Rng::split) without advancing the
+     * engine.
+     */
+    const std::array<std::uint64_t, 4>& state() const { return state_; }
+
     static constexpr std::uint64_t min() { return 0; }
     static constexpr std::uint64_t
     max()
@@ -166,6 +173,27 @@ class Rng
      * more so the parent and all forks are pairwise non-overlapping.
      */
     Rng fork();
+
+    /**
+     * Deterministic, counter-based child stream: hashes the current
+     * 256-bit state together with @p streamIndex into a fresh engine
+     * seed. Unlike fork(), split() does NOT advance this generator,
+     * so the family { split(0), split(1), ... } is a pure function of
+     * (state, index). This is what makes batch sample i identical no
+     * matter which thread draws it: every worker derives stream i
+     * from the same parent snapshot. Uses only fixed-width integer
+     * ops, so results are identical across platforms. Distinct
+     * indices give statistically independent streams (SplitMix64
+     * finalization; see tests/support/rng_split_test.cpp).
+     */
+    Rng split(std::uint64_t streamIndex) const;
+
+    /**
+     * Advance this generator by one draw. Call after handing out
+     * split() children for a batch so the next batch derives a fresh
+     * stream family.
+     */
+    void advance() { (void)nextU64(); }
 
   private:
     explicit Rng(const Xoshiro256StarStar& engine) : engine_(engine) {}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Deterministic stream splitting (Rng::split): the child-stream
+ * family must be a pure function of (parent state, index), pairwise
+ * statistically independent, and stable across platforms — the
+ * properties the parallel sampling engine's bit-exactness guarantee
+ * rests on. The independence checks follow the statistical-distance
+ * discipline of the binomial-sampler-quality literature: chi-square
+ * uniformity, cross-correlation, and autocorrelation of interleaved
+ * streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "stats/autocorrelation.hpp"
+#include "stats/chi_square.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace {
+
+TEST(RngSplit, IsAPureFunctionOfStateAndIndex)
+{
+    Rng rng = testing::testRng(700);
+    Rng a = rng.split(7);
+    Rng b = rng.split(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RngSplit, DoesNotAdvanceTheParent)
+{
+    Rng a = testing::testRng(701);
+    Rng b = testing::testRng(701);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        (void)a.split(i);
+    // The parent stream is untouched by any number of splits.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RngSplit, AdvanceChangesTheFamily)
+{
+    Rng rng = testing::testRng(702);
+    Rng before = rng.split(0);
+    rng.advance();
+    Rng after = rng.split(0);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += before.nextU64() != after.nextU64() ? 1 : 0;
+    EXPECT_GE(differing, 60);
+}
+
+TEST(RngSplit, AdjacentIndicesDiverge)
+{
+    Rng rng = testing::testRng(703);
+    for (std::uint64_t index = 0; index < 8; ++index) {
+        Rng a = rng.split(index);
+        Rng b = rng.split(index + 1);
+        int differing = 0;
+        for (int i = 0; i < 64; ++i)
+            differing += a.nextU64() != b.nextU64() ? 1 : 0;
+        EXPECT_GE(differing, 60) << "indices " << index << ", "
+                                 << index + 1;
+    }
+}
+
+TEST(RngSplit, ChildStreamsDoNotOverlap)
+{
+    // 16 children x 1000 draws: every 64-bit output distinct. A
+    // collision would mean two streams share a subsequence (or the
+    // engine's quality collapsed); the birthday bound makes a chance
+    // collision ~1e-11.
+    Rng rng = testing::testRng(704);
+    std::set<std::uint64_t> seen;
+    const int kStreams = 16;
+    const int kDraws = 1000;
+    for (int s = 0; s < kStreams; ++s) {
+        Rng child = rng.split(static_cast<std::uint64_t>(s));
+        for (int i = 0; i < kDraws; ++i)
+            EXPECT_TRUE(seen.insert(child.nextU64()).second)
+                << "stream " << s << " draw " << i;
+    }
+}
+
+TEST(RngSplit, ChildStreamsArePairwiseUncorrelated)
+{
+    Rng rng = testing::testRng(705);
+    const int n = 20000;
+    const int kStreams = 4;
+    std::vector<std::vector<double>> streams(kStreams);
+    for (int s = 0; s < kStreams; ++s) {
+        Rng child = rng.split(static_cast<std::uint64_t>(s));
+        streams[s].reserve(n);
+        for (int i = 0; i < n; ++i)
+            streams[s].push_back(child.nextDouble());
+    }
+    for (int a = 0; a < kStreams; ++a) {
+        for (int b = a + 1; b < kStreams; ++b) {
+            double sxy = 0.0, sx = 0.0, sy = 0.0;
+            for (int i = 0; i < n; ++i) {
+                sx += streams[a][i];
+                sy += streams[b][i];
+                sxy += streams[a][i] * streams[b][i];
+            }
+            double cov = sxy / n - (sx / n) * (sy / n);
+            double corr = cov / (1.0 / 12.0); // Var U(0,1) = 1/12
+            EXPECT_NEAR(corr, 0.0,
+                        5.0 / std::sqrt(static_cast<double>(n)))
+                << "streams " << a << ", " << b;
+        }
+    }
+}
+
+TEST(RngSplit, InterleavedStreamsShowNoAutocorrelation)
+{
+    // Round-robin interleaving of 8 children: any structural
+    // relationship between the streams appears as autocorrelation at
+    // lags that are multiples of the stream count.
+    Rng rng = testing::testRng(706);
+    const int kStreams = 8;
+    const int kPerStream = 4000;
+    std::vector<Rng> children;
+    for (int s = 0; s < kStreams; ++s)
+        children.push_back(rng.split(static_cast<std::uint64_t>(s)));
+    std::vector<double> interleaved;
+    interleaved.reserve(kStreams * kPerStream);
+    for (int i = 0; i < kPerStream; ++i)
+        for (int s = 0; s < kStreams; ++s)
+            interleaved.push_back(children[s].nextDouble());
+    for (std::size_t lag : {1u, 2u, 4u, 8u, 16u}) {
+        double rho = stats::autocorrelation(interleaved, lag);
+        EXPECT_NEAR(rho, 0.0,
+                    5.0 / std::sqrt(static_cast<double>(
+                              interleaved.size())))
+            << "lag " << lag;
+    }
+}
+
+TEST(RngSplit, ChildOutputIsUniformByChiSquare)
+{
+    Rng rng = testing::testRng(707);
+    Rng child = rng.split(3);
+    std::vector<std::size_t> counts(20, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<std::size_t>(child.nextDouble() * 20.0)];
+    std::vector<double> expected(20, 1.0);
+    auto result = stats::chiSquareGof(counts, expected);
+    EXPECT_GT(result.pValue, 1e-4);
+}
+
+TEST(RngSplit, PooledChildrenAreUniformByChiSquare)
+{
+    // The union of many short child prefixes — exactly the draws a
+    // parallel batch consumes — must itself be uniform.
+    Rng rng = testing::testRng(708);
+    std::vector<std::size_t> counts(20, 0);
+    const int kStreams = 512;
+    const int kPerStream = 200;
+    for (int s = 0; s < kStreams; ++s) {
+        Rng child = rng.split(static_cast<std::uint64_t>(s));
+        for (int i = 0; i < kPerStream; ++i)
+            ++counts[static_cast<std::size_t>(child.nextDouble()
+                                              * 20.0)];
+    }
+    std::vector<double> expected(20, 1.0);
+    auto result = stats::chiSquareGof(counts, expected);
+    EXPECT_GT(result.pValue, 1e-4);
+}
+
+TEST(RngSplit, GoldenValuesAreStableAcrossPlatforms)
+{
+    // split() is pure fixed-width integer arithmetic, so these values
+    // must hold on every platform and standard library. Regenerate
+    // only if the derivation scheme itself changes (that breaks
+    // recorded experiment reproducibility — bump a major version).
+    Rng rng(0x5eedULL);
+
+    Rng c0 = rng.split(0);
+    EXPECT_EQ(c0.nextU64(), 0x0fd0490fab651cd0ULL);
+    EXPECT_EQ(c0.nextU64(), 0xefbd82793edd0d56ULL);
+    EXPECT_EQ(c0.nextU64(), 0x631d849558b980b5ULL);
+
+    Rng c1 = rng.split(1);
+    EXPECT_EQ(c1.nextU64(), 0x0a0f71ce45966da0ULL);
+    EXPECT_EQ(c1.nextU64(), 0xccdb1527d1bae801ULL);
+
+    Rng c41 = rng.split(41);
+    EXPECT_EQ(c41.nextU64(), 0x4cefcf0a07000a91ULL);
+    EXPECT_EQ(c41.nextU64(), 0x6e77b9c66c5704bbULL);
+
+    rng.advance();
+    EXPECT_EQ(rng.split(0).nextU64(), 0xe88066bf07a07ba8ULL);
+}
+
+} // namespace
+} // namespace uncertain
