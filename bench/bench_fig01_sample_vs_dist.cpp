@@ -5,8 +5,10 @@
  * histogram, and reports how misleading the single draw can be.
  *
  * --threads N adds a serial-vs-parallel batch-sampling comparison on
- * an Uncertain<double> expression graph (the histogram itself is
- * intentionally left on the classic serial path).
+ * an Uncertain<double> expression graph. --engine {tree,batch}
+ * selects the engine that draws the histogram's samples (through the
+ * Uncertain<double> surface) and, for batch, appends a tree-vs-batch
+ * throughput table on the same shared-leaf graph.
  */
 
 #include <cmath>
@@ -70,6 +72,43 @@ reportParallelSpeedup(unsigned threads, std::size_t n)
     }
 }
 
+/** Tree-walk vs columnar-plan throughput on (Y + X) + X. */
+void
+reportEngineSpeedup(std::size_t n)
+{
+    auto x = core::fromDistribution(
+        std::make_shared<random::Gaussian>(0.0, 1.0));
+    auto y = core::fromDistribution(
+        std::make_shared<random::Gaussian>(1.0, 2.0));
+    auto expr = (y + x) + x;
+
+    std::printf("\nEngine comparison on (Y + X) + X, n = %zu\n", n);
+    bench::Table table({"engine", "seconds", "speedup", "mean"});
+
+    auto meanOf = [](const std::vector<double>& samples) {
+        double total = 0.0;
+        for (double v : samples)
+            total += v;
+        return total / static_cast<double>(samples.size());
+    };
+
+    Rng treeRng(11);
+    std::vector<double> treeSamples;
+    double treeSeconds = bench::timeSeconds(
+        [&] { treeSamples = expr.takeSamples(n, treeRng); });
+    table.mixedRow({"tree", std::to_string(treeSeconds), "1.0",
+                    std::to_string(meanOf(treeSamples))});
+
+    Rng batchRng(11);
+    core::BatchSampler sampler;
+    std::vector<double> batchSamples;
+    double batchSeconds = bench::timeSeconds(
+        [&] { batchSamples = expr.takeSamples(n, batchRng, sampler); });
+    table.mixedRow({"batch", std::to_string(batchSeconds),
+                    std::to_string(treeSeconds / batchSeconds),
+                    std::to_string(meanOf(batchSamples))});
+}
+
 } // namespace
 
 int
@@ -79,6 +118,7 @@ main(int argc, char** argv)
                   "(Gaussian(0, 1))");
     bool paper = bench::hasFlag(argc, argv, "--paper");
     const unsigned threads = bench::threadsFlag(argc, argv);
+    const std::string engine = bench::engineFlag(argc, argv);
     const std::size_t n = paper ? 1000000 : 100000;
 
     random::Gaussian dist(0.0, 1.0);
@@ -96,17 +136,29 @@ main(int argc, char** argv)
 
     stats::Histogram histogram(-4.0, 4.0, 33);
     stats::OnlineSummary summary;
-    for (std::size_t i = 0; i < n; ++i) {
-        double x = dist.sample(rng);
-        histogram.add(x);
-        summary.add(x);
+    if (engine == "batch") {
+        auto leaf = core::fromDistribution(
+            std::make_shared<random::Gaussian>(0.0, 1.0));
+        core::BatchSampler sampler;
+        for (double x : leaf.takeSamples(n, rng, sampler)) {
+            histogram.add(x);
+            summary.add(x);
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            double x = dist.sample(rng);
+            histogram.add(x);
+            summary.add(x);
+        }
     }
-    std::printf("%zu samples: mean %+.4f, stddev %.4f\n\n", n,
-                summary.mean(), summary.stddev());
+    std::printf("%zu samples (%s engine): mean %+.4f, stddev %.4f\n\n",
+                n, engine.c_str(), summary.mean(), summary.stddev());
     std::printf("%s", histogram.render(48).c_str());
     std::printf("\nPaper's point: treating the single draw as the "
                 "value discards the\nentire shape above.\n");
 
+    if (engine == "batch")
+        reportEngineSpeedup(paper ? 4000000 : 1000000);
     if (threads > 1)
         reportParallelSpeedup(threads, paper ? 4000000 : 1000000);
     return 0;

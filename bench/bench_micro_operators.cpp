@@ -5,12 +5,21 @@
  * depths, memoized shared nodes, conditional evaluation, E(), and
  * the parallel batch engine on a --threads-style axis (the benchmark
  * argument is the thread count).
+ *
+ * --engine {tree,batch} selects the sampling engine for the
+ * bulk-sampling benchmarks (BM_TakeSamples, BM_ExpectedValue, the
+ * conditionals): "tree" walks the DAG once per sample, "batch" runs
+ * the compiled columnar plan. Run once per engine and compare
+ * items_per_second; the engine is recorded in the benchmark context.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "core/core.hpp"
 #include "random/gaussian.hpp"
@@ -18,6 +27,15 @@
 using namespace uncertain;
 
 namespace {
+
+/** Engine axis for the bulk-sampling benchmarks; set by --engine. */
+std::string g_engine = "tree";
+
+bool
+useBatchEngine()
+{
+    return g_engine == "batch";
+}
 
 Uncertain<double>
 gaussianLeaf()
@@ -84,8 +102,14 @@ BM_ConditionalEasy(benchmark::State& state)
     auto condition = variable > 4.0;
     Rng rng(3);
     core::ConditionalOptions options;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(condition.pr(0.5, options, rng));
+    core::BatchSampler batchSampler;
+    for (auto _ : state) {
+        bool decision = useBatchEngine()
+                            ? condition.pr(0.5, options, rng,
+                                           batchSampler)
+                            : condition.pr(0.5, options, rng);
+        benchmark::DoNotOptimize(decision);
+    }
 }
 BENCHMARK(BM_ConditionalEasy);
 
@@ -98,8 +122,14 @@ BM_ConditionalHard(benchmark::State& state)
     Rng rng(4);
     core::ConditionalOptions options;
     options.sprt.maxSamples = 1000;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(condition.pr(0.5, options, rng));
+    core::BatchSampler batchSampler;
+    for (auto _ : state) {
+        bool decision = useBatchEngine()
+                            ? condition.pr(0.5, options, rng,
+                                           batchSampler)
+                            : condition.pr(0.5, options, rng);
+        benchmark::DoNotOptimize(decision);
+    }
 }
 BENCHMARK(BM_ConditionalHard);
 
@@ -108,9 +138,14 @@ BM_ExpectedValue(benchmark::State& state)
 {
     auto chain = buildChain(8);
     Rng rng(5);
+    core::BatchSampler batchSampler;
     const auto n = static_cast<std::size_t>(state.range(0));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(chain.expectedValue(n, rng));
+    for (auto _ : state) {
+        double mean = useBatchEngine()
+                          ? chain.expectedValue(n, rng, batchSampler)
+                          : chain.expectedValue(n, rng);
+        benchmark::DoNotOptimize(mean);
+    }
 }
 BENCHMARK(BM_ExpectedValue)->Arg(100)->Arg(1000);
 
@@ -140,26 +175,31 @@ BM_LeafSampling(benchmark::State& state)
 BENCHMARK(BM_LeafSampling);
 
 // ----------------------------------------------------------------------
-// Parallel batch engine. The argument is the thread count; compare
-// against BM_SerialTakeSamples for the serial-vs-parallel speedup (a
-// single-core host shows ~1x plus dispatch overhead; a multi-core
-// host should approach the thread count on the deep chain).
+// Bulk sampling engines. BM_TakeSamples honours --engine: run once
+// with --engine tree and once with --engine batch and compare
+// items_per_second for the tree-walk vs columnar-plan speedup. The
+// parallel variant's argument is the thread count; on a single-core
+// host it shows ~1x plus dispatch overhead, on a multi-core host it
+// should approach the thread count on the deep chain.
 // ----------------------------------------------------------------------
 
 void
-BM_SerialTakeSamples(benchmark::State& state)
+BM_TakeSamples(benchmark::State& state)
 {
     auto chain = buildChain(static_cast<int>(state.range(0)));
     Rng rng(8);
+    core::BatchSampler batchSampler;
     const std::size_t n = 10000;
     for (auto _ : state) {
-        auto samples = chain.takeSamples(n, rng);
+        auto samples = useBatchEngine()
+                           ? chain.takeSamples(n, rng, batchSampler)
+                           : chain.takeSamples(n, rng);
         benchmark::DoNotOptimize(samples.data());
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations() * n));
 }
-BENCHMARK(BM_SerialTakeSamples)->Arg(8)->Arg(64);
+BENCHMARK(BM_TakeSamples)->Arg(8)->Arg(64);
 
 void
 BM_ParallelTakeSamples(benchmark::State& state)
@@ -198,6 +238,43 @@ BM_ParallelConditional(benchmark::State& state)
 }
 BENCHMARK(BM_ParallelConditional)->Arg(1)->Arg(2)->Arg(4);
 
+/**
+ * Strip "--engine X" / "--engine=X" from the argument vector (google
+ * benchmark rejects flags it does not know) and record the choice.
+ */
+void
+parseEngineFlag(int* argc, char** argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < *argc) {
+            g_engine = argv[++i];
+        } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+            g_engine = argv[i] + 9;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    parseEngineFlag(&argc, argv);
+    if (g_engine != "tree" && g_engine != "batch") {
+        std::fprintf(stderr,
+                     "unknown --engine '%s' (expected tree or batch)\n",
+                     g_engine.c_str());
+        return 2;
+    }
+    benchmark::AddCustomContext("engine", g_engine);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

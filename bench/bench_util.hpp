@@ -61,6 +61,44 @@ threadsFlag(int argc, char** argv)
     return n < 1 ? 1u : static_cast<unsigned>(n);
 }
 
+/**
+ * Value of a string option given as "--name value" or "--name=value";
+ * @p fallback when absent.
+ */
+inline std::string
+stringFlag(int argc, char** argv, const char* flag,
+           const char* fallback)
+{
+    const std::size_t flagLen = std::strlen(flag);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc)
+            return argv[i + 1];
+        if (std::strncmp(argv[i], flag, flagLen) == 0
+            && argv[i][flagLen] == '=') {
+            return argv[i] + flagLen + 1;
+        }
+    }
+    return fallback;
+}
+
+/**
+ * The --engine {tree,batch} axis: "tree" is the classic per-sample
+ * DAG walk, "batch" the columnar plan engine (core::BatchSampler).
+ * Exits with a usage message on any other value.
+ */
+inline std::string
+engineFlag(int argc, char** argv)
+{
+    std::string engine = stringFlag(argc, argv, "--engine", "tree");
+    if (engine != "tree" && engine != "batch") {
+        std::fprintf(stderr,
+                     "unknown --engine '%s' (expected tree or batch)\n",
+                     engine.c_str());
+        std::exit(2);
+    }
+    return engine;
+}
+
 /** Wall-clock seconds spent in @p fn. */
 template <typename F>
 double

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Columnar batched sampling engine.
+ *
+ * BatchSampler is the serial driver for the flat plans of
+ * core/batch_plan.hpp: it compiles a graph once (cached per root),
+ * then fills contiguous columns block by block — per-node kernel
+ * loops instead of a per-sample tree walk with memo lookups. This is
+ * the compiled-forward-inference shape of a PPL runtime: the graph is
+ * the program, the plan is its object code, a block is one vectorized
+ * execution.
+ *
+ * Determinism contract (see docs/API.md): output is a pure function
+ * of (caller Rng snapshot, n, blockSize, graph shape). Identical
+ * across runs and across engines sharing the same block partition —
+ * ParallelSampler at any thread count with chunkSize == blockSize is
+ * bit-identical to BatchSampler. Not bit-identical to the tree walk;
+ * the statistical-equivalence suite pins both engines to the same
+ * law. Memory footprint: columnCount * blockSize elements per
+ * workspace (one workspace per engine, one extra per worker thread in
+ * the parallel engine).
+ */
+
+#ifndef UNCERTAIN_CORE_BATCH_HPP
+#define UNCERTAIN_CORE_BATCH_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/batch_plan.hpp"
+#include "core/conditional.hpp"
+#include "core/node.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace core {
+
+/** Tuning for the columnar batch engine. */
+struct BatchOptions
+{
+    /**
+     * Samples per column block. Large enough that per-node kernel
+     * dispatch amortizes to nothing, small enough that a block's
+     * columns stay cache-resident. Part of the determinism contract:
+     * changing it changes the stream partition (and so the samples).
+     */
+    std::size_t blockSize = 8192;
+};
+
+/**
+ * Cache of compiled plans keyed by root-node identity, with a reusable
+ * serial workspace per plan. The plan pins its graph alive, so a key
+ * can never dangle onto a recycled node address while cached. Bounded:
+ * the cache resets once kMaxPlans distinct roots have been compiled
+ * (re-lowering is cheap relative to any batch worth compiling for).
+ */
+class PlanCache
+{
+  public:
+    struct Entry
+    {
+        std::shared_ptr<const BatchPlan> plan;
+        BatchWorkspace workspace;
+    };
+
+    static constexpr std::size_t kMaxPlans = 64;
+
+    template <typename T>
+    Entry&
+    entryFor(const NodePtr<T>& root)
+    {
+        UNCERTAIN_REQUIRE(root != nullptr,
+                          "batch sampling requires a node");
+        auto it = entries_.find(root.get());
+        if (it != entries_.end())
+            return it->second;
+        if (entries_.size() >= kMaxPlans)
+            entries_.clear();
+        auto plan = BatchPlan::compile(root);
+        Entry entry{plan, plan->makeWorkspace()};
+        return entries_.emplace(root.get(), std::move(entry))
+            .first->second;
+    }
+
+  private:
+    std::unordered_map<const GraphNode*, Entry> entries_;
+};
+
+/**
+ * Serial columnar batch engine behind the same surface as the
+ * tree-walk and parallel paths: takeSamples / expectedValue /
+ * probability / evaluateCondition. One engine may be reused across
+ * graphs and calls; it is not itself thread-safe (one engine per
+ * calling thread, like ParallelSampler).
+ */
+class BatchSampler
+{
+  public:
+    explicit BatchSampler(BatchOptions options = {})
+        : blockSize_(options.blockSize > 0 ? options.blockSize : 1)
+    {}
+
+    std::size_t blockSize() const { return blockSize_; }
+
+    /**
+     * Draw @p n root samples of @p node into a vector. @p rng is
+     * advanced once at the end so the next batch sees a fresh stream
+     * family (same convention as ParallelSampler).
+     */
+    template <typename T>
+    std::vector<T>
+    takeSamples(const NodePtr<T>& node, std::size_t n, Rng& rng)
+    {
+        std::unique_ptr<T[]> buffer(new T[n]());
+        sampleInto(node, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        rng.advance();
+        return std::vector<T>(buffer.get(), buffer.get() + n);
+    }
+
+    /** Mean of @p n samples, reduced serially in index order. */
+    template <typename T>
+    T
+    expectedValue(const NodePtr<T>& node, std::size_t n, Rng& rng)
+    {
+        UNCERTAIN_REQUIRE(n >= 1, "expectedValue requires n >= 1");
+        std::unique_ptr<T[]> buffer(new T[n]());
+        sampleInto(node, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        ++evalStats().expectations;
+        rng.advance();
+        T total = buffer[0];
+        for (std::size_t i = 1; i < n; ++i)
+            total = total + buffer[i];
+        return total / static_cast<double>(n);
+    }
+
+    /** Point estimate of Pr[node] from @p n batched samples. */
+    double
+    probability(const NodePtr<bool>& node, std::size_t n, Rng& rng)
+    {
+        UNCERTAIN_REQUIRE(n >= 1, "probability requires n >= 1");
+        std::unique_ptr<bool[]> buffer(new bool[n]());
+        sampleInto(node, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        rng.advance();
+        std::size_t hits = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            hits += buffer[i] ? 1 : 0;
+        return static_cast<double>(hits) / static_cast<double>(n);
+    }
+
+    /**
+     * Conditional evaluation with batched evidence columns: each
+     * chunk of Bernoulli observations is filled by the columnar
+     * kernels, then the sequential test consumes it in index order
+     * (core/conditional.hpp). Chunks are widened past the SPRT batch
+     * so the column machinery has something to amortize over; the
+     * decision still matches a serial test fed the same sequence.
+     */
+    ConditionalResult
+    evaluateCondition(const NodePtr<bool>& node, double threshold,
+                      const ConditionalOptions& options, Rng& rng)
+    {
+        const std::size_t chunk = std::max<std::size_t>(
+            options.sprt.batchSize, std::size_t{256});
+        auto result = evaluateConditionChunked(
+            [&](std::size_t offset, std::size_t count,
+                std::uint8_t* out) {
+                fillEvidence(node, rng, offset, count, out);
+            },
+            threshold, options, chunk);
+        rng.advance();
+        return result;
+    }
+
+    /**
+     * Fill out[0..n) with root draws via the cached plan; block b
+     * covers absolute indices [b*blockSize, ...). Does not advance
+     * @p base and does not touch evalStats.
+     */
+    template <typename T>
+    void
+    sampleInto(const NodePtr<T>& node, std::size_t n, const Rng& base,
+               T* out)
+    {
+        auto& entry = cache_.entryFor(node);
+        const std::size_t rootCol = entry.plan->rootColumn();
+        for (std::size_t start = 0; start < n; start += blockSize_) {
+            const std::size_t len = std::min(blockSize_, n - start);
+            entry.plan->runBlock(entry.workspace, base, start, len);
+            const auto* col =
+                entry.workspace.template column<T>(rootCol).data();
+            std::copy(col, col + len, out + start);
+        }
+    }
+
+    /**
+     * Evidence fill for a window [offset, offset + count) of the
+     * index space: Bernoulli observations as bytes, blocks at
+     * absolute offsets so the stream sequence is deterministic for a
+     * given chunk schedule.
+     */
+    void
+    fillEvidence(const NodePtr<bool>& node, const Rng& base,
+                 std::size_t offset, std::size_t count,
+                 std::uint8_t* out)
+    {
+        auto& entry = cache_.entryFor(node);
+        const std::size_t rootCol = entry.plan->rootColumn();
+        for (std::size_t start = 0; start < count;
+             start += blockSize_) {
+            const std::size_t len =
+                std::min(blockSize_, count - start);
+            entry.plan->runBlock(entry.workspace, base,
+                                 offset + start, len);
+            const auto* col =
+                entry.workspace.column<bool>(rootCol).data();
+            std::copy(col, col + len, out + start);
+        }
+    }
+
+  private:
+    std::size_t blockSize_;
+    PlanCache cache_;
+};
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_BATCH_HPP

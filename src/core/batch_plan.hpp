@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Columnar batch-evaluation plan: the compilation target the node
+ * graph is lowered into before bulk sampling.
+ *
+ * The tree-walk interpreter in core/node.hpp pays a memo-table lookup
+ * and a virtual dispatch per node per sample. The batch engine pays
+ * those costs once per *block* instead: a one-time topological
+ * lowering flattens the DAG into a sequence of kernels in SSA form —
+ * every node owns exactly one contiguous column, shared subexpressions
+ * are interned so they appear once (preserving the Figure 8(b)
+ * shared-leaf semantics by construction) — and each kernel fills its
+ * column for a whole block of samples in a single tight loop.
+ *
+ * Stream discipline: a block whose first sample has absolute index s
+ * derives a block generator `base.split(s)` from the caller's Rng
+ * snapshot, and the leaf with topological discovery index L draws its
+ * column from `blockBase.split(L)`. The output is therefore a pure
+ * function of (seed, n, block size, graph shape): identical for any
+ * thread count, though not bit-identical to the tree walk (the
+ * conformance suite in tests/core/batch_equivalence_test.cpp pins the
+ * two engines to the same law statistically).
+ *
+ * Lowering is driven by Node<T>::lowerInto (core/node.hpp); execution
+ * by BatchSampler / ParallelSampler (core/batch.hpp, core/parallel.hpp).
+ */
+
+#ifndef UNCERTAIN_CORE_BATCH_PLAN_HPP
+#define UNCERTAIN_CORE_BATCH_PLAN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uncertain {
+namespace core {
+
+class GraphNode;
+
+namespace batch {
+
+/**
+ * Column storage type for a base type T. Identical to T except for
+ * bool, which is widened to one byte so columns expose contiguous
+ * writable storage (std::vector<bool> packs bits and has no data()).
+ * Kernels read and write Store<T>; the implicit bool <-> uint8_t
+ * conversions keep the lifted operators' signatures unchanged.
+ */
+template <typename T>
+struct ColumnStorage
+{
+    using type = T;
+};
+
+template <>
+struct ColumnStorage<bool>
+{
+    using type = std::uint8_t;
+};
+
+template <typename T>
+using Store = typename ColumnStorage<T>::type;
+
+} // namespace batch
+
+/** Type-erased base for one column of the workspace. */
+class ColumnBase
+{
+  public:
+    virtual ~ColumnBase() = default;
+
+    /** Resize the column to @p n elements (block length). */
+    virtual void resize(std::size_t n) = 0;
+};
+
+/** A contiguous column of batch::Store<T> values, one per sample. */
+template <typename T>
+class Column final : public ColumnBase
+{
+  public:
+    using StoreType = batch::Store<T>;
+
+    void resize(std::size_t n) override { values_.resize(n); }
+
+    StoreType* data() { return values_.data(); }
+    const StoreType* data() const { return values_.data(); }
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::vector<StoreType> values_;
+};
+
+/**
+ * Per-execution state for one block: the column storage plus the
+ * block's generator. A workspace belongs to one thread at a time;
+ * parallel execution gives each worker its own workspace over the
+ * same immutable plan.
+ */
+class BatchWorkspace
+{
+  public:
+    BatchWorkspace() = default;
+    BatchWorkspace(BatchWorkspace&&) = default;
+    BatchWorkspace& operator=(BatchWorkspace&&) = default;
+    BatchWorkspace(const BatchWorkspace&) = delete;
+    BatchWorkspace& operator=(const BatchWorkspace&) = delete;
+
+    /** Samples in the current block. */
+    std::size_t length() const { return length_; }
+
+    /** The typed column @p index; the type is fixed by the plan. */
+    template <typename T>
+    Column<T>&
+    column(std::size_t index)
+    {
+        UNCERTAIN_ASSERT(index < columns_.size(),
+                         "column index out of range");
+        auto* typed = static_cast<Column<T>*>(columns_[index].get());
+        return *typed;
+    }
+
+    /**
+     * The generator for leaf stream @p leafIndex of the current
+     * block: blockBase.split(leafIndex), a pure function of (caller
+     * snapshot, block start, leaf index).
+     */
+    Rng
+    leafStream(std::uint64_t leafIndex) const
+    {
+        return blockBase_.split(leafIndex);
+    }
+
+  private:
+    friend class BatchPlan;
+
+    std::vector<std::unique_ptr<ColumnBase>> columns_;
+    std::size_t length_ = 0;
+    Rng blockBase_{0};
+};
+
+/** One compiled kernel: fills its column for the current block. */
+using BatchStep = std::function<void(BatchWorkspace&)>;
+
+/**
+ * Accumulates the flat plan during lowering. Nodes are interned by
+ * identity, so a shared subexpression is lowered exactly once and
+ * every consumer reads the same column — the SSA form of Figure 8(b).
+ */
+class BatchBuilder
+{
+  public:
+    /** Column index of @p node if already lowered, else npos. */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t
+    find(const GraphNode* node) const
+    {
+        auto it = index_.find(node);
+        return it == index_.end() ? npos : it->second;
+    }
+
+    /**
+     * Register a fresh column of base type T for @p node and return
+     * its index. Must be called after the node's operands are
+     * lowered and before its step is appended.
+     */
+    template <typename T>
+    std::size_t
+    addColumn(const GraphNode* node)
+    {
+        UNCERTAIN_ASSERT(find(node) == npos,
+                         "node lowered twice despite interning");
+        const std::size_t id = factories_.size();
+        factories_.push_back(
+            [] { return std::unique_ptr<ColumnBase>(new Column<T>()); });
+        index_.emplace(node, id);
+        return id;
+    }
+
+    /**
+     * Claim the next leaf stream index (topological discovery order);
+     * each leaf kernel derives its per-block generator from it.
+     */
+    std::uint64_t nextLeafStream() { return leafCount_++; }
+
+    /** Append the kernel for the most recently added column. */
+    void addStep(BatchStep step) { steps_.push_back(std::move(step)); }
+
+    std::size_t columnCount() const { return factories_.size(); }
+    std::uint64_t leafCount() const { return leafCount_; }
+
+  private:
+    friend class BatchPlan;
+
+    std::unordered_map<const GraphNode*, std::size_t> index_;
+    std::vector<std::function<std::unique_ptr<ColumnBase>()>> factories_;
+    std::vector<BatchStep> steps_;
+    std::uint64_t leafCount_ = 0;
+};
+
+/**
+ * An immutable compiled plan: ordered kernels plus column factories.
+ * Compile once per graph (BatchPlan::compile), execute any number of
+ * blocks from any number of threads — runBlock touches only the
+ * caller's workspace. The plan keeps the root graph alive so a cache
+ * keyed by node identity can never alias a recycled address.
+ */
+class BatchPlan
+{
+  public:
+    /**
+     * Lower the graph rooted at @p root (a NodePtr<T>) into a plan.
+     * The root's column index is recorded for typed readback.
+     */
+    template <typename NodeT>
+    static std::shared_ptr<const BatchPlan>
+    compile(const std::shared_ptr<const NodeT>& root)
+    {
+        UNCERTAIN_REQUIRE(root != nullptr,
+                          "BatchPlan::compile requires a root node");
+        BatchBuilder builder;
+        const std::size_t rootColumn = root->lowerInto(builder);
+        return std::shared_ptr<const BatchPlan>(
+            new BatchPlan(std::move(builder), rootColumn, root));
+    }
+
+    std::size_t rootColumn() const { return rootColumn_; }
+    std::size_t columnCount() const { return factories_.size(); }
+    std::size_t leafCount() const
+    {
+        return static_cast<std::size_t>(leafCount_);
+    }
+
+    /** A fresh workspace with one column per plan slot. */
+    BatchWorkspace
+    makeWorkspace() const
+    {
+        BatchWorkspace ws;
+        ws.columns_.reserve(factories_.size());
+        for (const auto& make : factories_)
+            ws.columns_.push_back(make());
+        return ws;
+    }
+
+    /**
+     * Fill every column of @p ws for the block of @p length samples
+     * whose first absolute sample index is @p blockStart, deriving
+     * leaf streams from @p base per the stream discipline above.
+     */
+    void
+    runBlock(BatchWorkspace& ws, const Rng& base, std::size_t blockStart,
+             std::size_t length) const
+    {
+        UNCERTAIN_ASSERT(ws.columns_.size() == factories_.size(),
+                         "workspace does not belong to this plan");
+        ws.length_ = length;
+        ws.blockBase_ = base.split(blockStart);
+        for (auto& column : ws.columns_)
+            column->resize(length);
+        for (const auto& step : steps_)
+            step(ws);
+    }
+
+  private:
+    BatchPlan(BatchBuilder&& builder, std::size_t rootColumn,
+              std::shared_ptr<const GraphNode> keepAlive)
+        : factories_(std::move(builder.factories_)),
+          steps_(std::move(builder.steps_)),
+          leafCount_(builder.leafCount_), rootColumn_(rootColumn),
+          keepAlive_(std::move(keepAlive))
+    {}
+
+    std::vector<std::function<std::unique_ptr<ColumnBase>()>> factories_;
+    std::vector<BatchStep> steps_;
+    std::uint64_t leafCount_;
+    std::size_t rootColumn_;
+    std::shared_ptr<const GraphNode> keepAlive_;
+};
+
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_BATCH_PLAN_HPP

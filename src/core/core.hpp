@@ -7,6 +7,7 @@
 #ifndef UNCERTAIN_CORE_CORE_HPP
 #define UNCERTAIN_CORE_CORE_HPP
 
+#include "core/batch.hpp"       // IWYU pragma: export
 #include "core/conditional.hpp" // IWYU pragma: export
 #include "core/dot.hpp"         // IWYU pragma: export
 #include "core/functions.hpp"   // IWYU pragma: export

@@ -18,6 +18,14 @@
  * therefore threads) may sample one shared graph concurrently, each
  * with its own private memo table. See core/parallel.hpp for the
  * batch engine built on this property.
+ *
+ * Besides the per-sample tree walk, every node knows how to lower
+ * itself into the columnar batch plan of core/batch_plan.hpp
+ * (Node::lowerInto): leaves become bulk-fill kernels over one Rng
+ * stream per leaf, inner nodes become element-wise kernels over their
+ * operand columns. The interning in BatchBuilder gives shared
+ * subexpressions a single column, which is the batch engine's version
+ * of the epoch memo.
  */
 
 #ifndef UNCERTAIN_CORE_NODE_HPP
@@ -32,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch_plan.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -193,8 +202,26 @@ class Node : public GraphNode
         return value;
     }
 
+    /**
+     * Lower this node (operands first) into @p builder's columnar
+     * plan and return its column index. Idempotent per node: the
+     * interning map turns the DAG into SSA, so shared subexpressions
+     * get exactly one column.
+     */
+    std::size_t
+    lowerInto(BatchBuilder& builder) const
+    {
+        const std::size_t found = builder.find(this);
+        if (found != BatchBuilder::npos)
+            return found;
+        return doLower(builder);
+    }
+
   protected:
     virtual T doSample(SampleContext& ctx) const = 0;
+
+    /** Emit this node's column and kernel; operands via lowerInto. */
+    virtual std::size_t doLower(BatchBuilder& builder) const = 0;
 };
 
 template <typename T>
@@ -209,8 +236,19 @@ template <typename T>
 class LeafNode final : public Node<T>
 {
   public:
-    LeafNode(std::function<T(Rng&)> sampler, std::string label)
-        : sampler_(std::move(sampler)), label_(std::move(label))
+    /**
+     * Optional bulk sampling function: fill @p n independent draws
+     * from one generator in a single call. Purely a batch-engine fast
+     * path — it must produce the same *law* as the scalar sampler,
+     * not the same stream (random/distribution.hpp sampleMany).
+     */
+    using BulkSampler =
+        std::function<void(Rng&, batch::Store<T>*, std::size_t)>;
+
+    LeafNode(std::function<T(Rng&)> sampler, std::string label,
+             BulkSampler bulkSampler = nullptr)
+        : sampler_(std::move(sampler)),
+          bulkSampler_(std::move(bulkSampler)), label_(std::move(label))
     {
         UNCERTAIN_REQUIRE(sampler_ != nullptr,
                           "leaf requires a sampling function");
@@ -224,8 +262,34 @@ class LeafNode final : public Node<T>
         return sampler_(ctx.rng());
     }
 
+    std::size_t
+    doLower(BatchBuilder& builder) const override
+    {
+        const std::uint64_t stream = builder.nextLeafStream();
+        const std::size_t col = builder.addColumn<T>(this);
+        if (bulkSampler_) {
+            builder.addStep(
+                [col, stream, bulk = bulkSampler_](BatchWorkspace& ws) {
+                    Rng rng = ws.leafStream(stream);
+                    bulk(rng, ws.template column<T>(col).data(), ws.length());
+                });
+        } else {
+            builder.addStep(
+                [col, stream, sampler = sampler_](BatchWorkspace& ws) {
+                    Rng rng = ws.leafStream(stream);
+                    auto* out = ws.template column<T>(col).data();
+                    const std::size_t n = ws.length();
+                    for (std::size_t i = 0; i < n; ++i)
+                        out[i] = static_cast<batch::Store<T>>(
+                            sampler(rng));
+                });
+        }
+        return col;
+    }
+
   private:
     std::function<T(Rng&)> sampler_;
+    BulkSampler bulkSampler_;
     std::string label_;
 };
 
@@ -245,6 +309,19 @@ class PointMassNode final : public Node<T>
 
   protected:
     T doSample(SampleContext&) const override { return value_; }
+
+    std::size_t
+    doLower(BatchBuilder& builder) const override
+    {
+        const std::size_t col = builder.addColumn<T>(this);
+        builder.addStep([col, value = value_](BatchWorkspace& ws) {
+            auto* out = ws.template column<T>(col).data();
+            const std::size_t n = ws.length();
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = static_cast<batch::Store<T>>(value);
+        });
+        return col;
+    }
 
   private:
     T value_;
@@ -285,6 +362,27 @@ class BinaryNode final : public Node<R>
         return op_(a, b);
     }
 
+    std::size_t
+    doLower(BatchBuilder& builder) const override
+    {
+        // Operands first (same fixed order as doSample), so leaf
+        // stream indices are a pure function of the graph shape.
+        const std::size_t lhs = lhs_->lowerInto(builder);
+        const std::size_t rhs = rhs_->lowerInto(builder);
+        const std::size_t col = builder.addColumn<R>(this);
+        builder.addStep(
+            [col, lhs, rhs, op = op_](BatchWorkspace& ws) {
+                const auto* a = ws.template column<A>(lhs).data();
+                const auto* b = ws.template column<B>(rhs).data();
+                auto* out = ws.template column<R>(col).data();
+                const std::size_t n = ws.length();
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = static_cast<batch::Store<R>>(
+                        op(a[i], b[i]));
+            });
+        return col;
+    }
+
   private:
     NodePtr<A> lhs_;
     NodePtr<B> rhs_;
@@ -317,6 +415,23 @@ class UnaryNode final : public Node<R>
     R doSample(SampleContext& ctx) const override
     {
         return op_(operand_->sample(ctx));
+    }
+
+    std::size_t
+    doLower(BatchBuilder& builder) const override
+    {
+        const std::size_t operand = operand_->lowerInto(builder);
+        const std::size_t col = builder.addColumn<R>(this);
+        builder.addStep(
+            [col, operand, op = op_](BatchWorkspace& ws) {
+                const auto* a = ws.template column<A>(operand).data();
+                auto* out = ws.template column<R>(col).data();
+                const std::size_t n = ws.length();
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] =
+                        static_cast<batch::Store<R>>(op(a[i]));
+            });
+        return col;
     }
 
   private:

@@ -1,19 +1,23 @@
 /**
  * @file
- * Parallel ancestral-sampling engine.
+ * Parallel columnar sampling engine.
  *
- * Nodes are immutable and all per-pass state lives in the
- * SampleContext (core/node.hpp), so one shared graph can be sampled
- * from many threads at once — each worker gets its own context and
- * its own deterministic Rng stream. This is the forward-inference
- * parallelism a compiled PPL runtime exploits: every ancestral pass
- * is independent, so a batch of N draws is embarrassingly parallel.
+ * The graph is compiled once into the flat plan of
+ * core/batch_plan.hpp; a batch of N draws is partitioned into column
+ * blocks of chunkSize samples, and the thread pool executes whole
+ * blocks — each worker fills its own private workspace of contiguous
+ * columns, paying per-node dispatch once per block instead of once
+ * per sample. Blocks are independent (leaf streams derive from the
+ * caller's Rng snapshot and the block's start index), so the batch is
+ * embarrassingly parallel.
  *
- * Determinism: batch sample i always draws from `base.split(i)`, a
- * counter-based child stream derived from the caller's generator
- * snapshot (support/rng.hpp). Chunking only partitions the index
- * space, so the output vector is bit-identical for any thread count,
- * including the inline (threads = 1) path.
+ * Determinism: the block partition is fixed by chunkSize alone, and
+ * the block starting at absolute index s always draws from
+ * `base.split(s)` (one child stream per leaf under it). Output is
+ * therefore bit-identical for any thread count — and bit-identical to
+ * the serial BatchSampler with blockSize == chunkSize. Changing
+ * chunkSize changes the stream partition (and so the samples), unlike
+ * the per-sample engine this replaces.
  */
 
 #ifndef UNCERTAIN_CORE_PARALLEL_HPP
@@ -29,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/conditional.hpp"
 #include "core/node.hpp"
 #include "support/error.hpp"
@@ -87,17 +92,19 @@ struct ParallelOptions
     /** Worker threads; 0 = hardware concurrency, 1 = inline. */
     unsigned threads = 0;
     /**
-     * Samples per work item. Large enough to amortize dispatch, small
-     * enough to load-balance a mixed-cost batch.
+     * Samples per column block (one work item). Large enough to
+     * amortize dispatch, small enough to load-balance a mixed-cost
+     * batch. Part of the determinism contract: the block partition —
+     * and therefore the stream family — is a function of this value.
      */
     std::size_t chunkSize = 1024;
 };
 
 /**
- * Batch sampling engine: draws ancestral samples from a node graph in
- * parallel chunks with deterministic per-index streams. One engine
- * may be reused across graphs and calls; it is not itself
- * thread-safe (use one engine per calling thread).
+ * Parallel batch sampling engine: compiles the graph into a columnar
+ * plan and draws blocks of samples concurrently, one workspace per
+ * worker. One engine may be reused across graphs and calls; it is not
+ * itself thread-safe (use one engine per calling thread).
  */
 class ParallelSampler
 {
@@ -115,10 +122,11 @@ class ParallelSampler
     std::size_t chunkSize() const { return chunkSize_; }
 
     /**
-     * Draw @p n root samples of @p node into a vector. Sample i uses
-     * stream base.split(i); @p rng is advanced once at the end so the
-     * next batch sees a fresh stream family. Bit-identical output for
-     * any thread count.
+     * Draw @p n root samples of @p node into a vector. The block
+     * starting at index s uses stream family base.split(s); @p rng is
+     * advanced once at the end so the next batch sees a fresh stream
+     * family. Bit-identical output for any thread count, and equal to
+     * BatchSampler with blockSize == chunkSize.
      */
     template <typename T>
     std::vector<T>
@@ -201,58 +209,84 @@ class ParallelSampler
 
   private:
     /**
-     * Fill out[0..n) with root draws, sample i from base.split(i).
-     * Does not advance @p base and does not touch evalStats (workers
-     * run on pool threads whose counters are not the caller's).
+     * Fill out[0..n) with root draws via the columnar plan: block
+     * [begin, end) uses stream family base.split(begin). Does not
+     * advance @p base and does not touch evalStats (workers run on
+     * pool threads whose counters are not the caller's).
+     *
+     * With fewer than two workers the block loop runs inline on the
+     * calling thread against the plan cache's reusable workspace —
+     * no pool dispatch, no per-block workspace allocation — which is
+     * exactly the serial BatchSampler execution.
      */
     template <typename T>
     void
     sampleInto(const NodePtr<T>& node, std::size_t n, const Rng& base,
                T* out)
     {
-        const std::size_t graphNodes = node->graphSize();
+        auto& entry = cache_.entryFor(node);
+        const BatchPlan& plan = *entry.plan;
+        const std::size_t rootCol = plan.rootColumn();
+        if (pool_.threadCount() < 2) {
+            for (std::size_t start = 0; start < n;
+                 start += chunkSize_) {
+                const std::size_t len =
+                    std::min(chunkSize_, n - start);
+                plan.runBlock(entry.workspace, base, start, len);
+                const auto* col =
+                    entry.workspace.template column<T>(rootCol).data();
+                std::copy(col, col + len, out + start);
+            }
+            return;
+        }
         pool_.parallelFor(
             n, chunkSize_,
             [&](std::size_t begin, std::size_t end) {
-                Rng stream = base.split(begin);
-                SampleContext ctx(stream);
-                ctx.reserve(graphNodes);
-                for (std::size_t i = begin; i < end; ++i) {
-                    if (i != begin) {
-                        stream = base.split(i);
-                        ctx.newEpoch();
-                    }
-                    out[i] = node->sample(ctx);
-                }
+                BatchWorkspace ws = plan.makeWorkspace();
+                plan.runBlock(ws, base, begin, end - begin);
+                const auto* col =
+                    ws.template column<T>(rootCol).data();
+                std::copy(col, col + (end - begin), out + begin);
             });
     }
 
     /** sampleInto for a window [offset, offset+count) of the index
-     *  space, writing Bernoulli observations as bytes. */
+     *  space, writing Bernoulli observations as bytes; blocks are
+     *  keyed by their absolute start offset. */
     void
     sampleIndexed(const NodePtr<bool>& node, const Rng& base,
                   std::size_t offset, std::size_t count,
                   std::uint8_t* out)
     {
-        const std::size_t graphNodes = node->graphSize();
+        auto& entry = cache_.entryFor(node);
+        const BatchPlan& plan = *entry.plan;
+        const std::size_t rootCol = plan.rootColumn();
+        if (pool_.threadCount() < 2) {
+            for (std::size_t start = 0; start < count;
+                 start += chunkSize_) {
+                const std::size_t len =
+                    std::min(chunkSize_, count - start);
+                plan.runBlock(entry.workspace, base, offset + start,
+                              len);
+                const auto* col =
+                    entry.workspace.column<bool>(rootCol).data();
+                std::copy(col, col + len, out + start);
+            }
+            return;
+        }
         pool_.parallelFor(
             count, chunkSize_,
             [&](std::size_t begin, std::size_t end) {
-                Rng stream = base.split(offset + begin);
-                SampleContext ctx(stream);
-                ctx.reserve(graphNodes);
-                for (std::size_t i = begin; i < end; ++i) {
-                    if (i != begin) {
-                        stream = base.split(offset + i);
-                        ctx.newEpoch();
-                    }
-                    out[i] = node->sample(ctx) ? 1 : 0;
-                }
+                BatchWorkspace ws = plan.makeWorkspace();
+                plan.runBlock(ws, base, offset + begin, end - begin);
+                const auto* col = ws.column<bool>(rootCol).data();
+                std::copy(col, col + (end - begin), out + begin);
             });
     }
 
     ThreadPool pool_;
     std::size_t chunkSize_;
+    PlanCache cache_;
 };
 
 } // namespace core

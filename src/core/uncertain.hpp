@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/conditional.hpp"
 #include "core/node.hpp"
 #include "core/parallel.hpp"
@@ -103,6 +104,22 @@ class Uncertain
             std::move(sampler), std::move(label)));
     }
 
+    /**
+     * fromSampler with an additional bulk sampling function for the
+     * columnar batch engine: bulk(rng, out, n) must fill out[0..n)
+     * with independent draws from the same law as the scalar sampler
+     * (it need not consume the stream identically — see
+     * random::Distribution::sampleMany).
+     */
+    static Uncertain
+    fromSampler(std::function<T(Rng&)> sampler,
+                typename core::LeafNode<T>::BulkSampler bulk,
+                std::string label = "sampler")
+    {
+        return Uncertain(std::make_shared<core::LeafNode<T>>(
+            std::move(sampler), std::move(label), std::move(bulk)));
+    }
+
     /** The underlying Bayesian-network node. */
     const core::NodePtr<T>& node() const { return node_; }
 
@@ -145,14 +162,21 @@ class Uncertain
     }
 
     /**
-     * Draw @p n samples with the parallel engine: chunks of the batch
-     * are sampled concurrently on @p sampler's pool, sample i always
-     * from stream rng.split(i). Output is bit-identical for any
-     * thread count (see core/parallel.hpp).
+     * Draw @p n samples with the parallel engine: column blocks of
+     * the batch are sampled concurrently on @p sampler's pool. Output
+     * is bit-identical for any thread count (see core/parallel.hpp).
      */
     std::vector<T>
     takeSamples(std::size_t n, Rng& rng,
                 core::ParallelSampler& sampler) const
+    {
+        return sampler.takeSamples(node_, n, rng);
+    }
+
+    /** Draw @p n samples with the serial columnar batch engine. */
+    std::vector<T>
+    takeSamples(std::size_t n, Rng& rng,
+                core::BatchSampler& sampler) const
     {
         return sampler.takeSamples(node_, n, rng);
     }
@@ -207,6 +231,15 @@ class Uncertain
     T
     expectedValue(std::size_t n, Rng& rng,
                   core::ParallelSampler& sampler) const
+        requires core::Accumulable<T> && (!std::same_as<T, bool>)
+    {
+        return sampler.expectedValue(node_, n, rng);
+    }
+
+    /** Mean of @p n samples drawn on the batch engine. */
+    T
+    expectedValue(std::size_t n, Rng& rng,
+                  core::BatchSampler& sampler) const
         requires core::Accumulable<T> && (!std::same_as<T, bool>)
     {
         return sampler.expectedValue(node_, n, rng);
@@ -329,6 +362,28 @@ class Uncertain
     }
 
     /**
+     * Conditional evaluation with batched evidence columns on the
+     * serial columnar engine (see core/batch.hpp).
+     */
+    core::ConditionalResult
+    evaluate(double threshold, const core::ConditionalOptions& options,
+             Rng& rng, core::BatchSampler& sampler) const
+        requires std::same_as<T, bool>
+    {
+        return sampler.evaluateCondition(node_, threshold, options,
+                                         rng);
+    }
+
+    /** pr() with batched evidence columns. */
+    bool
+    pr(double threshold, const core::ConditionalOptions& options,
+       Rng& rng, core::BatchSampler& sampler) const
+        requires std::same_as<T, bool>
+    {
+        return evaluate(threshold, options, rng, sampler).toBool();
+    }
+
+    /**
      * Implicit conditional operator: "more likely than not", i.e.
      * Pr[this] > 0.5. `explicit` still permits direct use in if/
      * while/&&/|| via contextual conversion, matching the paper's
@@ -378,6 +433,15 @@ class Uncertain
         return sampler.probability(node_, n, rng);
     }
 
+    /** Point estimate of Pr[this] from @p n batched samples. */
+    double
+    probability(std::size_t n, Rng& rng,
+                core::BatchSampler& sampler) const
+        requires std::same_as<T, bool>
+    {
+        return sampler.probability(node_, n, rng);
+    }
+
   private:
     core::NodePtr<T> node_;
 };
@@ -386,7 +450,9 @@ namespace core {
 
 /**
  * Wrap a src/random distribution object as an Uncertain<double> leaf.
- * The distribution is shared, not copied.
+ * The distribution is shared, not copied. The leaf carries both the
+ * scalar sampler and the distribution's bulk sampleMany, so the batch
+ * engine fills its column with the amortized form.
  */
 inline Uncertain<double>
 fromDistribution(random::DistributionPtr dist)
@@ -394,9 +460,13 @@ fromDistribution(random::DistributionPtr dist)
     UNCERTAIN_REQUIRE(dist != nullptr,
                       "fromDistribution requires a distribution");
     std::string label = dist->name();
+    auto scalar = [dist](Rng& rng) { return dist->sample(rng); };
+    auto bulk = [dist = std::move(dist)](Rng& rng, double* out,
+                                         std::size_t n) {
+        dist->sampleMany(rng, out, n);
+    };
     return Uncertain<double>::fromSampler(
-        [dist = std::move(dist)](Rng& rng) { return dist->sample(rng); },
-        std::move(label));
+        std::move(scalar), std::move(bulk), std::move(label));
 }
 
 /**

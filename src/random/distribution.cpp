@@ -7,6 +7,13 @@
 namespace uncertain {
 namespace random {
 
+void
+Distribution::sampleMany(Rng& rng, double* out, std::size_t n) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = sample(rng);
+}
+
 double
 Distribution::pdf(double x) const
 {

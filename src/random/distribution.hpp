@@ -13,6 +13,7 @@
 #ifndef UNCERTAIN_RANDOM_DISTRIBUTION_HPP
 #define UNCERTAIN_RANDOM_DISTRIBUTION_HPP
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -34,6 +35,17 @@ class Distribution
 
     /** Draw one sample using @p rng. */
     virtual double sample(Rng& rng) const = 0;
+
+    /**
+     * Fill out[0..n) with independent samples. The default loops over
+     * sample(); distributions with a cheaper amortized form (pairwise
+     * Box-Muller, bulk uniform fills) override it. Bulk draws follow
+     * the same law as scalar draws but need not consume the stream
+     * identically, so out[i] is not guaranteed to equal the i-th
+     * scalar sample(). The columnar batch kernels
+     * (core/batch_plan.hpp) are the primary consumer.
+     */
+    virtual void sampleMany(Rng& rng, double* out, std::size_t n) const;
 
     /** Human-readable name, e.g. "Gaussian(0, 1)". */
     virtual std::string name() const = 0;

@@ -20,6 +20,14 @@ Exponential::sample(Rng& rng) const
     return -std::log(rng.nextDoubleOpen()) / lambda_;
 }
 
+void
+Exponential::sampleMany(Rng& rng, double* out, std::size_t n) const
+{
+    rng.fillDoubleOpen(out, n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = -std::log(out[i]) / lambda_;
+}
+
 std::string
 Exponential::name() const
 {

@@ -19,6 +19,7 @@ class Exponential : public Distribution
     explicit Exponential(double lambda);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out, std::size_t n) const override;
     std::string name() const override;
     double pdf(double x) const override;
     double logPdf(double x) const override;

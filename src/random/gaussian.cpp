@@ -28,6 +28,33 @@ Gaussian::sample(Rng& rng) const
     return mu_ + sigma_ * standardSample(rng);
 }
 
+void
+Gaussian::sampleMany(Rng& rng, double* out, std::size_t n) const
+{
+    // Marsaglia polar method, pairwise: each accepted (v1, v2) in the
+    // unit disc yields two deviates from one log and one sqrt, with no
+    // trigonometry at all. Acceptance is pi/4, so the expected uniform
+    // cost is ~2.55 draws per pair; the transcendental saving against
+    // the scalar path's Box-Muller (log + sqrt + cos per draw)
+    // dominates. Rejection consumes a data-dependent number of draws,
+    // which is fine here: the bulk contract is "same law as sample(),
+    // deterministic in the Rng state", not "same stream schedule".
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        double v1, v2, s;
+        do {
+            v1 = 2.0 * rng.nextDouble() - 1.0;
+            v2 = 2.0 * rng.nextDouble() - 1.0;
+            s = v1 * v1 + v2 * v2;
+        } while (s >= 1.0 || s == 0.0);
+        double scale = std::sqrt(-2.0 * std::log(s) / s);
+        out[i] = mu_ + sigma_ * (v1 * scale);
+        out[i + 1] = mu_ + sigma_ * (v2 * scale);
+    }
+    if (i < n)
+        out[i] = sample(rng);
+}
+
 std::string
 Gaussian::name() const
 {

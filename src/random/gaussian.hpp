@@ -21,6 +21,7 @@ class Gaussian : public Distribution
     Gaussian(double mu, double sigma);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out, std::size_t n) const override;
     std::string name() const override;
     double pdf(double x) const override;
     double logPdf(double x) const override;

@@ -31,6 +31,14 @@ Rayleigh::sample(Rng& rng) const
     return rho_ * std::sqrt(-2.0 * std::log(rng.nextDoubleOpen()));
 }
 
+void
+Rayleigh::sampleMany(Rng& rng, double* out, std::size_t n) const
+{
+    rng.fillDoubleOpen(out, n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = rho_ * std::sqrt(-2.0 * std::log(out[i]));
+}
+
 std::string
 Rayleigh::name() const
 {

@@ -28,6 +28,7 @@ class Rayleigh : public Distribution
     static Rayleigh fromHorizontalAccuracy(double epsilon95);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out, std::size_t n) const override;
     std::string name() const override;
     double pdf(double x) const override;
     double logPdf(double x) const override;

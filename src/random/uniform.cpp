@@ -19,6 +19,15 @@ Uniform::sample(Rng& rng) const
     return rng.nextRange(lo_, hi_);
 }
 
+void
+Uniform::sampleMany(Rng& rng, double* out, std::size_t n) const
+{
+    rng.fillDouble(out, n);
+    const double width = hi_ - lo_;
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = lo_ + width * out[i];
+}
+
 std::string
 Uniform::name() const
 {

@@ -136,6 +136,28 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+void
+Rng::fillU64(std::uint64_t* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = engine_.next();
+}
+
+void
+Rng::fillDouble(double* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<double>(engine_.next() >> 11) * 0x1.0p-53;
+}
+
+void
+Rng::fillDoubleOpen(double* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = (static_cast<double>(engine_.next() >> 11) + 0.5) *
+                 0x1.0p-53;
+}
+
 namespace {
 
 /** SplitMix64 finalizer as a stand-alone 64-bit mixing function. */

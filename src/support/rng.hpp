@@ -18,6 +18,7 @@
 #define UNCERTAIN_SUPPORT_RNG_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -166,6 +167,22 @@ class Rng
 
     /** Bernoulli(p) draw. */
     bool nextBool(double p = 0.5);
+
+    /**
+     * Bulk fills: write @p n consecutive deviates into @p out, exactly
+     * as the corresponding scalar call would produce them in a loop.
+     * These exist so the columnar batch kernels (core/batch_plan.hpp)
+     * can fill a whole leaf column without paying the facade call per
+     * element; the stream advances by the same amount as n scalar
+     * draws.
+     */
+    void fillU64(std::uint64_t* out, std::size_t n);
+
+    /** n values of nextDouble() into @p out. */
+    void fillDouble(double* out, std::size_t n);
+
+    /** n values of nextDoubleOpen() into @p out. */
+    void fillDoubleOpen(double* out, std::size_t n);
 
     /**
      * Split off an independent stream: the result is a copy of this

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Golden-distribution conformance suite: every sampler the batch
+ * engine leans on must match its own closed-form law, on both the
+ * scalar sample() path and the bulk sampleMany() path. The bulk path
+ * is a distinct algorithm for several distributions (pairwise
+ * Box-Muller for Gaussian, fused uniform fills for Uniform /
+ * Exponential / Rayleigh), so it gets its own KS + moment pass —
+ * "same law, different stream" is exactly the claim that needs a
+ * distance-based test (Sarkar et al., Assessing the Quality of
+ * Binomial Samplers).
+ *
+ * Continuous laws: one-sample KS against the analytic CDF at
+ * testing::kKsAlpha plus first/second-moment checks at ~5 sigma.
+ * Bernoulli (discrete): chi-square over {0, 1} cells plus the same
+ * moment checks. All seeds fixed via testing::testRng.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "random/bernoulli.hpp"
+#include "random/distribution.hpp"
+#include "random/exponential.hpp"
+#include "random/gaussian.hpp"
+#include "random/mixture.hpp"
+#include "random/rayleigh.hpp"
+#include "random/uniform.hpp"
+#include "stat_assert.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace random {
+namespace {
+
+constexpr std::size_t kSamples = 20000;
+
+struct GoldenCase
+{
+    const char* name;
+    DistributionPtr (*make)();
+    std::uint64_t seed;
+};
+
+DistributionPtr
+makeStandardGaussian()
+{
+    return std::make_shared<Gaussian>(0.0, 1.0);
+}
+
+DistributionPtr
+makeShiftedGaussian()
+{
+    return std::make_shared<Gaussian>(-3.5, 2.25);
+}
+
+DistributionPtr
+makeGpsRayleigh()
+{
+    // The paper's GPS error scale for a 4 m 95% accuracy radius.
+    return std::make_shared<Rayleigh>(
+        Rayleigh::fromHorizontalAccuracy(4.0));
+}
+
+DistributionPtr
+makeUnitUniform()
+{
+    return std::make_shared<Uniform>(0.0, 1.0);
+}
+
+DistributionPtr
+makeWideUniform()
+{
+    return std::make_shared<Uniform>(-7.0, 11.0);
+}
+
+DistributionPtr
+makeExponential()
+{
+    return std::make_shared<Exponential>(0.75);
+}
+
+DistributionPtr
+makeBimodalMixture()
+{
+    return std::make_shared<Mixture>(
+        std::vector<DistributionPtr>{
+            std::make_shared<Gaussian>(-2.0, 0.5),
+            std::make_shared<Gaussian>(3.0, 1.0),
+        },
+        std::vector<double>{0.4, 0.6});
+}
+
+const GoldenCase kContinuousCases[] = {
+    {"gaussian_standard", makeStandardGaussian, 2001},
+    {"gaussian_shifted", makeShiftedGaussian, 2002},
+    {"rayleigh_gps", makeGpsRayleigh, 2003},
+    {"uniform_unit", makeUnitUniform, 2004},
+    {"uniform_wide", makeWideUniform, 2005},
+    {"exponential", makeExponential, 2006},
+    {"mixture_bimodal", makeBimodalMixture, 2007},
+};
+
+std::vector<double>
+scalarDraws(const Distribution& dist, std::uint64_t seed,
+            std::size_t n = kSamples)
+{
+    Rng rng = testing::testRng(seed);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(dist.sample(rng));
+    return xs;
+}
+
+std::vector<double>
+bulkDraws(const Distribution& dist, std::uint64_t seed,
+          std::size_t n = kSamples)
+{
+    Rng rng = testing::testRng(seed);
+    std::vector<double> xs(n);
+    dist.sampleMany(rng, xs.data(), n);
+    return xs;
+}
+
+class GoldenConformance
+    : public ::testing::TestWithParam<GoldenCase>
+{};
+
+TEST_P(GoldenConformance, ScalarSamplesPassKsAgainstClosedFormCdf)
+{
+    auto dist = GetParam().make();
+    auto xs = scalarDraws(*dist, GetParam().seed);
+    EXPECT_TRUE(testing::ksMatchesDistribution(xs, *dist));
+}
+
+TEST_P(GoldenConformance, BulkSamplesPassKsAgainstClosedFormCdf)
+{
+    auto dist = GetParam().make();
+    auto xs = bulkDraws(*dist, GetParam().seed + 50);
+    EXPECT_TRUE(testing::ksMatchesDistribution(xs, *dist));
+}
+
+TEST_P(GoldenConformance, ScalarSampleMomentsMatch)
+{
+    auto dist = GetParam().make();
+    auto xs = scalarDraws(*dist, GetParam().seed + 100);
+    EXPECT_TRUE(
+        testing::momentsMatch(xs, dist->mean(), dist->stddev()));
+}
+
+TEST_P(GoldenConformance, BulkSampleMomentsMatch)
+{
+    auto dist = GetParam().make();
+    auto xs = bulkDraws(*dist, GetParam().seed + 150);
+    EXPECT_TRUE(
+        testing::momentsMatch(xs, dist->mean(), dist->stddev()));
+}
+
+TEST_P(GoldenConformance, ScalarAndBulkDrawTheSameLaw)
+{
+    // The bulk path may consume the stream differently (pairwise
+    // Box-Muller keeps the sine half), so the comparison is two-sample
+    // KS, not bit equality.
+    auto dist = GetParam().make();
+    auto scalar = scalarDraws(*dist, GetParam().seed + 200);
+    auto bulk = bulkDraws(*dist, GetParam().seed + 250);
+    EXPECT_TRUE(testing::ksSameDistribution(scalar, bulk));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldenDistributions, GoldenConformance,
+    ::testing::ValuesIn(kContinuousCases),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+        return std::string(info.param.name);
+    });
+
+TEST(GoldenConformanceBernoulli, ScalarCellCountsPassChiSquare)
+{
+    Bernoulli dist(0.37);
+    auto xs = scalarDraws(dist, 2101);
+    std::vector<std::size_t> counts(2, 0);
+    for (double x : xs)
+        ++counts[x > 0.5 ? 1 : 0];
+    EXPECT_TRUE(testing::chiSquareMatches(counts, {0.63, 0.37}));
+}
+
+TEST(GoldenConformanceBernoulli, BulkCellCountsPassChiSquare)
+{
+    Bernoulli dist(0.37);
+    auto xs = bulkDraws(dist, 2102);
+    std::vector<std::size_t> counts(2, 0);
+    for (double x : xs)
+        ++counts[x > 0.5 ? 1 : 0];
+    EXPECT_TRUE(testing::chiSquareMatches(counts, {0.63, 0.37}));
+}
+
+TEST(GoldenConformanceBernoulli, MomentsMatchOnBothPaths)
+{
+    Bernoulli dist(0.37);
+    EXPECT_TRUE(testing::momentsMatch(scalarDraws(dist, 2103),
+                                      dist.mean(), dist.stddev()));
+    EXPECT_TRUE(testing::momentsMatch(bulkDraws(dist, 2104),
+                                      dist.mean(), dist.stddev()));
+}
+
+} // namespace
+} // namespace random
+} // namespace uncertain

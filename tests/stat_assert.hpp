@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared statistical assertion library for the test suite.
+ *
+ * Every sampler change in this repo is accepted or rejected by
+ * distance-based statistical tests (KS, chi-square) plus moment
+ * checks, in the spirit of Sarkar et al., "Assessing the Quality of
+ * Binomial Samplers". This header is the single home for those
+ * assertions so that every suite runs them with the same conventions:
+ *
+ *  - Fixed seeds. Callers draw their samples from
+ *    testing::testRng(seed) with a per-test seed, so a failure is
+ *    reproducible, not flaky. A failing assertion means the sampler
+ *    (or its stream discipline) changed, never that the dice were
+ *    unlucky tonight.
+ *  - Documented alpha levels. Distance tests run at kKsAlpha /
+ *    kChiSquareAlpha = 0.01: for the fixed seeds in the suite a true
+ *    sampler fails with probability ~1%, re-rolled only when a seed
+ *    changes. Moment checks use the ~5-sigma tolerances of
+ *    test_util.hpp, which are effectively zero false-positive.
+ *
+ * All helpers return ::testing::AssertionResult so failures print the
+ * statistic, the p-value, and the alpha they were judged at:
+ *
+ *   EXPECT_TRUE(testing::ksMatchesDistribution(samples, gaussian));
+ *   EXPECT_TRUE(testing::ksSameDistribution(serial, batch));
+ *   EXPECT_TRUE(testing::momentsMatch(samples, mu, sigma));
+ *   EXPECT_TRUE(testing::chiSquareMatches(counts, probabilities));
+ */
+
+#ifndef UNCERTAIN_TESTS_STAT_ASSERT_HPP
+#define UNCERTAIN_TESTS_STAT_ASSERT_HPP
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "random/distribution.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/summary.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace testing {
+
+/** Significance level for Kolmogorov-Smirnov distance tests. */
+constexpr double kKsAlpha = 0.01;
+
+/** Significance level for chi-square goodness-of-fit tests. */
+constexpr double kChiSquareAlpha = 0.01;
+
+/**
+ * One-sample KS test: do @p samples follow @p reference's analytic
+ * CDF? Fails when the p-value drops below @p alpha.
+ */
+inline ::testing::AssertionResult
+ksMatchesDistribution(const std::vector<double>& samples,
+                      const random::Distribution& reference,
+                      double alpha = kKsAlpha)
+{
+    auto ks = stats::ksTest(samples, reference);
+    if (!ks.rejectAt(alpha))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << samples.size() << " samples reject " << reference.name()
+           << ": KS statistic " << ks.statistic << ", p " << ks.pValue
+           << " < alpha " << alpha;
+}
+
+/**
+ * Two-sample KS test: were @p xs and @p ys drawn from the same law?
+ * The workhorse of engine-equivalence suites (serial vs parallel vs
+ * batch), where no analytic CDF exists for the compared expression.
+ */
+inline ::testing::AssertionResult
+ksSameDistribution(const std::vector<double>& xs,
+                   const std::vector<double>& ys,
+                   double alpha = kKsAlpha)
+{
+    auto ks = stats::ksTest2(xs, ys);
+    if (!ks.rejectAt(alpha))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "samples (" << xs.size() << ", " << ys.size()
+           << ") reject equality: KS statistic " << ks.statistic
+           << ", p " << ks.pValue << " < alpha " << alpha;
+}
+
+/**
+ * First- and second-moment check: the sample mean must lie within
+ * ~5 sigma of @p mean (estimator sd = sd/sqrt(n)) and the sample
+ * standard deviation within ~5 sigma of @p sd. The sd tolerance uses
+ * sd*sqrt(2/n) — twice the normal-theory estimator sd — so the check
+ * stays ~5 sigma for laws with excess kurtosis up to ~6 (exponential)
+ * instead of silently tightening on heavy tails.
+ */
+inline ::testing::AssertionResult
+momentsMatch(const std::vector<double>& samples, double mean,
+             double sd)
+{
+    stats::OnlineSummary summary;
+    summary.addAll(samples);
+    const std::size_t n = summary.count();
+    const double meanTol = meanTolerance(sd, n);
+    if (std::abs(summary.mean() - mean) > meanTol)
+        return ::testing::AssertionFailure()
+               << "sample mean " << summary.mean() << " outside "
+               << mean << " +/- " << meanTol << " (n " << n << ")";
+    const double sdTol =
+        5.0 * sd * std::sqrt(2.0 / static_cast<double>(n));
+    if (std::abs(summary.stddev() - sd) > sdTol)
+        return ::testing::AssertionFailure()
+               << "sample sd " << summary.stddev() << " outside " << sd
+               << " +/- " << sdTol << " (n " << n << ")";
+    return ::testing::AssertionSuccess();
+}
+
+/**
+ * Pearson chi-square goodness-of-fit of @p observed cell counts
+ * against @p expected cell probabilities (normalized internally).
+ * For discrete samplers (Bernoulli, binomial, discrete mixtures)
+ * where a KS test is inappropriate.
+ */
+inline ::testing::AssertionResult
+chiSquareMatches(const std::vector<std::size_t>& observed,
+                 const std::vector<double>& expected,
+                 double alpha = kChiSquareAlpha)
+{
+    auto gof = stats::chiSquareGof(observed, expected);
+    if (!gof.rejectAt(alpha))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "chi-square " << gof.statistic << " on "
+           << gof.degreesOfFreedom << " dof rejects: p " << gof.pValue
+           << " < alpha " << alpha;
+}
+
+} // namespace testing
+} // namespace uncertain
+
+#endif // UNCERTAIN_TESTS_STAT_ASSERT_HPP
