@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/inspect.hpp"
 #include "gps/gps_library.hpp"
 #include "gps/sensor.hpp"
 #include "stats/summary.hpp"
@@ -48,20 +49,34 @@ main(int argc, char** argv)
     bench::banner("Figure 4: Pr[ticket] at a 60 mph limit vs. true "
                   "speed and GPS accuracy");
     bool paper = bench::hasFlag(argc, argv, "--paper");
+    bool verbose = bench::hasFlag(argc, argv, "--verbose");
+    std::string engine = bench::engineFlag(argc, argv);
     const std::size_t trials = paper ? 200000 : 20000;
     Rng rng(4);
+    core::BatchSampler batchSampler;
 
     // Section 2 anchor: speed 95% CI from two 4 m fixes.
     {
         auto a = getLocation({{47.62, -122.35}, 4.0, 0.0});
         auto b = getLocation({{47.62, -122.35}, 4.0, 1.0});
         auto speed = uncertainSpeedMph(a, b, 1.0);
-        std::vector<double> samples = speed.takeSamples(40000, rng);
+        std::vector<double> samples =
+            engine == "batch"
+                ? speed.takeSamples(40000, rng, batchSampler)
+                : speed.takeSamples(40000, rng);
         std::sort(samples.begin(), samples.end());
         std::printf("speed 95%% CI from two 4 m fixes: %.1f mph "
                     "[paper: 12.7]\n\n",
                     samples[static_cast<std::size_t>(
                         0.95 * samples.size())]);
+        if (engine == "batch" && verbose) {
+            std::printf(
+                "plan (speed): %s\n\n",
+                core::planReport(core::planStats(speed, batchSampler),
+                                 batchSampler.planCache()->stats(),
+                                 batchSampler.blockSize())
+                    .c_str());
+        }
     }
 
     std::vector<double> epsilons{2.0, 4.0, 8.0, 16.0};

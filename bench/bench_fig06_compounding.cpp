@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "core/core.hpp"
+#include "core/inspect.hpp"
 #include "random/gaussian.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
@@ -19,10 +20,12 @@ namespace {
 
 void
 describe(const char* name, const Uncertain<double>& variable,
-         std::size_t n, Rng& rng)
+         std::size_t n, Rng& rng, core::BatchSampler* batch)
 {
     stats::OnlineSummary summary;
-    std::vector<double> samples = variable.takeSamples(n, rng);
+    std::vector<double> samples =
+        batch ? variable.takeSamples(n, rng, *batch)
+              : variable.takeSamples(n, rng);
     summary.addAll(samples);
     std::printf("%s: mean %+.3f, stddev %.3f\n", name, summary.mean(),
                 summary.stddev());
@@ -39,18 +42,31 @@ main(int argc, char** argv)
     bench::banner("Figure 6: computation compounds uncertainty "
                   "(c = a + b)");
     bool paper = bench::hasFlag(argc, argv, "--paper");
+    bool verbose = bench::hasFlag(argc, argv, "--verbose");
+    std::string engine = bench::engineFlag(argc, argv);
     const std::size_t n = paper ? 400000 : 60000;
 
     Rng rng(6);
+    core::BatchSampler batchSampler;
+    core::BatchSampler* batch =
+        engine == "batch" ? &batchSampler : nullptr;
     auto a = core::fromDistribution(
         std::make_shared<random::Gaussian>(1.0, 1.0));
     auto b = core::fromDistribution(
         std::make_shared<random::Gaussian>(2.0, 1.5));
     auto c = a + b;
 
-    describe("a ~ N(1, 1.0)  ", a, n, rng);
-    describe("b ~ N(2, 1.5)  ", b, n, rng);
-    describe("c = a + b      ", c, n, rng);
+    describe("a ~ N(1, 1.0)  ", a, n, rng, batch);
+    describe("b ~ N(2, 1.5)  ", b, n, rng, batch);
+    describe("c = a + b      ", c, n, rng, batch);
+
+    if (batch && verbose) {
+        std::printf("plan (c = a + b): %s\n",
+                    core::planReport(core::planStats(c, *batch),
+                                     batch->planCache()->stats(),
+                                     batch->blockSize())
+                        .c_str());
+    }
 
     std::printf("Shape check: stddev(c) = sqrt(1 + 2.25) = 1.80 > "
                 "max(stddev(a), stddev(b)).\n");

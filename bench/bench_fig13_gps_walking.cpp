@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/inspect.hpp"
 #include "gps/trajectory.hpp"
 #include "gps/walking.hpp"
 #include "stats/summary.hpp"
@@ -28,10 +29,17 @@ main(int argc, char** argv)
     bench::banner("Figure 13: GPS-Walking — naive vs. E[Speed] vs. "
                   "prior-improved speed");
     bool paper = bench::hasFlag(argc, argv, "--paper");
+    bool verbose = bench::hasFlag(argc, argv, "--verbose");
+    std::string engine = bench::engineFlag(argc, argv);
     const double duration = paper ? 900.0 : 300.0;
     const std::size_t evalSamples = paper ? 2000 : 400;
 
     Rng rng(13);
+    // Each second builds a fresh speed graph, so the batch engine
+    // exercises PlanCache churn/eviction by design here.
+    core::BatchSampler batchSampler;
+    core::BatchSampler* batch =
+        engine == "batch" ? &batchSampler : nullptr;
     WalkConfig config;
     config.durationSeconds = duration;
     auto truth = simulateWalk(config, rng);
@@ -57,6 +65,7 @@ main(int argc, char** argv)
     stats::OnlineSummary improvedWidth;
     int naiveFast = 0;
     int evidenceFast = 0;
+    int adviceCounts[3] = {0, 0, 0};
     double naiveMax = 0.0;
     double gpsMax = 0.0;
     double improvedMax = 0.0;
@@ -66,8 +75,12 @@ main(int argc, char** argv)
         auto speed = speedFromFixes(fixes[i - 1], fixes[i]);
         auto improved = improveSpeed(speed, reweightOptions);
 
-        double gpsE = speed.expectedValue(evalSamples, rng);
-        double improvedE = improved.expectedValue(evalSamples, rng);
+        double gpsE =
+            batch ? speed.expectedValue(evalSamples, rng, *batch)
+                  : speed.expectedValue(evalSamples, rng);
+        double improvedE =
+            batch ? improved.expectedValue(evalSamples, rng, *batch)
+                  : improved.expectedValue(evalSamples, rng);
 
         naiveSummary.add(naive);
         gpsSummary.add(gpsE);
@@ -77,8 +90,12 @@ main(int argc, char** argv)
         improvedMax = std::max(improvedMax, improvedE);
 
         // 95% spread of each per-second distribution.
-        auto rawSamples = speed.takeSamples(evalSamples, rng);
-        auto impSamples = improved.takeSamples(evalSamples, rng);
+        auto rawSamples =
+            batch ? speed.takeSamples(evalSamples, rng, *batch)
+                  : speed.takeSamples(evalSamples, rng);
+        auto impSamples =
+            batch ? improved.takeSamples(evalSamples, rng, *batch)
+                  : improved.takeSamples(evalSamples, rng);
         std::sort(rawSamples.begin(), rawSamples.end());
         std::sort(impSamples.begin(), impSamples.end());
         auto width = [](const std::vector<double>& xs) {
@@ -90,7 +107,17 @@ main(int argc, char** argv)
 
         naiveFast += naive > 7.0 ? 1 : 0;
         evidenceFast +=
-            (speed > 7.0).pr(0.9, conditional, rng) ? 1 : 0;
+            batch ? ((speed > 7.0).pr(0.9, conditional, rng, *batch)
+                         ? 1
+                         : 0)
+                  : ((speed > 7.0).pr(0.9, conditional, rng) ? 1 : 0);
+
+        // The Figure 5(b) per-second advice, through the selected
+        // engine (section 5.1's GoodJob / SpeedUp / say-nothing).
+        Advice advice = batch
+                            ? advise(improved, conditional, rng, *batch)
+                            : advise(improved, conditional);
+        ++adviceCounts[static_cast<int>(advice)];
     }
 
     bench::Table table(
@@ -109,6 +136,21 @@ main(int argc, char** argv)
                 naiveFast);
     std::printf("  evidence Pr(0.9):      %d   [paper: ~4 s]\n\n",
                 evidenceFast);
+
+    std::printf("advice on the improved speed (GoodJob / SpeedUp / "
+                "say nothing): %d / %d / %d\n\n",
+                adviceCounts[0], adviceCounts[1], adviceCounts[2]);
+
+    if (batch && verbose) {
+        core::PlanCacheStats cacheStats = batch->planCache()->stats();
+        std::printf("batch engine: PlanCache hits %llu, misses %llu, "
+                    "evictions %llu @ block %zu\n\n",
+                    static_cast<unsigned long long>(cacheStats.hits),
+                    static_cast<unsigned long long>(cacheStats.misses),
+                    static_cast<unsigned long long>(
+                        cacheStats.evictions),
+                    batch->blockSize());
+    }
 
     std::printf("Shape checks:\n");
     std::printf("  - improved max (%.1f) strips the absurd naive max "

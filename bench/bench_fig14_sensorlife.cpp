@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch.hpp"
 #include "life/variants.hpp"
 #include "stats/confidence.hpp"
 #include "stats/summary.hpp"
@@ -41,7 +42,7 @@ struct SweepPoint
 SweepPoint
 sweep(double sigma, const std::string& variantName,
       std::size_t boardSize, std::size_t generations,
-      std::size_t runs, Rng& rng)
+      std::size_t runs, Rng& rng, core::BatchSampler* batch)
 {
     core::ConditionalOptions options;
     options.sprt.batchSize = 8;
@@ -63,6 +64,11 @@ sweep(double sigma, const std::string& variantName,
         else
             variant = std::make_unique<JointBayesLife>(sigma, 5,
                                                        options);
+        // NaiveLife never samples an Uncertain, so only the
+        // SensorLife family has an engine to switch.
+        if (auto* sensorVariant =
+                dynamic_cast<SensorLife*>(variant.get()))
+            sensorVariant->useBatchEngine(batch);
 
         RunStats stats =
             runNoisyGame(board, *variant, generations, rng);
@@ -81,9 +87,17 @@ int
 main(int argc, char** argv)
 {
     bool paper = bench::hasFlag(argc, argv, "--paper");
+    bool verbose = bench::hasFlag(argc, argv, "--verbose");
+    std::string engine = bench::engineFlag(argc, argv);
     const std::size_t boardSize = paper ? 20 : 10;
     const std::size_t generations = paper ? 25 : 10;
     const std::size_t runs = paper ? 50 : 6;
+
+    // Every cell update rebuilds its neighbor-sum graph, so the batch
+    // engine here runs under constant PlanCache churn by design.
+    core::BatchSampler batchSampler;
+    core::BatchSampler* batch =
+        engine == "batch" ? &batchSampler : nullptr;
 
     bench::banner("Figure 14: SensorLife error rates (a) and "
                   "sampling cost (b)");
@@ -107,11 +121,22 @@ main(int argc, char** argv)
         Rng rng(14);
         for (double sigma : sigmas) {
             SweepPoint p = sweep(sigma, name, boardSize, generations,
-                                 runs, rng);
+                                 runs, rng, batch);
             table.row({sigma, p.errorMean, p.errorLo, p.errorHi,
                        p.samplesPerUpdate});
         }
         std::printf("\n");
+    }
+
+    if (batch && verbose) {
+        core::PlanCacheStats cacheStats = batch->planCache()->stats();
+        std::printf("batch engine: PlanCache hits %llu, misses %llu, "
+                    "evictions %llu @ block %zu\n\n",
+                    static_cast<unsigned long long>(cacheStats.hits),
+                    static_cast<unsigned long long>(cacheStats.misses),
+                    static_cast<unsigned long long>(
+                        cacheStats.evictions),
+                    batch->blockSize());
     }
 
     std::printf(

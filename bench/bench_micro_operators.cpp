@@ -11,6 +11,12 @@
  * conditionals): "tree" walks the DAG once per sample, "batch" runs
  * the compiled columnar plan. Run once per engine and compare
  * items_per_second; the engine is recorded in the benchmark context.
+ *
+ * --optimizer {on,off} toggles the batch-plan optimizer passes (CSE,
+ * constant folding, fusion, buffer reuse) for every batch sampler in
+ * the run — CI runs both and scripts/bench_compare.py diffs the two
+ * JSONs. --verbose prints the optimized-plan report for the
+ * BM_TakeSamples graphs before the benchmarks run.
  */
 
 #include <benchmark/benchmark.h>
@@ -22,6 +28,7 @@
 #include <string>
 
 #include "core/core.hpp"
+#include "core/inspect.hpp"
 #include "random/gaussian.hpp"
 
 using namespace uncertain;
@@ -30,11 +37,29 @@ namespace {
 
 /** Engine axis for the bulk-sampling benchmarks; set by --engine. */
 std::string g_engine = "tree";
+/** Optimizer axis for the batch engine; set by --optimizer. */
+std::string g_optimizer = "on";
+bool g_verbose = false;
 
 bool
 useBatchEngine()
 {
     return g_engine == "batch";
+}
+
+core::PlanOptions
+optimizerOptions()
+{
+    return g_optimizer == "on" ? core::PlanOptions{}
+                               : core::PlanOptions::disabled();
+}
+
+core::BatchOptions
+batchOptions()
+{
+    core::BatchOptions options;
+    options.optimizer = optimizerOptions();
+    return options;
 }
 
 Uncertain<double>
@@ -102,7 +127,7 @@ BM_ConditionalEasy(benchmark::State& state)
     auto condition = variable > 4.0;
     Rng rng(3);
     core::ConditionalOptions options;
-    core::BatchSampler batchSampler;
+    core::BatchSampler batchSampler(batchOptions());
     for (auto _ : state) {
         bool decision = useBatchEngine()
                             ? condition.pr(0.5, options, rng,
@@ -122,7 +147,7 @@ BM_ConditionalHard(benchmark::State& state)
     Rng rng(4);
     core::ConditionalOptions options;
     options.sprt.maxSamples = 1000;
-    core::BatchSampler batchSampler;
+    core::BatchSampler batchSampler(batchOptions());
     for (auto _ : state) {
         bool decision = useBatchEngine()
                             ? condition.pr(0.5, options, rng,
@@ -138,7 +163,7 @@ BM_ExpectedValue(benchmark::State& state)
 {
     auto chain = buildChain(8);
     Rng rng(5);
-    core::BatchSampler batchSampler;
+    core::BatchSampler batchSampler(batchOptions());
     const auto n = static_cast<std::size_t>(state.range(0));
     for (auto _ : state) {
         double mean = useBatchEngine()
@@ -188,7 +213,7 @@ BM_TakeSamples(benchmark::State& state)
 {
     auto chain = buildChain(static_cast<int>(state.range(0)));
     Rng rng(8);
-    core::BatchSampler batchSampler;
+    core::BatchSampler batchSampler(batchOptions());
     const std::size_t n = 10000;
     for (auto _ : state) {
         auto samples = useBatchEngine()
@@ -208,7 +233,7 @@ BM_ParallelTakeSamples(benchmark::State& state)
     auto chain = buildChain(static_cast<int>(state.range(1)));
     Rng rng(8);
     core::ParallelSampler sampler(
-        core::ParallelOptions{threads, 1024});
+        core::ParallelOptions{threads, 1024, optimizerOptions()});
     const std::size_t n = 10000;
     for (auto _ : state) {
         auto samples = chain.takeSamples(n, rng, sampler);
@@ -231,7 +256,7 @@ BM_ParallelConditional(benchmark::State& state)
     core::ConditionalOptions options;
     options.sprt.maxSamples = 1000;
     core::ParallelSampler sampler(
-        core::ParallelOptions{threads, 256});
+        core::ParallelOptions{threads, 256, optimizerOptions()});
     for (auto _ : state)
         benchmark::DoNotOptimize(
             condition.pr(0.5, options, rng, sampler));
@@ -239,11 +264,12 @@ BM_ParallelConditional(benchmark::State& state)
 BENCHMARK(BM_ParallelConditional)->Arg(1)->Arg(2)->Arg(4);
 
 /**
- * Strip "--engine X" / "--engine=X" from the argument vector (google
- * benchmark rejects flags it does not know) and record the choice.
+ * Strip "--engine X" / "--engine=X", "--optimizer X" /
+ * "--optimizer=X", and "--verbose" from the argument vector (google
+ * benchmark rejects flags it does not know) and record the choices.
  */
 void
-parseEngineFlag(int* argc, char** argv)
+parseLocalFlags(int* argc, char** argv)
 {
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
@@ -251,6 +277,13 @@ parseEngineFlag(int* argc, char** argv)
             g_engine = argv[++i];
         } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
             g_engine = argv[i] + 9;
+        } else if (std::strcmp(argv[i], "--optimizer") == 0
+                   && i + 1 < *argc) {
+            g_optimizer = argv[++i];
+        } else if (std::strncmp(argv[i], "--optimizer=", 12) == 0) {
+            g_optimizer = argv[i] + 12;
+        } else if (std::strcmp(argv[i], "--verbose") == 0) {
+            g_verbose = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -263,14 +296,33 @@ parseEngineFlag(int* argc, char** argv)
 int
 main(int argc, char** argv)
 {
-    parseEngineFlag(&argc, argv);
+    parseLocalFlags(&argc, argv);
     if (g_engine != "tree" && g_engine != "batch") {
         std::fprintf(stderr,
                      "unknown --engine '%s' (expected tree or batch)\n",
                      g_engine.c_str());
         return 2;
     }
+    if (g_optimizer != "on" && g_optimizer != "off") {
+        std::fprintf(stderr,
+                     "unknown --optimizer '%s' (expected on or off)\n",
+                     g_optimizer.c_str());
+        return 2;
+    }
     benchmark::AddCustomContext("engine", g_engine);
+    benchmark::AddCustomContext("optimizer", g_optimizer);
+    if (g_verbose) {
+        core::BatchSampler sampler(batchOptions());
+        for (int depth : {8, 64}) {
+            auto chain = buildChain(depth);
+            std::fprintf(
+                stderr, "plan BM_TakeSamples/%d: %s\n", depth,
+                core::planReport(core::planStats(chain, sampler),
+                                 sampler.planCache()->stats(),
+                                 sampler.blockSize())
+                    .c_str());
+        }
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regression.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.20]
+
+For every benchmark name present in both files the script compares
+throughput (items_per_second when reported, else 1/real_time) and
+exits non-zero if the candidate is slower than the baseline by more
+than the tolerance fraction on any shared benchmark. CI uses it to
+gate the batch-plan optimizer: candidate = optimizer on, baseline =
+optimizer off, so a pass that makes plans slower than not optimizing
+at all fails the job.
+
+Benchmarks present in only one file are reported but never fail the
+comparison (filters and engine axes legitimately differ across runs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Map benchmark name -> throughput (higher is better)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    result = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions) so
+        # a repetition run compares raw iterations consistently.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if "items_per_second" in bench:
+            result[name] = float(bench["items_per_second"])
+        elif float(bench.get("real_time", 0.0)) > 0.0:
+            result[name] = 1.0 / float(bench["real_time"])
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when CANDIDATE regresses vs BASELINE.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional slowdown before failing "
+             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("bench_compare: no shared benchmarks between "
+              f"{args.baseline} and {args.candidate}", file=sys.stderr)
+        return 2
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    for name in only_base:
+        print(f"  (baseline only, ignored) {name}")
+    for name in only_cand:
+        print(f"  (candidate only, ignored) {name}")
+
+    failures = []
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  baseline      candidate     ratio")
+    for name in shared:
+        ratio = cand[name] / base[name] if base[name] > 0 else 0.0
+        marker = ""
+        if ratio < 1.0 - args.tolerance:
+            marker = "  <-- REGRESSION"
+            failures.append((name, ratio))
+        print(f"{name:<{width}}  {base[name]:12.4g}  "
+              f"{cand[name]:12.4g}  {ratio:5.2f}x{marker}")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} benchmark(s) "
+              f"regressed beyond {args.tolerance:.0%}:",
+              file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x of baseline",
+                  file=sys.stderr)
+        return 1
+
+    print(f"\nbench_compare: OK ({len(shared)} shared benchmarks "
+          f"within {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

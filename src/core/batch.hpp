@@ -3,22 +3,25 @@
  * Columnar batched sampling engine.
  *
  * BatchSampler is the serial driver for the flat plans of
- * core/batch_plan.hpp: it compiles a graph once (cached per root),
- * then fills contiguous columns block by block — per-node kernel
- * loops instead of a per-sample tree walk with memo lookups. This is
- * the compiled-forward-inference shape of a PPL runtime: the graph is
- * the program, the plan is its object code, a block is one vectorized
- * execution.
+ * core/batch_plan.hpp: it compiles a graph once (cached per root and
+ * optimizer configuration), then fills contiguous columns block by
+ * block — per-node kernel loops instead of a per-sample tree walk
+ * with memo lookups. This is the compiled-forward-inference shape of
+ * a PPL runtime: the graph is the program, the plan is its object
+ * code (optimized by the pass pipeline in core/batch_plan.hpp), a
+ * block is one vectorized execution.
  *
  * Determinism contract (see docs/API.md): output is a pure function
- * of (caller Rng snapshot, n, blockSize, graph shape). Identical
- * across runs and across engines sharing the same block partition —
- * ParallelSampler at any thread count with chunkSize == blockSize is
- * bit-identical to BatchSampler. Not bit-identical to the tree walk;
- * the statistical-equivalence suite pins both engines to the same
- * law. Memory footprint: columnCount * blockSize elements per
- * workspace (one workspace per engine, one extra per worker thread in
- * the parallel engine).
+ * of (caller Rng snapshot, n, blockSize, graph shape) — the optimizer
+ * passes do not change it (they are bit-exact; see PlanOptions).
+ * Identical across runs and across engines sharing the same block
+ * partition — ParallelSampler at any thread count with chunkSize ==
+ * blockSize is bit-identical to BatchSampler. Not bit-identical to
+ * the tree walk; the statistical-equivalence suite pins both engines
+ * to the same law. Memory footprint: columnCount() * blockSize
+ * elements per workspace, where columnCount() is the number of
+ * *physical* columns after buffer reuse (one workspace per engine,
+ * one extra per worker thread in the parallel engine).
  */
 
 #ifndef UNCERTAIN_CORE_BATCH_HPP
@@ -27,7 +30,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -51,45 +56,180 @@ struct BatchOptions
      * changing it changes the stream partition (and so the samples).
      */
     std::size_t blockSize = 8192;
+
+    /**
+     * Optimizer pass toggles applied when compiling plans. All passes
+     * are on by default; disabling any (or all) of them never changes
+     * the samples, only the speed and the workspace footprint.
+     */
+    PlanOptions optimizer{};
+};
+
+/** Counters for PlanCache observability (core::inspect / --verbose). */
+struct PlanCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;    //!< lookups that compiled a plan
+    std::uint64_t evictions = 0; //!< LRU entries dropped at capacity
 };
 
 /**
- * Cache of compiled plans keyed by root-node identity, with a reusable
- * serial workspace per plan. The plan pins its graph alive, so a key
- * can never dangle onto a recycled node address while cached. Bounded:
- * the cache resets once kMaxPlans distinct roots have been compiled
- * (re-lowering is cheap relative to any batch worth compiling for).
+ * Bounded, thread-safe LRU cache of compiled plans keyed by
+ * (root-node identity, optimizer configuration). A cached plan pins
+ * its graph alive (BatchPlan::keepAlive_), so a key can never alias a
+ * recycled node address while the entry lives: a rebuilt root is a
+ * new allocation and necessarily misses. At capacity the
+ * least-recently-used entry is evicted; a plan handed out earlier
+ * stays valid (shared_ptr) even after its entry is evicted.
+ *
+ * One cache may be shared between samplers — including a BatchSampler
+ * and a ParallelSampler's workers — because lookups and insertions
+ * are mutex-guarded and plans themselves are immutable. Compilation
+ * happens outside the lock; two threads racing on the same new root
+ * may both compile, and the loser adopts the winner's plan.
  */
 class PlanCache
 {
   public:
+    static constexpr std::size_t kDefaultCapacity = 64;
+
+    explicit PlanCache(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity > 0 ? capacity : 1)
+    {}
+
+    /** The compiled plan for @p root under @p options, cached. */
+    template <typename T>
+    std::shared_ptr<const BatchPlan>
+    planFor(const NodePtr<T>& root, const PlanOptions& options = {})
+    {
+        UNCERTAIN_REQUIRE(root != nullptr,
+                          "batch sampling requires a node");
+        const Key key{root.get(), packOptions(options)};
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                ++stats_.hits;
+                lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+                return it->second.plan;
+            }
+        }
+        // Compile outside the lock so other roots' lookups do not
+        // serialize behind a large lowering.
+        auto plan = BatchPlan::compile(root, options);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+            return it->second.plan;
+        }
+        while (entries_.size() >= capacity_) {
+            entries_.erase(lru_.back());
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+        lru_.push_front(key);
+        entries_.emplace(key, Entry{std::move(plan), lru_.begin()});
+        return entries_.find(key)->second.plan;
+    }
+
+    PlanCacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Key
+    {
+        const GraphNode* root;
+        std::uint8_t options;
+
+        bool
+        operator==(const Key& other) const
+        {
+            return root == other.root && options == other.options;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key& key) const
+        {
+            auto z = reinterpret_cast<std::uintptr_t>(key.root) >> 4;
+            z ^= static_cast<std::uintptr_t>(key.options) << 56;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return static_cast<std::size_t>(z ^ (z >> 31));
+        }
+    };
+
+    struct Entry
+    {
+        std::shared_ptr<const BatchPlan> plan;
+        std::list<Key>::iterator lruPos;
+    };
+
+    static std::uint8_t
+    packOptions(const PlanOptions& options)
+    {
+        return static_cast<std::uint8_t>(
+            (options.cse ? 1u : 0u) | (options.constantFolding ? 2u : 0u)
+            | (options.fuseElementwise ? 4u : 0u)
+            | (options.reuseBuffers ? 8u : 0u));
+    }
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::list<Key> lru_;                          //!< MRU at front
+    std::unordered_map<Key, Entry, KeyHash> entries_;
+    PlanCacheStats stats_;
+};
+
+/**
+ * A sampler-private pool of reusable workspaces, one per plan. Not
+ * thread-safe (like the sampler owning it); each pool entry keeps its
+ * plan alive so the pointer key cannot dangle even after the shared
+ * PlanCache evicts the plan.
+ */
+class WorkspacePool
+{
+  public:
+    static constexpr std::size_t kMaxWorkspaces = 16;
+
+    BatchWorkspace&
+    acquire(const std::shared_ptr<const BatchPlan>& plan)
+    {
+        auto it = entries_.find(plan.get());
+        if (it != entries_.end())
+            return it->second.workspace;
+        if (entries_.size() >= kMaxWorkspaces)
+            entries_.clear();
+        Entry entry{plan, plan->makeWorkspace()};
+        return entries_.emplace(plan.get(), std::move(entry))
+            .first->second.workspace;
+    }
+
+  private:
     struct Entry
     {
         std::shared_ptr<const BatchPlan> plan;
         BatchWorkspace workspace;
     };
 
-    static constexpr std::size_t kMaxPlans = 64;
-
-    template <typename T>
-    Entry&
-    entryFor(const NodePtr<T>& root)
-    {
-        UNCERTAIN_REQUIRE(root != nullptr,
-                          "batch sampling requires a node");
-        auto it = entries_.find(root.get());
-        if (it != entries_.end())
-            return it->second;
-        if (entries_.size() >= kMaxPlans)
-            entries_.clear();
-        auto plan = BatchPlan::compile(root);
-        Entry entry{plan, plan->makeWorkspace()};
-        return entries_.emplace(root.get(), std::move(entry))
-            .first->second;
-    }
-
-  private:
-    std::unordered_map<const GraphNode*, Entry> entries_;
+    std::unordered_map<const BatchPlan*, Entry> entries_;
 };
 
 /**
@@ -97,16 +237,35 @@ class PlanCache
  * tree-walk and parallel paths: takeSamples / expectedValue /
  * probability / evaluateCondition. One engine may be reused across
  * graphs and calls; it is not itself thread-safe (one engine per
- * calling thread, like ParallelSampler).
+ * calling thread, like ParallelSampler), though its PlanCache may be
+ * shared between engines.
  */
 class BatchSampler
 {
   public:
-    explicit BatchSampler(BatchOptions options = {})
-        : blockSize_(options.blockSize > 0 ? options.blockSize : 1)
+    explicit BatchSampler(BatchOptions options = {},
+                          std::shared_ptr<PlanCache> cache = nullptr)
+        : blockSize_(options.blockSize > 0 ? options.blockSize : 1),
+          optimizer_(options.optimizer),
+          cache_(cache ? std::move(cache)
+                       : std::make_shared<PlanCache>())
     {}
 
     std::size_t blockSize() const { return blockSize_; }
+
+    /** The optimizer configuration plans are compiled with. */
+    const PlanOptions& optimizer() const { return optimizer_; }
+
+    /** The (shareable) plan cache backing this engine. */
+    const std::shared_ptr<PlanCache>& planCache() const { return cache_; }
+
+    /** The compiled (and cached) plan for @p node — for inspection. */
+    template <typename T>
+    std::shared_ptr<const BatchPlan>
+    planFor(const NodePtr<T>& node)
+    {
+        return cache_->planFor(node, optimizer_);
+    }
 
     /**
      * Draw @p n root samples of @p node into a vector. @p rng is
@@ -190,13 +349,14 @@ class BatchSampler
     sampleInto(const NodePtr<T>& node, std::size_t n, const Rng& base,
                T* out)
     {
-        auto& entry = cache_.entryFor(node);
-        const std::size_t rootCol = entry.plan->rootColumn();
+        auto plan = cache_->planFor(node, optimizer_);
+        auto& workspace = workspaces_.acquire(plan);
+        const std::size_t rootCol = plan->rootColumn();
         for (std::size_t start = 0; start < n; start += blockSize_) {
             const std::size_t len = std::min(blockSize_, n - start);
-            entry.plan->runBlock(entry.workspace, base, start, len);
+            plan->runBlock(workspace, base, start, len);
             const auto* col =
-                entry.workspace.template column<T>(rootCol).data();
+                workspace.template column<T>(rootCol).data();
             std::copy(col, col + len, out + start);
         }
     }
@@ -212,23 +372,24 @@ class BatchSampler
                  std::size_t offset, std::size_t count,
                  std::uint8_t* out)
     {
-        auto& entry = cache_.entryFor(node);
-        const std::size_t rootCol = entry.plan->rootColumn();
+        auto plan = cache_->planFor(node, optimizer_);
+        auto& workspace = workspaces_.acquire(plan);
+        const std::size_t rootCol = plan->rootColumn();
         for (std::size_t start = 0; start < count;
              start += blockSize_) {
             const std::size_t len =
                 std::min(blockSize_, count - start);
-            entry.plan->runBlock(entry.workspace, base,
-                                 offset + start, len);
-            const auto* col =
-                entry.workspace.column<bool>(rootCol).data();
+            plan->runBlock(workspace, base, offset + start, len);
+            const auto* col = workspace.column<bool>(rootCol).data();
             std::copy(col, col + len, out + start);
         }
     }
 
   private:
     std::size_t blockSize_;
-    PlanCache cache_;
+    PlanOptions optimizer_;
+    std::shared_ptr<PlanCache> cache_;
+    WorkspacePool workspaces_;
 };
 
 } // namespace core

@@ -1,7 +1,8 @@
 /**
  * @file
  * Columnar batch-evaluation plan: the compilation target the node
- * graph is lowered into before bulk sampling.
+ * graph is lowered into before bulk sampling — plus the optimizer
+ * pass pipeline that runs between lowering and execution.
  *
  * The tree-walk interpreter in core/node.hpp pays a memo-table lookup
  * and a virtual dispatch per node per sample. The batch engine pays
@@ -11,6 +12,39 @@
  * are interned so they appear once (preserving the Figure 8(b)
  * shared-leaf semantics by construction) — and each kernel fills its
  * column for a whole block of samples in a single tight loop.
+ *
+ * Lowering emits, next to each executable kernel, a small step record
+ * (batch::StepInfo) describing what the kernel does: its kind (leaf /
+ * constant / elementwise), output column, operand columns, the
+ * functor's type identity, and typed helper closures (constant
+ * folding, strip-mined fusion). The optimizer runs over those records
+ * after lowering, in this order:
+ *
+ *   1. structural CSE   — interior steps with the same operator type
+ *                         and the same (canonicalized) operand columns
+ *                         are merged; distinct stochastic leaves are
+ *                         never keyed, so Figure 8 SSA semantics hold.
+ *   2. constant folding — elementwise steps whose operands are all
+ *                         point masses are evaluated at compile time;
+ *                         constant columns are filled once per
+ *                         workspace, not once per block.
+ *   3. kernel fusion    — maximal runs of consecutive elementwise
+ *                         steps become one strip-mined kernel; values
+ *                         consumed only inside the run live in
+ *                         stack-resident strip registers and never
+ *                         round-trip through a column.
+ *   4. buffer reuse     — a last-use (liveness) analysis maps logical
+ *                         columns onto a small set of physical slots,
+ *                         shrinking the workspace from O(nodes) to
+ *                         O(live width) columns.
+ *
+ * Equivalence contract: none of the passes reassociates floating
+ * point or perturbs the leaf stream assignment (stream indices are
+ * fixed during lowering, before any pass runs), so an optimized plan
+ * is bit-identical to the unoptimized plan for the same (seed, n,
+ * blockSize, graph). The pass toggles in PlanOptions exist for
+ * debugging and for the equivalence suite, not because outputs
+ * differ.
  *
  * Stream discipline: a block whose first sample has absolute index s
  * derives a block generator `base.split(s)` from the caller's Rng
@@ -28,11 +62,19 @@
 #ifndef UNCERTAIN_CORE_BATCH_PLAN_HPP
 #define UNCERTAIN_CORE_BATCH_PLAN_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <typeindex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -43,6 +85,7 @@ namespace uncertain {
 namespace core {
 
 class GraphNode;
+class BatchPlan;
 
 namespace batch {
 
@@ -68,6 +111,22 @@ struct ColumnStorage<bool>
 template <typename T>
 using Store = typename ColumnStorage<T>::type;
 
+/** "No column": shared sentinel for column ids and physical slots. */
+constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
+
+/** Elements processed per strip by a fused kernel. Small enough that
+ *  every strip register lives in L1, large enough to amortize the
+ *  per-strip micro-op dispatch. */
+constexpr std::size_t kStripElems = 256;
+
+/** Alignment of strip registers inside the fused kernel's scratch. */
+constexpr std::size_t kScratchAlign = 64;
+
+/** Stack scratch per fused kernel; bounds concurrent strip registers
+ *  (the fusion pass splits a run into several kernels rather than
+ *  exceed it). */
+constexpr std::size_t kFusedScratchBytes = std::size_t{32} * 1024;
+
 } // namespace batch
 
 /** Type-erased base for one column of the workspace. */
@@ -76,8 +135,24 @@ class ColumnBase
   public:
     virtual ~ColumnBase() = default;
 
-    /** Resize the column to @p n elements (block length). */
+    /** Resize the column to exactly @p n elements. */
     virtual void resize(std::size_t n) = 0;
+
+    /** Current element count. */
+    virtual std::size_t size() const = 0;
+
+    /**
+     * Grow-only resize: make the column hold at least @p n elements.
+     * Never shrinks, so a constant column filled for an earlier,
+     * larger block keeps its prefix valid (kernels only ever touch
+     * [0, blockLength)).
+     */
+    void
+    ensure(std::size_t n)
+    {
+        if (size() < n)
+            resize(n);
+    }
 };
 
 /** A contiguous column of batch::Store<T> values, one per sample. */
@@ -88,20 +163,26 @@ class Column final : public ColumnBase
     using StoreType = batch::Store<T>;
 
     void resize(std::size_t n) override { values_.resize(n); }
+    std::size_t size() const override { return values_.size(); }
 
     StoreType* data() { return values_.data(); }
     const StoreType* data() const { return values_.data(); }
-    std::size_t size() const { return values_.size(); }
 
   private:
     std::vector<StoreType> values_;
 };
 
 /**
- * Per-execution state for one block: the column storage plus the
- * block's generator. A workspace belongs to one thread at a time;
+ * Per-execution state for one block: the physical column storage plus
+ * the block's generator. A workspace belongs to one thread at a time;
  * parallel execution gives each worker its own workspace over the
  * same immutable plan.
+ *
+ * Kernels address columns by *logical* id (the SSA id assigned during
+ * lowering and captured in their closures); the workspace indirects
+ * through the plan's logical-to-physical slot map. That indirection is
+ * what lets the CSE and buffer-reuse passes alias or recycle columns
+ * after the closures have been built.
  */
 class BatchWorkspace
 {
@@ -115,14 +196,19 @@ class BatchWorkspace
     /** Samples in the current block. */
     std::size_t length() const { return length_; }
 
-    /** The typed column @p index; the type is fixed by the plan. */
+    /** The typed column for logical id @p index; the type is fixed by
+     *  the plan. */
     template <typename T>
     Column<T>&
     column(std::size_t index)
     {
-        UNCERTAIN_ASSERT(index < columns_.size(),
+        UNCERTAIN_ASSERT(slots_ != nullptr && index < slots_->size(),
                          "column index out of range");
-        auto* typed = static_cast<Column<T>*>(columns_[index].get());
+        const std::size_t phys = (*slots_)[index];
+        UNCERTAIN_ASSERT(phys != batch::kNoColumn
+                             && phys < columns_.size(),
+                         "read of a column the optimizer proved dead");
+        auto* typed = static_cast<Column<T>*>(columns_[phys].get());
         return *typed;
     }
 
@@ -140,13 +226,283 @@ class BatchWorkspace
   private:
     friend class BatchPlan;
 
-    std::vector<std::unique_ptr<ColumnBase>> columns_;
+    std::vector<std::unique_ptr<ColumnBase>> columns_; //!< physical
+    const std::vector<std::size_t>* slots_ = nullptr;  //!< logical->physical
     std::size_t length_ = 0;
+    std::size_t constLength_ = 0; //!< prefix of constant columns filled
     Rng blockBase_{0};
 };
 
-/** One compiled kernel: fills its column for the current block. */
+/** One compiled kernel: fills its column(s) for the current block. */
 using BatchStep = std::function<void(BatchWorkspace&)>;
+
+namespace batch {
+
+/**
+ * Where a fused micro-op reads or writes: either a workspace column
+ * (addressed at the strip's base offset) or a strip register at a
+ * byte offset inside the fused kernel's stack scratch.
+ */
+struct StripLoc
+{
+    bool inRegister = false;
+    std::size_t column = 0;    //!< logical column id (!inRegister)
+    std::size_t regOffset = 0; //!< scratch byte offset (inRegister)
+};
+
+/** One micro-op of a fused kernel: process scratch-or-column operands
+ *  for elements [base, base + n) of the block. */
+using StripOp = std::function<void(BatchWorkspace&, std::size_t base,
+                                   std::size_t n, unsigned char*)>;
+
+/** Result of folding one elementwise step at compile time. */
+struct FoldedConst
+{
+    /** Object representation of the folded Store<R> value (CSE key). */
+    std::vector<unsigned char> bytes;
+    /** Splat kernel writing the folded value over the out column. */
+    BatchStep splat;
+};
+
+enum class StepKind : std::uint8_t
+{
+    Leaf,        //!< stochastic source; never merged or folded
+    Const,       //!< point mass; filled once per workspace
+    Elementwise, //!< pure per-element map over operand columns
+    Opaque       //!< unknown semantics; disables the optimizer
+};
+
+/**
+ * The optimizer-facing description of one lowered step. The `run`
+ * closure is the standalone full-block kernel (what executes when no
+ * pass touches the step); the remaining fields describe it well
+ * enough for the passes to merge, fold, or fuse it.
+ */
+struct StepInfo
+{
+    StepKind kind = StepKind::Opaque;
+    std::size_t out = kNoColumn;        //!< output logical column
+    std::vector<std::size_t> operands;  //!< operand logical columns
+    BatchStep run;
+
+    /**
+     * True when the functor's *type* fully determines its behaviour
+     * (captureless lambdas are empty types; a capturing functor like
+     * clamp(lo, hi) is not, because two instances of the same type can
+     * hold different state) — the precondition for keying a step by
+     * (opType, operands) in the CSE pass.
+     */
+    bool cseSafe = false;
+    std::type_index opType = std::type_index(typeid(void));
+    std::type_index outType = std::type_index(typeid(void));
+
+    /** Object representation of a Const step's value; empty when the
+     *  payload is not trivially copyable (then the step is still
+     *  hoistable but not a CSE/folding source). */
+    std::vector<unsigned char> constBytes;
+
+    /** Evaluate the op over constant operand payloads (object
+     *  representations, one per operand). Null when not foldable. */
+    std::function<FoldedConst(const std::vector<const unsigned char*>&)>
+        fold;
+
+    /** Build the strip micro-op for the fusion pass, given operand and
+     *  destination locations. Null when the step cannot be fused. */
+    std::function<StripOp(const std::vector<StripLoc>&, const StripLoc&)>
+        makeStrip;
+};
+
+namespace detail_ir {
+
+template <typename T>
+inline constexpr bool kRegisterable =
+    std::is_trivially_copyable_v<Store<T>>
+    && std::is_trivially_destructible_v<Store<T>>
+    && sizeof(Store<T>) <= kScratchAlign;
+
+template <typename T>
+std::vector<unsigned char>
+objectBytes(const Store<T>& value)
+{
+    std::vector<unsigned char> bytes(sizeof(Store<T>));
+    std::memcpy(bytes.data(), &value, sizeof(Store<T>));
+    return bytes;
+}
+
+template <typename T>
+Store<T>
+fromBytes(const unsigned char* bytes)
+{
+    Store<T> value;
+    std::memcpy(&value, bytes, sizeof(Store<T>));
+    return value;
+}
+
+/** Resolve a strip operand to a typed pointer for the current strip. */
+template <typename T>
+const Store<T>*
+stripSrc(BatchWorkspace& ws, const StripLoc& loc, std::size_t base,
+         const unsigned char* scratch)
+{
+    return loc.inRegister
+               ? reinterpret_cast<const Store<T>*>(scratch
+                                                   + loc.regOffset)
+               : ws.template column<T>(loc.column).data() + base;
+}
+
+template <typename T>
+Store<T>*
+stripDst(BatchWorkspace& ws, const StripLoc& loc, std::size_t base,
+         unsigned char* scratch)
+{
+    return loc.inRegister
+               ? reinterpret_cast<Store<T>*>(scratch + loc.regOffset)
+               : ws.template column<T>(loc.column).data() + base;
+}
+
+} // namespace detail_ir
+
+/** StepInfo for a point mass of type T splatted over column @p col. */
+template <typename T>
+StepInfo
+makeConstStep(std::size_t col, const T& value)
+{
+    using S = Store<T>;
+    StepInfo info;
+    info.kind = StepKind::Const;
+    info.out = col;
+    // Identity is the *base* type T, not Store<T>: bool and uint8_t
+    // share a store type but their Column<T> instantiations differ,
+    // so they must never be merged or share a recycled slot.
+    info.outType = std::type_index(typeid(T));
+    info.run = [col, value](BatchWorkspace& ws) {
+        auto* out = ws.template column<T>(col).data();
+        const std::size_t n = ws.length();
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = static_cast<S>(value);
+    };
+    if constexpr (std::is_trivially_copyable_v<S>) {
+        info.constBytes = detail_ir::objectBytes<T>(static_cast<S>(value));
+        info.cseSafe = true;
+    }
+    return info;
+}
+
+/** StepInfo for a unary elementwise op R = op(A) into column @p col. */
+template <typename R, typename A, typename F>
+StepInfo
+makeUnaryStep(std::size_t col, std::size_t operand, F op)
+{
+    using SR = Store<R>;
+    StepInfo info;
+    info.kind = StepKind::Elementwise;
+    info.out = col;
+    info.operands = {operand};
+    info.opType = std::type_index(typeid(F));
+    info.outType = std::type_index(typeid(R));
+    info.cseSafe = std::is_empty_v<F>;
+    info.run = [col, operand, op](BatchWorkspace& ws) {
+        const auto* a = ws.template column<A>(operand).data();
+        auto* out = ws.template column<R>(col).data();
+        const std::size_t n = ws.length();
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = static_cast<SR>(op(a[i]));
+    };
+    if constexpr (detail_ir::kRegisterable<R>
+                  && detail_ir::kRegisterable<A>) {
+        info.fold =
+            [col, op](const std::vector<const unsigned char*>& vals)
+            -> FoldedConst {
+            const auto a = detail_ir::fromBytes<A>(vals[0]);
+            const SR r = static_cast<SR>(op(static_cast<A>(a)));
+            FoldedConst folded;
+            folded.bytes = detail_ir::objectBytes<R>(r);
+            folded.splat = [col, r](BatchWorkspace& ws) {
+                auto* out = ws.template column<R>(col).data();
+                const std::size_t n = ws.length();
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = r;
+            };
+            return folded;
+        };
+        info.makeStrip = [op](const std::vector<StripLoc>& srcs,
+                              const StripLoc& dst) -> StripOp {
+            const StripLoc sa = srcs[0];
+            return [sa, dst, op](BatchWorkspace& ws, std::size_t base,
+                                 std::size_t n, unsigned char* scratch) {
+                const auto* a =
+                    detail_ir::stripSrc<A>(ws, sa, base, scratch);
+                auto* out = detail_ir::stripDst<R>(ws, dst, base, scratch);
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = static_cast<SR>(op(a[i]));
+            };
+        };
+    }
+    return info;
+}
+
+/** StepInfo for a binary elementwise op R = op(A, B) into @p col. */
+template <typename R, typename A, typename B, typename F>
+StepInfo
+makeBinaryStep(std::size_t col, std::size_t lhs, std::size_t rhs, F op)
+{
+    using SR = Store<R>;
+    StepInfo info;
+    info.kind = StepKind::Elementwise;
+    info.out = col;
+    info.operands = {lhs, rhs};
+    info.opType = std::type_index(typeid(F));
+    info.outType = std::type_index(typeid(R));
+    info.cseSafe = std::is_empty_v<F>;
+    info.run = [col, lhs, rhs, op](BatchWorkspace& ws) {
+        const auto* a = ws.template column<A>(lhs).data();
+        const auto* b = ws.template column<B>(rhs).data();
+        auto* out = ws.template column<R>(col).data();
+        const std::size_t n = ws.length();
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = static_cast<SR>(op(a[i], b[i]));
+    };
+    if constexpr (detail_ir::kRegisterable<R>
+                  && detail_ir::kRegisterable<A>
+                  && detail_ir::kRegisterable<B>) {
+        info.fold =
+            [col, op](const std::vector<const unsigned char*>& vals)
+            -> FoldedConst {
+            const auto a = detail_ir::fromBytes<A>(vals[0]);
+            const auto b = detail_ir::fromBytes<B>(vals[1]);
+            const SR r = static_cast<SR>(
+                op(static_cast<A>(a), static_cast<B>(b)));
+            FoldedConst folded;
+            folded.bytes = detail_ir::objectBytes<R>(r);
+            folded.splat = [col, r](BatchWorkspace& ws) {
+                auto* out = ws.template column<R>(col).data();
+                const std::size_t n = ws.length();
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = r;
+            };
+            return folded;
+        };
+        info.makeStrip = [op](const std::vector<StripLoc>& srcs,
+                              const StripLoc& dst) -> StripOp {
+            const StripLoc sa = srcs[0];
+            const StripLoc sb = srcs[1];
+            return [sa, sb, dst, op](BatchWorkspace& ws,
+                                     std::size_t base, std::size_t n,
+                                     unsigned char* scratch) {
+                const auto* a =
+                    detail_ir::stripSrc<A>(ws, sa, base, scratch);
+                const auto* b =
+                    detail_ir::stripSrc<B>(ws, sb, base, scratch);
+                auto* out = detail_ir::stripDst<R>(ws, dst, base, scratch);
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = static_cast<SR>(op(a[i], b[i]));
+            };
+        };
+    }
+    return info;
+}
+
+} // namespace batch
 
 /**
  * Accumulates the flat plan during lowering. Nodes are interned by
@@ -157,7 +513,16 @@ class BatchBuilder
 {
   public:
     /** Column index of @p node if already lowered, else npos. */
-    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    static constexpr std::size_t npos = batch::kNoColumn;
+
+    /** Everything the optimizer needs to know about one column. */
+    struct ColumnMeta
+    {
+        std::function<std::unique_ptr<ColumnBase>()> factory;
+        std::type_index storeType = std::type_index(typeid(void));
+        std::size_t elemSize = 0;
+        bool registerable = false; //!< may live in a strip register
+    };
 
     std::size_t
     find(const GraphNode* node) const
@@ -177,9 +542,17 @@ class BatchBuilder
     {
         UNCERTAIN_ASSERT(find(node) == npos,
                          "node lowered twice despite interning");
-        const std::size_t id = factories_.size();
-        factories_.push_back(
-            [] { return std::unique_ptr<ColumnBase>(new Column<T>()); });
+        using S = batch::Store<T>;
+        const std::size_t id = columns_.size();
+        ColumnMeta meta;
+        meta.factory =
+            [] { return std::unique_ptr<ColumnBase>(new Column<T>()); };
+        // Keyed by the base type T (not Store<T>): slot recycling must
+        // never hand a Column<bool> to a Column<uint8_t> reader.
+        meta.storeType = std::type_index(typeid(T));
+        meta.elemSize = sizeof(S);
+        meta.registerable = batch::detail_ir::kRegisterable<T>;
+        columns_.push_back(std::move(meta));
         index_.emplace(node, id);
         return id;
     }
@@ -190,99 +563,684 @@ class BatchBuilder
      */
     std::uint64_t nextLeafStream() { return leafCount_++; }
 
-    /** Append the kernel for the most recently added column. */
-    void addStep(BatchStep step) { steps_.push_back(std::move(step)); }
+    /** Append the step record for the most recently added column. */
+    void addStep(batch::StepInfo step) { steps_.push_back(std::move(step)); }
 
-    std::size_t columnCount() const { return factories_.size(); }
+    /**
+     * Append a bare kernel with no step record. Such a step is opaque
+     * to the optimizer, which then degrades to the unoptimized plan;
+     * kept for custom nodes that predate the step IR.
+     */
+    void
+    addStep(BatchStep step)
+    {
+        batch::StepInfo info;
+        info.kind = batch::StepKind::Opaque;
+        info.run = std::move(step);
+        steps_.push_back(std::move(info));
+    }
+
+    std::size_t columnCount() const { return columns_.size(); }
     std::uint64_t leafCount() const { return leafCount_; }
 
   private:
     friend class BatchPlan;
 
     std::unordered_map<const GraphNode*, std::size_t> index_;
-    std::vector<std::function<std::unique_ptr<ColumnBase>()>> factories_;
-    std::vector<BatchStep> steps_;
+    std::vector<ColumnMeta> columns_;
+    std::vector<batch::StepInfo> steps_;
     std::uint64_t leafCount_ = 0;
 };
 
 /**
- * An immutable compiled plan: ordered kernels plus column factories.
- * Compile once per graph (BatchPlan::compile), execute any number of
- * blocks from any number of threads — runBlock touches only the
- * caller's workspace. The plan keeps the root graph alive so a cache
- * keyed by node identity can never alias a recycled address.
+ * Optimizer pass toggles. All passes are ON by default; each may be
+ * disabled independently (the equivalence suite runs every
+ * combination — outputs are bit-identical across all of them).
+ */
+struct PlanOptions
+{
+    bool cse = true;             //!< structural common-subexpression merge
+    bool constantFolding = true; //!< fold + hoist constant subtrees
+    bool fuseElementwise = true; //!< strip-mined elementwise fusion
+    bool reuseBuffers = true;    //!< liveness-based column recycling
+
+    /** Everything off: the literal PR-2-style transcription. */
+    static PlanOptions
+    disabled()
+    {
+        PlanOptions options;
+        options.cse = false;
+        options.constantFolding = false;
+        options.fuseElementwise = false;
+        options.reuseBuffers = false;
+        return options;
+    }
+};
+
+/**
+ * Per-plan observability: what lowering produced, what each pass did,
+ * and the workspace footprint before/after. Exposed through
+ * core::inspect::planStats and printed by the benches under --verbose.
+ */
+struct PlanStats
+{
+    std::size_t columnsLowered = 0;  //!< logical columns (= graph nodes)
+    std::size_t leafColumns = 0;
+    std::size_t stepsLowered = 0;
+    std::size_t cseMerged = 0;       //!< steps dropped as structural dups
+    std::size_t constantsFolded = 0; //!< elementwise steps folded away
+    std::size_t constantsHoisted = 0; //!< splats run once per workspace
+    std::size_t deadStepsRemoved = 0;
+    std::size_t fusedKernels = 0;    //!< fused groups emitted
+    std::size_t fusedOps = 0;        //!< elementwise steps inside groups
+    std::size_t stepsPerBlock = 0;   //!< kernels executed per block
+    std::size_t columnsMaterialized = 0; //!< physical slots allocated
+    std::size_t bytesPerSampleLowered = 0;
+    std::size_t bytesPerSampleMaterialized = 0;
+
+    /** Peak workspace bytes for a given block size. */
+    std::size_t
+    peakWorkspaceBytes(std::size_t blockSize) const
+    {
+        return bytesPerSampleMaterialized * blockSize;
+    }
+
+    /** What the same plan would occupy with every pass disabled. */
+    std::size_t
+    unoptimizedWorkspaceBytes(std::size_t blockSize) const
+    {
+        return bytesPerSampleLowered * blockSize;
+    }
+
+    std::string
+    toString() const
+    {
+        std::ostringstream out;
+        out << "plan: " << columnsLowered << " columns ("
+            << leafColumns << " leaves) -> " << columnsMaterialized
+            << " materialized; steps " << stepsLowered << " -> "
+            << stepsPerBlock << "/block"
+            << "; cse merged " << cseMerged << ", folded "
+            << constantsFolded << ", hoisted " << constantsHoisted
+            << ", dead " << deadStepsRemoved << ", fused "
+            << fusedOps << " ops into " << fusedKernels << " kernels"
+            << "; bytes/sample " << bytesPerSampleLowered << " -> "
+            << bytesPerSampleMaterialized;
+        return out.str();
+    }
+};
+
+/**
+ * An immutable compiled plan: ordered kernels plus physical column
+ * factories and the logical-to-physical slot map the optimizer
+ * produced. Compile once per graph (BatchPlan::compile), execute any
+ * number of blocks from any number of threads — runBlock touches only
+ * the caller's workspace. The plan keeps the root graph alive so a
+ * cache keyed by node identity can never alias a recycled address.
  */
 class BatchPlan
 {
   public:
     /**
-     * Lower the graph rooted at @p root (a NodePtr<T>) into a plan.
+     * Lower the graph rooted at @p root (a NodePtr<T>) into a plan and
+     * run the optimizer passes selected by @p options over it.
      * The root's column index is recorded for typed readback.
      */
     template <typename NodeT>
     static std::shared_ptr<const BatchPlan>
-    compile(const std::shared_ptr<const NodeT>& root)
+    compile(const std::shared_ptr<const NodeT>& root,
+            const PlanOptions& options = {})
     {
         UNCERTAIN_REQUIRE(root != nullptr,
                           "BatchPlan::compile requires a root node");
         BatchBuilder builder;
         const std::size_t rootColumn = root->lowerInto(builder);
-        return std::shared_ptr<const BatchPlan>(
-            new BatchPlan(std::move(builder), rootColumn, root));
+        return std::shared_ptr<const BatchPlan>(new BatchPlan(
+            std::move(builder), rootColumn, options, root));
     }
 
+    /** Logical column id of the root (readback goes through the slot
+     *  map like any other access). */
     std::size_t rootColumn() const { return rootColumn_; }
-    std::size_t columnCount() const { return factories_.size(); }
+
+    /** Physical columns a workspace allocates. */
+    std::size_t columnCount() const
+    {
+        return stats_.columnsMaterialized;
+    }
+
     std::size_t leafCount() const
     {
         return static_cast<std::size_t>(leafCount_);
     }
 
-    /** A fresh workspace with one column per plan slot. */
+    const PlanStats& stats() const { return stats_; }
+
+    /** A fresh workspace with one column per physical slot. */
     BatchWorkspace
     makeWorkspace() const
     {
         BatchWorkspace ws;
-        ws.columns_.reserve(factories_.size());
-        for (const auto& make : factories_)
+        ws.columns_.reserve(physFactories_.size());
+        for (const auto& make : physFactories_)
             ws.columns_.push_back(make());
+        ws.slots_ = &slots_;
         return ws;
     }
 
     /**
-     * Fill every column of @p ws for the block of @p length samples
-     * whose first absolute sample index is @p blockStart, deriving
-     * leaf streams from @p base per the stream discipline above.
+     * Fill every live column of @p ws for the block of @p length
+     * samples whose first absolute sample index is @p blockStart,
+     * deriving leaf streams from @p base per the stream discipline
+     * above. Constant columns are (re)filled only when this block is
+     * longer than any the workspace has seen.
      */
     void
     runBlock(BatchWorkspace& ws, const Rng& base, std::size_t blockStart,
              std::size_t length) const
     {
-        UNCERTAIN_ASSERT(ws.columns_.size() == factories_.size(),
+        UNCERTAIN_ASSERT(ws.columns_.size() == physFactories_.size()
+                             && ws.slots_ == &slots_,
                          "workspace does not belong to this plan");
         ws.length_ = length;
         ws.blockBase_ = base.split(blockStart);
         for (auto& column : ws.columns_)
-            column->resize(length);
+            column->ensure(length);
+        if (length > ws.constLength_) {
+            for (const auto& step : constSteps_)
+                step(ws);
+            ws.constLength_ = length;
+        }
         for (const auto& step : steps_)
             step(ws);
     }
 
   private:
-    BatchPlan(BatchBuilder&& builder, std::size_t rootColumn,
-              std::shared_ptr<const GraphNode> keepAlive)
-        : factories_(std::move(builder.factories_)),
-          steps_(std::move(builder.steps_)),
-          leafCount_(builder.leafCount_), rootColumn_(rootColumn),
-          keepAlive_(std::move(keepAlive))
-    {}
+    /** One finalized executable step with its column access sets
+     *  (canonical logical ids), as consumed by the liveness pass. */
+    struct StepExec
+    {
+        BatchStep run;
+        std::vector<std::size_t> reads;
+        std::vector<std::size_t> writes;
+    };
 
-    std::vector<std::function<std::unique_ptr<ColumnBase>()>> factories_;
-    std::vector<BatchStep> steps_;
+    BatchPlan(BatchBuilder&& builder, std::size_t rootColumn,
+              const PlanOptions& options,
+              std::shared_ptr<const GraphNode> keepAlive)
+        : leafCount_(builder.leafCount_), rootColumn_(rootColumn),
+          keepAlive_(std::move(keepAlive))
+    {
+        build(std::move(builder.columns_), std::move(builder.steps_),
+              options);
+    }
+
+    void build(std::vector<BatchBuilder::ColumnMeta>&& metas,
+               std::vector<batch::StepInfo>&& steps,
+               const PlanOptions& options);
+
+    std::vector<std::function<std::unique_ptr<ColumnBase>()>>
+        physFactories_;
+    std::vector<std::size_t> slots_; //!< logical -> physical
+    std::vector<BatchStep> constSteps_; //!< once per workspace length
+    std::vector<BatchStep> steps_;      //!< once per block
+    PlanStats stats_;
     std::uint64_t leafCount_;
     std::size_t rootColumn_;
     std::shared_ptr<const GraphNode> keepAlive_;
 };
+
+// ---------------------------------------------------------------------
+// Optimizer implementation.
+// ---------------------------------------------------------------------
+
+inline void
+BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
+                 std::vector<batch::StepInfo>&& steps,
+                 const PlanOptions& options)
+{
+    using batch::StepInfo;
+    using batch::StepKind;
+
+    stats_.columnsLowered = metas.size();
+    stats_.leafColumns = static_cast<std::size_t>(leafCount_);
+    stats_.stepsLowered = steps.size();
+    for (const auto& meta : metas)
+        stats_.bytesPerSampleLowered += meta.elemSize;
+
+    // An opaque step may read or write any column, so no pass can
+    // reason across it; degrade to the literal transcription.
+    const bool optimizable =
+        std::all_of(steps.begin(), steps.end(), [](const StepInfo& s) {
+            return s.kind != StepKind::Opaque
+                   && s.out != batch::kNoColumn;
+        });
+    const bool cse = options.cse && optimizable;
+    const bool fold = options.constantFolding && optimizable;
+    const bool fuse = options.fuseElementwise && optimizable;
+    const bool reuse = options.reuseBuffers && optimizable;
+
+    // Union-find-lite: rep[c] is the canonical column c was merged
+    // into (identity when unmerged). Kernels keep their original ids;
+    // the slot map resolves aliases at execution time.
+    std::vector<std::size_t> rep(metas.size());
+    for (std::size_t i = 0; i < rep.size(); ++i)
+        rep[i] = i;
+    auto canon = [&rep](std::size_t c) {
+        while (rep[c] != c)
+            c = rep[c];
+        return c;
+    };
+
+    // ---- pass 1+2: structural CSE and constant folding -------------
+    //
+    // One forward scan over the topologically ordered steps. Operands
+    // are canonicalized first, so structural equality propagates
+    // upward (if a==a' and b==b', then a+b merges with a'+b').
+    // Leaves are never keyed: two distinct stochastic leaves stay two
+    // draws (Figure 8 SSA semantics). Folding runs in the same scan
+    // because a folded step becomes a Const that later steps may fold
+    // or merge over.
+    std::vector<StepInfo> kept;
+    kept.reserve(steps.size());
+    if (cse || fold) {
+        std::unordered_map<std::string, std::size_t> interned;
+        std::unordered_map<std::size_t, std::vector<unsigned char>>
+            constOf;
+        for (auto& s : steps) {
+            for (auto& o : s.operands)
+                o = canon(o);
+            if (fold && s.kind == StepKind::Elementwise && s.fold
+                && !s.operands.empty()) {
+                bool allConst = true;
+                std::vector<const unsigned char*> vals;
+                vals.reserve(s.operands.size());
+                for (const auto o : s.operands) {
+                    auto it = constOf.find(o);
+                    if (it == constOf.end()) {
+                        allConst = false;
+                        break;
+                    }
+                    vals.push_back(it->second.data());
+                }
+                if (allConst) {
+                    // Same op applied to the same scalar values the
+                    // per-block kernel would see: bit-identical, just
+                    // computed once at compile time.
+                    batch::FoldedConst folded = s.fold(vals);
+                    s.kind = StepKind::Const;
+                    s.run = std::move(folded.splat);
+                    s.constBytes = std::move(folded.bytes);
+                    s.operands.clear();
+                    s.fold = nullptr;
+                    s.makeStrip = nullptr;
+                    s.cseSafe = true;
+                    ++stats_.constantsFolded;
+                }
+            }
+            if (cse && s.cseSafe
+                && (s.kind == StepKind::Elementwise
+                    || s.kind == StepKind::Const)) {
+                std::string key;
+                key.reserve(64);
+                if (s.kind == StepKind::Const) {
+                    key.push_back('C');
+                    key.append(s.outType.name());
+                    key.push_back('\x1f');
+                    key.append(
+                        reinterpret_cast<const char*>(s.constBytes.data()),
+                        s.constBytes.size());
+                } else {
+                    key.push_back('E');
+                    key.append(s.opType.name());
+                    key.push_back('\x1f');
+                    key.append(s.outType.name());
+                    for (const auto o : s.operands) {
+                        key.push_back('\x1f');
+                        key.append(std::to_string(o));
+                    }
+                }
+                auto ins = interned.emplace(std::move(key), s.out);
+                if (!ins.second) {
+                    rep[s.out] = ins.first->second;
+                    ++stats_.cseMerged;
+                    continue; // drop the duplicate step
+                }
+            }
+            if (s.kind == StepKind::Const && !s.constBytes.empty())
+                constOf.emplace(s.out, s.constBytes);
+            kept.push_back(std::move(s));
+        }
+    } else {
+        kept = std::move(steps);
+    }
+
+    const std::size_t rootRep =
+        optimizable ? canon(rootColumn_) : rootColumn_;
+
+    // ---- dead-step elimination --------------------------------------
+    //
+    // Folding and CSE orphan steps (e.g. the point-mass operands of a
+    // folded op). Dropping a dead *leaf* is also safe bit-wise: every
+    // leaf draws from its own split(streamIndex) stream assigned at
+    // lowering, so removing one never shifts another's stream.
+    if (cse || fold) {
+        std::unordered_set<std::size_t> needed{rootRep};
+        std::vector<StepInfo> live;
+        live.reserve(kept.size());
+        for (std::size_t i = kept.size(); i-- > 0;) {
+            if (needed.count(kept[i].out) == 0) {
+                ++stats_.deadStepsRemoved;
+                continue;
+            }
+            for (const auto o : kept[i].operands)
+                needed.insert(o);
+            live.push_back(std::move(kept[i]));
+        }
+        std::reverse(live.begin(), live.end());
+        kept = std::move(live);
+    }
+
+    // ---- constant hoisting ------------------------------------------
+    //
+    // Point-mass splats are pure functions of the block length, so
+    // run them once per workspace (re-running only when a longer
+    // block arrives) instead of once per block. Hoisted columns are
+    // pinned by the liveness pass: they are never recycled, because
+    // they are not refilled per block.
+    std::vector<char> constCol(metas.size(), 0);
+    std::vector<StepInfo> mainSteps;
+    mainSteps.reserve(kept.size());
+    for (auto& s : kept) {
+        if (fold && s.kind == StepKind::Const) {
+            constCol[s.out] = 1;
+            constSteps_.push_back(std::move(s.run));
+            ++stats_.constantsHoisted;
+        } else {
+            mainSteps.push_back(std::move(s));
+        }
+    }
+
+    // ---- elementwise fusion -----------------------------------------
+    //
+    // Maximal runs of consecutive elementwise steps become one
+    // strip-mined kernel: the block is processed in strips of
+    // kStripElems elements, each micro-op handling one strip before
+    // the next op runs, so intermediate values are L1-hot. A value
+    // consumed only inside its run lives in a stack register and
+    // never touches its column at all. Per-element arithmetic and
+    // order are unchanged — fusion only reorders *which elements* are
+    // computed when, never what is computed — so results stay
+    // bit-identical.
+    std::vector<std::vector<std::size_t>> readers(metas.size());
+    for (std::size_t k = 0; k < mainSteps.size(); ++k)
+        for (const auto o : mainSteps[k].operands)
+            readers[o].push_back(k);
+
+    auto regBytes = [](std::size_t elemSize) {
+        const std::size_t raw = batch::kStripElems * elemSize;
+        return (raw + batch::kScratchAlign - 1)
+               / batch::kScratchAlign * batch::kScratchAlign;
+    };
+    auto consumedOutside = [&](std::size_t out, std::size_t begin,
+                               std::size_t end) {
+        if (out == rootRep)
+            return true;
+        for (const auto k : readers[out])
+            if (k < begin || k >= end)
+                return true;
+        return false;
+    };
+
+    std::vector<StepExec> execs;
+    execs.reserve(mainSteps.size());
+
+    auto emitPlain = [&](std::size_t k) {
+        StepExec e;
+        e.run = std::move(mainSteps[k].run);
+        e.reads = mainSteps[k].operands;
+        e.writes = {mainSteps[k].out};
+        execs.push_back(std::move(e));
+    };
+
+    auto emitGroup = [&](std::size_t a, std::size_t b) {
+        if (b - a < 2) {
+            for (std::size_t k = a; k < b; ++k)
+                emitPlain(k);
+            return;
+        }
+        // Last in-group use per column, for register lifetime.
+        std::unordered_map<std::size_t, std::size_t> lastUse;
+        for (std::size_t k = a; k < b; ++k)
+            for (const auto o : mainSteps[k].operands)
+                lastUse[o] = k;
+        std::unordered_map<std::size_t, std::size_t> regOffsetOf;
+        std::map<std::size_t, std::vector<std::size_t>> freeBySize;
+        std::size_t top = 0;
+        std::vector<batch::StripOp> ops;
+        ops.reserve(b - a);
+        StepExec e;
+        for (std::size_t k = a; k < b; ++k) {
+            auto& s = mainSteps[k];
+            std::vector<batch::StripLoc> srcs;
+            srcs.reserve(s.operands.size());
+            for (const auto o : s.operands) {
+                auto it = regOffsetOf.find(o);
+                if (it != regOffsetOf.end()) {
+                    srcs.push_back({true, 0, it->second});
+                } else {
+                    srcs.push_back({false, o, 0});
+                    e.reads.push_back(o);
+                }
+            }
+            batch::StripLoc dst;
+            const bool external = consumedOutside(s.out, a, b);
+            if (external) {
+                dst = {false, s.out, 0};
+                e.writes.push_back(s.out);
+            } else {
+                const std::size_t size = regBytes(metas[s.out].elemSize);
+                auto& freeList = freeBySize[size];
+                std::size_t offset;
+                if (!freeList.empty()) {
+                    offset = freeList.back();
+                    freeList.pop_back();
+                } else {
+                    offset = top;
+                    top += size;
+                }
+                regOffsetOf[s.out] = offset;
+                dst = {true, 0, offset};
+            }
+            ops.push_back(s.makeStrip(srcs, dst));
+            auto release = [&](std::size_t col) {
+                auto rit = regOffsetOf.find(col);
+                if (rit == regOffsetOf.end())
+                    return;
+                auto lit = lastUse.find(col);
+                if (lit == lastUse.end() || lit->second <= k) {
+                    freeBySize[regBytes(metas[col].elemSize)].push_back(
+                        rit->second);
+                    regOffsetOf.erase(rit);
+                }
+            };
+            for (const auto o : s.operands)
+                release(o);
+            if (!external && lastUse.count(s.out) == 0)
+                release(s.out); // written, never read: dead store
+        }
+        UNCERTAIN_ASSERT(top <= batch::kFusedScratchBytes,
+                         "fused group exceeds scratch budget");
+        std::sort(e.reads.begin(), e.reads.end());
+        e.reads.erase(std::unique(e.reads.begin(), e.reads.end()),
+                      e.reads.end());
+        e.run = [ops = std::move(ops)](BatchWorkspace& ws) {
+            alignas(batch::kScratchAlign)
+                unsigned char scratch[batch::kFusedScratchBytes];
+            const std::size_t len = ws.length();
+            for (std::size_t base = 0; base < len;
+                 base += batch::kStripElems) {
+                const std::size_t n =
+                    std::min(batch::kStripElems, len - base);
+                for (const auto& op : ops)
+                    op(ws, base, n, scratch);
+            }
+        };
+        execs.push_back(std::move(e));
+        ++stats_.fusedKernels;
+        stats_.fusedOps += b - a;
+    };
+
+    if (fuse) {
+        // Partition each maximal fusable run into groups bounded by
+        // the scratch budget. The grouping simulation treats values
+        // consumed outside the *run* as columns; per-group allocation
+        // later treats values consumed outside the *group* as columns
+        // — a superset, so the real register pressure can only be
+        // lower than simulated and the budget holds.
+        std::size_t runStart = batch::kNoColumn;
+        auto flushRun = [&](std::size_t begin, std::size_t end) {
+            std::unordered_map<std::size_t, std::size_t> lastUseInRun;
+            for (std::size_t k = begin; k < end; ++k)
+                for (const auto o : mainSteps[k].operands)
+                    lastUseInRun[o] = k;
+            std::unordered_map<std::size_t, std::size_t> regSize;
+            std::size_t used = 0;
+            std::size_t groupStart = begin;
+            for (std::size_t k = begin; k < end; ++k) {
+                const std::size_t out = mainSteps[k].out;
+                const bool external = consumedOutside(out, begin, end);
+                std::size_t need =
+                    external ? 0 : regBytes(metas[out].elemSize);
+                if (used + need > batch::kFusedScratchBytes
+                    && k > groupStart) {
+                    emitGroup(groupStart, k);
+                    groupStart = k;
+                    regSize.clear();
+                    used = 0;
+                }
+                if (need > 0) {
+                    regSize[out] = need;
+                    used += need;
+                }
+                for (const auto o : mainSteps[k].operands) {
+                    auto it = regSize.find(o);
+                    auto lit = lastUseInRun.find(o);
+                    if (it != regSize.end() && lit != lastUseInRun.end()
+                        && lit->second <= k) {
+                        used -= it->second;
+                        regSize.erase(it);
+                    }
+                }
+            }
+            emitGroup(groupStart, end);
+        };
+        for (std::size_t k = 0; k < mainSteps.size(); ++k) {
+            const bool fusable =
+                mainSteps[k].kind == StepKind::Elementwise
+                && mainSteps[k].makeStrip != nullptr;
+            if (fusable) {
+                if (runStart == batch::kNoColumn)
+                    runStart = k;
+                continue;
+            }
+            if (runStart != batch::kNoColumn) {
+                flushRun(runStart, k);
+                runStart = batch::kNoColumn;
+            }
+            emitPlain(k);
+        }
+        if (runStart != batch::kNoColumn)
+            flushRun(runStart, mainSteps.size());
+    } else {
+        for (std::size_t k = 0; k < mainSteps.size(); ++k)
+            emitPlain(k);
+    }
+
+    // ---- liveness-based slot assignment -----------------------------
+    //
+    // Without reuse: one physical column per logical column (the
+    // PR-2 memory shape), aliases resolved through the slot map.
+    // With reuse: linear scan over the final step order; a column's
+    // slot returns to a per-type free pool after its last reading
+    // step, so the workspace holds O(live width) columns. Slots are
+    // released only *after* the releasing step completes, so a step
+    // never reads and writes the same physical slot through different
+    // logical columns. Constant columns and the root are pinned.
+    slots_.assign(metas.size(), batch::kNoColumn);
+    if (!reuse) {
+        physFactories_.reserve(metas.size());
+        for (auto& meta : metas)
+            physFactories_.push_back(std::move(meta.factory));
+        for (std::size_t i = 0; i < metas.size(); ++i)
+            slots_[i] = optimizable ? canon(i) : i;
+        stats_.columnsMaterialized = metas.size();
+        stats_.bytesPerSampleMaterialized = stats_.bytesPerSampleLowered;
+    } else {
+        std::vector<std::size_t> slotOf(metas.size(), batch::kNoColumn);
+        std::vector<std::size_t> physSize;
+        std::unordered_map<std::type_index, std::vector<std::size_t>>
+            pool;
+        auto assignSlot = [&](std::size_t col) {
+            if (slotOf[col] != batch::kNoColumn)
+                return;
+            auto& freeList = pool[metas[col].storeType];
+            if (!freeList.empty()) {
+                slotOf[col] = freeList.back();
+                freeList.pop_back();
+            } else {
+                slotOf[col] = physFactories_.size();
+                physFactories_.push_back(std::move(metas[col].factory));
+                physSize.push_back(metas[col].elemSize);
+            }
+        };
+        std::vector<char> pinned(metas.size(), 0);
+        if (rootRep < pinned.size())
+            pinned[rootRep] = 1;
+        for (std::size_t c = 0; c < metas.size(); ++c) {
+            if (constCol[c]) {
+                pinned[c] = 1;
+                assignSlot(c); // hoisted splat defines it pre-block
+            }
+        }
+        // Last step touching each column (reads; a write with no
+        // later read dies at its defining step).
+        std::vector<std::size_t> lastUse(metas.size(), 0);
+        for (std::size_t k = 0; k < execs.size(); ++k) {
+            for (const auto w : execs[k].writes)
+                lastUse[w] = std::max(lastUse[w], k);
+            for (const auto r : execs[k].reads)
+                lastUse[r] = std::max(lastUse[r], k);
+        }
+        std::vector<char> released(metas.size(), 0);
+        for (std::size_t k = 0; k < execs.size(); ++k) {
+            for (const auto w : execs[k].writes)
+                assignSlot(w);
+            auto maybeRelease = [&](std::size_t col) {
+                if (pinned[col] || released[col]
+                    || slotOf[col] == batch::kNoColumn
+                    || lastUse[col] != k)
+                    return;
+                released[col] = 1;
+                pool[metas[col].storeType].push_back(slotOf[col]);
+            };
+            for (const auto r : execs[k].reads)
+                maybeRelease(r);
+            for (const auto w : execs[k].writes)
+                maybeRelease(w);
+        }
+        for (std::size_t i = 0; i < metas.size(); ++i)
+            slots_[i] = slotOf[canon(i)];
+        stats_.columnsMaterialized = physFactories_.size();
+        for (const auto size : physSize)
+            stats_.bytesPerSampleMaterialized += size;
+    }
+
+    steps_.reserve(execs.size());
+    for (auto& e : execs)
+        steps_.push_back(std::move(e.run));
+    stats_.stepsPerBlock = steps_.size();
+}
 
 } // namespace core
 } // namespace uncertain

@@ -10,9 +10,12 @@
 #ifndef UNCERTAIN_CORE_INSPECT_HPP
 #define UNCERTAIN_CORE_INSPECT_HPP
 
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/batch.hpp"
 #include "core/uncertain.hpp"
 #include "stats/confidence.hpp"
 #include "stats/summary.hpp"
@@ -81,6 +84,45 @@ Description
 describe(const Uncertain<T>& value, std::size_t n = 2000)
 {
     return describe(value, n, globalRng());
+}
+
+/**
+ * The optimizer's report for @p value's batch plan: columns before
+ * and after the passes, fused-kernel count, workspace footprint
+ * (PlanStats in core/batch_plan.hpp). Goes through the sampler's
+ * PlanCache, so inspecting a plan warms the cache the sampler will
+ * hit. Benches print this under --verbose.
+ */
+template <typename T>
+PlanStats
+planStats(const Uncertain<T>& value, BatchSampler& sampler)
+{
+    return sampler.planFor(value.node())->stats();
+}
+
+/** planStats() against a throwaway sampler with @p options. */
+template <typename T>
+PlanStats
+planStats(const Uncertain<T>& value, const PlanOptions& options = {})
+{
+    return BatchPlan::compile(value.node(), options)->stats();
+}
+
+/**
+ * One-line rendering of a plan report plus the cache counters of the
+ * sampler that produced it, for bench --verbose output.
+ */
+inline std::string
+planReport(const PlanStats& stats, const PlanCacheStats& cache,
+           std::size_t blockSize)
+{
+    std::ostringstream out;
+    out << stats.toString() << "; peak workspace "
+        << stats.peakWorkspaceBytes(blockSize) << " B (unoptimized "
+        << stats.unoptimizedWorkspaceBytes(blockSize) << " B) @ block "
+        << blockSize << "; cache hits " << cache.hits << " misses "
+        << cache.misses << " evictions " << cache.evictions;
+    return out.str();
 }
 
 } // namespace core

@@ -267,14 +267,17 @@ class LeafNode final : public Node<T>
     {
         const std::uint64_t stream = builder.nextLeafStream();
         const std::size_t col = builder.addColumn<T>(this);
+        batch::StepInfo info;
+        info.kind = batch::StepKind::Leaf;
+        info.out = col;
         if (bulkSampler_) {
-            builder.addStep(
+            info.run =
                 [col, stream, bulk = bulkSampler_](BatchWorkspace& ws) {
                     Rng rng = ws.leafStream(stream);
                     bulk(rng, ws.template column<T>(col).data(), ws.length());
-                });
+                };
         } else {
-            builder.addStep(
+            info.run =
                 [col, stream, sampler = sampler_](BatchWorkspace& ws) {
                     Rng rng = ws.leafStream(stream);
                     auto* out = ws.template column<T>(col).data();
@@ -282,8 +285,9 @@ class LeafNode final : public Node<T>
                     for (std::size_t i = 0; i < n; ++i)
                         out[i] = static_cast<batch::Store<T>>(
                             sampler(rng));
-                });
+                };
         }
+        builder.addStep(std::move(info));
         return col;
     }
 
@@ -314,12 +318,7 @@ class PointMassNode final : public Node<T>
     doLower(BatchBuilder& builder) const override
     {
         const std::size_t col = builder.addColumn<T>(this);
-        builder.addStep([col, value = value_](BatchWorkspace& ws) {
-            auto* out = ws.template column<T>(col).data();
-            const std::size_t n = ws.length();
-            for (std::size_t i = 0; i < n; ++i)
-                out[i] = static_cast<batch::Store<T>>(value);
-        });
+        builder.addStep(batch::makeConstStep<T>(col, value_));
         return col;
     }
 
@@ -370,16 +369,7 @@ class BinaryNode final : public Node<R>
         const std::size_t lhs = lhs_->lowerInto(builder);
         const std::size_t rhs = rhs_->lowerInto(builder);
         const std::size_t col = builder.addColumn<R>(this);
-        builder.addStep(
-            [col, lhs, rhs, op = op_](BatchWorkspace& ws) {
-                const auto* a = ws.template column<A>(lhs).data();
-                const auto* b = ws.template column<B>(rhs).data();
-                auto* out = ws.template column<R>(col).data();
-                const std::size_t n = ws.length();
-                for (std::size_t i = 0; i < n; ++i)
-                    out[i] = static_cast<batch::Store<R>>(
-                        op(a[i], b[i]));
-            });
+        builder.addStep(batch::makeBinaryStep<R, A, B>(col, lhs, rhs, op_));
         return col;
     }
 
@@ -422,15 +412,7 @@ class UnaryNode final : public Node<R>
     {
         const std::size_t operand = operand_->lowerInto(builder);
         const std::size_t col = builder.addColumn<R>(this);
-        builder.addStep(
-            [col, operand, op = op_](BatchWorkspace& ws) {
-                const auto* a = ws.template column<A>(operand).data();
-                auto* out = ws.template column<R>(col).data();
-                const std::size_t n = ws.length();
-                for (std::size_t i = 0; i < n; ++i)
-                    out[i] =
-                        static_cast<batch::Store<R>>(op(a[i]));
-            });
+        builder.addStep(batch::makeUnaryStep<R, A>(col, operand, op_));
         return col;
     }
 

@@ -98,6 +98,12 @@ struct ParallelOptions
      * and therefore the stream family — is a function of this value.
      */
     std::size_t chunkSize = 1024;
+    /**
+     * Optimizer pass toggles for plan compilation (see PlanOptions in
+     * core/batch_plan.hpp). Never changes the samples, so the
+     * bit-identity guarantees above hold for any setting.
+     */
+    PlanOptions optimizer{};
 };
 
 /**
@@ -109,9 +115,13 @@ struct ParallelOptions
 class ParallelSampler
 {
   public:
-    explicit ParallelSampler(ParallelOptions options = {})
+    explicit ParallelSampler(ParallelOptions options = {},
+                             std::shared_ptr<PlanCache> cache = nullptr)
         : pool_(options.threads),
-          chunkSize_(options.chunkSize > 0 ? options.chunkSize : 1)
+          chunkSize_(options.chunkSize > 0 ? options.chunkSize : 1),
+          optimizer_(options.optimizer),
+          cache_(cache ? std::move(cache)
+                       : std::make_shared<PlanCache>())
     {}
 
     explicit ParallelSampler(unsigned threads)
@@ -120,6 +130,12 @@ class ParallelSampler
 
     unsigned threads() const { return pool_.threadCount(); }
     std::size_t chunkSize() const { return chunkSize_; }
+
+    /** The optimizer configuration plans are compiled with. */
+    const PlanOptions& optimizer() const { return optimizer_; }
+
+    /** The (shareable, thread-safe) plan cache backing this engine. */
+    const std::shared_ptr<PlanCache>& planCache() const { return cache_; }
 
     /**
      * Draw @p n root samples of @p node into a vector. The block
@@ -224,17 +240,18 @@ class ParallelSampler
     sampleInto(const NodePtr<T>& node, std::size_t n, const Rng& base,
                T* out)
     {
-        auto& entry = cache_.entryFor(node);
-        const BatchPlan& plan = *entry.plan;
+        auto planPtr = cache_->planFor(node, optimizer_);
+        const BatchPlan& plan = *planPtr;
         const std::size_t rootCol = plan.rootColumn();
         if (pool_.threadCount() < 2) {
+            auto& workspace = workspaces_.acquire(planPtr);
             for (std::size_t start = 0; start < n;
                  start += chunkSize_) {
                 const std::size_t len =
                     std::min(chunkSize_, n - start);
-                plan.runBlock(entry.workspace, base, start, len);
+                plan.runBlock(workspace, base, start, len);
                 const auto* col =
-                    entry.workspace.template column<T>(rootCol).data();
+                    workspace.template column<T>(rootCol).data();
                 std::copy(col, col + len, out + start);
             }
             return;
@@ -258,18 +275,18 @@ class ParallelSampler
                   std::size_t offset, std::size_t count,
                   std::uint8_t* out)
     {
-        auto& entry = cache_.entryFor(node);
-        const BatchPlan& plan = *entry.plan;
+        auto planPtr = cache_->planFor(node, optimizer_);
+        const BatchPlan& plan = *planPtr;
         const std::size_t rootCol = plan.rootColumn();
         if (pool_.threadCount() < 2) {
+            auto& workspace = workspaces_.acquire(planPtr);
             for (std::size_t start = 0; start < count;
                  start += chunkSize_) {
                 const std::size_t len =
                     std::min(chunkSize_, count - start);
-                plan.runBlock(entry.workspace, base, offset + start,
-                              len);
+                plan.runBlock(workspace, base, offset + start, len);
                 const auto* col =
-                    entry.workspace.column<bool>(rootCol).data();
+                    workspace.column<bool>(rootCol).data();
                 std::copy(col, col + len, out + start);
             }
             return;
@@ -286,7 +303,9 @@ class ParallelSampler
 
     ThreadPool pool_;
     std::size_t chunkSize_;
-    PlanCache cache_;
+    PlanOptions optimizer_;
+    std::shared_ptr<PlanCache> cache_;
+    WorkspacePool workspaces_; //!< inline (<2 thread) path only
 };
 
 } // namespace core

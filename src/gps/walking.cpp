@@ -29,6 +29,20 @@ advise(const Uncertain<double>& speedMph,
 }
 
 Advice
+advise(const Uncertain<double>& speedMph,
+       const core::ConditionalOptions& options, Rng& rng,
+       core::BatchSampler& sampler)
+{
+    Uncertain<bool> fast = speedMph > kBriskWalkMph;
+    if (fast.pr(0.5, options, rng, sampler))
+        return Advice::GoodJob;
+    Uncertain<bool> slow = speedMph < kBriskWalkMph;
+    if (slow.pr(0.9, options, rng, sampler))
+        return Advice::SpeedUp;
+    return Advice::None;
+}
+
+Advice
 naiveAdvise(double speedMph)
 {
     if (speedMph > kBriskWalkMph)

@@ -48,6 +48,16 @@ random::DistributionPtr walkingSpeedPrior();
 Advice advise(const Uncertain<double>& speedMph,
               const core::ConditionalOptions& options = {});
 
+/**
+ * advise() with the conditionals' evidence drawn by the columnar
+ * batch engine (optimized plans, cached per speed graph) instead of
+ * the per-sample tree walk. Same decisions for the same evidence law;
+ * use the --engine axis of bench_fig04/bench_fig13 to compare cost.
+ */
+Advice advise(const Uncertain<double>& speedMph,
+              const core::ConditionalOptions& options, Rng& rng,
+              core::BatchSampler& sampler);
+
 /** The Figure 5(a) logic: naive comparisons on the point estimate. */
 Advice naiveAdvise(double speedMph);
 

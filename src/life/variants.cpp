@@ -86,6 +86,14 @@ SensorLife::countLiveNeighbors(const Board& board, std::size_t x,
     return sum;
 }
 
+bool
+SensorLife::testCondition(const Uncertain<bool>& condition,
+                          double threshold, Rng& rng) const
+{
+    return batch_ ? condition.pr(threshold, options_, rng, *batch_)
+                  : condition.pr(threshold, options_, rng);
+}
+
 CellDecision
 SensorLife::updateCell(const Board& board, std::size_t x, std::size_t y,
                        Rng& rng) const
@@ -100,17 +108,17 @@ SensorLife::updateCell(const Board& board, std::size_t x, std::size_t y,
     // file comment): "< 2" means "counts to 0 or 1", i.e. < 1.5, and
     // the birth test "== 3" means "rounds to 3".
     if (isAlive) {
-        if ((numLive < 1.5).pr(0.5, options_, rng))
+        if (testCondition(numLive < 1.5, 0.5, rng))
             willBeAlive = false;
-        else if (((numLive >= 1.5) && (numLive <= 3.5))
-                     .pr(0.5, options_, rng))
+        else if (testCondition((numLive >= 1.5) && (numLive <= 3.5),
+                               0.5, rng))
             willBeAlive = true;
-        else if ((numLive > 3.5).pr(0.5, options_, rng))
+        else if (testCondition(numLive > 3.5, 0.5, rng))
             willBeAlive = false;
         // No test significant: the chain falls through and the cell
         // keeps its state (the ternary-logic default).
     } else {
-        if (approxEqual(numLive, 3.0, 0.5).pr(0.5, options_, rng))
+        if (testCondition(approxEqual(numLive, 3.0, 0.5), 0.5, rng))
             willBeAlive = true;
     }
 

@@ -86,7 +86,25 @@ class SensorLife : public LifeVariant
     CellDecision updateCell(const Board& board, std::size_t x,
                             std::size_t y, Rng& rng) const override;
 
+    /**
+     * Route the hypothesis-test conditionals through @p sampler's
+     * columnar batch engine instead of the per-sample tree walk
+     * (nullptr restores the tree walk). The sampler is borrowed, not
+     * owned, and must outlive the variant; decisions follow the same
+     * sequential tests either way. Cell graphs are rebuilt per update,
+     * so this path exercises PlanCache churn by design.
+     */
+    void useBatchEngine(core::BatchSampler* sampler)
+    {
+        batch_ = sampler;
+    }
+
   protected:
+    /** numLive.pr(...) through the selected engine. */
+    bool testCondition(const Uncertain<bool>& condition,
+                       double threshold, Rng& rng) const;
+
+    core::BatchSampler* batch_ = nullptr;
     /** The CountLiveNeighbors sum network for cell (x, y). */
     virtual Uncertain<double>
     countLiveNeighbors(const Board& board, std::size_t x,
