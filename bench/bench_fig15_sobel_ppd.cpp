@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch.hpp"
 #include "nn/parakeet.hpp"
 #include "nn/sobel.hpp"
 #include "stats/histogram.hpp"
@@ -24,6 +26,10 @@ main(int argc, char** argv)
     bench::banner("Figure 15: Sobel posterior predictive distribution "
                   "vs. Parrot's point estimate");
     bool paper = bench::hasFlag(argc, argv, "--paper");
+    std::string engine = bench::engineFlag(argc, argv);
+    // --engine batch: evidence draws over the PPD pool leaf run
+    // through columnar plans instead of the per-sample tree walk.
+    core::BatchSampler sampler;
     const std::size_t trainCount = paper ? 5000 : 2000;
     const std::size_t evalCount = paper ? 500 : 300;
 
@@ -97,7 +103,9 @@ main(int argc, char** argv)
                 "%s)\n",
                 parrot, parrot > kEdgeThreshold ? "YES" : "no");
     auto evidence = model.predict(eval.inputs[worst]) > kEdgeThreshold;
-    double pEdge = evidence.probability(4000, rng);
+    double pEdge = engine == "batch"
+                       ? evidence.probability(4000, rng, sampler)
+                       : evidence.probability(4000, rng);
     std::printf("evidence Pr[s(p) > 0.1]:   %.2f  [paper's example: "
                 "0.70]\n\n",
                 pEdge);

@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/batch.hpp"
 #include "nn/parakeet.hpp"
 #include "nn/sobel.hpp"
 #include "stats/precision_recall.hpp"
@@ -24,6 +26,12 @@ main(int argc, char** argv)
     bench::banner("Figure 16: Parakeet precision/recall vs. "
                   "conditional threshold alpha");
     bool paper = bench::hasFlag(argc, argv, "--paper");
+    std::string engine = bench::engineFlag(argc, argv);
+    // --engine batch: the per-patch SPRT evidence draws over the PPD
+    // pool leaf run through columnar plans (a new plan per predict()
+    // leaf — PlanCache churn by design).
+    core::BatchSampler sampler;
+    const bool batch = engine == "batch";
     const std::size_t trainCount = paper ? 5000 : 2000;
     const std::size_t evalCount = paper ? 500 : 400;
 
@@ -74,7 +82,10 @@ main(int argc, char** argv)
             bool truth = eval.targets[i] > kEdgeThreshold;
             auto evidence =
                 model.predict(eval.inputs[i]) > kEdgeThreshold;
-            matrix.add(truth, evidence.pr(alpha, conditional, rng));
+            matrix.add(truth,
+                       batch ? evidence.pr(alpha, conditional, rng,
+                                           sampler)
+                             : evidence.pr(alpha, conditional, rng));
         }
         table.row({alpha, matrix.precision(), matrix.recall(),
                    matrix.f1(),

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace uncertain {
@@ -108,6 +109,35 @@ timeSeconds(F&& fn)
     fn();
     auto stop = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(stop - start).count();
+}
+
+/**
+ * Write a minimal google-benchmark-compatible JSON file (the subset
+ * scripts/bench_compare.py reads: benchmarks[].name and
+ * items_per_second) so printf-style figure harnesses can feed the
+ * same CI gate as the google-benchmark micro suites.
+ */
+inline void
+writeBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& itemsPerSecond)
+{
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < itemsPerSecond.size(); ++i) {
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", "
+                     "\"items_per_second\": %.6f}%s\n",
+                     itemsPerSecond[i].first.c_str(),
+                     itemsPerSecond[i].second,
+                     i + 1 < itemsPerSecond.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
 }
 
 /** Print a banner naming the figure being reproduced. */

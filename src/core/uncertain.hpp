@@ -19,7 +19,9 @@
 
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -467,6 +469,39 @@ fromDistribution(random::DistributionPtr dist)
     };
     return Uncertain<double>::fromSampler(
         std::move(scalar), std::move(bulk), std::move(label));
+}
+
+/**
+ * Leaf over a fixed sample pool: one draw = one uniform pick from the
+ * pool. This is the representation of resampled SIR posteriors
+ * (inference/reweight.hpp) and of Parakeet's posterior-predictive
+ * pool (section 5.3) — a first-class batch citizen: the leaf carries
+ * a bulk sampler that fills whole columns with uniform picks, so
+ * downstream graphs over the posterior compile to columnar plans
+ * instead of degrading to per-element scalar calls. The pool is
+ * shared, not copied.
+ */
+template <typename T>
+Uncertain<T>
+fromPool(std::shared_ptr<const std::vector<T>> pool, std::string label)
+{
+    UNCERTAIN_REQUIRE(pool != nullptr && !pool->empty(),
+                      "fromPool requires a non-empty pool");
+    auto scalar = [pool](Rng& rng) {
+        return (*pool)[static_cast<std::size_t>(
+            rng.nextBelow(pool->size()))];
+    };
+    auto bulk = [pool](Rng& rng, batch::Store<T>* out, std::size_t n) {
+        const std::uint64_t size = pool->size();
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = static_cast<batch::Store<T>>(
+                (*pool)[static_cast<std::size_t>(
+                    rng.nextBelow(size))]);
+        }
+    };
+    return Uncertain<T>::fromSampler(std::move(scalar),
+                                     std::move(bulk),
+                                     std::move(label));
 }
 
 /**

@@ -18,6 +18,18 @@ toDegrees(double radians)
     return radians * 180.0 / M_PI;
 }
 
+namespace {
+
+/** sin(x) for |x| < 1e-3: truncation error under 1 ulp of double. */
+inline double
+sinSmall(double x)
+{
+    double x2 = x * x;
+    return x * (1.0 - x2 * (1.0 / 6.0) * (1.0 - x2 / 20.0));
+}
+
+} // namespace
+
 double
 distanceMeters(const GeoCoordinate& a, const GeoCoordinate& b)
 {
@@ -25,6 +37,23 @@ distanceMeters(const GeoCoordinate& a, const GeoCoordinate& b)
     double phi2 = toRadians(b.latitude);
     double dPhi = phi2 - phi1;
     double dLambda = toRadians(b.longitude - a.longitude);
+
+    // Fast path for small separations (under ~6 km, the sensor-error
+    // regime every sampling loop lives in): the half-angle sines and
+    // the final asin have tiny arguments, so their series truncations
+    // are exact to double precision and skip three libm calls.
+    if (std::abs(dPhi) < 1e-3 && std::abs(dLambda) < 1e-3) {
+        double sinHalfPhi = sinSmall(0.5 * dPhi);
+        double sinHalfLambda = sinSmall(0.5 * dLambda);
+        double h = sinHalfPhi * sinHalfPhi
+                   + std::cos(phi1) * std::cos(phi2) * sinHalfLambda
+                         * sinHalfLambda;
+        double z = std::sqrt(h); // z <= ~1e-3: asin series is exact
+        double z2 = z * z;
+        double asinZ =
+            z * (1.0 + z2 * (1.0 / 6.0 + z2 * (3.0 / 40.0)));
+        return 2.0 * kEarthRadiusMeters * asinZ;
+    }
 
     double sinHalfPhi = std::sin(0.5 * dPhi);
     double sinHalfLambda = std::sin(0.5 * dLambda);

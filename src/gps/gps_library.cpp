@@ -1,9 +1,13 @@
 #include "gps/gps_library.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <memory>
 #include <sstream>
+#include <vector>
 
+#include "random/gaussian.hpp"
 #include "random/rayleigh.hpp"
 #include "support/error.hpp"
 
@@ -20,11 +24,80 @@ getLocation(const GpsFix& fix)
 
     std::ostringstream label;
     label << "GPS(eps=" << fix.horizontalAccuracy << "m)";
+    // The bulk sampler fills whole columns without one std::function
+    // call per draw, and replaces the per-sample spherical trig with
+    // a trig-free equivalent: a Rayleigh(rho) radius with a uniform
+    // bearing is exactly an isotropic pair of N(0, rho^2) north/east
+    // displacements, so two ziggurat Gaussian columns produce the
+    // same law with no trig, log, or rejection loop here; and at GPS
+    // scales (central angle well under 1e-3 rad) the destination()
+    // series truncations below are exact to double precision. Same
+    // law as the scalar sampler; the stream differs, which is the
+    // documented batch-engine contract.
+    random::Gaussian displacement(0.0, radial->rho());
     return Uncertain<GeoCoordinate>::fromSampler(
         [center, radial](Rng& rng) {
             double bearing = rng.nextRange(0.0, 2.0 * M_PI);
             double radius = radial->sample(rng);
             return destination(center, bearing, radius);
+        },
+        [center, displacement](Rng& rng, GeoCoordinate* out,
+                               std::size_t n) {
+            const double phi1 = toRadians(center.latitude);
+            const double lambda1 = toRadians(center.longitude);
+            const double sinPhi1 = std::sin(phi1);
+            const double cosPhi1 = std::cos(phi1);
+            // The series fast path needs a small central angle and a
+            // center away from the poles; otherwise fall back to the
+            // exact per-element destination().
+            const bool awayFromPoles = cosPhi1 > 1e-2;
+            std::vector<double> north(n);
+            std::vector<double> east(n);
+            displacement.sampleMany(rng, north.data(), n);
+            displacement.sampleMany(rng, east.data(), n);
+            for (std::size_t i = 0; i < n; ++i) {
+                // North / east components of the central angle:
+                // a = delta * cos(bearing), b = delta * sin(bearing).
+                const double a = north[i] / kEarthRadiusMeters;
+                const double b = east[i] / kEarthRadiusMeters;
+                const double d2 = a * a + b * b;
+                if (d2 < 1e-6 && awayFromPoles) {
+                    // sin(delta)/delta and cos(delta): truncation
+                    // error below 1 ulp for delta < 1e-3 rad (6.4 km).
+                    const double sinc =
+                        1.0 - d2 * (1.0 / 6.0) * (1.0 - d2 / 20.0);
+                    const double cosDelta =
+                        1.0 - d2 * 0.5 * (1.0 - d2 / 12.0);
+                    double sinPhi2 = sinPhi1 * cosDelta
+                                     + cosPhi1 * (a * sinc);
+                    sinPhi2 = std::clamp(sinPhi2, -1.0, 1.0);
+                    const double cosPhi2 =
+                        std::sqrt(1.0 - sinPhi2 * sinPhi2);
+                    // phi2 = phi1 + asin(sin(phi2 - phi1)); the
+                    // argument is O(delta), so the asin series is
+                    // exact to double.
+                    const double u =
+                        sinPhi2 * cosPhi1 - cosPhi2 * sinPhi1;
+                    const double u2 = u * u;
+                    const double dPhi =
+                        u * (1.0 + u2 * (1.0 / 6.0 + u2 * (3.0 / 40.0)));
+                    const double y = b * sinc * cosPhi1;
+                    const double x = cosDelta - sinPhi1 * sinPhi2;
+                    // atan2(y, x) with x ~ cos^2(phi1) > 0 and tiny
+                    // y/x: the atan series is exact to double.
+                    const double t = y / x;
+                    const double t2 = t * t;
+                    const double dLambda =
+                        t * (1.0 - t2 * (1.0 / 3.0 - t2 * 0.2));
+                    out[i] = {toDegrees(phi1 + dPhi),
+                              toDegrees(lambda1 + dLambda)};
+                } else {
+                    const double radius =
+                        std::sqrt(d2) * kEarthRadiusMeters;
+                    out[i] = destination(center, std::atan2(b, a),
+                                         radius);
+                }
+            }
         },
         label.str());
 }

@@ -69,5 +69,13 @@ improveSpeed(const Uncertain<double>& speedMph,
     return inference::applyPrior(speedMph, *prior, options);
 }
 
+Uncertain<double>
+improveSpeed(const Uncertain<double>& speedMph,
+             const inference::ReweightOptions& options, Rng& rng)
+{
+    static const random::DistributionPtr prior = walkingSpeedPrior();
+    return inference::applyPrior(speedMph, *prior, options, rng);
+}
+
 } // namespace gps
 } // namespace uncertain

@@ -70,11 +70,19 @@ Uncertain<double> speedFromFixes(const GpsFix& earlier,
 
 /**
  * The "Improved speed" series of Figure 13: the uncertain speed
- * reweighted by the walking prior.
+ * reweighted by the walking prior. Pass options.sampler to draw the
+ * SIR proposal pool through the columnar batch engine, and
+ * options.scheme to select the resampling scheme
+ * (see inference/reweight.hpp).
  */
 Uncertain<double>
 improveSpeed(const Uncertain<double>& speedMph,
              const inference::ReweightOptions& options = {});
+
+/** improveSpeed() with an explicit generator. */
+Uncertain<double>
+improveSpeed(const Uncertain<double>& speedMph,
+             const inference::ReweightOptions& options, Rng& rng);
 
 } // namespace gps
 } // namespace uncertain

@@ -51,7 +51,9 @@ class CompositePrior
 /**
  * Improve an estimate with several independent sources of domain
  * knowledge at once: posterior proportional to
- * estimate-density x prod_i prior_i-density.
+ * estimate-density x prod_i prior_i-density. Delegates to reweight(),
+ * so the full ReweightOptions surface — batch sampler, resampling
+ * scheme, ESS warning threshold — applies here unchanged.
  */
 Uncertain<double> applyPriors(const Uncertain<double>& estimate,
                               const CompositePrior& priors,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/uncertain.hpp"
+#include "inference/resample.hpp"
 #include "inference/reweight.hpp" // ReweightOptions
 #include "random/discrete.hpp"
 #include "support/error.hpp"
@@ -36,7 +37,13 @@ template <typename T>
 struct GenericReweightResult
 {
     Uncertain<T> posterior;
+    /**
+     * Kish effective sample size of the PRE-resampling importance
+     * weights (see ReweightResult::effectiveSampleSize).
+     */
     double effectiveSampleSize;
+    /** True when ReweightOptions::essWarnFraction tripped. */
+    bool lowEss = false;
 };
 
 /**
@@ -53,47 +60,49 @@ reweightSamples(const Uncertain<T>& source, LogWeight&& logWeight,
     UNCERTAIN_REQUIRE(options.resampleSize >= 1,
                       "reweightSamples requires >= 1 resample");
 
+    // Columnar proposal pool when a batch sampler is plumbed through
+    // the options; per-sample tree walk otherwise (same law, see
+    // ReweightOptions::sampler).
     std::vector<T> proposals =
-        source.takeSamples(options.proposalSamples, rng);
+        options.sampler != nullptr
+            ? source.takeSamples(options.proposalSamples, rng,
+                                 *options.sampler)
+            : source.takeSamples(options.proposalSamples, rng);
 
     std::vector<double> logWeights(proposals.size());
-    double maxLog = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < proposals.size(); ++i) {
+    for (std::size_t i = 0; i < proposals.size(); ++i)
         logWeights[i] = logWeight(proposals[i]);
-        maxLog = std::max(maxLog, logWeights[i]);
-    }
-    UNCERTAIN_REQUIRE(std::isfinite(maxLog),
-                      "reweightSamples: all importance weights are "
-                      "zero; prior and estimate do not overlap");
 
-    std::vector<double> weights(proposals.size());
-    std::vector<double> indices(proposals.size());
-    double total = 0.0;
-    double totalSq = 0.0;
-    for (std::size_t i = 0; i < proposals.size(); ++i) {
-        weights[i] = std::exp(logWeights[i] - maxLog);
-        indices[i] = static_cast<double>(i);
-        total += weights[i];
-        totalSq += weights[i] * weights[i];
-    }
-    double ess = total * total / totalSq;
+    std::vector<double> weights;
+    detail::WeightSummary summary = detail::normalizeLogWeights(
+        logWeights, weights,
+        "reweightSamples: all importance weights are "
+        "zero; prior and estimate do not overlap");
+    const bool lowEss = detail::warnLowEss(summary.ess, options);
 
-    random::Discrete table(indices, weights);
     auto pool = std::make_shared<std::vector<T>>();
     pool->reserve(options.resampleSize);
-    for (std::size_t i = 0; i < options.resampleSize; ++i) {
-        pool->push_back(
-            proposals[static_cast<std::size_t>(table.sample(rng))]);
+    if (options.scheme == ResamplingScheme::Systematic) {
+        for (std::size_t index : detail::systematicIndices(
+                 weights, summary.total, options.resampleSize, rng))
+            pool->push_back(proposals[index]);
+    } else {
+        std::vector<double> indices(proposals.size());
+        for (std::size_t i = 0; i < proposals.size(); ++i)
+            indices[i] = static_cast<double>(i);
+        random::Discrete table(std::move(indices), weights);
+        for (std::size_t i = 0; i < options.resampleSize; ++i) {
+            pool->push_back(
+                proposals[static_cast<std::size_t>(
+                    table.sample(rng))]);
+        }
     }
 
-    auto posterior = Uncertain<T>::fromSampler(
-        [pool](Rng& r) {
-            return (*pool)[static_cast<std::size_t>(
-                r.nextBelow(pool->size()))];
-        },
-        "posterior(" + std::to_string(options.resampleSize)
-            + " resamples)");
-    return {std::move(posterior), ess};
+    auto posterior = core::fromPool<T>(
+        std::move(pool), "posterior("
+                             + std::to_string(options.resampleSize)
+                             + " resamples)");
+    return {std::move(posterior), summary.ess, lowEss};
 }
 
 /** reweightSamples() with the thread's global generator. */

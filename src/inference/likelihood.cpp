@@ -23,6 +23,22 @@ GaussianLikelihood::logLikelihood(double b) const
            - 0.91893853320467274178; // log(sqrt(2*pi))
 }
 
+void
+GaussianLikelihood::logLikelihoodMany(const double* values,
+                                      double* out,
+                                      std::size_t n) const
+{
+    // Hoisted form of logLikelihood: the normalization constant and
+    // 1/sigma are loop-invariant over a proposal column.
+    const double invSigma = 1.0 / sigma_;
+    const double constant =
+        -std::log(sigma_) - 0.91893853320467274178; // log(sqrt(2*pi))
+    for (std::size_t i = 0; i < n; ++i) {
+        const double z = (observed_ - values[i]) * invSigma;
+        out[i] = -0.5 * z * z + constant;
+    }
+}
+
 std::string
 GaussianLikelihood::name() const
 {

@@ -7,6 +7,7 @@
 #ifndef UNCERTAIN_INFERENCE_LIKELIHOOD_HPP
 #define UNCERTAIN_INFERENCE_LIKELIHOOD_HPP
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -27,6 +28,21 @@ class Likelihood
     /** Log of Pr[evidence | value = b]. */
     virtual double logLikelihood(double b) const = 0;
 
+    /**
+     * Vectorized evaluation over a contiguous proposal column:
+     * fill out[0..n) with logLikelihood(values[i]). The batched SIR
+     * path (inference/reweight.hpp) weights its whole proposal pool
+     * through this; override it when per-call constants can be
+     * hoisted out of the loop. The default delegates element-wise.
+     */
+    virtual void
+    logLikelihoodMany(const double* values, double* out,
+                      std::size_t n) const
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = logLikelihood(values[i]);
+    }
+
     virtual std::string name() const = 0;
 };
 
@@ -44,6 +60,8 @@ class GaussianLikelihood : public Likelihood
     GaussianLikelihood(double observed, double sigma);
 
     double logLikelihood(double b) const override;
+    void logLikelihoodMany(const double* values, double* out,
+                           std::size_t n) const override;
     std::string name() const override;
 
     double observed() const { return observed_; }

@@ -3,19 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "inference/resample.hpp"
 #include "random/discrete.hpp"
-#include "random/empirical.hpp"
 #include "support/error.hpp"
 
 namespace uncertain {
 namespace inference {
 
+namespace {
+
+/**
+ * The SIR pipeline shared by the scalar and vectorized entry points:
+ * proposal pool (tree walk or columnar batch plan, per
+ * options.sampler), one contiguous log-weight pass, one
+ * normalization/ESS pass, resampling per options.scheme, and a
+ * pool-backed posterior leaf that carries a bulk sampler so
+ * downstream graphs stay columnar.
+ */
 ReweightResult
-reweight(const Uncertain<double>& source,
-         const std::function<double(double)>& logWeight,
-         const ReweightOptions& options, Rng& rng)
+reweightImpl(const Uncertain<double>& source,
+             const BulkLogWeight& logWeightMany,
+             const ReweightOptions& options, Rng& rng)
 {
     UNCERTAIN_REQUIRE(options.proposalSamples >= 2,
                       "reweight requires >= 2 proposal samples");
@@ -23,43 +35,58 @@ reweight(const Uncertain<double>& source,
                       "reweight requires >= 1 resample");
 
     std::vector<double> proposals =
-        source.takeSamples(options.proposalSamples, rng);
+        options.sampler != nullptr
+            ? source.takeSamples(options.proposalSamples, rng,
+                                 *options.sampler)
+            : source.takeSamples(options.proposalSamples, rng);
 
     std::vector<double> logWeights(proposals.size());
-    double maxLog = -std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < proposals.size(); ++i) {
-        logWeights[i] = logWeight(proposals[i]);
-        maxLog = std::max(maxLog, logWeights[i]);
-    }
-    UNCERTAIN_REQUIRE(std::isfinite(maxLog),
-                      "reweight: all importance weights are zero; the "
-                      "prior and the estimate do not overlap");
+    logWeightMany(proposals.data(), logWeights.data(),
+                  proposals.size());
 
     // Normalize in log space for stability.
-    std::vector<double> weights(proposals.size());
-    double total = 0.0;
-    double totalSq = 0.0;
-    for (std::size_t i = 0; i < proposals.size(); ++i) {
-        weights[i] = std::exp(logWeights[i] - maxLog);
-        total += weights[i];
-        totalSq += weights[i] * weights[i];
+    std::vector<double> weights;
+    detail::WeightSummary summary = detail::normalizeLogWeights(
+        logWeights, weights,
+        "reweight: all importance weights are zero; the "
+        "prior and the estimate do not overlap");
+    const bool lowEss = detail::warnLowEss(summary.ess, options);
+
+    auto pool = std::make_shared<std::vector<double>>();
+    pool->reserve(options.resampleSize);
+    if (options.scheme == ResamplingScheme::Systematic) {
+        for (std::size_t index : detail::systematicIndices(
+                 weights, summary.total, options.resampleSize, rng))
+            pool->push_back(proposals[index]);
+    } else {
+        // Multinomial resampling via the alias table.
+        random::Discrete table(proposals, weights);
+        for (std::size_t i = 0; i < options.resampleSize; ++i)
+            pool->push_back(table.sample(rng));
     }
-    double ess = total * total / totalSq;
 
-    // Multinomial resampling via the alias table.
-    random::Discrete table(proposals, weights);
-    std::vector<double> pool;
-    pool.reserve(options.resampleSize);
-    for (std::size_t i = 0; i < options.resampleSize; ++i)
-        pool.push_back(table.sample(rng));
+    auto posterior = core::fromPool<double>(
+        std::move(pool), "posterior("
+                             + std::to_string(options.resampleSize)
+                             + " resamples)");
+    return {std::move(posterior), summary.ess, lowEss};
+}
 
-    auto empirical =
-        std::make_shared<random::Empirical>(std::move(pool));
-    auto posterior = Uncertain<double>::fromSampler(
-        [empirical](Rng& r) { return empirical->sample(r); },
-        "posterior(" + std::to_string(options.resampleSize)
-            + " resamples)");
-    return {std::move(posterior), ess};
+} // namespace
+
+ReweightResult
+reweight(const Uncertain<double>& source,
+         const std::function<double(double)>& logWeight,
+         const ReweightOptions& options, Rng& rng)
+{
+    return reweightImpl(
+        source,
+        [&logWeight](const double* values, double* logWeights,
+                     std::size_t n) {
+            for (std::size_t i = 0; i < n; ++i)
+                logWeights[i] = logWeight(values[i]);
+        },
+        options, rng);
 }
 
 ReweightResult
@@ -70,15 +97,28 @@ reweight(const Uncertain<double>& source,
     return reweight(source, logWeight, options, globalRng());
 }
 
+ReweightResult
+reweightBulk(const Uncertain<double>& source,
+             const BulkLogWeight& logWeightMany,
+             const ReweightOptions& options, Rng& rng)
+{
+    return reweightImpl(source, logWeightMany, options, rng);
+}
+
 Uncertain<double>
 applyPrior(const Uncertain<double>& estimate,
            const random::Distribution& prior,
            const ReweightOptions& options, Rng& rng)
 {
-    return reweight(
+    // One vectorized logPdfMany pass over the proposal column; the
+    // values match the scalar logPdf bit-for-bit.
+    return reweightBulk(
                estimate,
-               [&prior](double x) { return prior.logPdf(x); }, options,
-               rng)
+               [&prior](const double* values, double* logWeights,
+                        std::size_t n) {
+                   prior.logPdfMany(values, logWeights, n);
+               },
+               options, rng)
         .posterior;
 }
 
@@ -95,14 +135,21 @@ posteriorFromPrior(const random::Distribution& prior,
                    const Likelihood& likelihood,
                    const ReweightOptions& options, Rng& rng)
 {
-    // Draw hypotheses from the prior...
+    // Draw hypotheses from the prior (bulk sampleMany keeps the
+    // proposal column columnar under a batch sampler)...
     auto priorSampler = Uncertain<double>::fromSampler(
-        [&prior](Rng& r) { return prior.sample(r); }, prior.name());
-    // ...and weight them by the evidence.
-    return reweight(
+        [&prior](Rng& r) { return prior.sample(r); },
+        [&prior](Rng& r, double* out, std::size_t n) {
+            prior.sampleMany(r, out, n);
+        },
+        prior.name());
+    // ...and weight them by the evidence, one vectorized pass.
+    return reweightBulk(
                priorSampler,
-               [&likelihood](double b) {
-                   return likelihood.logLikelihood(b);
+               [&likelihood](const double* values, double* logWeights,
+                             std::size_t n) {
+                   likelihood.logLikelihoodMany(values, logWeights,
+                                                n);
                },
                options, rng)
         .posterior;

@@ -23,10 +23,12 @@
 #ifndef UNCERTAIN_INFERENCE_REWEIGHT_HPP
 #define UNCERTAIN_INFERENCE_REWEIGHT_HPP
 
+#include <cstdio>
 #include <functional>
 
 #include "core/uncertain.hpp"
 #include "inference/likelihood.hpp"
+#include "inference/resample.hpp"
 #include "random/distribution.hpp"
 #include "support/rng.hpp"
 
@@ -40,6 +42,37 @@ struct ReweightOptions
     std::size_t proposalSamples = 4000;
     /** Size of the resampled pool backing the posterior. */
     std::size_t resampleSize = 2000;
+    /**
+     * How the posterior pool is drawn from the weighted proposals.
+     * Multinomial (the default) consumes the random stream exactly as
+     * earlier releases did; Systematic produces lower-variance pools
+     * (see inference/resample.hpp).
+     */
+    ResamplingScheme scheme = ResamplingScheme::Multinomial;
+    /**
+     * Borrowed columnar batch engine (core::BatchSampler). When
+     * non-null, the proposal pool is drawn through the sampler's
+     * compiled plans — bulk leaf fills and fused elementwise kernels
+     * over column blocks — instead of the per-sample tree walk. Same
+     * law either way (the engine-equivalence contract of
+     * core/batch.hpp), but the streams differ, so the two engines
+     * produce different (equally valid) proposal pools for the same
+     * seed. nullptr keeps the tree walk. The sampler is not owned and
+     * must outlive the call.
+     */
+    core::BatchSampler* sampler = nullptr;
+    /**
+     * Degenerate-overlap warning threshold, as a fraction of
+     * proposalSamples. When positive and the effective sample size
+     * falls below essWarnFraction * proposalSamples, the low-ESS
+     * condition is surfaced: onLowEss is invoked when set, otherwise
+     * a one-line warning goes to stderr, and the result's lowEss flag
+     * is raised either way. Zero (the default) disables the check and
+     * preserves the historical silent behavior.
+     */
+    double essWarnFraction = 0.0;
+    /** Receives (ess, proposalSamples) when the threshold trips. */
+    std::function<void(double, std::size_t)> onLowEss;
 };
 
 /** A reweighted distribution plus diagnostics. */
@@ -48,12 +81,47 @@ struct ReweightResult
     /** Posterior as a new leaf (resampled-pool sampling function). */
     Uncertain<double> posterior;
     /**
-     * Kish effective sample size of the importance weights; a small
-     * value relative to proposalSamples means the prior and the
-     * proposal barely overlap and the posterior is unreliable.
+     * Kish effective sample size (sum w)^2 / (sum w^2) of the
+     * importance weights, computed on the PRE-resampling proposal
+     * weights — it measures how well the proposal pool covers the
+     * posterior, and is independent of resampleSize. A small value
+     * relative to proposalSamples means the prior and the proposal
+     * barely overlap and the posterior is unreliable; see
+     * ReweightOptions::essWarnFraction to be told instead of having
+     * to check manually.
      */
     double effectiveSampleSize;
+    /** True when the essWarnFraction threshold tripped. */
+    bool lowEss = false;
 };
+
+namespace detail {
+
+/** Shared low-ESS surfacing for reweight()/reweightSamples(). */
+inline bool
+warnLowEss(double ess, const ReweightOptions& options)
+{
+    if (options.essWarnFraction <= 0.0)
+        return false;
+    const double threshold = options.essWarnFraction
+                             * static_cast<double>(
+                                 options.proposalSamples);
+    if (ess >= threshold)
+        return false;
+    if (options.onLowEss) {
+        options.onLowEss(ess, options.proposalSamples);
+    } else {
+        std::fprintf(stderr,
+                     "uncertain: reweight effective sample size %.1f "
+                     "of %zu proposals is below the warning "
+                     "threshold %.1f; prior and estimate barely "
+                     "overlap, posterior may be unreliable\n",
+                     ess, options.proposalSamples, threshold);
+    }
+    return true;
+}
+
+} // namespace detail
 
 /**
  * Core SIR operation: resample draws of @p source in proportion to
@@ -68,6 +136,25 @@ ReweightResult reweight(const Uncertain<double>& source,
 ReweightResult reweight(const Uncertain<double>& source,
                         const std::function<double(double)>& logWeight,
                         const ReweightOptions& options = {});
+
+/**
+ * Vectorized log-weight evaluator: fill logWeights[0..n) for the
+ * contiguous proposal column values[0..n). Lets weight models hoist
+ * per-call constants out of the loop (see
+ * Likelihood::logLikelihoodMany).
+ */
+using BulkLogWeight =
+    std::function<void(const double* values, double* logWeights,
+                       std::size_t n)>;
+
+/**
+ * reweight() with a vectorized log-weight: the proposal column is
+ * weighted in one pass instead of one std::function call per sample.
+ * Semantics are otherwise identical to the scalar overload.
+ */
+ReweightResult reweightBulk(const Uncertain<double>& source,
+                            const BulkLogWeight& logWeightMany,
+                            const ReweightOptions& options, Rng& rng);
 
 /**
  * Improve an estimate with domain knowledge: posterior proportional

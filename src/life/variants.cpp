@@ -1,5 +1,12 @@
 #include "life/variants.hpp"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "random/gaussian.hpp"
+#include "random/mixture.hpp"
+
 namespace uncertain {
 namespace life {
 
@@ -98,11 +105,14 @@ CellDecision
 SensorLife::updateCell(const Board& board, std::size_t x, std::size_t y,
                        Rng& rng) const
 {
-    Uncertain<double> numLive = countLiveNeighbors(board, x, y);
+    // Snapshot first: refineCount may itself draw samples (SirLife's
+    // SIR proposal pool), and those belong in the per-cell cost.
+    std::uint64_t before = core::evalStats().rootSamples;
+
+    Uncertain<double> numLive =
+        refineCount(countLiveNeighbors(board, x, y), rng);
     bool isAlive = board.alive(x, y);
     bool willBeAlive = isAlive;
-
-    std::uint64_t before = core::evalStats().rootSamples;
 
     // Rounding semantics for the integer rule thresholds (see the
     // file comment): "< 2" means "counts to 0 or 1", i.e. < 1.5, and
@@ -144,6 +154,53 @@ BayesLife::countLiveNeighbors(const Board& board, std::size_t x,
         sum = sum + sensor_.senseNeighborFixed(board, nx, ny);
     });
     return sum;
+}
+
+// ----------------------------------------------------------------------
+// SirLife
+// ----------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Domain knowledge for the neighbor count: it is (nearly) an integer
+ * in 0..8. A mixture of narrow Gaussians at the integers keeps the
+ * density positive everywhere (SIR needs overlapping support) while
+ * concentrating the posterior at plausible counts.
+ */
+random::DistributionPtr
+integerCountPrior()
+{
+    std::vector<random::DistributionPtr> components;
+    std::vector<double> weights;
+    for (int k = 0; k <= 8; ++k) {
+        components.push_back(std::make_shared<random::Gaussian>(
+            static_cast<double>(k), 0.25));
+        weights.push_back(1.0);
+    }
+    return std::make_shared<random::Mixture>(std::move(components),
+                                             std::move(weights));
+}
+
+} // namespace
+
+SirLife::SirLife(double sigma, core::ConditionalOptions options,
+                 inference::ReweightOptions reweight, NoiseModel model)
+    : SensorLife(sigma, options, model),
+      countPrior_(integerCountPrior()), reweight_(reweight)
+{}
+
+Uncertain<double>
+SirLife::refineCount(const Uncertain<double>& numLive, Rng& rng) const
+{
+    // The batch engine routing piggybacks on useBatchEngine(): the
+    // same sampler that evaluates the conditionals draws the SIR
+    // proposal pool, and the posterior pool leaf keeps the
+    // downstream conditional graphs columnar.
+    inference::ReweightOptions options = reweight_;
+    if (batch_ != nullptr)
+        options.sampler = batch_;
+    return inference::applyPrior(numLive, *countPrior_, options, rng);
 }
 
 // ----------------------------------------------------------------------

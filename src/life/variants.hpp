@@ -34,8 +34,10 @@
 #include <string>
 
 #include "core/core.hpp"
+#include "inference/reweight.hpp"
 #include "life/board.hpp"
 #include "life/noisy_sensor.hpp"
+#include "random/distribution.hpp"
 
 namespace uncertain {
 namespace life {
@@ -110,6 +112,19 @@ class SensorLife : public LifeVariant
     countLiveNeighbors(const Board& board, std::size_t x,
                        std::size_t y) const;
 
+    /**
+     * Hook between the neighbor sum and the rule conditionals:
+     * subclasses may replace the count with an improved estimate
+     * (e.g. SirLife's reweighted posterior). The base implementation
+     * returns the count unchanged and does not consume @p rng.
+     */
+    virtual Uncertain<double>
+    refineCount(const Uncertain<double>& numLive, Rng& rng) const
+    {
+        (void)rng;
+        return numLive;
+    }
+
     NoisySensor sensor_;
     core::ConditionalOptions options_;
 };
@@ -127,6 +142,46 @@ class BayesLife : public SensorLife
     Uncertain<double>
     countLiveNeighbors(const Board& board, std::size_t x,
                        std::size_t y) const override;
+};
+
+/**
+ * SensorLife whose neighbor count is improved with the paper's
+ * section 3.5 Bayes operator instead of BayesLife's per-sample MAP
+ * snap: the raw noisy sum is reweighted (sampling-importance-
+ * resampling, inference/applyPrior) against a mixture-of-Gaussians
+ * prior concentrated at the integer counts 0..8, and the rule
+ * conditionals then hypothesis-test the resampled posterior. With
+ * useBatchEngine() the SIR proposal pool, the posterior pool leaf,
+ * and the conditional evidence all run through the columnar batch
+ * engine — this is the "conditionals over posteriors" path the
+ * tree-vs-batch SPRT parity suite exercises.
+ */
+class SirLife : public SensorLife
+{
+  public:
+    SirLife(double sigma, core::ConditionalOptions options = {},
+            inference::ReweightOptions reweight = countReweight(),
+            NoiseModel model = NoiseModel::Gaussian);
+
+    std::string name() const override { return "SirLife"; }
+
+    /** Default SIR pool sizes for a per-cell count update. */
+    static inference::ReweightOptions
+    countReweight()
+    {
+        inference::ReweightOptions options;
+        options.proposalSamples = 512;
+        options.resampleSize = 256;
+        return options;
+    }
+
+  protected:
+    Uncertain<double> refineCount(const Uncertain<double>& numLive,
+                                  Rng& rng) const override;
+
+  private:
+    random::DistributionPtr countPrior_;
+    inference::ReweightOptions reweight_;
 };
 
 /**

@@ -73,17 +73,18 @@ Parakeet::parrotPredict(const std::vector<double>& input) const
 Uncertain<double>
 Parakeet::predict(const std::vector<double>& input) const
 {
-    // Capture by value: the returned variable must outlive this
-    // Parakeet. One draw = one random network from the pool.
-    auto pool = pool_;
-    Mlp network = network_;
-    return Uncertain<double>::fromSampler(
-        [pool, network, input](Rng& rng) {
-            const auto& weights = (*pool)[static_cast<std::size_t>(
-                rng.nextBelow(pool->size()))];
-            return network.forward(weights, input);
-        },
-        "ppd");
+    // Evaluate every pool network at this input once, up front; one
+    // draw = one uniform pick from the fixed output pool, exactly
+    // the same law (and the same random stream) as picking a network
+    // per draw and running forward. The pool leaf carries a bulk
+    // sampler, so conditionals over the PPD compile to columnar
+    // batch plans, and repeated draws cost an array pick instead of
+    // a forward pass. The pool outlives this Parakeet.
+    auto outputs = std::make_shared<std::vector<double>>();
+    outputs->reserve(pool_->size());
+    for (const auto& weights : *pool_)
+        outputs->push_back(network_.forward(weights, input));
+    return core::fromPool<double>(std::move(outputs), "ppd");
 }
 
 std::vector<double>

@@ -11,8 +11,11 @@
  *    predictive distribution p(t | x, D) by Monte Carlo integration.
  *
  * predict(x) returns an Uncertain<double> whose sampling function
- * picks a pool network uniformly and evaluates it at x — one PPD
- * draw, exactly the fixed-pool scheme the paper describes.
+ * picks uniformly from the pool's outputs at x — one PPD draw,
+ * exactly the fixed-pool scheme the paper describes. The outputs are
+ * precomputed at predict() time (|pool| forward passes), so repeated
+ * draws are pool picks and the leaf is a first-class citizen of the
+ * columnar batch engine (core::fromPool).
  */
 
 #ifndef UNCERTAIN_NN_PARAKEET_HPP

@@ -26,6 +26,14 @@ Distribution::logPdf(double) const
     notSupported("logPdf");
 }
 
+void
+Distribution::logPdfMany(const double* xs, double* out,
+                         std::size_t n) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = logPdf(xs[i]);
+}
+
 double
 Distribution::cdf(double) const
 {

@@ -56,6 +56,17 @@ class Distribution
     /** Natural log of pdf(x); overridden where direct log is stabler. */
     virtual double logPdf(double x) const;
 
+    /**
+     * Fill out[0..n) with logPdf(xs[i]). The default loops over
+     * logPdf(); distributions whose log density has loop-invariant
+     * pieces (a Gaussian's log(sigma), a truncation's log mass)
+     * override it to hoist them. Values are bit-identical to the
+     * scalar logPdf. The vectorized importance-weight pass in
+     * inference/reweight is the primary consumer.
+     */
+    virtual void logPdfMany(const double* xs, double* out,
+                            std::size_t n) const;
+
     /** Cumulative distribution Pr[X <= x]. */
     virtual double cdf(double x) const;
 

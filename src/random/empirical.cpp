@@ -23,6 +23,16 @@ Empirical::sample(Rng& rng) const
         rng.nextBelow(static_cast<std::uint64_t>(pool_.size())))];
 }
 
+void
+Empirical::sampleMany(Rng& rng, double* out, std::size_t n) const
+{
+    // Uniform pool picks in a tight loop: one virtual dispatch per
+    // column fill instead of one per draw.
+    const auto size = static_cast<std::uint64_t>(pool_.size());
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = pool_[static_cast<std::size_t>(rng.nextBelow(size))];
+}
+
 std::string
 Empirical::name() const
 {

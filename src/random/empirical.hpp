@@ -32,6 +32,8 @@ class Empirical : public Distribution
     explicit Empirical(std::vector<double> pool);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out,
+                    std::size_t n) const override;
     std::string name() const override;
     double cdf(double x) const override;
     double quantile(double p) const override;

@@ -176,6 +176,19 @@ Gaussian::logPdf(double x) const
            - 0.91893853320467274178; // log(sqrt(2*pi))
 }
 
+void
+Gaussian::logPdfMany(const double* xs, double* out,
+                     std::size_t n) const
+{
+    // Same arithmetic in the same order as logPdf with only the
+    // log(sigma) call hoisted; per-element values are bit-identical.
+    const double logSigma = std::log(sigma_);
+    for (std::size_t i = 0; i < n; ++i) {
+        double z = (xs[i] - mu_) / sigma_;
+        out[i] = -0.5 * z * z - logSigma - 0.91893853320467274178;
+    }
+}
+
 double
 Gaussian::cdf(double x) const
 {

@@ -25,6 +25,8 @@ class Gaussian : public Distribution
     std::string name() const override;
     double pdf(double x) const override;
     double logPdf(double x) const override;
+    void logPdfMany(const double* xs, double* out,
+                    std::size_t n) const override;
     double cdf(double x) const override;
     double quantile(double p) const override;
     double mean() const override;

@@ -81,6 +81,24 @@ Truncated::logPdf(double x) const
     return base_->logPdf(x) - std::log(cdfHi_ - cdfLo_);
 }
 
+void
+Truncated::logPdfMany(const double* xs, double* out,
+                      std::size_t n) const
+{
+    UNCERTAIN_REQUIRE(analytic_,
+                      "Truncated::logPdf requires an analytic base cdf");
+    // One vectorized base pass, then the hoisted log mass and the
+    // support mask; in-support values are bit-identical to logPdf.
+    base_->logPdfMany(xs, out, n);
+    const double logMass = std::log(cdfHi_ - cdfLo_);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (xs[i] < lo_ || xs[i] > hi_)
+            out[i] = -std::numeric_limits<double>::infinity();
+        else
+            out[i] = out[i] - logMass;
+    }
+}
+
 double
 Truncated::cdf(double x) const
 {

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Batched Bayesian inference: conjugate-posterior conformance of the
+ * SIR engine across both sampling engines (tree walk vs columnar
+ * batch plans) and both resampling schemes (multinomial vs
+ * systematic), tree-vs-batch equivalence on the GPS pipelines, and
+ * edge-case / unit coverage of the shared resampling kernel.
+ *
+ * The InferenceConformance fixture is statistical (fixed seeds, KS at
+ * kKsAlpha plus first-two-moment checks) and runs in the
+ * `statistical` CTest shard; GenericReweightEdge and
+ * SystematicResample are deterministic unit suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/core.hpp"
+#include "gps/gps_library.hpp"
+#include "gps/roads.hpp"
+#include "gps/walking.hpp"
+#include "inference/conjugate.hpp"
+#include "inference/generic_reweight.hpp"
+#include "inference/resample.hpp"
+#include "inference/reweight.hpp"
+#include "random/gaussian.hpp"
+#include "random/point_mass.hpp"
+#include "random/uniform.hpp"
+#include "stat_assert.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace inference {
+namespace {
+
+Uncertain<double>
+gaussianLeaf(double mu, double sigma)
+{
+    return core::fromDistribution(
+        std::make_shared<random::Gaussian>(mu, sigma));
+}
+
+/**
+ * Run the Gaussian-Gaussian conjugate scenario (prior N(0, 2), one
+ * observation 3.0 with noise sigma 1) through posteriorFromPrior with
+ * the given engine/scheme and check the sampled posterior against the
+ * exact closed-form posterior: one-sample KS at kKsAlpha plus the
+ * ~5-sigma moment check.
+ */
+void
+expectConjugateConformance(core::BatchSampler* sampler,
+                           ResamplingScheme scheme,
+                           std::uint64_t seed)
+{
+    Rng rng = testing::testRng(seed);
+    random::Gaussian prior(0.0, 2.0);
+    GaussianLikelihood likelihood(3.0, 1.0);
+    ReweightOptions options;
+    options.proposalSamples = 40000;
+    options.resampleSize = 20000;
+    options.sampler = sampler;
+    options.scheme = scheme;
+    auto posterior =
+        posteriorFromPrior(prior, likelihood, options, rng);
+
+    random::Gaussian exact = gaussianPosterior(prior, 3.0, 1.0);
+    std::vector<double> samples = posterior.takeSamples(4000, rng);
+    EXPECT_TRUE(testing::ksMatchesDistribution(samples, exact));
+    EXPECT_TRUE(
+        testing::momentsMatch(samples, exact.mu(), exact.sigma()));
+}
+
+TEST(InferenceConformance, TreeMultinomialMatchesConjugatePosterior)
+{
+    expectConjugateConformance(nullptr, ResamplingScheme::Multinomial,
+                               1601);
+}
+
+TEST(InferenceConformance, TreeSystematicMatchesConjugatePosterior)
+{
+    expectConjugateConformance(nullptr, ResamplingScheme::Systematic,
+                               1602);
+}
+
+TEST(InferenceConformance, BatchMultinomialMatchesConjugatePosterior)
+{
+    core::BatchSampler sampler;
+    expectConjugateConformance(&sampler,
+                               ResamplingScheme::Multinomial, 1603);
+}
+
+TEST(InferenceConformance, BatchSystematicMatchesConjugatePosterior)
+{
+    core::BatchSampler sampler;
+    expectConjugateConformance(&sampler, ResamplingScheme::Systematic,
+                               1604);
+}
+
+TEST(InferenceConformance, ApplyPriorConformsOnBothEngines)
+{
+    // Estimate N(2, 1) x prior N(0, 1) => posterior N(1, 1/2), the
+    // applyPrior direction of the conjugate identity.
+    random::Gaussian exact(1.0, std::sqrt(0.5));
+    for (bool batch : {false, true}) {
+        Rng rng = testing::testRng(batch ? 1652 : 1651);
+        core::BatchSampler sampler;
+        ReweightOptions options;
+        // Pool sizes well above the KS draw count below, so the
+        // finite-pool bias of SIR stays inside the KS band.
+        options.proposalSamples = 100000;
+        options.resampleSize = 50000;
+        if (batch)
+            options.sampler = &sampler;
+        auto posterior = applyPrior(gaussianLeaf(2.0, 1.0),
+                                    random::Gaussian(0.0, 1.0),
+                                    options, rng);
+        std::vector<double> samples =
+            posterior.takeSamples(3000, rng);
+        EXPECT_TRUE(testing::ksMatchesDistribution(samples, exact))
+            << (batch ? "batch" : "tree");
+        EXPECT_TRUE(
+            testing::momentsMatch(samples, exact.mu(), exact.sigma()))
+            << (batch ? "batch" : "tree");
+    }
+}
+
+TEST(InferenceConformance, TreeAndBatchAgreeOnGpsSpeedPosterior)
+{
+    // The Figure 11/13 pipeline: speed from two fixes, improved by
+    // the walking prior. The engines consume different streams by
+    // contract, so the pools differ draw-by-draw but must be
+    // KS-indistinguishable, and both runs must report a healthy ESS.
+    gps::GeoCoordinate center{47.62, -122.35};
+    const gps::GpsFix earlier{center, 8.0, 0.0};
+    const gps::GpsFix later{gps::destination(center, 0.3, 6.0), 8.0,
+                            4.0};
+    auto speed = gps::speedFromFixes(earlier, later);
+
+    ReweightOptions treeOptions;
+    Rng treeRng = testing::testRng(1611);
+    auto tree = reweightBulk(
+        speed,
+        [](const double* values, double* logWeights, std::size_t n) {
+            gps::walkingSpeedPrior()->logPdfMany(values, logWeights,
+                                                 n);
+        },
+        treeOptions, treeRng);
+
+    core::BatchSampler sampler;
+    ReweightOptions batchOptions;
+    batchOptions.sampler = &sampler;
+    Rng batchRng = testing::testRng(1611);
+    auto batch = reweightBulk(
+        speed,
+        [](const double* values, double* logWeights, std::size_t n) {
+            gps::walkingSpeedPrior()->logPdfMany(values, logWeights,
+                                                 n);
+        },
+        batchOptions, batchRng);
+
+    EXPECT_GT(tree.effectiveSampleSize, 100.0);
+    EXPECT_GT(batch.effectiveSampleSize, 100.0);
+    Rng drawRng = testing::testRng(1612);
+    EXPECT_TRUE(testing::ksSameDistribution(
+        tree.posterior.takeSamples(4000, drawRng),
+        batch.posterior.takeSamples(4000, drawRng)));
+}
+
+TEST(InferenceConformance, TreeAndBatchAgreeOnRoadSnapping)
+{
+    // The Figure 10 pipeline over GeoCoordinate (generic SIR): snap a
+    // displaced fix onto a road and compare the posterior road
+    // distances across engines.
+    gps::GeoCoordinate center{47.62, -122.35};
+    gps::RoadNetwork road({{gps::destination(center, M_PI, 500.0),
+                            gps::destination(center, 0.0, 500.0)}});
+    gps::RoadPrior prior(road, 6.0);
+    auto raw = gps::getLocation(
+        {gps::destination(center, M_PI / 2.0, 10.0), 8.0, 0.0});
+
+    ReweightOptions options;
+    options.proposalSamples = 8000;
+    options.resampleSize = 4000;
+    Rng treeRng = testing::testRng(1613);
+    auto tree = gps::snapToRoads(raw, prior, options, treeRng);
+
+    core::BatchSampler sampler;
+    options.sampler = &sampler;
+    Rng batchRng = testing::testRng(1613);
+    auto batch = gps::snapToRoads(raw, prior, options, batchRng);
+
+    auto roadDistances = [&](const Uncertain<gps::GeoCoordinate>& u,
+                             std::uint64_t seed) {
+        Rng rng = testing::testRng(seed);
+        std::vector<double> out;
+        for (const auto& p : u.takeSamples(3000, rng))
+            out.push_back(road.distanceToNearestRoad(p));
+        return out;
+    };
+    EXPECT_TRUE(
+        testing::ksSameDistribution(roadDistances(tree, 1614),
+                                    roadDistances(batch, 1614)));
+}
+
+TEST(InferenceConformance, SprtDecisionParityOnPosteriorConditional)
+{
+    // Conditionals over the improved-speed posterior must decide the
+    // same way under both engines: the ~3.4 mph walk is clearly
+    // faster than 0.5 mph and clearly not faster than kBriskWalkMph.
+    gps::GeoCoordinate center{47.62, -122.35};
+    const gps::GpsFix earlier{center, 8.0, 0.0};
+    const gps::GpsFix later{gps::destination(center, 0.3, 6.0), 8.0,
+                            4.0};
+    auto speed = gps::speedFromFixes(earlier, later);
+    core::ConditionalOptions conditional;
+
+    for (bool batch : {false, true}) {
+        core::BatchSampler sampler;
+        ReweightOptions options;
+        if (batch)
+            options.sampler = &sampler;
+        Rng rng = testing::testRng(1615);
+        auto improved = gps::improveSpeed(speed, options, rng);
+        auto brisk = improved > gps::kBriskWalkMph;
+        auto moving = improved > 0.5;
+        const bool briskDecision =
+            batch ? brisk.pr(0.5, conditional, rng, sampler)
+                  : brisk.pr(0.5, conditional, rng);
+        const bool movingDecision =
+            batch ? moving.pr(0.5, conditional, rng, sampler)
+                  : moving.pr(0.5, conditional, rng);
+        EXPECT_FALSE(briskDecision)
+            << (batch ? "batch" : "tree");
+        EXPECT_TRUE(movingDecision) << (batch ? "batch" : "tree");
+    }
+}
+
+TEST(InferenceConformance, SameSeedSameEngineIsDeterministic)
+{
+    // Within one engine the SIR operator is a pure function of the
+    // seed: rerunning yields the identical ESS and posterior pool.
+    auto run = [](bool batch) {
+        core::BatchSampler sampler;
+        ReweightOptions options;
+        options.proposalSamples = 4000;
+        options.resampleSize = 2000;
+        if (batch)
+            options.sampler = &sampler;
+        Rng rng = testing::testRng(1616);
+        auto result = applyPrior(gaussianLeaf(2.0, 1.0),
+                                 random::Gaussian(0.0, 1.0), options,
+                                 rng);
+        Rng drawRng = testing::testRng(1617);
+        return result.takeSamples(500, drawRng);
+    };
+    for (bool batch : {false, true}) {
+        std::vector<double> first = run(batch);
+        std::vector<double> second = run(batch);
+        EXPECT_EQ(first, second) << (batch ? "batch" : "tree");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Edge cases of the generic SIR kernel.
+// ---------------------------------------------------------------------
+
+TEST(GenericReweightEdge, ThrowsWhenAllWeightsAreZero)
+{
+    Rng rng = testing::testRng(1621);
+    auto source = gaussianLeaf(0.0, 0.1);
+    ReweightOptions options;
+    options.proposalSamples = 500;
+    EXPECT_THROW(
+        reweightSamples(
+            source,
+            [](double) {
+                return -std::numeric_limits<double>::infinity();
+            },
+            options, rng),
+        Error);
+}
+
+TEST(GenericReweightEdge, RequiresAtLeastTwoProposals)
+{
+    Rng rng = testing::testRng(1622);
+    auto source = gaussianLeaf(0.0, 1.0);
+    ReweightOptions options;
+    options.proposalSamples = 1;
+    EXPECT_THROW(
+        reweightSamples(source, [](double) { return 0.0; }, options,
+                        rng),
+        Error);
+}
+
+TEST(GenericReweightEdge, TwoProposalPoolWorks)
+{
+    Rng rng = testing::testRng(1623);
+    auto source = gaussianLeaf(5.0, 1.0);
+    ReweightOptions options;
+    options.proposalSamples = 2;
+    options.resampleSize = 8;
+    auto result = reweightSamples(
+        source, [](double) { return 0.0; }, options, rng);
+    // Every posterior draw must be one of the two proposals.
+    std::vector<double> pool = result.posterior.takeSamples(64, rng);
+    std::vector<double> distinct;
+    for (double v : pool) {
+        bool seen = false;
+        for (double d : distinct)
+            seen = seen || d == v;
+        if (!seen)
+            distinct.push_back(v);
+    }
+    EXPECT_LE(distinct.size(), 2u);
+    EXPECT_LE(result.effectiveSampleSize, 2.0 + 1e-12);
+}
+
+TEST(GenericReweightEdge, ResampleSizeMayExceedProposalPool)
+{
+    Rng rng = testing::testRng(1624);
+    auto source = gaussianLeaf(0.0, 1.0);
+    ReweightOptions options;
+    options.proposalSamples = 16;
+    options.resampleSize = 256;
+    for (ResamplingScheme scheme : {ResamplingScheme::Multinomial,
+                                    ResamplingScheme::Systematic}) {
+        options.scheme = scheme;
+        auto result = reweightSamples(
+            source, [](double) { return 0.0; }, options, rng);
+        std::vector<double> pool =
+            result.posterior.takeSamples(512, rng);
+        std::vector<double> distinct;
+        for (double v : pool) {
+            bool seen = false;
+            for (double d : distinct)
+                seen = seen || d == v;
+            if (!seen)
+                distinct.push_back(v);
+        }
+        EXPECT_LE(distinct.size(), 16u);
+    }
+}
+
+TEST(GenericReweightEdge, PointMassProposalsHaveExactlyFullEss)
+{
+    // A point-mass source gives identical proposals, hence equal
+    // weights under any log-weight: the Kish ESS is exactly the
+    // proposal count (degenerate but perfect overlap).
+    Rng rng = testing::testRng(1625);
+    auto source = core::fromDistribution(
+        std::make_shared<random::PointMass>(3.0));
+    ReweightOptions options;
+    options.proposalSamples = 100;
+    options.resampleSize = 50;
+    auto result = reweightSamples(
+        source,
+        [](double x) { return random::Gaussian(0.0, 1.0).logPdf(x); },
+        options, rng);
+    EXPECT_DOUBLE_EQ(result.effectiveSampleSize, 100.0);
+}
+
+TEST(GenericReweightEdge, EssIsComputedBeforeResampling)
+{
+    // Same seed, wildly different resampleSize: the ESS is a property
+    // of the proposal weights alone, so it must be bit-identical.
+    auto essWithResampleSize = [](std::size_t resampleSize) {
+        Rng rng = testing::testRng(1626);
+        ReweightOptions options;
+        options.proposalSamples = 2000;
+        options.resampleSize = resampleSize;
+        return reweightSamples(
+                   core::fromDistribution(
+                       std::make_shared<random::Gaussian>(0.0, 1.0)),
+                   [](double x) {
+                       return random::Gaussian(1.0, 0.5).logPdf(x);
+                   },
+                   options, rng)
+            .effectiveSampleSize;
+    };
+    EXPECT_DOUBLE_EQ(essWithResampleSize(10),
+                     essWithResampleSize(4000));
+}
+
+TEST(GenericReweightEdge, LowEssThresholdRaisesFlagAndCallback)
+{
+    Rng rng = testing::testRng(1627);
+    auto source = gaussianLeaf(0.0, 1.0);
+    ReweightOptions options;
+    options.proposalSamples = 2000;
+    options.resampleSize = 500;
+    options.essWarnFraction = 0.5;
+    double reportedEss = -1.0;
+    std::size_t reportedProposals = 0;
+    options.onLowEss = [&](double ess, std::size_t proposals) {
+        reportedEss = ess;
+        reportedProposals = proposals;
+    };
+    // Concentrated weight: only proposals near 4 sigma matter.
+    auto mismatched = reweightSamples(
+        source,
+        [](double x) { return random::Gaussian(4.0, 0.1).logPdf(x); },
+        options, rng);
+    EXPECT_TRUE(mismatched.lowEss);
+    EXPECT_GT(reportedEss, 0.0);
+    EXPECT_LT(reportedEss, 1000.0);
+    EXPECT_EQ(reportedProposals, 2000u);
+    EXPECT_DOUBLE_EQ(reportedEss, mismatched.effectiveSampleSize);
+
+    // Well-matched weights stay above the threshold: no flag, no
+    // callback.
+    reportedEss = -1.0;
+    auto matched = reweightSamples(
+        source, [](double) { return 0.0; }, options, rng);
+    EXPECT_FALSE(matched.lowEss);
+    EXPECT_EQ(reportedEss, -1.0);
+}
+
+TEST(GenericReweightEdge, ZeroWarnFractionStaysSilent)
+{
+    Rng rng = testing::testRng(1628);
+    ReweightOptions options;
+    options.proposalSamples = 1000;
+    options.resampleSize = 100;
+    bool called = false;
+    options.onLowEss = [&](double, std::size_t) { called = true; };
+    auto result = reweightSamples(
+        gaussianLeaf(0.0, 1.0),
+        [](double x) { return random::Gaussian(5.0, 0.05).logPdf(x); },
+        options, rng);
+    EXPECT_FALSE(result.lowEss);
+    EXPECT_FALSE(called);
+}
+
+// ---------------------------------------------------------------------
+// Systematic resampling kernel.
+// ---------------------------------------------------------------------
+
+TEST(SystematicResample, EqualWeightsYieldEachIndexExactlyOnce)
+{
+    Rng rng = testing::testRng(1631);
+    std::vector<double> weights(64, 1.0);
+    auto indices =
+        detail::systematicIndices(weights, 64.0, 64, rng);
+    ASSERT_EQ(indices.size(), 64u);
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        EXPECT_EQ(indices[i], i);
+}
+
+TEST(SystematicResample, ConcentratedWeightYieldsOnlyThatIndex)
+{
+    Rng rng = testing::testRng(1632);
+    std::vector<double> weights(10, 0.0);
+    weights[7] = 1.0;
+    auto indices = detail::systematicIndices(weights, 1.0, 20, rng);
+    ASSERT_EQ(indices.size(), 20u);
+    for (std::size_t index : indices)
+        EXPECT_EQ(index, 7u);
+}
+
+TEST(SystematicResample, IndicesAreNonDecreasingAndProportional)
+{
+    Rng rng = testing::testRng(1633);
+    std::vector<double> weights{1.0, 3.0, 1.0, 3.0};
+    auto indices = detail::systematicIndices(weights, 8.0, 800, rng);
+    ASSERT_EQ(indices.size(), 800u);
+    std::vector<std::size_t> counts(4, 0);
+    for (std::size_t i = 1; i < indices.size(); ++i)
+        EXPECT_GE(indices[i], indices[i - 1]);
+    for (std::size_t index : indices)
+        ++counts[index];
+    // Systematic copy counts deviate from n*w by strictly less than
+    // one stratum.
+    EXPECT_NEAR(static_cast<double>(counts[0]), 100.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(counts[1]), 300.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(counts[2]), 100.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(counts[3]), 300.0, 1.0);
+}
+
+TEST(SystematicResample, ConsumesExactlyOneDraw)
+{
+    Rng a = testing::testRng(1634);
+    Rng b = testing::testRng(1634);
+    std::vector<double> weights(16, 1.0);
+    (void)detail::systematicIndices(weights, 16.0, 32, a);
+    (void)b.nextRange(0.0, 16.0 / 32.0);
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+} // namespace
+} // namespace inference
+} // namespace uncertain

@@ -119,6 +119,76 @@ TEST(Reweight, EffectiveSampleSizeDropsWithMismatch)
               mismatched.effectiveSampleSize * 10.0);
 }
 
+TEST(Reweight, EssIsIndependentOfResampleSize)
+{
+    // The documented contract: the ESS is computed on the
+    // PRE-resampling proposal weights, so for a fixed seed it does
+    // not move when resampleSize changes.
+    auto essWithResampleSize = [](std::size_t resampleSize) {
+        Rng rng = testing::testRng(158);
+        ReweightOptions options;
+        options.proposalSamples = 2000;
+        options.resampleSize = resampleSize;
+        return reweight(
+                   gaussianLeaf(0.0, 1.0),
+                   [](double x) {
+                       return random::Gaussian(1.0, 0.5).logPdf(x);
+                   },
+                   options, rng)
+            .effectiveSampleSize;
+    };
+    EXPECT_DOUBLE_EQ(essWithResampleSize(10),
+                     essWithResampleSize(4000));
+}
+
+TEST(Reweight, LowEssWarningThresholdTrips)
+{
+    Rng rng = testing::testRng(159);
+    ReweightOptions options;
+    options.proposalSamples = 2000;
+    options.resampleSize = 500;
+    options.essWarnFraction = 0.5;
+    double reportedEss = -1.0;
+    options.onLowEss = [&](double ess, std::size_t) {
+        reportedEss = ess;
+    };
+    auto mismatched = reweight(
+        gaussianLeaf(0.0, 1.0),
+        [](double x) { return random::Gaussian(4.0, 0.1).logPdf(x); },
+        options, rng);
+    EXPECT_TRUE(mismatched.lowEss);
+    EXPECT_DOUBLE_EQ(reportedEss, mismatched.effectiveSampleSize);
+
+    // Healthy overlap: the flag stays down and the callback silent.
+    reportedEss = -1.0;
+    auto matched = reweight(
+        gaussianLeaf(0.0, 1.0),
+        [](double x) { return random::Gaussian(0.0, 1.0).logPdf(x); },
+        options, rng);
+    EXPECT_FALSE(matched.lowEss);
+    EXPECT_EQ(reportedEss, -1.0);
+}
+
+TEST(Reweight, SystematicSchemeMatchesConjugateMoments)
+{
+    // Same conjugate scenario as the multinomial test above, under
+    // the low-variance systematic resampler.
+    Rng rng = testing::testRng(160);
+    auto estimate = gaussianLeaf(2.0, 1.0);
+    random::Gaussian prior(0.0, 1.0);
+    ReweightOptions options;
+    options.proposalSamples = 40000;
+    options.resampleSize = 20000;
+    options.scheme = ResamplingScheme::Systematic;
+    auto posterior = applyPrior(estimate, prior, options, rng);
+
+    stats::OnlineSummary s;
+    for (double v : posterior.takeSamples(20000, rng))
+        s.add(v);
+    EXPECT_NEAR(s.mean(), 1.0, 0.05);
+    EXPECT_NEAR(s.variance(), 0.5, 0.05);
+}
+
 TEST(Reweight, ThrowsWhenSupportsDoNotOverlap)
 {
     Rng rng = testing::testRng(156);
