@@ -502,6 +502,76 @@ makeBinaryStep(std::size_t col, std::size_t lhs, std::size_t rhs, F op)
     return info;
 }
 
+/** StepInfo for a ternary elementwise op R = op(A, B, C) into @p col. */
+template <typename R, typename A, typename B, typename C, typename F>
+StepInfo
+makeTernaryStep(std::size_t col, std::size_t first, std::size_t second,
+                std::size_t third, F op)
+{
+    using SR = Store<R>;
+    StepInfo info;
+    info.kind = StepKind::Elementwise;
+    info.out = col;
+    info.operands = {first, second, third};
+    info.opType = std::type_index(typeid(F));
+    info.outType = std::type_index(typeid(R));
+    info.cseSafe = std::is_empty_v<F>;
+    info.run = [col, first, second, third, op](BatchWorkspace& ws) {
+        const auto* a = ws.template column<A>(first).data();
+        const auto* b = ws.template column<B>(second).data();
+        const auto* c = ws.template column<C>(third).data();
+        auto* out = ws.template column<R>(col).data();
+        const std::size_t n = ws.length();
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = static_cast<SR>(op(a[i], b[i], c[i]));
+    };
+    if constexpr (detail_ir::kRegisterable<R>
+                  && detail_ir::kRegisterable<A>
+                  && detail_ir::kRegisterable<B>
+                  && detail_ir::kRegisterable<C>) {
+        info.fold =
+            [col, op](const std::vector<const unsigned char*>& vals)
+            -> FoldedConst {
+            const auto a = detail_ir::fromBytes<A>(vals[0]);
+            const auto b = detail_ir::fromBytes<B>(vals[1]);
+            const auto c = detail_ir::fromBytes<C>(vals[2]);
+            const SR r = static_cast<SR>(op(static_cast<A>(a),
+                                            static_cast<B>(b),
+                                            static_cast<C>(c)));
+            FoldedConst folded;
+            folded.bytes = detail_ir::objectBytes<R>(r);
+            folded.splat = [col, r](BatchWorkspace& ws) {
+                auto* out = ws.template column<R>(col).data();
+                const std::size_t n = ws.length();
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = r;
+            };
+            return folded;
+        };
+        info.makeStrip = [op](const std::vector<StripLoc>& srcs,
+                              const StripLoc& dst) -> StripOp {
+            const StripLoc sa = srcs[0];
+            const StripLoc sb = srcs[1];
+            const StripLoc sc = srcs[2];
+            return [sa, sb, sc, dst, op](BatchWorkspace& ws,
+                                         std::size_t base,
+                                         std::size_t n,
+                                         unsigned char* scratch) {
+                const auto* a =
+                    detail_ir::stripSrc<A>(ws, sa, base, scratch);
+                const auto* b =
+                    detail_ir::stripSrc<B>(ws, sb, base, scratch);
+                const auto* c =
+                    detail_ir::stripSrc<C>(ws, sc, base, scratch);
+                auto* out = detail_ir::stripDst<R>(ws, dst, base, scratch);
+                for (std::size_t i = 0; i < n; ++i)
+                    out[i] = static_cast<SR>(op(a[i], b[i], c[i]));
+            };
+        };
+    }
+    return info;
+}
+
 } // namespace batch
 
 /**

@@ -33,6 +33,19 @@ enum class ConditionalStrategy
     FixedSample,     //!< draw N samples, compare the estimate (baseline)
 };
 
+/**
+ * Whether a conditional may bypass the sequential test entirely via
+ * the exact enumeration backend (src/exact). Auto is safe to leave
+ * on: the backend only accepts graphs whose leaves declare finite
+ * support, for which the closed-form answer is the value the
+ * hypothesis test estimates.
+ */
+enum class ExactRouting
+{
+    Auto,  //!< answer in closed form whenever the backend accepts
+    Never, //!< always run the sequential sampling test
+};
+
 /** Tuning for conditional evaluation. */
 struct ConditionalOptions
 {
@@ -43,6 +56,15 @@ struct ConditionalOptions
     std::size_t groupLooks = 5;
     /** Sample size for the fixed-size strategy. */
     std::size_t fixedSamples = 100;
+    /** Closed-form bypass policy (see ExactRouting). */
+    ExactRouting exactRouting = ExactRouting::Auto;
+    /**
+     * Joint-state bound for the closed-form bypass. Deliberately
+     * tighter than exact::EnumerationLimits' default: past this size
+     * a sequential test is usually cheaper than enumerating, so the
+     * conditional falls back to sampling rather than stalling.
+     */
+    std::size_t exactMaxStates = std::size_t{1} << 16;
 };
 
 /** Outcome of evaluating one conditional. */

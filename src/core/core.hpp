@@ -17,5 +17,6 @@
 #include "core/parallel.hpp"    // IWYU pragma: export
 #include "core/ordering.hpp"    // IWYU pragma: export
 #include "core/uncertain.hpp"   // IWYU pragma: export
+#include "exact/exact.hpp"      // IWYU pragma: export
 
 #endif // UNCERTAIN_CORE_CORE_HPP

@@ -116,6 +116,53 @@ between(const Uncertain<A>& a, A lo, A hi)
         "between");
 }
 
+/**
+ * Per-sample selection: cond ? ifTrue : ifFalse, lifted as a single
+ * ternary node. Unlike a host-language ?: (which would force the
+ * condition through a conditional *now*), select keeps the branch
+ * inside the network: each sampling pass draws the condition once —
+ * shared with any other use of it — and takes that pass's branch.
+ * Both branches are sampled every pass (a lifted function, not
+ * short-circuit control flow). Fully supported by the exact backend.
+ */
+template <typename A>
+Uncertain<A>
+select(const Uncertain<bool>& cond, const Uncertain<A>& ifTrue,
+       const Uncertain<A>& ifFalse)
+{
+    return core::liftTernary(
+        [](bool c, const A& x, const A& y) { return c ? x : y; },
+        cond, ifTrue, ifFalse, "select");
+}
+
+/** select() with a plain false-branch value. */
+template <typename A, core::NotUncertain B>
+    requires std::convertible_to<B, A>
+Uncertain<A>
+select(const Uncertain<bool>& cond, const Uncertain<A>& ifTrue,
+       const B& ifFalse)
+{
+    return select(cond, ifTrue, Uncertain<A>(static_cast<A>(ifFalse)));
+}
+
+/** select() with a plain true-branch value. */
+template <typename A, core::NotUncertain B>
+    requires std::convertible_to<B, A>
+Uncertain<A>
+select(const Uncertain<bool>& cond, const B& ifTrue,
+       const Uncertain<A>& ifFalse)
+{
+    return select(cond, Uncertain<A>(static_cast<A>(ifTrue)), ifFalse);
+}
+
+/** select() between two plain values. */
+template <typename A>
+Uncertain<A>
+select(const Uncertain<bool>& cond, const A& ifTrue, const A& ifFalse)
+{
+    return select(cond, Uncertain<A>(ifTrue), Uncertain<A>(ifFalse));
+}
+
 } // namespace uncertain
 
 #endif // UNCERTAIN_CORE_FUNCTIONS_HPP

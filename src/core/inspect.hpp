@@ -109,6 +109,41 @@ planStats(const Uncertain<T>& value, const PlanOptions& options = {})
 }
 
 /**
+ * One-line rendering of @p value's exact pmf when the enumeration
+ * backend accepts its graph, or the refusal reason when it does not.
+ * Unlike describe(), no sampling and no estimate: every digit printed
+ * is a fact. Long supports are elided after @p maxEntries values.
+ */
+template <typename T>
+    requires std::convertible_to<T, double>
+std::string
+exactReport(const Uncertain<T>& value,
+            const exact::EnumerationLimits& limits = {},
+            std::size_t maxEntries = 16)
+{
+    std::ostringstream out;
+    exact::ExactBuilder builder(limits);
+    try {
+        const std::size_t root = value.node()->lowerExact(builder);
+        const auto pmf = builder.distribution<T>(root);
+        out << "exact pmf over " << pmf.size() << " values ("
+            << builder.leafCount() << " leaves, "
+            << builder.states(root) << " joint states):";
+        std::size_t shown = 0;
+        for (const auto& [v, p] : pmf) {
+            if (shown++ == maxEntries) {
+                out << " ...";
+                break;
+            }
+            out << ' ' << static_cast<double>(v) << ':' << p;
+        }
+    } catch (const exact::Unsupported& refusal) {
+        out << "exact: unsupported (" << refusal.reason() << ")";
+    }
+    return out.str();
+}
+
+/**
  * One-line rendering of a plan report plus the cache counters of the
  * sampler that produced it, for bench --verbose output.
  */

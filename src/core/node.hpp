@@ -26,6 +26,12 @@
  * operand columns. The interning in BatchBuilder gives shared
  * subexpressions a single column, which is the batch engine's version
  * of the epoch memo.
+ *
+ * A third lowering (Node::lowerExact) targets the enumeration backend
+ * of src/exact: nodes become joint support tables, giving pr() and
+ * pmf queries in closed form for finite-support graphs. Nodes without
+ * an exact semantics (opaque sampler leaves, pools) refuse via
+ * exact::Unsupported, which routes the question back to sampling.
  */
 
 #ifndef UNCERTAIN_CORE_NODE_HPP
@@ -41,6 +47,7 @@
 #include <vector>
 
 #include "core/batch_plan.hpp"
+#include "exact/enumeration.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -217,11 +224,41 @@ class Node : public GraphNode
         return doLower(builder);
     }
 
+    /**
+     * Lower this node (operands first) into @p builder's joint
+     * support tables and return its entry index. Idempotent per node
+     * like lowerInto, so shared subexpressions get exactly one entry
+     * and stay perfectly correlated. Throws exact::Unsupported when
+     * this node (or any descendant) has no exact semantics.
+     */
+    std::size_t
+    lowerExact(exact::ExactBuilder& builder) const
+    {
+        const std::size_t found = builder.find(this);
+        if (found != exact::ExactBuilder::npos)
+            return found;
+        return doLowerExact(builder);
+    }
+
   protected:
     virtual T doSample(SampleContext& ctx) const = 0;
 
     /** Emit this node's column and kernel; operands via lowerInto. */
     virtual std::size_t doLower(BatchBuilder& builder) const = 0;
+
+    /**
+     * Emit this node's support table; operands via lowerExact. The
+     * default refuses: only nodes with closed-form semantics
+     * (finite-support leaves, point masses, lifted operators)
+     * override it.
+     */
+    virtual std::size_t
+    doLowerExact(exact::ExactBuilder& builder) const
+    {
+        (void)builder;
+        exact::ExactBuilder::refuse("node '" + this->opName()
+                                    + "' has no exact lowering");
+    }
 };
 
 template <typename T>
@@ -245,16 +282,33 @@ class LeafNode final : public Node<T>
     using BulkSampler =
         std::function<void(Rng&, batch::Store<T>*, std::size_t)>;
 
+    /**
+     * @p support, when non-null, is the leaf's explicit finite
+     * support table — the declaration that the sampler draws from
+     * exactly that discrete law. It is what admits the leaf into the
+     * exact enumeration backend; leaves without it refuse exact
+     * lowering and the graph falls back to sampling.
+     */
     LeafNode(std::function<T(Rng&)> sampler, std::string label,
-             BulkSampler bulkSampler = nullptr)
+             BulkSampler bulkSampler = nullptr,
+             std::shared_ptr<const exact::FiniteSupport<T>> support =
+                 nullptr)
         : sampler_(std::move(sampler)),
-          bulkSampler_(std::move(bulkSampler)), label_(std::move(label))
+          bulkSampler_(std::move(bulkSampler)),
+          support_(std::move(support)), label_(std::move(label))
     {
         UNCERTAIN_REQUIRE(sampler_ != nullptr,
                           "leaf requires a sampling function");
     }
 
     std::string opName() const override { return "leaf:" + label_; }
+
+    /** The declared finite support, or null for opaque samplers. */
+    const std::shared_ptr<const exact::FiniteSupport<T>>&
+    finiteSupport() const
+    {
+        return support_;
+    }
 
   protected:
     T doSample(SampleContext& ctx) const override
@@ -291,9 +345,21 @@ class LeafNode final : public Node<T>
         return col;
     }
 
+    std::size_t
+    doLowerExact(exact::ExactBuilder& builder) const override
+    {
+        if (!support_) {
+            exact::ExactBuilder::refuse(
+                "leaf '" + label_ + "' has no finite support table");
+        }
+        return builder.addLeaf<T>(this, support_->values,
+                                  support_->probabilities);
+    }
+
   private:
     std::function<T(Rng&)> sampler_;
     BulkSampler bulkSampler_;
+    std::shared_ptr<const exact::FiniteSupport<T>> support_;
     std::string label_;
 };
 
@@ -320,6 +386,12 @@ class PointMassNode final : public Node<T>
         const std::size_t col = builder.addColumn<T>(this);
         builder.addStep(batch::makeConstStep<T>(col, value_));
         return col;
+    }
+
+    std::size_t
+    doLowerExact(exact::ExactBuilder& builder) const override
+    {
+        return builder.addConst<T>(this, value_);
     }
 
   private:
@@ -373,6 +445,14 @@ class BinaryNode final : public Node<R>
         return col;
     }
 
+    std::size_t
+    doLowerExact(exact::ExactBuilder& builder) const override
+    {
+        const std::size_t lhs = lhs_->lowerExact(builder);
+        const std::size_t rhs = rhs_->lowerExact(builder);
+        return builder.addBinary<R, A, B>(this, lhs, rhs, op_);
+    }
+
   private:
     NodePtr<A> lhs_;
     NodePtr<B> rhs_;
@@ -416,8 +496,86 @@ class UnaryNode final : public Node<R>
         return col;
     }
 
+    std::size_t
+    doLowerExact(exact::ExactBuilder& builder) const override
+    {
+        const std::size_t operand = operand_->lowerExact(builder);
+        return builder.addUnary<R, A>(this, operand, op_);
+    }
+
   private:
     NodePtr<A> operand_;
+    F op_;
+    std::string label_;
+};
+
+/**
+ * Inner node applying a ternary base-type operator. Introduced for
+ * lifted selection (uncertain::select) so per-sample branching is a
+ * single node — one shared draw of the condition per pass — instead
+ * of an opaque sampler.
+ */
+template <typename R, typename A, typename B, typename C, typename F>
+class TernaryNode final : public Node<R>
+{
+  public:
+    TernaryNode(NodePtr<A> first, NodePtr<B> second, NodePtr<C> third,
+                F op, std::string label)
+        : first_(std::move(first)), second_(std::move(second)),
+          third_(std::move(third)), op_(std::move(op)),
+          label_(std::move(label))
+    {
+        UNCERTAIN_ASSERT(first_ && second_ && third_,
+                         "ternary node requires operands");
+    }
+
+    std::string opName() const override { return label_; }
+
+    std::vector<std::shared_ptr<const GraphNode>>
+    children() const override
+    {
+        return {first_, second_, third_};
+    }
+
+  protected:
+    R doSample(SampleContext& ctx) const override
+    {
+        // Fixed operand order, as in BinaryNode: the randomness
+        // stream is deterministic for a given graph and seed. All
+        // three operands are sampled — select() is a lifted function
+        // of three variables, not short-circuit control flow.
+        A a = first_->sample(ctx);
+        B b = second_->sample(ctx);
+        C c = third_->sample(ctx);
+        return op_(a, b, c);
+    }
+
+    std::size_t
+    doLower(BatchBuilder& builder) const override
+    {
+        const std::size_t first = first_->lowerInto(builder);
+        const std::size_t second = second_->lowerInto(builder);
+        const std::size_t third = third_->lowerInto(builder);
+        const std::size_t col = builder.addColumn<R>(this);
+        builder.addStep(batch::makeTernaryStep<R, A, B, C>(
+            col, first, second, third, op_));
+        return col;
+    }
+
+    std::size_t
+    doLowerExact(exact::ExactBuilder& builder) const override
+    {
+        const std::size_t first = first_->lowerExact(builder);
+        const std::size_t second = second_->lowerExact(builder);
+        const std::size_t third = third_->lowerExact(builder);
+        return builder.addTernary<R, A, B, C>(this, first, second,
+                                              third, op_);
+    }
+
+  private:
+    NodePtr<A> first_;
+    NodePtr<B> second_;
+    NodePtr<C> third_;
     F op_;
     std::string label_;
 };

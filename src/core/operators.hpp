@@ -63,6 +63,23 @@ liftUnary(F f, const Uncertain<A>& a, std::string label = "apply")
     return a.map(std::move(f), std::move(label));
 }
 
+/**
+ * Lift an arbitrary ternary function over three uncertain operands.
+ * The basis of uncertain::select (core/functions.hpp).
+ */
+template <typename F, typename A, typename B, typename C>
+auto
+liftTernary(F f, const Uncertain<A>& a, const Uncertain<B>& b,
+            const Uncertain<C>& c, std::string label = "apply")
+    -> Uncertain<std::decay_t<std::invoke_result_t<F, A, B, C>>>
+{
+    using R = std::decay_t<std::invoke_result_t<F, A, B, C>>;
+    return Uncertain<R>(
+        std::make_shared<core::TernaryNode<R, A, B, C, F>>(
+            a.node(), b.node(), c.node(), std::move(f),
+            std::move(label)));
+}
+
 } // namespace core
 
 // ----------------------------------------------------------------------

@@ -17,11 +17,14 @@
 #ifndef UNCERTAIN_CORE_UNCERTAIN_HPP
 #define UNCERTAIN_CORE_UNCERTAIN_HPP
 
+#include <algorithm>
+#include <cmath>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -63,6 +66,45 @@ concept Accumulable = requires(T a, T b, double d) {
     { a / d } -> std::convertible_to<T>;
 };
 
+namespace detail {
+
+/**
+ * Attempt to answer "Pr[cond] > threshold" in closed form through the
+ * exact enumeration backend. Returns the finished ConditionalResult
+ * (samplesUsed == 0) when the backend accepts the graph; nullopt when
+ * routing is disabled or the graph is refused (continuous leaves,
+ * opaque samplers, joint support beyond options.exactMaxStates), in
+ * which case the caller runs its sequential test as before. The exact
+ * decision has no indifference band and no error probability: it is
+ * the statement the SPRT approximates.
+ */
+inline std::optional<ConditionalResult>
+tryExactConditional(const NodePtr<bool>& node, double threshold,
+                    const ConditionalOptions& options)
+{
+    if (options.exactRouting == ExactRouting::Never)
+        return std::nullopt;
+    UNCERTAIN_REQUIRE(threshold > 0.0 && threshold < 1.0,
+                      "conditional threshold must be in (0, 1)");
+    try {
+        // One builder per thread, reset (capacity kept) per call:
+        // conditional evaluation is the hot path and a cold builder
+        // spends most of its time growing vectors.
+        thread_local exact::ExactBuilder builder;
+        builder.reset(exact::EnumerationLimits{options.exactMaxStates});
+        const std::size_t root = node->lowerExact(builder);
+        const double p = builder.eventProbability(root);
+        ++evalStats().conditionals;
+        const auto decision =
+            p > threshold ? stats::TestDecision::AcceptAlternative
+                          : stats::TestDecision::AcceptNull;
+        return ConditionalResult{decision, p, 0};
+    } catch (const exact::Unsupported&) {
+        return std::nullopt;
+    }
+}
+
+} // namespace detail
 } // namespace core
 
 /**
@@ -304,6 +346,9 @@ class Uncertain
              Rng& rng) const
         requires std::same_as<T, bool>
     {
+        if (auto closed = core::detail::tryExactConditional(
+                node_, threshold, options))
+            return *closed;
         core::SampleContext ctx(rng);
         bool first = true;
         return core::evaluateCondition(
@@ -350,6 +395,9 @@ class Uncertain
              Rng& rng, core::ParallelSampler& sampler) const
         requires std::same_as<T, bool>
     {
+        if (auto closed = core::detail::tryExactConditional(
+                node_, threshold, options))
+            return *closed;
         return sampler.evaluateCondition(node_, threshold, options,
                                          rng);
     }
@@ -372,6 +420,9 @@ class Uncertain
              Rng& rng, core::BatchSampler& sampler) const
         requires std::same_as<T, bool>
     {
+        if (auto closed = core::detail::tryExactConditional(
+                node_, threshold, options))
+            return *closed;
         return sampler.evaluateCondition(node_, threshold, options,
                                          rng);
     }
@@ -454,7 +505,10 @@ namespace core {
  * Wrap a src/random distribution object as an Uncertain<double> leaf.
  * The distribution is shared, not copied. The leaf carries both the
  * scalar sampler and the distribution's bulk sampleMany, so the batch
- * engine fills its column with the amortized form.
+ * engine fills its column with the amortized form; discrete
+ * distributions (Distribution::finiteSupport) additionally carry
+ * their support table, admitting the graph into the exact
+ * enumeration backend.
  */
 inline Uncertain<double>
 fromDistribution(random::DistributionPtr dist)
@@ -462,13 +516,116 @@ fromDistribution(random::DistributionPtr dist)
     UNCERTAIN_REQUIRE(dist != nullptr,
                       "fromDistribution requires a distribution");
     std::string label = dist->name();
+    std::shared_ptr<const exact::FiniteSupport<double>> support;
+    {
+        std::vector<double> values;
+        std::vector<double> probabilities;
+        if (dist->finiteSupport(values, probabilities)) {
+            support = std::make_shared<exact::FiniteSupport<double>>(
+                exact::FiniteSupport<double>{std::move(values),
+                                             std::move(probabilities)});
+        }
+    }
     auto scalar = [dist](Rng& rng) { return dist->sample(rng); };
     auto bulk = [dist = std::move(dist)](Rng& rng, double* out,
                                          std::size_t n) {
         dist->sampleMany(rng, out, n);
     };
-    return Uncertain<double>::fromSampler(
-        std::move(scalar), std::move(bulk), std::move(label));
+    return Uncertain<double>(std::make_shared<LeafNode<double>>(
+        std::move(scalar), std::move(label), std::move(bulk),
+        std::move(support)));
+}
+
+/**
+ * Leaf with an explicit finite support: one draw picks values[i] with
+ * probability weights[i] / sum(weights). Zero-weight values are
+ * dropped. This is the first-class citizen of the exact enumeration
+ * backend (src/exact): graphs built from such leaves answer pr(),
+ * pmf, and expectation queries in closed form, and conditionals on
+ * them short-circuit the SPRT loop entirely.
+ */
+template <typename T>
+Uncertain<T>
+fromFiniteSupport(std::vector<T> values, std::vector<double> weights,
+                  std::string label = "finite")
+{
+    UNCERTAIN_REQUIRE(!values.empty()
+                          && values.size() == weights.size(),
+                      "fromFiniteSupport requires parallel non-empty "
+                      "value/weight arrays");
+    double total = 0.0;
+    for (double w : weights) {
+        UNCERTAIN_REQUIRE(std::isfinite(w) && w >= 0.0,
+                          "fromFiniteSupport weights must be finite "
+                          "and non-negative");
+        total += w;
+    }
+    UNCERTAIN_REQUIRE(total > 0.0,
+                      "fromFiniteSupport requires positive total "
+                      "weight");
+
+    auto support = std::make_shared<exact::FiniteSupport<T>>();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (weights[i] > 0.0) {
+            support->values.push_back(values[i]);
+            support->probabilities.push_back(weights[i] / total);
+        }
+    }
+
+    // Inverse-CDF sampling over the cumulative table. The last entry
+    // is pinned to 1 so a uniform draw of ~1.0 cannot fall off the
+    // end through rounding.
+    auto cumulative = std::make_shared<std::vector<double>>();
+    cumulative->reserve(support->probabilities.size());
+    double acc = 0.0;
+    for (double p : support->probabilities)
+        cumulative->push_back(acc += p);
+    cumulative->back() = 1.0;
+    auto supportValues =
+        std::make_shared<const std::vector<T>>(support->values);
+
+    auto pick = [supportValues, cumulative](Rng& rng) -> T {
+        const double u = rng.nextDouble();
+        const auto it = std::upper_bound(cumulative->begin(),
+                                         cumulative->end(), u);
+        const auto i = std::min<std::size_t>(
+            static_cast<std::size_t>(it - cumulative->begin()),
+            supportValues->size() - 1);
+        return (*supportValues)[i];
+    };
+    typename LeafNode<T>::BulkSampler bulk =
+        [supportValues, cumulative](Rng& rng, batch::Store<T>* out,
+                                    std::size_t n) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const double u = rng.nextDouble();
+                const auto it = std::upper_bound(cumulative->begin(),
+                                                 cumulative->end(), u);
+                const auto i = std::min<std::size_t>(
+                    static_cast<std::size_t>(it
+                                             - cumulative->begin()),
+                    supportValues->size() - 1);
+                out[j] = static_cast<batch::Store<T>>(
+                    (*supportValues)[i]);
+            }
+        };
+    return Uncertain<T>(std::make_shared<LeafNode<T>>(
+        std::move(pick), std::move(label), std::move(bulk),
+        std::move(support)));
+}
+
+/**
+ * A Bernoulli(p) event as an exact-capable Uncertain<bool>:
+ * `bernoulliEvent(0.9).pr(0.5)` answers without drawing a sample.
+ */
+inline Uncertain<bool>
+bernoulliEvent(double p, std::string label = "")
+{
+    UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0,
+                      "bernoulliEvent requires p in [0, 1]");
+    if (label.empty())
+        label = "Bernoulli(" + std::to_string(p) + ")";
+    return fromFiniteSupport<bool>({false, true}, {1.0 - p, p},
+                                   std::move(label));
 }
 
 /**

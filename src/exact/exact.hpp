@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Public API of the exact enumeration backend.
+ *
+ * For graphs whose leaves all declare finite support (built with
+ * core::fromFiniteSupport / core::bernoulliEvent, discrete
+ * distributions through core::fromDistribution, or the Life sensors'
+ * exact leaves), these functions answer in closed form what the
+ * stochastic engines estimate:
+ *
+ *   exact::supports(u)          — will the backend accept the graph?
+ *   exact::pmf(u)               — the full probability mass function
+ *   exact::probability(event)   — Pr[event] exactly
+ *   exact::evaluate / pr        — the conditional, no samples drawn
+ *   exact::expectedValue(u)     — E[u] exactly
+ *   exact::conditioned(t, ev)   — pmf of t given boolean evidence
+ *
+ * Unsupported graphs throw exact::Unsupported (query() reports the
+ * reason without throwing). Everything here is also the ground-truth
+ * oracle for the engine conformance suites in tests/exact.
+ */
+
+#ifndef UNCERTAIN_EXACT_EXACT_HPP
+#define UNCERTAIN_EXACT_EXACT_HPP
+
+#include <cmath>
+#include <concepts>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/conditional.hpp"
+#include "core/uncertain.hpp"
+#include "exact/enumeration.hpp"
+
+namespace uncertain {
+namespace exact {
+
+/**
+ * A computed probability mass function: (value, probability) pairs
+ * sorted by value. Probabilities are the raw joint-weight sums — not
+ * re-normalized — so mass() exposes the enumeration round-off (it
+ * must equal 1 within ~1e-12 for any accepted graph).
+ */
+template <typename T>
+struct Pmf
+{
+    std::vector<std::pair<T, double>> entries;
+
+    /** Total probability mass (Kahan-summed). */
+    double
+    mass() const
+    {
+        detail::KahanSum sum;
+        for (const auto& [value, p] : entries)
+            sum.add(p);
+        return sum.value();
+    }
+
+    /** Pr[X == value]; 0 when the value is not in the support. */
+    double
+    probabilityOf(const T& value) const
+    {
+        for (const auto& [v, p] : entries) {
+            if (v == value)
+                return p;
+        }
+        return 0.0;
+    }
+
+    /** E[X] for arithmetic supports. */
+    double
+    expectedValue() const
+        requires std::convertible_to<T, double>
+    {
+        detail::KahanSum sum;
+        for (const auto& [value, p] : entries)
+            sum.add(static_cast<double>(value) * p);
+        return sum.value();
+    }
+
+    /** Var[X] for arithmetic supports. */
+    double
+    variance() const
+        requires std::convertible_to<T, double>
+    {
+        const double mean = expectedValue();
+        detail::KahanSum sum;
+        for (const auto& [value, p] : entries) {
+            const double d = static_cast<double>(value) - mean;
+            sum.add(d * d * p);
+        }
+        return sum.value();
+    }
+
+    /** sqrt(variance()). */
+    double
+    stddev() const
+        requires std::convertible_to<T, double>
+    {
+        return std::sqrt(variance());
+    }
+};
+
+/** Outcome of asking whether the backend accepts a graph. */
+struct Supportability
+{
+    bool supported = false;
+    /** Refusal reason when not supported. */
+    std::string reason;
+    /** Distinct stochastic leaves in the graph (when supported). */
+    std::size_t leaves = 0;
+    /** Joint states the root's table spans (when supported). */
+    std::size_t states = 0;
+};
+
+/**
+ * Probe @p u against the backend: lowers the whole graph and reports
+ * acceptance, the refusal reason, and the enumeration size.
+ */
+template <typename T>
+Supportability
+query(const Uncertain<T>& u, const EnumerationLimits& limits = {})
+{
+    Supportability result;
+    try {
+        ExactBuilder builder(limits);
+        const std::size_t root = u.node()->lowerExact(builder);
+        result.supported = true;
+        result.leaves = builder.leafCount();
+        result.states = builder.states(root);
+    } catch (const Unsupported& refusal) {
+        result.reason = refusal.reason();
+    }
+    return result;
+}
+
+/** Does the backend accept @p u's graph under @p limits? */
+template <typename T>
+bool
+supports(const Uncertain<T>& u, const EnumerationLimits& limits = {})
+{
+    return query(u, limits).supported;
+}
+
+/**
+ * The exact pmf of @p u. Throws Unsupported when the graph has
+ * continuous/opaque leaves or exceeds @p limits.
+ */
+template <typename T>
+Pmf<T>
+pmf(const Uncertain<T>& u, const EnumerationLimits& limits = {})
+{
+    ExactBuilder builder(limits);
+    const std::size_t root = u.node()->lowerExact(builder);
+    return Pmf<T>{builder.distribution<T>(root)};
+}
+
+/** Pr[event] exactly. Throws Unsupported on refusal. */
+inline double
+probability(const Uncertain<bool>& event,
+            const EnumerationLimits& limits = {})
+{
+    ExactBuilder builder(limits);
+    const std::size_t root = event.node()->lowerExact(builder);
+    return builder.eventProbability(root);
+}
+
+/** E[u] exactly. Throws Unsupported on refusal. */
+template <typename T>
+double
+expectedValue(const Uncertain<T>& u,
+              const EnumerationLimits& limits = {})
+    requires std::convertible_to<T, double>
+{
+    return pmf(u, limits).expectedValue();
+}
+
+/**
+ * The conditional "Pr[event] > threshold" answered in closed form:
+ * same ConditionalResult shape as the sampling engines, with
+ * samplesUsed always 0 and estimate the exact probability. Throws
+ * Unsupported on refusal (use Uncertain::evaluate for automatic
+ * fallback to the sequential test).
+ */
+inline core::ConditionalResult
+evaluate(const Uncertain<bool>& event, double threshold,
+         const EnumerationLimits& limits = {})
+{
+    UNCERTAIN_REQUIRE(threshold > 0.0 && threshold < 1.0,
+                      "conditional threshold must be in (0, 1)");
+    const double p = probability(event, limits);
+    ++core::evalStats().conditionals;
+    const auto decision = p > threshold
+                              ? stats::TestDecision::AcceptAlternative
+                              : stats::TestDecision::AcceptNull;
+    return {decision, p, 0};
+}
+
+/** The boolean conditional, exactly. Throws Unsupported on refusal. */
+inline bool
+pr(const Uncertain<bool>& event, double threshold = 0.5,
+   const EnumerationLimits& limits = {})
+{
+    return evaluate(event, threshold, limits).toBool();
+}
+
+/**
+ * Discrete conditioning — the closed form of the sampling engines'
+ * reweight: the pmf of @p target given that @p evidence is true,
+ * with leaves shared between the two graphs kept joint (evidence
+ * about a shared leaf propagates to the target, per the paper's
+ * inference semantics). Throws Unsupported on refusal and Error when
+ * Pr[evidence] == 0.
+ */
+template <typename T>
+Pmf<T>
+conditioned(const Uncertain<T>& target,
+            const Uncertain<bool>& evidence,
+            const EnumerationLimits& limits = {})
+{
+    ExactBuilder builder(limits);
+    const std::size_t targetRoot = target.node()->lowerExact(builder);
+    const std::size_t evidenceRoot =
+        evidence.node()->lowerExact(builder);
+    return Pmf<T>{builder.conditioned<T>(targetRoot, evidenceRoot)};
+}
+
+} // namespace exact
+} // namespace uncertain
+
+#endif // UNCERTAIN_EXACT_EXACT_HPP

@@ -72,6 +72,42 @@ NoisySensor::senseNeighborFixed(const Board& board, std::size_t x,
         [](double raw) { return raw > 0.5 ? 1.0 : 0.0; }, "snap01");
 }
 
+double
+NoisySensor::snapFlipProbability() const
+{
+    if (sigma_ == 0.0)
+        return 0.0;
+    switch (model_) {
+      case NoiseModel::Gaussian: {
+        // Truth 1 flips when 1 + noise <= 0.5, truth 0 when
+        // noise > 0.5: both Phi(-0.5/sigma) for symmetric noise.
+        static const random::Gaussian standard(0.0, 1.0);
+        return standard.cdf(-0.5 / sigma_);
+      }
+      case NoiseModel::ShiftedBeta: {
+        // noise = sigma/sd0 * (B - 0.5): flip iff B crosses 0.5 by
+        // more than 0.5*sd0/sigma; Beta(2, 2) is symmetric so both
+        // truth values flip with the same probability.
+        static const random::Beta beta(2.0, 2.0);
+        const double crossing = 0.5 - 0.5 * kBeta22Stddev / sigma_;
+        return crossing <= 0.0 ? 0.0 : beta.cdf(crossing);
+      }
+    }
+    UNCERTAIN_ASSERT(false, "unknown noise model");
+    return 0.0;
+}
+
+Uncertain<double>
+NoisySensor::senseNeighborExact(const Board& board, std::size_t x,
+                                std::size_t y) const
+{
+    const double flip = snapFlipProbability();
+    const double pOne =
+        board.alive(x, y) ? 1.0 - flip : flip;
+    return core::fromFiniteSupport<double>(
+        {0.0, 1.0}, {1.0 - pOne, pOne}, "snapSensorExact");
+}
+
 Uncertain<double>
 NoisySensor::senseNeighborJoint(const Board& board, std::size_t x,
                                 std::size_t y, std::size_t reads) const

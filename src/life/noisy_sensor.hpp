@@ -73,6 +73,27 @@ class NoisySensor
                                          std::size_t x, std::size_t y,
                                          std::size_t reads) const;
 
+    /**
+     * Pr[one MAP-snapped reading reports the wrong state]: the law of
+     * senseNeighborFixed is exactly Bernoulli — the snap maps the
+     * continuous noise to {0, 1} — with this flip probability
+     * (Phi(-0.5/sigma) for Gaussian noise, the scaled Beta(2, 2) CDF
+     * for ShiftedBeta; 0 for a perfect sensor).
+     */
+    double snapFlipProbability() const;
+
+    /**
+     * SenseNeighborFixed as an exact-capable leaf: same Bernoulli law
+     * as senseNeighborFixed, but declared as a finite-support table
+     * over {0, 1} instead of a snap over an opaque continuous draw —
+     * which admits the cell-update graph into the exact enumeration
+     * backend (src/exact). ExactBayesLife builds its counts from
+     * these.
+     */
+    Uncertain<double> senseNeighborExact(const Board& board,
+                                         std::size_t x,
+                                         std::size_t y) const;
+
     double sigma() const { return sigma_; }
     NoiseModel model() const { return model_; }
 

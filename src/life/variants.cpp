@@ -157,6 +157,31 @@ BayesLife::countLiveNeighbors(const Board& board, std::size_t x,
 }
 
 // ----------------------------------------------------------------------
+// ExactBayesLife
+// ----------------------------------------------------------------------
+
+ExactBayesLife::ExactBayesLife(double sigma,
+                               core::ConditionalOptions options,
+                               NoiseModel model)
+    : SensorLife(sigma, options, model)
+{}
+
+Uncertain<double>
+ExactBayesLife::countLiveNeighbors(const Board& board, std::size_t x,
+                                   std::size_t y) const
+{
+    // Same fold as BayesLife, but over declared Bernoulli leaves:
+    // the sum's joint support is finite, so every testCondition in
+    // updateCell routes to the exact backend and draws no samples
+    // (unless options_.exactRouting says Never).
+    Uncertain<double> sum(0.0);
+    forEachNeighbor(board, x, y, [&](std::size_t nx, std::size_t ny) {
+        sum = sum + sensor_.senseNeighborExact(board, nx, ny);
+    });
+    return sum;
+}
+
+// ----------------------------------------------------------------------
 // SirLife
 // ----------------------------------------------------------------------
 

@@ -145,6 +145,32 @@ class BayesLife : public SensorLife
 };
 
 /**
+ * BayesLife with its snapped sensors *declared* rather than sampled:
+ * each MAP-snapped reading is exactly a Bernoulli over {0, 1} with
+ * flip probability NoisySensor::snapFlipProbability(), so the cell's
+ * count network is a finite-support graph (at most 2^8 = 256 joint
+ * states over the 8 sensor leaves) that the exact enumeration
+ * backend accepts. Every rule conditional is then answered in closed
+ * form — same decisions as BayesLife at samplesDrawn == 0 — which
+ * makes this variant both the fast path and the ground-truth oracle
+ * for the sampled Life variants on small boards.
+ */
+class ExactBayesLife : public SensorLife
+{
+  public:
+    ExactBayesLife(double sigma,
+                   core::ConditionalOptions options = {},
+                   NoiseModel model = NoiseModel::Gaussian);
+
+    std::string name() const override { return "ExactBayesLife"; }
+
+  protected:
+    Uncertain<double>
+    countLiveNeighbors(const Board& board, std::size_t x,
+                       std::size_t y) const override;
+};
+
+/**
  * SensorLife whose neighbor count is improved with the paper's
  * section 3.5 Bayes operator instead of BayesLife's per-sample MAP
  * snap: the raw noisy sum is reweighted (sampling-importance-

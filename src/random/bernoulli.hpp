@@ -30,6 +30,15 @@ class Bernoulli : public Distribution
     /** Boolean draw, avoiding the double round-trip. */
     bool sampleBool(Rng& rng) const;
 
+    bool
+    finiteSupport(std::vector<double>& values,
+                  std::vector<double>& probabilities) const override
+    {
+        values = {0.0, 1.0};
+        probabilities = {1.0 - p_, p_};
+        return true;
+    }
+
     double p() const { return p_; }
 
   private:

@@ -124,5 +124,20 @@ Binomial::variance() const
     return static_cast<double>(n_) * p_ * (1.0 - p_);
 }
 
+bool
+Binomial::finiteSupport(std::vector<double>& values,
+                        std::vector<double>& probabilities) const
+{
+    if (n_ > 4096)
+        return false;
+    values.resize(static_cast<std::size_t>(n_) + 1);
+    probabilities.resize(values.size());
+    for (std::size_t k = 0; k < values.size(); ++k) {
+        values[k] = static_cast<double>(k);
+        probabilities[k] = pdf(static_cast<double>(k));
+    }
+    return true;
+}
+
 } // namespace random
 } // namespace uncertain

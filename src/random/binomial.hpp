@@ -28,6 +28,15 @@ class Binomial : public Distribution
     double mean() const override;
     double variance() const override;
 
+    /**
+     * Support {0, ..., n} with pmf probabilities. Capped at n <= 4096
+     * to keep the table a sensible size for enumeration; larger
+     * binomials stay sampling-only.
+     */
+    bool
+    finiteSupport(std::vector<double>& values,
+                  std::vector<double>& probabilities) const override;
+
     std::uint32_t n() const { return n_; }
     double p() const { return p_; }
 

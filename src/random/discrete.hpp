@@ -41,6 +41,15 @@ class Discrete : public Distribution
     /** Sample the index of a value rather than the value itself. */
     std::size_t sampleIndex(Rng& rng) const;
 
+    bool
+    finiteSupport(std::vector<double>& values,
+                  std::vector<double>& probabilities) const override
+    {
+        values = values_;
+        probabilities = probs_;
+        return true;
+    }
+
     const std::vector<double>& values() const { return values_; }
     const std::vector<double>& probabilities() const { return probs_; }
 

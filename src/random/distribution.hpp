@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "support/rng.hpp"
 
@@ -84,6 +85,23 @@ class Distribution
 
     /** True when pdf/cdf/... are implemented for this distribution. */
     virtual bool hasDensity() const { return true; }
+
+    /**
+     * Discrete distributions with a small explicit support override
+     * this: fill @p values / @p probabilities (parallel arrays,
+     * probabilities summing to 1) and return true. Consumed by
+     * core::fromDistribution to admit the leaf into the exact
+     * enumeration backend (src/exact). Continuous and unbounded
+     * distributions keep the default false.
+     */
+    virtual bool
+    finiteSupport(std::vector<double>& values,
+                  std::vector<double>& probabilities) const
+    {
+        (void)values;
+        (void)probabilities;
+        return false;
+    }
 
   protected:
     /** Helper for defaults: throw Error naming the missing query. */

@@ -27,6 +27,15 @@ class PointMass : public Distribution
     double variance() const override { return 0.0; }
     bool hasDensity() const override { return false; }
 
+    bool
+    finiteSupport(std::vector<double>& values,
+                  std::vector<double>& probabilities) const override
+    {
+        values = {value_};
+        probabilities = {1.0};
+        return true;
+    }
+
     double value() const { return value_; }
 
   private:
