@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Production-scale certification sweep: runs the full roster of
+ * TV-distance certificates — every distribution on both sampling
+ * paths, the trig-free GPS leaf, batch-engine columns through
+ * optimized plans, and both resampling kernels — and writes the
+ * certificates as BENCH_certification.json. The scheduled
+ * certification-nightly.yml job runs this with --nightly (>= 1e7
+ * draws per certificate, K = 1024, delta = 1e-9) and archives the
+ * JSON; scripts/bench_compare.py understands the document's
+ * "certifications" key and diffs tv_upper_bound (lower is better)
+ * plus draw throughput across nightlies.
+ *
+ * Exit code: non-zero if ANY certificate fails, so the nightly job
+ * goes red on a sampler regression without parsing the JSON.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/batch.hpp"
+#include "core/core.hpp"
+#include "gps/geo.hpp"
+#include "gps/gps_library.hpp"
+#include "gps/sensor.hpp"
+#include "inference/resample.hpp"
+#include "random/beta.hpp"
+#include "random/binomial.hpp"
+#include "random/discrete.hpp"
+#include "random/gamma.hpp"
+#include "random/gaussian.hpp"
+#include "random/poisson.hpp"
+#include "random/rayleigh.hpp"
+#include "random/student_t.hpp"
+#include "stats/certify.hpp"
+#include "support/rng.hpp"
+
+using namespace uncertain;
+
+namespace {
+
+/** Fixed base seed: certificates are reproducible run to run. */
+constexpr std::uint64_t kSeedBase = 0x5eedce7f1ca7e00ULL;
+
+struct Roster
+{
+    std::vector<stats::CertifyResult> results;
+    stats::CertifyOptions options;
+    std::uint64_t nextSeed = 1;
+    bool allPassed = true;
+
+    void
+    addContinuous(const std::string& name,
+                  const stats::BulkSampler& sampler,
+                  const random::Distribution& truth)
+    {
+        Rng rng(kSeedBase ^ (nextSeed++ * 0x9e3779b97f4a7c15ULL));
+        results.push_back(stats::certifyContinuous(name, sampler,
+                                                   truth, rng,
+                                                   options));
+        allPassed = allPassed && results.back().pass;
+    }
+
+    void
+    addDiscrete(const std::string& name,
+                const stats::BulkSampler& sampler,
+                const std::vector<double>& values,
+                const std::vector<double>& probabilities)
+    {
+        Rng rng(kSeedBase ^ (nextSeed++ * 0x9e3779b97f4a7c15ULL));
+        results.push_back(stats::certifyDiscrete(name, sampler, values,
+                                                 probabilities, rng,
+                                                 options));
+        allPassed = allPassed && results.back().pass;
+    }
+};
+
+void
+certifyDistributions(Roster& roster)
+{
+    const std::vector<std::pair<std::string, random::DistributionPtr>>
+        continuous = {
+            {"gaussian_standard",
+             std::make_shared<random::Gaussian>(0.0, 1.0)},
+            {"gaussian_shifted",
+             std::make_shared<random::Gaussian>(-2.5, 3.0)},
+            {"rayleigh_gps",
+             std::make_shared<random::Rayleigh>(
+                 random::Rayleigh::fromHorizontalAccuracy(4.0))},
+            {"beta_2p5_1p5",
+             std::make_shared<random::Beta>(2.5, 1.5)},
+            {"beta_0p7_0p4",
+             std::make_shared<random::Beta>(0.7, 0.4)},
+            {"gamma_boost_0p5",
+             std::make_shared<random::Gamma>(0.5, 2.0)},
+            {"gamma_squeeze_3",
+             std::make_shared<random::Gamma>(3.0, 1.5)},
+            {"student_t_5",
+             std::make_shared<random::StudentT>(5.0)},
+            {"student_t_1p5",
+             std::make_shared<random::StudentT>(1.5)},
+        };
+    for (const auto& [name, dist] : continuous) {
+        roster.addContinuous(name + "/bulk", stats::bulkSampler(dist),
+                             *dist);
+        roster.addContinuous(name + "/scalar",
+                             stats::scalarSampler(dist), *dist);
+    }
+
+    const std::vector<std::pair<std::string, random::DistributionPtr>>
+        discrete = {
+            {"binomial_inversion_40",
+             std::make_shared<random::Binomial>(40, 0.3)},
+            {"binomial_btpe_200",
+             std::make_shared<random::Binomial>(200, 0.4)},
+            {"binomial_btpe_reflected_3000",
+             std::make_shared<random::Binomial>(3000, 0.65)},
+            {"binomial_skip_2000",
+             std::make_shared<random::Binomial>(2000, 0.004)},
+            {"poisson_knuth_4p2",
+             std::make_shared<random::Poisson>(4.2)},
+            {"poisson_ptrs_80",
+             std::make_shared<random::Poisson>(80.0)},
+        };
+    for (const auto& [name, dist] : discrete) {
+        std::vector<double> values;
+        std::vector<double> probabilities;
+        if (!dist->finiteSupport(values, probabilities)) {
+            std::fprintf(stderr, "%s surfaces no finite support\n",
+                         name.c_str());
+            std::exit(1);
+        }
+        roster.addDiscrete(name + "/bulk", stats::bulkSampler(dist),
+                           values, probabilities);
+        roster.addDiscrete(name + "/scalar",
+                           stats::scalarSampler(dist), values,
+                           probabilities);
+    }
+}
+
+void
+certifyEngines(Roster& roster)
+{
+    // GPS leaf, radially Rayleigh on both engines.
+    const gps::GeoCoordinate center{47.6205, -122.3493};
+    const double accuracy = 4.0;
+    random::Rayleigh radial(
+        random::Rayleigh::fromHorizontalAccuracy(accuracy));
+    for (bool batch : {false, true}) {
+        auto location = gps::getLocation({center, accuracy, 0.0});
+        auto sampler = std::make_shared<core::BatchSampler>();
+        stats::BulkSampler draw = [location, sampler, batch, center](
+                                      Rng& rng, double* out,
+                                      std::size_t n) {
+            auto coords = batch
+                              ? location.takeSamples(n, rng, *sampler)
+                              : location.takeSamples(n, rng);
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = gps::distanceMeters(center, coords[i]);
+        };
+        roster.addContinuous(batch ? "gps_leaf/batch"
+                                   : "gps_leaf/scalar",
+                             draw, radial);
+    }
+
+    // Batch plans with closed-form Gaussian root laws.
+    auto leaf = [](double mu, double sigma) {
+        return core::fromDistribution(
+            std::make_shared<random::Gaussian>(mu, sigma));
+    };
+    const std::vector<
+        std::pair<std::string,
+                  std::pair<Uncertain<double>, random::Gaussian>>>
+        plans = {
+            {"batch_plan/affine",
+             {leaf(0.0, 1.0) * 2.0 + 3.0,
+              random::Gaussian(3.0, 2.0)}},
+            {"batch_plan/shared_leaf",
+             {[&] {
+                  auto g = leaf(0.0, 1.0);
+                  return g + g;
+              }(),
+              random::Gaussian(0.0, 2.0)}},
+            {"batch_plan/independent_sum",
+             {leaf(1.0, 1.0) + leaf(-1.0, 2.0),
+              random::Gaussian(0.0, std::sqrt(5.0))}},
+        };
+    for (const auto& [name, plan] : plans) {
+        auto expr = plan.first;
+        auto sampler = std::make_shared<core::BatchSampler>();
+        stats::BulkSampler draw = [expr, sampler](Rng& rng,
+                                                  double* out,
+                                                  std::size_t n) {
+            auto samples = expr.takeSamples(n, rng, *sampler);
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = samples[i];
+        };
+        roster.addContinuous(name, draw, plan.second);
+    }
+
+    // Resampling kernels against the normalized weight law.
+    std::vector<double> values;
+    std::vector<double> weights;
+    double total = 0.0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        values.push_back(static_cast<double>(i));
+        const double w = 1.0
+                         + 0.5 * static_cast<double>((i * 7) % 13)
+                         + (i == 5 ? 20.0 : 0.0);
+        weights.push_back(w);
+        total += w;
+    }
+    std::vector<double> probabilities;
+    for (double w : weights)
+        probabilities.push_back(w / total);
+
+    roster.addDiscrete(
+        "resample/multinomial",
+        stats::scalarSampler(
+            std::make_shared<random::Discrete>(values, weights)),
+        values, probabilities);
+    stats::BulkSampler systematic =
+        [values, weights, total](Rng& rng, double* out,
+                                 std::size_t n) {
+            auto indices = inference::detail::systematicIndices(
+                weights, total, n, rng);
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = values[indices[i]];
+        };
+    roster.addDiscrete("resample/systematic", systematic, values,
+                       probabilities);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Roster roster;
+    roster.options.samples = static_cast<std::size_t>(
+        bench::intFlag(argc, argv, "--samples", 1L << 21));
+    roster.options.cells = static_cast<std::size_t>(
+        bench::intFlag(argc, argv, "--cells", 512));
+    roster.options.delta =
+        std::atof(bench::stringFlag(argc, argv, "--delta", "1e-6")
+                      .c_str());
+    if (bench::hasFlag(argc, argv, "--nightly")) {
+        // The production configuration of the nightly job.
+        roster.options.samples = 10'000'000;
+        roster.options.cells = 1024;
+        roster.options.delta = 1e-9;
+    }
+    const std::string out =
+        bench::stringFlag(argc, argv, "--out",
+                          "BENCH_certification.json");
+
+    std::printf("Certification sweep: N = %zu, K = %zu, "
+                "delta = %g\n\n",
+                roster.options.samples, roster.options.cells,
+                roster.options.delta);
+    certifyDistributions(roster);
+    certifyEngines(roster);
+
+    // bench::Table's 16-char columns are too narrow for sampler
+    // names like binomial_btpe_reflected_3000/scalar.
+    std::printf("%-36s%-16s%-16s%-12s%s\n", "sampler",
+                "tv_upper_bound", "threshold", "Msamples/s", "pass");
+    std::printf("%-36s%-16s%-16s%-12s%s\n",
+                "-----------------------------------",
+                "---------------", "---------------", "-----------",
+                "----");
+    for (const auto& r : roster.results)
+        std::printf("%-36s%-16.3e%-16.3e%-12.1f%s\n",
+                    r.sampler.c_str(), r.tvUpperBound, r.threshold,
+                    r.samplesPerSecond / 1e6, r.pass ? "yes" : "NO");
+
+    std::FILE* file = std::fopen(out.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    const std::string json = stats::certificationJson(roster.results);
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("\nwrote %zu certificates to %s\n",
+                roster.results.size(), out.c_str());
+
+    if (!roster.allPassed) {
+        std::fprintf(stderr,
+                     "certification sweep: at least one sampler "
+                     "FAILED its certificate\n");
+        return 1;
+    }
+    return 0;
+}

@@ -14,6 +14,14 @@ at all fails the job.
 
 Benchmarks present in only one file are reported but never fail the
 comparison (filters and engine axes legitimately differ across runs).
+
+Certification mode: when both files are BENCH_certification.json
+documents (top-level "certifications" key, written by
+bench_certification), the comparison switches to the certificate
+view — tv_upper_bound must not GROW by more than the tolerance
+fraction (lower is better: a growing TV bound means a sampler drifted
+away from its law), any pass -> fail transition fails outright, and
+draw throughput (samples_per_second) is gated like any benchmark.
 """
 
 import argparse
@@ -21,10 +29,70 @@ import json
 import sys
 
 
+def load_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def load_certifications(data):
+    """Map name -> (tv_upper_bound, passed, samples_per_second)."""
+    result = {}
+    for cert in data.get("certifications", []):
+        result[cert["name"]] = (
+            float(cert["tv_upper_bound"]),
+            bool(cert["pass"]),
+            float(cert.get("samples_per_second", 0.0)),
+        )
+    return result
+
+
+def compare_certifications(base, cand, tolerance):
+    """Diff two certification maps; return the exit code."""
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("bench_compare: no shared certifications",
+              file=sys.stderr)
+        return 2
+    for name in sorted(set(base) ^ set(cand)):
+        side = "baseline" if name in base else "candidate"
+        print(f"  ({side} only, ignored) {name}")
+
+    failures = []
+    width = max(len(name) for name in shared)
+    print(f"{'certification':<{width}}  tv_base     tv_cand     "
+          f"ratio  pass")
+    for name in shared:
+        tv_base, pass_base, rate_base = base[name]
+        tv_cand, pass_cand, rate_cand = cand[name]
+        ratio = tv_cand / tv_base if tv_base > 0 else float("inf")
+        marker = ""
+        if pass_base and not pass_cand:
+            marker = "  <-- CERTIFICATE LOST"
+            failures.append((name, "pass -> fail"))
+        elif ratio > 1.0 + tolerance:
+            marker = "  <-- TV GREW"
+            failures.append((name, f"tv {ratio:.2f}x of baseline"))
+        elif rate_base > 0 and rate_cand < rate_base * (1 - tolerance):
+            marker = "  <-- THROUGHPUT REGRESSION"
+            failures.append(
+                (name, f"rate {rate_cand / rate_base:.2f}x"))
+        print(f"{name:<{width}}  {tv_base:10.4g}  {tv_cand:10.4g}  "
+              f"{ratio:5.2f}x  {'y' if pass_cand else 'N'}{marker}")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} certification(s) "
+              f"regressed:", file=sys.stderr)
+        for name, reason in failures:
+            print(f"  {name}: {reason}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK ({len(shared)} shared certifications "
+          f"within {tolerance:.0%})")
+    return 0
+
+
 def load_benchmarks(path):
     """Map benchmark name -> throughput (higher is better)."""
-    with open(path) as handle:
-        data = json.load(handle)
+    data = load_json(path)
     result = {}
     for bench in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repetitions) so
@@ -49,6 +117,13 @@ def main():
         help="allowed fractional slowdown before failing "
              "(default 0.20 = 20%%)")
     args = parser.parse_args()
+
+    base_doc = load_json(args.baseline)
+    cand_doc = load_json(args.candidate)
+    if "certifications" in base_doc and "certifications" in cand_doc:
+        return compare_certifications(load_certifications(base_doc),
+                                      load_certifications(cand_doc),
+                                      args.tolerance)
 
     base = load_benchmarks(args.baseline)
     cand = load_benchmarks(args.candidate)

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Audit the statistical test shard for seed-robustness.
+
+Usage:
+    stat_flake_audit.py [--binary build/tests/uncertain_tests]
+                        [--seeds 32] [--jobs 4] [--max-failures 2]
+
+Every statistical assertion in the suite runs at a fixed seed, so the
+checked-in tests are deterministic: they can only start failing when a
+sampler changes. But the alpha they are calibrated at (0.01 for KS and
+chi-square) is a statement about the SEED DISTRIBUTION — a test that
+happens to pass at its checked-in seed may reject far more than 1% of
+re-seeded runs, which means it is silently over-tight (or the sampler
+is subtly wrong) and will burn whoever next touches the stream
+discipline. This script sweeps UNCERTAIN_TEST_SEED_OFFSET (which
+testing::testRng folds into every seed) across many offsets, re-runs
+the statistical shard per offset, and reports the per-test rejection
+rate.
+
+Budget: with per-test alpha 0.01, a healthy test fails ~1% of offsets.
+The audit fails a test when its failure count across the sweep exceeds
+--max-failures (default 2 out of 32: P[X >= 3 | Binomial(32, 0.01)]
+is ~0.4%, so a flagged test is overwhelmingly likely to be genuinely
+over budget rather than unlucky).
+
+The gtest filter is read from tests/CMakeLists.txt
+(UNCERTAIN_STATISTICAL_FILTER) so the audit and the CTest shard cannot
+drift apart; --filter overrides it.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+FAILED_RE = re.compile(r"^\[\s*FAILED\s*\]\s+(\S+)", re.MULTILINE)
+
+
+def statistical_filter(repo_root):
+    """Read UNCERTAIN_STATISTICAL_FILTER from tests/CMakeLists.txt."""
+    cmake = repo_root / "tests" / "CMakeLists.txt"
+    text = cmake.read_text()
+    match = re.search(
+        r'set\(UNCERTAIN_STATISTICAL_FILTER\s*\n?\s*"([^"]+)"', text)
+    if not match:
+        raise SystemExit(
+            f"stat_flake_audit: UNCERTAIN_STATISTICAL_FILTER not "
+            f"found in {cmake}")
+    return match.group(1)
+
+
+def run_offset(binary, gtest_filter, offset):
+    """Run the shard at one seed offset; return failed test names."""
+    env = dict(os.environ)
+    env["UNCERTAIN_TEST_SEED_OFFSET"] = str(offset)
+    proc = subprocess.run(
+        [binary, f"--gtest_filter={gtest_filter}",
+         "--gtest_brief=1"],
+        env=env, capture_output=True, text=True)
+    failed = sorted(set(FAILED_RE.findall(proc.stdout)))
+    if proc.returncode != 0 and not failed:
+        # Crash / non-gtest failure: attribute it to the whole run so
+        # it cannot slip through as "no failed tests parsed".
+        failed = [f"<shard exited {proc.returncode}>"]
+    return offset, failed
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Sweep seed offsets over the statistical shard "
+                    "and flag over-budget tests.")
+    parser.add_argument(
+        "--binary", default="build/tests/uncertain_tests",
+        help="path to the gtest binary")
+    parser.add_argument(
+        "--seeds", type=int, default=32,
+        help="number of seed offsets to sweep (default 32)")
+    parser.add_argument(
+        "--jobs", type=int, default=min(4, os.cpu_count() or 1),
+        help="parallel shard runs")
+    parser.add_argument(
+        "--max-failures", type=int, default=2,
+        help="per-test failure count above which the audit fails "
+             "(default 2)")
+    parser.add_argument(
+        "--filter", default=None,
+        help="override the gtest filter (default: the statistical "
+             "shard's filter from tests/CMakeLists.txt)")
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    gtest_filter = args.filter or statistical_filter(repo_root)
+    binary = str(pathlib.Path(args.binary))
+    if not pathlib.Path(binary).exists():
+        raise SystemExit(f"stat_flake_audit: {binary} not found "
+                         f"(build the tests first)")
+
+    print(f"stat_flake_audit: {args.seeds} seed offsets, filter:\n"
+          f"  {gtest_filter}")
+    failures = {}  # test name -> list of offsets it failed at
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        runs = pool.map(
+            lambda offset: run_offset(binary, gtest_filter, offset),
+            range(args.seeds))
+        for offset, failed in runs:
+            for name in failed:
+                failures.setdefault(name, []).append(offset)
+            status = "ok" if not failed else ", ".join(failed)
+            print(f"  offset {offset:3d}: {status}")
+
+    if not failures:
+        print(f"\nstat_flake_audit: OK — no failures across "
+              f"{args.seeds} offsets")
+        return 0
+
+    over_budget = []
+    print(f"\n{'test':<60} failures  rate")
+    for name in sorted(failures, key=lambda n: -len(failures[n])):
+        count = len(failures[name])
+        rate = count / args.seeds
+        marker = ""
+        if count > args.max_failures:
+            marker = "  <-- OVER BUDGET"
+            over_budget.append(name)
+        print(f"{name:<60} {count:8d}  {rate:5.1%}{marker}"
+              f"  (offsets {failures[name]})")
+
+    if over_budget:
+        print(f"\nstat_flake_audit: {len(over_budget)} test(s) over "
+              f"the {args.max_failures}/{args.seeds} budget",
+              file=sys.stderr)
+        return 1
+    print(f"\nstat_flake_audit: OK — all failures within the "
+          f"{args.max_failures}/{args.seeds} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

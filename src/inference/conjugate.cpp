@@ -40,5 +40,36 @@ betaPosterior(const random::Beta& prior, std::size_t successes,
             prior.b() + static_cast<double>(failures)};
 }
 
+random::Beta
+betaDensityProduct(const random::Beta& lhs, const random::Beta& rhs)
+{
+    const double a = lhs.a() + rhs.a() - 1.0;
+    const double b = lhs.b() + rhs.b() - 1.0;
+    UNCERTAIN_REQUIRE(a > 0.0 && b > 0.0,
+                      "betaDensityProduct: the density product is "
+                      "not normalizable (needs a0 + a1 > 1 and "
+                      "b0 + b1 > 1)");
+    return {a, b};
+}
+
+random::Gamma
+gammaDensityProduct(const random::Gamma& lhs, const random::Gamma& rhs)
+{
+    const double shape = lhs.shape() + rhs.shape() - 1.0;
+    UNCERTAIN_REQUIRE(shape > 0.0,
+                      "gammaDensityProduct: the density product is "
+                      "not normalizable (needs k0 + k1 > 1)");
+    return {shape, lhs.rate() + rhs.rate()};
+}
+
+random::Gamma
+gammaPoissonPosterior(const random::Gamma& prior,
+                      std::size_t countTotal, std::size_t n)
+{
+    UNCERTAIN_REQUIRE(n >= 1, "gammaPoissonPosterior requires n >= 1");
+    return {prior.shape() + static_cast<double>(countTotal),
+            prior.rate() + static_cast<double>(n)};
+}
+
 } // namespace inference
 } // namespace uncertain

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "random/beta.hpp"
+#include "random/gamma.hpp"
 #include "random/gaussian.hpp"
 
 namespace uncertain {
@@ -40,6 +41,34 @@ random::Gaussian gaussianPosterior(const random::Gaussian& prior,
  */
 random::Beta betaPosterior(const random::Beta& prior,
                            std::size_t successes, std::size_t failures);
+
+/**
+ * Normalized product of two beta densities: Beta(a0, b0) x
+ * Beta(a1, b1) is proportional to Beta(a0 + a1 - 1, b0 + b1 - 1).
+ * This is the exact posterior when one beta acts as the prior and
+ * the other as a (beta-shaped) likelihood in applyPrior-style SIR —
+ * the ground truth the sampled posterior is certified against.
+ * Requires a0 + a1 > 1 and b0 + b1 > 1 for a proper posterior.
+ */
+random::Beta betaDensityProduct(const random::Beta& lhs,
+                                const random::Beta& rhs);
+
+/**
+ * Normalized product of two gamma densities: Gamma(k0, r0) x
+ * Gamma(k1, r1) is proportional to Gamma(k0 + k1 - 1, r0 + r1).
+ * Requires k0 + k1 > 1.
+ */
+random::Gamma gammaDensityProduct(const random::Gamma& lhs,
+                                  const random::Gamma& rhs);
+
+/**
+ * Gamma-Poisson update: prior Gamma(k, rate) on a Poisson mean,
+ * after @p n i.i.d. counts summing to @p countTotal. Returns the
+ * exact posterior Gamma(k + countTotal, rate + n).
+ */
+random::Gamma gammaPoissonPosterior(const random::Gamma& prior,
+                                    std::size_t countTotal,
+                                    std::size_t n);
 
 } // namespace inference
 } // namespace uncertain

@@ -1,5 +1,6 @@
 #include "random/beta.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -24,6 +25,25 @@ Beta::sample(Rng& rng) const
     return x / (x + y);
 }
 
+void
+Beta::sampleMany(Rng& rng, double* out, std::size_t n) const
+{
+    // Same X/(X+Y) construction as the scalar path, but the two gamma
+    // variates arrive as bulk columns (hoisted squeeze constants,
+    // ziggurat candidate normals) combined block by block so the
+    // scratch stays cache-resident at any n.
+    constexpr std::size_t kBlock = 4096;
+    double x[kBlock];
+    double y[kBlock];
+    for (std::size_t base = 0; base < n; base += kBlock) {
+        const std::size_t m = std::min(kBlock, n - base);
+        Gamma::standardSampleMany(rng, a_, x, m);
+        Gamma::standardSampleMany(rng, b_, y, m);
+        for (std::size_t i = 0; i < m; ++i)
+            out[base + i] = x[i] / (x[i] + y[i]);
+    }
+}
+
 std::string
 Beta::name() const
 {
@@ -39,6 +59,24 @@ Beta::logPdf(double x) const
         return -std::numeric_limits<double>::infinity();
     return (a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log(1.0 - x)
            - math::logBeta(a_, b_);
+}
+
+void
+Beta::logPdfMany(const double* xs, double* out, std::size_t n) const
+{
+    // Same arithmetic in the same order as logPdf with the
+    // logBeta(a, b) normalizer hoisted; per-element values are
+    // bit-identical to the scalar logPdf.
+    const double aM1 = a_ - 1.0;
+    const double bM1 = b_ - 1.0;
+    const double logNorm = math::logBeta(a_, b_);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = xs[i];
+        out[i] = (x <= 0.0 || x >= 1.0)
+                     ? -std::numeric_limits<double>::infinity()
+                     : aM1 * std::log(x) + bM1 * std::log(1.0 - x)
+                           - logNorm;
+    }
 }
 
 double

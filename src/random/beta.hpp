@@ -21,8 +21,11 @@ class Beta : public Distribution
     Beta(double a, double b);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out, std::size_t n) const override;
     std::string name() const override;
     double logPdf(double x) const override;
+    void logPdfMany(const double* xs, double* out,
+                    std::size_t n) const override;
     double cdf(double x) const override;
     double mean() const override;
     double variance() const override;

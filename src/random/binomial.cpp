@@ -1,5 +1,6 @@
 #include "random/binomial.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -10,6 +11,179 @@
 namespace uncertain {
 namespace random {
 
+namespace {
+
+/** Small-n regime: exact CDF-table inversion over {0, ..., n}. */
+constexpr std::uint32_t kSmallN = 64;
+
+/** Large-n regime boundary: BTPE needs n * min(p, 1-p) >= this. */
+constexpr double kBtpeFloor = 30.0;
+
+/**
+ * Exact inversion table for n <= kSmallN, built for the reflected
+ * probability r = min(p, 1-p) so the pmf recurrence starts from
+ * (1-r)^n >= 2^-n, which cannot underflow at this size. One uniform
+ * per draw; a linear scan is optimal here because the expected scan
+ * length is the mean n*r + O(1) and n is at most 64.
+ */
+struct SmallInversion
+{
+    double cdf[kSmallN + 1];
+    std::uint32_t n;
+
+    void
+    build(std::uint32_t nTrials, double r)
+    {
+        n = nTrials;
+        const double q = 1.0 - r;
+        const double s = r / q;
+        double pk = std::pow(q, static_cast<double>(n));
+        double cum = 0.0;
+        for (std::uint32_t k = 0; k <= n; ++k) {
+            cum += pk;
+            cdf[k] = cum;
+            pk *= s * static_cast<double>(n - k)
+                  / static_cast<double>(k + 1);
+        }
+    }
+
+    double
+    draw(Rng& rng) const
+    {
+        // Scale by the accumulated total so residual rounding in the
+        // recurrence cannot leave a sliver of u above the last cell.
+        const double u = rng.nextDouble() * cdf[n];
+        for (std::uint32_t k = 0; k < n; ++k) {
+            if (u < cdf[k])
+                return static_cast<double>(k);
+        }
+        return static_cast<double>(n);
+    }
+};
+
+/**
+ * BTPE (Kachitvichyanukul & Schmeiser, "Binomial Random Variate
+ * Generation", CACM 1988) for n * r >= kBtpeFloor, r = min(p, 1-p):
+ * a four-region hat — inscribed triangle (immediate accept),
+ * parallelogram wedges, and two exponential tails — over the scaled
+ * pmf. This implementation keeps the published envelope geometry but
+ * replaces the Stirling-series squeeze of Step 5.2 with the exact
+ * pmf-ratio product F(y)/F(m) = prod (A/i - s): candidates fall
+ * within O(sqrt(n r q)) of the mode, so the product is short, and
+ * the acceptance test is then exactly the target law rather than an
+ * approximation — a property the certification harness
+ * (src/stats/certify.hpp) leans on.
+ */
+struct BtpeState
+{
+    double nf;
+    double r;
+    double q;
+    double xm;
+    double xl;
+    double xr;
+    double p1;
+    double p2;
+    double p3;
+    double p4;
+    double c;
+    double lamL;
+    double lamR;
+    double s;
+    double bigA;
+    long m;
+
+    void
+    build(std::uint32_t nTrials, double rUse)
+    {
+        nf = static_cast<double>(nTrials);
+        r = rUse;
+        q = 1.0 - r;
+        const double fm = nf * r + r;
+        m = static_cast<long>(std::floor(fm));
+        const double nrq = nf * r * q;
+        p1 = std::floor(2.195 * std::sqrt(nrq) - 4.6 * q) + 0.5;
+        xm = static_cast<double>(m) + 0.5;
+        xl = xm - p1;
+        xr = xm + p1;
+        c = 0.134 + 20.5 / (15.3 + static_cast<double>(m));
+        double a = (fm - xl) / (fm - xl * r);
+        lamL = a * (1.0 + 0.5 * a);
+        a = (xr - fm) / (xr * q);
+        lamR = a * (1.0 + 0.5 * a);
+        p2 = p1 * (1.0 + 2.0 * c);
+        p3 = p2 + c / lamL;
+        p4 = p3 + c / lamR;
+        s = r / q;
+        bigA = s * (nf + 1.0);
+    }
+
+    double
+    draw(Rng& rng) const
+    {
+        for (;;) {
+            const double u = rng.nextDouble() * p4;
+            double v = rng.nextDoubleOpen();
+            double y;
+            if (u <= p1) {
+                // Inscribed triangle: always under the pmf, accept.
+                return std::floor(xm - p1 * v + u);
+            }
+            if (u <= p2) {
+                // Parallelogram wedge.
+                const double x = xl + (u - p1) / c;
+                v = v * c + 1.0 - std::fabs(xm - x) / p1;
+                if (v > 1.0 || v <= 0.0)
+                    continue;
+                y = std::floor(x);
+            } else if (u <= p3) {
+                // Left exponential tail.
+                y = std::floor(xl + std::log(v) / lamL);
+                if (y < 0.0)
+                    continue;
+                v = v * (u - p2) * lamL;
+            } else {
+                // Right exponential tail.
+                y = std::floor(xr - std::log(v) / lamR);
+                if (y > nf)
+                    continue;
+                v = v * (u - p3) * lamR;
+            }
+            // Exact acceptance: v against pmf(y)/pmf(m) via the
+            // ratio recurrence pmf(i)/pmf(i-1) = A/i - s.
+            const long k = static_cast<long>(y);
+            double f = 1.0;
+            if (m < k) {
+                for (long i = m + 1; i <= k; ++i)
+                    f *= bigA / static_cast<double>(i) - s;
+            } else if (m > k) {
+                for (long i = k + 1; i <= m; ++i)
+                    f /= bigA / static_cast<double>(i) - s;
+            }
+            if (v <= f)
+                return y;
+        }
+    }
+};
+
+/** One geometric-skip (waiting-time) draw for large n, small n*r. */
+inline double
+geometricSkipDraw(Rng& rng, std::uint32_t n, double logq)
+{
+    double successes = 0.0;
+    double position = 0.0;
+    for (;;) {
+        position +=
+            std::floor(std::log(rng.nextDoubleOpen()) / logq) + 1.0;
+        if (position > static_cast<double>(n))
+            break;
+        successes += 1.0;
+    }
+    return successes;
+}
+
+} // namespace
+
 Binomial::Binomial(std::uint32_t n, double p) : n_(n), p_(p)
 {
     UNCERTAIN_REQUIRE(p >= 0.0 && p <= 1.0,
@@ -19,44 +193,65 @@ Binomial::Binomial(std::uint32_t n, double p) : n_(n), p_(p)
 double
 Binomial::sample(Rng& rng) const
 {
-    // Direct summation for small n; BG (geometric-skip) waiting-time
-    // method when n is large but np is small; otherwise inversion of
-    // the recurrence would be possible, but counting is adequate for
-    // the sizes this library uses.
     if (p_ == 0.0)
         return 0.0;
     if (p_ == 1.0)
         return static_cast<double>(n_);
 
-    if (n_ <= 64) {
-        std::uint32_t count = 0;
-        for (std::uint32_t i = 0; i < n_; ++i)
-            count += rng.nextBool(p_) ? 1 : 0;
-        return static_cast<double>(count);
+    const double r = std::min(p_, 1.0 - p_);
+    double y;
+    if (n_ <= kSmallN) {
+        SmallInversion table;
+        table.build(n_, r);
+        y = table.draw(rng);
+    } else if (static_cast<double>(n_) * r >= kBtpeFloor) {
+        BtpeState btpe;
+        btpe.build(n_, r);
+        y = btpe.draw(rng);
+    } else {
+        y = geometricSkipDraw(rng, n_, std::log(1.0 - r));
+    }
+    if (r != p_)
+        y = static_cast<double>(n_) - y;
+    return y;
+}
+
+void
+Binomial::sampleMany(Rng& rng, double* out, std::size_t count) const
+{
+    // Same three regimes as sample() with the per-draw setup (the
+    // inversion table, the BTPE hat constants, log(1-r)) hoisted out
+    // of the loop.
+    if (p_ == 0.0) {
+        std::fill(out, out + count, 0.0);
+        return;
+    }
+    if (p_ == 1.0) {
+        std::fill(out, out + count, static_cast<double>(n_));
+        return;
     }
 
-    double pUse = std::min(p_, 1.0 - p_);
-    std::uint32_t successes = 0;
-    if (static_cast<double>(n_) * pUse < 30.0) {
-        // Geometric skips between successes.
-        double logq = std::log(1.0 - pUse);
-        double position = 0.0;
-        for (;;) {
-            position += std::floor(std::log(rng.nextDoubleOpen()) / logq)
-                        + 1.0;
-            if (position > static_cast<double>(n_))
-                break;
-            ++successes;
-        }
+    const double r = std::min(p_, 1.0 - p_);
+    if (n_ <= kSmallN) {
+        SmallInversion table;
+        table.build(n_, r);
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = table.draw(rng);
+    } else if (static_cast<double>(n_) * r >= kBtpeFloor) {
+        BtpeState btpe;
+        btpe.build(n_, r);
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = btpe.draw(rng);
     } else {
-        // Counting loop: acceptable because our workloads keep n
-        // modest; the interface hides the algorithm choice.
-        for (std::uint32_t i = 0; i < n_; ++i)
-            successes += rng.nextBool(pUse) ? 1 : 0;
+        const double logq = std::log(1.0 - r);
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = geometricSkipDraw(rng, n_, logq);
     }
-    if (pUse != p_)
-        successes = n_ - successes;
-    return static_cast<double>(successes);
+    if (r != p_) {
+        const double nf = static_cast<double>(n_);
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = nf - out[i];
+    }
 }
 
 std::string
@@ -93,6 +288,38 @@ Binomial::logPdf(double x) const
     double logChoose = math::logGamma(n + 1.0) - math::logGamma(k + 1.0)
                        - math::logGamma(n - k + 1.0);
     return logChoose + k * std::log(p_) + (n - k) * std::log(1.0 - p_);
+}
+
+void
+Binomial::logPdfMany(const double* xs, double* out,
+                     std::size_t count) const
+{
+    // Same arithmetic in the same order as logPdf with the
+    // n-and-p-only terms (logGamma(n+1), log(p), log(1-p)) hoisted;
+    // per-element values are bit-identical to the scalar logPdf.
+    const double n = static_cast<double>(n_);
+    const double negInf = -std::numeric_limits<double>::infinity();
+    if (p_ == 0.0 || p_ == 1.0) {
+        const double hit = p_ == 0.0 ? 0.0 : n;
+        for (std::size_t i = 0; i < count; ++i) {
+            const double k = std::round(xs[i]);
+            out[i] = (k == xs[i] && k == hit) ? 0.0 : negInf;
+        }
+        return;
+    }
+    const double logGammaN1 = math::logGamma(n + 1.0);
+    const double logP = std::log(p_);
+    const double logQ = std::log(1.0 - p_);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double k = std::round(xs[i]);
+        if (k != xs[i] || k < 0.0 || k > n) {
+            out[i] = negInf;
+            continue;
+        }
+        const double logChoose = logGammaN1 - math::logGamma(k + 1.0)
+                                 - math::logGamma(n - k + 1.0);
+        out[i] = logChoose + k * logP + (n - k) * logQ;
+    }
 }
 
 double

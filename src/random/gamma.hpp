@@ -20,8 +20,11 @@ class Gamma : public Distribution
     Gamma(double shape, double rate);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out, std::size_t n) const override;
     std::string name() const override;
     double logPdf(double x) const override;
+    void logPdfMany(const double* xs, double* out,
+                    std::size_t n) const override;
     double cdf(double x) const override;
     double mean() const override;
     double variance() const override;
@@ -31,6 +34,17 @@ class Gamma : public Distribution
 
     /** Draw from Gamma(shape, 1). */
     static double standardSample(Rng& rng, double shape);
+
+    /**
+     * Fill out[0..n) with Gamma(shape, 1) deviates: the
+     * Marsaglia-Tsang squeeze with its (d, c) constants hoisted out
+     * of the loop and the candidate normals pulled in blocks through
+     * the ziggurat bulk path instead of per-draw Box-Muller. Same law
+     * as standardSample(); the stream schedule differs (bulk
+     * contract). Building block for Beta and Student-t columns.
+     */
+    static void standardSampleMany(Rng& rng, double shape, double* out,
+                                   std::size_t n);
 
   private:
     double shape_;

@@ -153,6 +153,13 @@ Gaussian::sampleMany(Rng& rng, double* out, std::size_t n) const
     }
 }
 
+void
+Gaussian::standardSampleMany(Rng& rng, double* out, std::size_t n)
+{
+    static const Gaussian standard(0.0, 1.0);
+    standard.sampleMany(rng, out, n);
+}
+
 std::string
 Gaussian::name() const
 {

@@ -43,6 +43,15 @@ class Gaussian : public Distribution
      */
     static double standardSample(Rng& rng);
 
+    /**
+     * Fill out[0..n) with standard normal deviates via the same
+     * 128-layer ziggurat as sampleMany(). The bulk building block for
+     * distributions assembled from normal columns (Gamma's squeeze
+     * candidates, Student-t's numerator).
+     */
+    static void standardSampleMany(Rng& rng, double* out,
+                                   std::size_t n);
+
   private:
     double mu_;
     double sigma_;

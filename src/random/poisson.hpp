@@ -19,17 +19,37 @@ class Poisson : public Distribution
     explicit Poisson(double lambda);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out, std::size_t n) const override;
     std::string name() const override;
     double pdf(double x) const override;
     double logPdf(double x) const override;
+    void logPdfMany(const double* xs, double* out,
+                    std::size_t n) const override;
     double cdf(double x) const override;
     double mean() const override;
     double variance() const override;
+
+    /**
+     * Truncated support {0, ..., kMax} where kMax is the smallest
+     * count whose right tail holds less than 1e-14 of the mass,
+     * renormalized to sum to 1. The truncation error is orders of
+     * magnitude below what any statistical check in this repo can
+     * resolve, which is the contract that admits Poisson leaves into
+     * the exact enumeration backend. Returns false when kMax would
+     * exceed 4096 (enormous lambda), keeping such leaves
+     * sampling-only.
+     */
+    bool
+    finiteSupport(std::vector<double>& values,
+                  std::vector<double>& probabilities) const override;
 
     double lambda() const { return lambda_; }
 
   private:
     double lambda_;
+    /** Constants hoisted at construction (lambda is immutable). */
+    double expNegLambda_; //!< exp(-lambda), Knuth limit (small lambda)
+    double logLambda_;    //!< log(lambda), PTRS accept + logPdf
 };
 
 } // namespace random

@@ -20,8 +20,11 @@ class StudentT : public Distribution
     explicit StudentT(double nu);
 
     double sample(Rng& rng) const override;
+    void sampleMany(Rng& rng, double* out, std::size_t n) const override;
     std::string name() const override;
     double logPdf(double x) const override;
+    void logPdfMany(const double* xs, double* out,
+                    std::size_t n) const override;
     double cdf(double x) const override;
     double quantile(double p) const override;
     double mean() const override;

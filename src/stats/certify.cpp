@@ -1,0 +1,236 @@
+#include "stats/certify.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace uncertain {
+namespace stats {
+
+namespace {
+
+/**
+ * Shared drawing loop: pull blocks through @p sample, classify each
+ * draw with @p cellOf, and time the sampler (classification excluded
+ * so samplesPerSecond reports the sampler, not the harness).
+ */
+template <typename CellOf>
+void
+countCells(const BulkSampler& sample, Rng& rng,
+           const CertifyOptions& options, CellOf&& cellOf,
+           std::vector<std::uint64_t>& counts, double& seconds)
+{
+    std::vector<double> buffer(std::min(options.blockSize,
+                                        options.samples));
+    std::size_t remaining = options.samples;
+    seconds = 0.0;
+    while (remaining > 0) {
+        const std::size_t m = std::min(buffer.size(), remaining);
+        const auto start = std::chrono::steady_clock::now();
+        sample(rng, buffer.data(), m);
+        const auto stop = std::chrono::steady_clock::now();
+        seconds += std::chrono::duration<double>(stop - start).count();
+        for (std::size_t i = 0; i < m; ++i)
+            ++counts[cellOf(buffer[i])];
+        remaining -= m;
+    }
+}
+
+} // namespace
+
+BulkSampler
+scalarSampler(random::DistributionPtr dist)
+{
+    UNCERTAIN_REQUIRE(dist != nullptr,
+                      "scalarSampler requires a distribution");
+    return [dist = std::move(dist)](Rng& rng, double* out,
+                                    std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = dist->sample(rng);
+    };
+}
+
+BulkSampler
+bulkSampler(random::DistributionPtr dist)
+{
+    UNCERTAIN_REQUIRE(dist != nullptr,
+                      "bulkSampler requires a distribution");
+    return [dist = std::move(dist)](Rng& rng, double* out,
+                                    std::size_t n) {
+        dist->sampleMany(rng, out, n);
+    };
+}
+
+CertifyResult
+certifyFromCounts(const std::string& name,
+                  const std::vector<std::uint64_t>& observed,
+                  const std::vector<double>& expected, double delta)
+{
+    UNCERTAIN_REQUIRE(!observed.empty()
+                          && observed.size() == expected.size(),
+                      "certifyFromCounts: counts/masses must be "
+                      "parallel non-empty arrays");
+    UNCERTAIN_REQUIRE(delta > 0.0 && delta < 1.0,
+                      "certifyFromCounts: delta must be in (0, 1)");
+
+    std::uint64_t total = 0;
+    double mass = 0.0;
+    for (std::size_t k = 0; k < observed.size(); ++k) {
+        UNCERTAIN_REQUIRE(expected[k] >= 0.0,
+                          "certifyFromCounts: negative expected mass");
+        total += observed[k];
+        mass += expected[k];
+    }
+    UNCERTAIN_REQUIRE(total > 0, "certifyFromCounts: no observations");
+    UNCERTAIN_REQUIRE(std::abs(mass - 1.0) < 1e-9,
+                      "certifyFromCounts: expected masses must sum "
+                      "to 1");
+
+    const double n = static_cast<double>(total);
+    double l1 = 0.0;
+    double nullBias = 0.0;
+    for (std::size_t k = 0; k < observed.size(); ++k) {
+        const double phat = static_cast<double>(observed[k]) / n;
+        l1 += std::abs(phat - expected[k]);
+        nullBias += std::sqrt(expected[k] * (1.0 - expected[k]) / n);
+    }
+    const double deviation = std::sqrt(2.0 * std::log(1.0 / delta) / n);
+    const double universalBias =
+        std::sqrt(static_cast<double>(observed.size()) / n);
+
+    CertifyResult result;
+    result.sampler = name;
+    result.samples = total;
+    result.cells = observed.size();
+    result.delta = delta;
+    result.tvEstimate = 0.5 * l1;
+    result.threshold = 0.5 * (nullBias + deviation);
+    result.epsilon = 0.5 * (universalBias + deviation);
+    result.tvUpperBound = result.tvEstimate + result.epsilon;
+    result.pass = result.tvEstimate <= result.threshold;
+    return result;
+}
+
+CertifyResult
+certifyContinuous(const std::string& name, const BulkSampler& sample,
+                  const random::Distribution& truth, Rng& rng,
+                  const CertifyOptions& options)
+{
+    UNCERTAIN_REQUIRE(options.cells >= 2,
+                      "certifyContinuous: need at least 2 cells");
+    UNCERTAIN_REQUIRE(options.samples > 0,
+                      "certifyContinuous: need at least 1 sample");
+
+    const std::size_t cells = options.cells;
+    std::vector<std::uint64_t> counts(cells, 0);
+    double seconds = 0.0;
+    countCells(
+        sample, rng, options,
+        [&truth, cells](double x) {
+            // Probability-integral transform: equiprobable quantile
+            // cells without ever calling quantile().
+            const double u = truth.cdf(x);
+            const auto k = static_cast<std::size_t>(
+                std::min(u, 1.0 - 1e-16)
+                * static_cast<double>(cells));
+            return std::min(k, cells - 1);
+        },
+        counts, seconds);
+
+    std::vector<double> expected(cells,
+                                 1.0 / static_cast<double>(cells));
+    CertifyResult result =
+        certifyFromCounts(name, counts, expected, options.delta);
+    result.seconds = seconds;
+    result.samplesPerSecond =
+        seconds > 0.0 ? static_cast<double>(options.samples) / seconds
+                      : 0.0;
+    return result;
+}
+
+CertifyResult
+certifyDiscrete(const std::string& name, const BulkSampler& sample,
+                const std::vector<double>& values,
+                const std::vector<double>& probabilities, Rng& rng,
+                const CertifyOptions& options)
+{
+    UNCERTAIN_REQUIRE(!values.empty()
+                          && values.size() == probabilities.size(),
+                      "certifyDiscrete: values/probabilities must be "
+                      "parallel non-empty arrays");
+
+    // Support values are exactly-representable doubles (the exact
+    // backend's contract), so the cell map is an exact-key hash; any
+    // draw not matching bit-for-bit goes to the zero-mass overflow
+    // cell and counts fully against the sampler.
+    std::unordered_map<double, std::size_t> cellOf;
+    cellOf.reserve(values.size());
+    for (std::size_t k = 0; k < values.size(); ++k) {
+        UNCERTAIN_REQUIRE(cellOf.emplace(values[k], k).second,
+                          "certifyDiscrete: duplicate support value");
+    }
+    const std::size_t overflow = values.size();
+
+    std::vector<std::uint64_t> counts(values.size() + 1, 0);
+    double seconds = 0.0;
+    countCells(
+        sample, rng, options,
+        [&cellOf, overflow](double x) {
+            auto it = cellOf.find(x);
+            return it == cellOf.end() ? overflow : it->second;
+        },
+        counts, seconds);
+
+    std::vector<double> expected = probabilities;
+    expected.push_back(0.0);
+    // Tolerate truncated supports (e.g. a Poisson cut at 1e-14 tail
+    // mass): fold any sub-1e-9 shortfall into the largest cell so the
+    // masses sum to 1 exactly.
+    double mass = 0.0;
+    for (double q : expected)
+        mass += q;
+    UNCERTAIN_REQUIRE(std::abs(mass - 1.0) < 1e-9,
+                      "certifyDiscrete: probabilities must sum to 1");
+    auto top = std::max_element(expected.begin(), expected.end());
+    *top += 1.0 - mass;
+
+    CertifyResult result =
+        certifyFromCounts(name, counts, expected, options.delta);
+    result.seconds = seconds;
+    result.samplesPerSecond =
+        seconds > 0.0 ? static_cast<double>(options.samples) / seconds
+                      : 0.0;
+    return result;
+}
+
+std::string
+certificationJson(const std::vector<CertifyResult>& results)
+{
+    std::ostringstream out;
+    out.precision(12);
+    out << "{\n  \"certifications\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CertifyResult& r = results[i];
+        out << "    {\"name\": \"" << r.sampler << "\", "
+            << "\"samples\": " << r.samples << ", "
+            << "\"cells\": " << r.cells << ", "
+            << "\"delta\": " << r.delta << ", "
+            << "\"tv_estimate\": " << r.tvEstimate << ", "
+            << "\"threshold\": " << r.threshold << ", "
+            << "\"epsilon\": " << r.epsilon << ", "
+            << "\"tv_upper_bound\": " << r.tvUpperBound << ", "
+            << "\"pass\": " << (r.pass ? "true" : "false") << ", "
+            << "\"seconds\": " << r.seconds << ", "
+            << "\"samples_per_second\": " << r.samplesPerSecond << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+}
+
+} // namespace stats
+} // namespace uncertain

@@ -42,5 +42,66 @@ chiSquareGof(const std::vector<std::size_t>& observed,
     return {statistic, dof, pValue};
 }
 
+ChiSquareResult
+chiSquareGofPooled(const std::vector<std::size_t>& observed,
+                   const std::vector<double>& expected,
+                   double minExpectedCount,
+                   std::size_t constraintsFitted)
+{
+    UNCERTAIN_REQUIRE(!observed.empty()
+                          && observed.size() == expected.size(),
+                      "chiSquareGofPooled: parallel non-empty arrays "
+                      "required");
+    UNCERTAIN_REQUIRE(minExpectedCount > 0.0,
+                      "chiSquareGofPooled: minExpectedCount must be "
+                      "positive");
+
+    double totalExpected = 0.0;
+    std::size_t totalObserved = 0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        UNCERTAIN_REQUIRE(expected[i] >= 0.0,
+                          "chiSquareGofPooled: expected mass must be "
+                          "non-negative");
+        totalExpected += expected[i];
+        totalObserved += observed[i];
+    }
+    UNCERTAIN_REQUIRE(totalExpected > 0.0 && totalObserved > 0,
+                      "chiSquareGofPooled: empty histogram");
+
+    // Merge left to right until each group's expected count clears
+    // the floor; a light trailing group joins its left neighbor.
+    const double countScale =
+        static_cast<double>(totalObserved) / totalExpected;
+    std::vector<std::size_t> pooledObserved;
+    std::vector<double> pooledExpected;
+    std::size_t groupObserved = 0;
+    double groupExpected = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        groupObserved += observed[i];
+        groupExpected += expected[i];
+        if (groupExpected * countScale >= minExpectedCount) {
+            pooledObserved.push_back(groupObserved);
+            pooledExpected.push_back(groupExpected);
+            groupObserved = 0;
+            groupExpected = 0.0;
+        }
+    }
+    if (groupObserved > 0 || groupExpected > 0.0) {
+        if (pooledObserved.empty()) {
+            pooledObserved.push_back(groupObserved);
+            pooledExpected.push_back(groupExpected);
+        } else {
+            pooledObserved.back() += groupObserved;
+            pooledExpected.back() += groupExpected;
+        }
+    }
+
+    UNCERTAIN_REQUIRE(pooledObserved.size() >= constraintsFitted + 2,
+                      "chiSquareGofPooled: histogram too sparse — "
+                      "pooling left fewer than 2 usable cells");
+    return chiSquareGof(pooledObserved, pooledExpected,
+                        constraintsFitted);
+}
+
 } // namespace stats
 } // namespace uncertain

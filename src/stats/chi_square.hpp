@@ -33,6 +33,25 @@ ChiSquareResult chiSquareGof(const std::vector<std::size_t>& observed,
                              const std::vector<double>& expected,
                              std::size_t constraintsFitted = 0);
 
+/**
+ * Pool adjacent sparse cells, then run chiSquareGof on the pooled
+ * histogram. The chi-square statistic's asymptotic distribution
+ * assumes every cell's expected count is adequate (the classical rule
+ * of thumb: >= 5); a sparse tail — a Poisson's far right cells, a
+ * binomial's extreme k — violates that and produces spurious
+ * rejections. Pooling rule: cells are taken in the given (support)
+ * order and merged left to right until each pooled group's expected
+ * count reaches @p minExpectedCount; a trailing group below the
+ * floor is merged into its left neighbor. Cells with zero expected
+ * mass are absorbed the same way. Requires the pooled histogram to
+ * keep at least constraintsFitted + 2 groups.
+ */
+ChiSquareResult
+chiSquareGofPooled(const std::vector<std::size_t>& observed,
+                   const std::vector<double>& expected,
+                   double minExpectedCount = 5.0,
+                   std::size_t constraintsFitted = 0);
+
 } // namespace stats
 } // namespace uncertain
 

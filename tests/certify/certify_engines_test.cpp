@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Statistical-distance certification of the sampling ENGINES — the
+ * paths between a leaf law and the numbers a program actually
+ * consumes:
+ *
+ *  - the trig-free GPS leaf (gps::getLocation's bulk column fill),
+ *    certified radially against the closed-form Rayleigh error law
+ *    on both the scalar tree walk and the batch-engine column path;
+ *  - batch-engine columns drawn through optimized BatchPlans (CSE,
+ *    folding, fusion, buffer reuse) over graphs whose root law is
+ *    closed-form, so a plan-rewrite bug that preserves per-node laws
+ *    but breaks the joint law is caught at the root;
+ *  - both resampling kernels behind SIR: the multinomial alias table
+ *    (random::Discrete, the exact code path reweight() draws pool
+ *    entries from) and the systematic low-variance walker
+ *    (inference::detail::systematicIndices), certified against the
+ *    normalized weight law.
+ *
+ * Sample counts scale with UNCERTAIN_CERTIFY_SAMPLES (see
+ * certify_test_util.hpp); the nightly job runs these at >= 1e7.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "certify/certify_test_util.hpp"
+#include "core/batch.hpp"
+#include "core/core.hpp"
+#include "gps/geo.hpp"
+#include "gps/gps_library.hpp"
+#include "gps/sensor.hpp"
+#include "inference/resample.hpp"
+#include "random/discrete.hpp"
+#include "random/gaussian.hpp"
+#include "random/rayleigh.hpp"
+#include "stats/certify.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+// ---------------------------------------------------------------
+// Trig-free GPS leaf: the radial error of getLocation() is exactly
+// Rayleigh(rho) with rho from the fix's horizontal accuracy, on both
+// sampling paths (the scalar path draws bearing + Rayleigh radius,
+// the bulk path two ziggurat Gaussian displacement columns — same
+// law by construction, which is precisely the claim to certify).
+// ---------------------------------------------------------------
+
+constexpr double kGpsAccuracyMeters = 4.0;
+const gps::GeoCoordinate kGpsCenter{47.6205, -122.3493};
+
+BulkSampler
+gpsRadialSampler(bool batch)
+{
+    gps::GpsFix fix{kGpsCenter, kGpsAccuracyMeters, 0.0};
+    auto location = gps::getLocation(fix);
+    auto sampler = std::make_shared<core::BatchSampler>();
+    return [location, sampler, batch](Rng& rng, double* out,
+                                      std::size_t n) {
+        std::vector<gps::GeoCoordinate> coords =
+            batch ? location.takeSamples(n, rng, *sampler)
+                  : location.takeSamples(n, rng);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = gps::distanceMeters(kGpsCenter, coords[i]);
+    };
+}
+
+TEST(CertificationEngines, GpsLeafScalarPathIsRayleighRadially)
+{
+    random::Rayleigh truth(
+        random::Rayleigh::fromHorizontalAccuracy(kGpsAccuracyMeters));
+    Rng rng = testing::testRng(4201);
+    auto r = certifyContinuous("gps_leaf/scalar",
+                               gpsRadialSampler(false), truth, rng,
+                               testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(r));
+}
+
+TEST(CertificationEngines, GpsLeafBatchColumnIsRayleighRadially)
+{
+    random::Rayleigh truth(
+        random::Rayleigh::fromHorizontalAccuracy(kGpsAccuracyMeters));
+    Rng rng = testing::testRng(4202);
+    auto r = certifyContinuous("gps_leaf/batch",
+                               gpsRadialSampler(true), truth, rng,
+                               testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(r));
+}
+
+// ---------------------------------------------------------------
+// Batch-engine columns through optimized plans. Each graph's root
+// law is closed-form Gaussian, so the certified claim covers the
+// whole pipeline: leaf bulk fills, fused elementwise kernels, CSE'd
+// shared leaves, and constant folding.
+// ---------------------------------------------------------------
+
+BulkSampler
+batchRootSampler(Uncertain<double> expr)
+{
+    auto sampler = std::make_shared<core::BatchSampler>();
+    return [expr, sampler](Rng& rng, double* out, std::size_t n) {
+        std::vector<double> samples = expr.takeSamples(n, rng, *sampler);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = samples[i];
+    };
+}
+
+Uncertain<double>
+gaussianLeaf(double mu, double sigma)
+{
+    return core::fromDistribution(
+        std::make_shared<random::Gaussian>(mu, sigma));
+}
+
+TEST(CertificationEngines, BatchAffinePlanKeepsTheGaussianLaw)
+{
+    // 2 G + 3 with G ~ N(0,1): folding and kernel fusion across the
+    // scale and shift nodes must leave exactly N(3, 2^2).
+    auto expr = gaussianLeaf(0.0, 1.0) * 2.0 + 3.0;
+    random::Gaussian truth(3.0, 2.0);
+    Rng rng = testing::testRng(4211);
+    auto r = certifyContinuous("batch_plan/affine",
+                               batchRootSampler(expr), truth, rng,
+                               testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(r));
+}
+
+TEST(CertificationEngines, BatchSharedLeafPlanKeepsFigure8Semantics)
+{
+    // G + G over ONE shared leaf is 2G ~ N(0, 2^2), not N(0, 2):
+    // the certificate rejects any plan rewrite that re-draws a CSE'd
+    // leaf independently.
+    auto g = gaussianLeaf(0.0, 1.0);
+    auto expr = g + g;
+    random::Gaussian truth(0.0, 2.0);
+    Rng rng = testing::testRng(4212);
+    auto r = certifyContinuous("batch_plan/shared_leaf",
+                               batchRootSampler(expr), truth, rng,
+                               testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(r));
+}
+
+TEST(CertificationEngines, BatchIndependentSumPlanConvolvesLaws)
+{
+    // Two distinct leaves must stay independent: N(1,1) + N(-1,2)
+    // = N(0, sqrt(5)^2).
+    auto expr = gaussianLeaf(1.0, 1.0) + gaussianLeaf(-1.0, 2.0);
+    random::Gaussian truth(0.0, std::sqrt(5.0));
+    Rng rng = testing::testRng(4213);
+    auto r = certifyContinuous("batch_plan/independent_sum",
+                               batchRootSampler(expr), truth, rng,
+                               testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(r));
+}
+
+// ---------------------------------------------------------------
+// Resampling kernels: pool-entry marginal law vs normalized weights.
+// ---------------------------------------------------------------
+
+/** An uneven weighted support standing in for a proposal pool. */
+struct WeightedPool
+{
+    std::vector<double> values;
+    std::vector<double> weights;
+    std::vector<double> probabilities; //!< weights normalized
+
+    WeightedPool()
+    {
+        double total = 0.0;
+        for (std::size_t i = 0; i < 16; ++i) {
+            values.push_back(static_cast<double>(i));
+            // Deterministic uneven weights spanning two orders of
+            // magnitude, like a real importance-weight profile.
+            const double w =
+                1.0 + 0.5 * static_cast<double>((i * 7) % 13)
+                + (i == 5 ? 20.0 : 0.0);
+            weights.push_back(w);
+            total += w;
+        }
+        for (double w : weights)
+            probabilities.push_back(w / total);
+    }
+};
+
+TEST(CertificationEngines, MultinomialResamplerMatchesWeightLaw)
+{
+    // reweight()'s multinomial scheme draws pool entries from
+    // random::Discrete's alias table; certify that exact object.
+    WeightedPool pool;
+    auto table = std::make_shared<random::Discrete>(pool.values,
+                                                    pool.weights);
+    Rng rng = testing::testRng(4221);
+    auto r = certifyDiscrete("resample/multinomial",
+                             scalarSampler(table), pool.values,
+                             pool.probabilities, rng,
+                             testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(r));
+}
+
+TEST(CertificationEngines, SystematicResamplerMatchesWeightLaw)
+{
+    // One systematicIndices() walk per block: entries within a block
+    // are negatively correlated by design (copy counts deviate from
+    // n w_i by less than one), which concentrates the cell counts
+    // FASTER than i.i.d. draws — the certificate's threshold is
+    // calibrated for i.i.d., so it is conservative here.
+    WeightedPool pool;
+    double total = 0.0;
+    for (double w : pool.weights)
+        total += w;
+    BulkSampler systematic = [pool, total](Rng& rng, double* out,
+                                           std::size_t n) {
+        const std::vector<std::size_t> indices =
+            inference::detail::systematicIndices(pool.weights, total,
+                                                 n, rng);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = pool.values[indices[i]];
+    };
+    Rng rng = testing::testRng(4222);
+    auto r = certifyDiscrete("resample/systematic", systematic,
+                             pool.values, pool.probabilities, rng,
+                             testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(r));
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests of the certification harness math (stats/certify.hpp):
+ * the plug-in TV estimator, the (epsilon, delta) certificate
+ * formulas, the pass/fail decision, the sampler adapters, and the
+ * BENCH_certification.json serializer. Everything here is
+ * deterministic (fixed counts or fixed seeds at small N), so the
+ * suite lives in the `certification` CTest shard but costs unit-test
+ * time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "random/gaussian.hpp"
+#include "random/uniform.hpp"
+#include "stats/certify.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+TEST(CertificationHarness, TvEstimateIsHalfL1Distance)
+{
+    // phat = (0.5, 0.3, 0.2) vs q = (0.4, 0.4, 0.2):
+    // L1 = 0.1 + 0.1 + 0 = 0.2, TV = 0.1.
+    auto r = certifyFromCounts("hand", {50, 30, 20}, {0.4, 0.4, 0.2},
+                               1e-3);
+    EXPECT_NEAR(r.tvEstimate, 0.1, 1e-12);
+    EXPECT_EQ(r.samples, 100u);
+    EXPECT_EQ(r.cells, 3u);
+}
+
+TEST(CertificationHarness, ThresholdAndEpsilonMatchTheFormulas)
+{
+    const double delta = 1e-4;
+    const std::vector<double> q = {0.25, 0.25, 0.25, 0.25};
+    auto r = certifyFromCounts("hand", {250, 250, 250, 250}, q, delta);
+
+    const double n = 1000.0;
+    double nullBias = 0.0;
+    for (double qk : q)
+        nullBias += std::sqrt(qk * (1.0 - qk) / n);
+    const double deviation = std::sqrt(2.0 * std::log(1.0 / delta) / n);
+    EXPECT_NEAR(r.threshold, 0.5 * (nullBias + deviation), 1e-12);
+    EXPECT_NEAR(r.epsilon, 0.5 * (std::sqrt(4.0 / n) + deviation),
+                1e-12);
+    EXPECT_NEAR(r.tvUpperBound, r.tvEstimate + r.epsilon, 1e-12);
+    // Exactly proportional counts: tvEstimate 0, certificate passes.
+    EXPECT_EQ(r.tvEstimate, 0.0);
+    EXPECT_TRUE(r.pass);
+}
+
+TEST(CertificationHarness, GrossMismatchFailsTheCertificate)
+{
+    // Half the mass is in the wrong cell: TV = 0.25, far beyond any
+    // threshold at N = 10000.
+    auto r = certifyFromCounts("biased", {7500, 2500}, {0.5, 0.5},
+                               1e-6);
+    EXPECT_NEAR(r.tvEstimate, 0.25, 1e-12);
+    EXPECT_FALSE(r.pass);
+    EXPECT_GT(r.tvUpperBound, 0.25);
+}
+
+TEST(CertificationHarness, ThresholdShrinksWithSampleCount)
+{
+    // The distinguishability radius must tighten as N grows — the
+    // whole point of certifying at production sample counts.
+    auto small = certifyFromCounts("n", {500, 500}, {0.5, 0.5}, 1e-6);
+    auto large = certifyFromCounts(
+        "n", {5000000, 5000000}, {0.5, 0.5}, 1e-6);
+    EXPECT_LT(large.threshold, small.threshold);
+    EXPECT_LT(large.epsilon, small.epsilon);
+    EXPECT_LT(large.threshold + large.epsilon, 0.0021);
+}
+
+TEST(CertificationHarness, RejectsMalformedInputs)
+{
+    EXPECT_THROW(certifyFromCounts("bad", {}, {}, 1e-6), Error);
+    EXPECT_THROW(certifyFromCounts("bad", {1, 2}, {0.5}, 1e-6), Error);
+    EXPECT_THROW(certifyFromCounts("bad", {1, 2}, {0.9, 0.2}, 1e-6),
+                 Error);
+    EXPECT_THROW(certifyFromCounts("bad", {1, 2}, {0.5, 0.5}, 0.0),
+                 Error);
+    EXPECT_THROW(certifyFromCounts("bad", {0, 0}, {0.5, 0.5}, 1e-6),
+                 Error);
+}
+
+TEST(CertificationHarness, ContinuousPitCellsAreEquiprobable)
+{
+    // A perfect Uniform(0,1) sampler against itself: with the
+    // probability-integral transform every cell has expectation
+    // exactly 1/K, so the certificate must pass (false-rejection
+    // probability is delta = 1e-6).
+    auto dist = std::make_shared<random::Uniform>(0.0, 1.0);
+    CertifyOptions options;
+    options.samples = 1u << 16;
+    options.cells = 64;
+    Rng rng = testing::testRng(9001);
+    auto r = certifyContinuous("uniform-self", bulkSampler(dist),
+                               *dist, rng, options);
+    EXPECT_TRUE(r.pass);
+    EXPECT_EQ(r.cells, 64u);
+    EXPECT_EQ(r.samples, options.samples);
+    EXPECT_GT(r.samplesPerSecond, 0.0);
+}
+
+TEST(CertificationHarness, ContinuousCatchesAWrongScale)
+{
+    // Sampler N(0, 1.1^2) certified against N(0, 1): TV ~ 0.038,
+    // an order of magnitude beyond the threshold at this N.
+    auto truth = std::make_shared<random::Gaussian>(0.0, 1.0);
+    auto wrong = std::make_shared<random::Gaussian>(0.0, 1.1);
+    CertifyOptions options;
+    options.samples = 1u << 19;
+    Rng rng = testing::testRng(9002);
+    auto r = certifyContinuous("wrong-scale", bulkSampler(wrong),
+                               *truth, rng, options);
+    EXPECT_FALSE(r.pass);
+    EXPECT_GT(r.tvEstimate, r.threshold * 2.0);
+}
+
+TEST(CertificationHarness, ScalarAndBulkAdaptersDrawTheSameLaw)
+{
+    auto dist = std::make_shared<random::Gaussian>(1.0, 2.0);
+    CertifyOptions options;
+    options.samples = 1u << 18;
+    Rng rngScalar = testing::testRng(9003);
+    Rng rngBulk = testing::testRng(9004);
+    auto scalar = certifyContinuous("scalar", scalarSampler(dist),
+                                    *dist, rngScalar, options);
+    auto bulk = certifyContinuous("bulk", bulkSampler(dist), *dist,
+                                  rngBulk, options);
+    EXPECT_TRUE(scalar.pass);
+    EXPECT_TRUE(bulk.pass);
+}
+
+TEST(CertificationHarness, DiscreteOverflowCellCountsAgainstSampler)
+{
+    // A "sampler" that emits a value outside the declared support 10%
+    // of the time: the overflow cell has zero expected mass, so every
+    // stray draw contributes fully to the distance.
+    BulkSampler stray = [](Rng& rng, double* out, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = rng.nextDouble() < 0.1 ? 99.0
+                     : rng.nextDouble() < 0.5 ? 0.0
+                                              : 1.0;
+    };
+    CertifyOptions options;
+    options.samples = 1u << 16;
+    Rng rng = testing::testRng(9005);
+    auto r = certifyDiscrete("stray", stray, {0.0, 1.0}, {0.5, 0.5},
+                             rng, options);
+    EXPECT_FALSE(r.pass);
+    EXPECT_GT(r.tvEstimate, 0.05);
+    // Overflow cell is reported in the cell count.
+    EXPECT_EQ(r.cells, 3u);
+}
+
+TEST(CertificationHarness, JsonSerializesEveryCertificateField)
+{
+    auto r = certifyFromCounts("gaussian/ziggurat", {50, 50},
+                               {0.5, 0.5}, 1e-6);
+    r.seconds = 0.25;
+    r.samplesPerSecond = 400.0;
+    const std::string json = certificationJson({r});
+    for (const char* key :
+         {"\"certifications\"", "\"name\": \"gaussian/ziggurat\"",
+          "\"samples\": 100", "\"cells\": 2", "\"delta\"",
+          "\"tv_estimate\"", "\"threshold\"", "\"epsilon\"",
+          "\"tv_upper_bound\"", "\"pass\": true", "\"seconds\"",
+          "\"samples_per_second\""}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing " << key << " in:\n"
+            << json;
+    }
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

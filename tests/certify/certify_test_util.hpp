@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared configuration for the certification shard (tests/certify/):
+ * one env-scalable sample count so the same suites run at a
+ * CI-friendly default per commit and at production scale (>= 1e7
+ * draws per sampler) in the scheduled certification-nightly.yml job.
+ */
+
+#ifndef UNCERTAIN_TESTS_CERTIFY_CERTIFY_TEST_UTIL_HPP
+#define UNCERTAIN_TESTS_CERTIFY_CERTIFY_TEST_UTIL_HPP
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdlib>
+
+#include "stats/certify.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace testing {
+
+/**
+ * Draws per certificate: UNCERTAIN_CERTIFY_SAMPLES when set (the
+ * nightly job raises it to >= 1e7, where the distinguishability
+ * radius drops to ~1e-2 at K = 512), else a 2^20 default sized so
+ * the whole certification shard stays in unit-test wall-clock
+ * per commit.
+ */
+inline std::size_t
+certifySamples()
+{
+    static const std::size_t samples = [] {
+        const char* env = std::getenv("UNCERTAIN_CERTIFY_SAMPLES");
+        if (env != nullptr) {
+            const long long parsed = std::atoll(env);
+            if (parsed > 0)
+                return static_cast<std::size_t>(parsed);
+        }
+        return static_cast<std::size_t>(1) << 20;
+    }();
+    return samples;
+}
+
+/** The shard's common options at the env-scaled sample count. */
+inline stats::CertifyOptions
+certifyOptions(std::size_t cells = 512)
+{
+    stats::CertifyOptions options;
+    options.samples = certifySamples();
+    options.cells = cells;
+    options.delta = 1e-6;
+    return options;
+}
+
+/**
+ * Assert that @p result passed its certificate, printing the full
+ * (epsilon, delta) record on failure so a red nightly names the
+ * sampler, the bound, and the scale it was judged at.
+ */
+inline ::testing::AssertionResult
+certifiedPass(const stats::CertifyResult& result)
+{
+    if (result.pass)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << result.sampler << " failed certification: tvEstimate "
+           << result.tvEstimate << " > threshold " << result.threshold
+           << " (N " << result.samples << ", K " << result.cells
+           << ", delta " << result.delta << ", tvUpperBound "
+           << result.tvUpperBound << ")";
+}
+
+} // namespace testing
+} // namespace uncertain
+
+#endif // UNCERTAIN_TESTS_CERTIFY_CERTIFY_TEST_UTIL_HPP

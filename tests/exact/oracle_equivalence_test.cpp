@@ -30,6 +30,7 @@
 #include "life/variants.hpp"
 #include "random/binomial.hpp"
 #include "random/discrete.hpp"
+#include "random/poisson.hpp"
 #include "stat_assert.hpp"
 #include "support/graph_gen.hpp"
 #include "test_util.hpp"
@@ -110,6 +111,14 @@ corpus()
     add("binomial-dist",
         core::fromDistribution(
             std::make_shared<random::Binomial>(6, 0.4)));
+    add("poisson-dist",
+        core::fromDistribution(
+            std::make_shared<random::Poisson>(1.25)));
+    add("poisson-plus-binomial",
+        core::fromDistribution(
+            std::make_shared<random::Poisson>(0.75))
+            + core::fromDistribution(
+                  std::make_shared<random::Binomial>(4, 0.35)));
 
     // Neighbor-count shape of a 3x3 Life cell: eight Bernoulli
     // sensor leaves folded into a sum (the ExactBayesLife graph).

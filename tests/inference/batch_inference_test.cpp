@@ -130,6 +130,91 @@ TEST(InferenceConformance, ApplyPriorConformsOnBothEngines)
     }
 }
 
+TEST(InferenceConformance, BetaApplyPriorConformsOnBothEngines)
+{
+    // Estimate Beta(2.5, 1.5) x prior Beta(3, 2): the density product
+    // is exactly Beta(4.5, 2.5) (betaDensityProduct), sampled through
+    // the new Beta bulk path on the batch engine.
+    random::Beta estimate(2.5, 1.5);
+    random::Beta exact =
+        betaDensityProduct(estimate, random::Beta(3.0, 2.0));
+    for (bool batch : {false, true}) {
+        Rng rng = testing::testRng(batch ? 1654 : 1653);
+        core::BatchSampler sampler;
+        ReweightOptions options;
+        options.proposalSamples = 100000;
+        options.resampleSize = 50000;
+        if (batch)
+            options.sampler = &sampler;
+        auto posterior = applyPrior(
+            core::fromDistribution(
+                std::make_shared<random::Beta>(estimate)),
+            random::Beta(3.0, 2.0), options, rng);
+        std::vector<double> samples =
+            posterior.takeSamples(3000, rng);
+        EXPECT_TRUE(testing::ksMatchesDistribution(samples, exact))
+            << (batch ? "batch" : "tree");
+        EXPECT_TRUE(testing::momentsMatch(samples, exact.mean(),
+                                          exact.stddev()))
+            << (batch ? "batch" : "tree");
+    }
+}
+
+TEST(InferenceConformance, GammaApplyPriorConformsOnBothEngines)
+{
+    // Estimate Gamma(3, 1.5) x prior Gamma(2, 1): exactly
+    // Gamma(4, 2.5) by gammaDensityProduct.
+    random::Gamma estimate(3.0, 1.5);
+    random::Gamma exact =
+        gammaDensityProduct(estimate, random::Gamma(2.0, 1.0));
+    for (bool batch : {false, true}) {
+        Rng rng = testing::testRng(batch ? 1656 : 1655);
+        core::BatchSampler sampler;
+        ReweightOptions options;
+        options.proposalSamples = 100000;
+        options.resampleSize = 50000;
+        if (batch)
+            options.sampler = &sampler;
+        auto posterior = applyPrior(
+            core::fromDistribution(
+                std::make_shared<random::Gamma>(estimate)),
+            random::Gamma(2.0, 1.0), options, rng);
+        std::vector<double> samples =
+            posterior.takeSamples(3000, rng);
+        EXPECT_TRUE(testing::ksMatchesDistribution(samples, exact))
+            << (batch ? "batch" : "tree");
+        EXPECT_TRUE(testing::momentsMatch(samples, exact.mean(),
+                                          exact.stddev()))
+            << (batch ? "batch" : "tree");
+    }
+}
+
+TEST(ConjugateHooks, DensityProductsAndGammaPoissonAreExact)
+{
+    random::Beta beta =
+        betaDensityProduct(random::Beta(2.0, 5.0),
+                           random::Beta(3.5, 1.5));
+    EXPECT_DOUBLE_EQ(beta.a(), 4.5);
+    EXPECT_DOUBLE_EQ(beta.b(), 5.5);
+    EXPECT_THROW(betaDensityProduct(random::Beta(0.4, 1.0),
+                                    random::Beta(0.5, 1.0)),
+                 Error);
+
+    random::Gamma gamma =
+        gammaDensityProduct(random::Gamma(3.0, 1.5),
+                            random::Gamma(2.5, 0.5));
+    EXPECT_DOUBLE_EQ(gamma.shape(), 4.5);
+    EXPECT_DOUBLE_EQ(gamma.rate(), 2.0);
+    EXPECT_THROW(gammaDensityProduct(random::Gamma(0.3, 1.0),
+                                     random::Gamma(0.6, 1.0)),
+                 Error);
+
+    random::Gamma posterior =
+        gammaPoissonPosterior(random::Gamma(2.0, 0.5), 17, 4);
+    EXPECT_DOUBLE_EQ(posterior.shape(), 19.0);
+    EXPECT_DOUBLE_EQ(posterior.rate(), 4.5);
+}
+
 TEST(InferenceConformance, TreeAndBatchAgreeOnGpsSpeedPosterior)
 {
     // The Figure 11/13 pipeline: speed from two fixes, improved by
@@ -142,7 +227,16 @@ TEST(InferenceConformance, TreeAndBatchAgreeOnGpsSpeedPosterior)
                             4.0};
     auto speed = gps::speedFromFixes(earlier, later);
 
+    // Both posteriors are finite pools, so the KS comparison sees
+    // pool-level Monte Carlo noise on top of any engine disagreement.
+    // At the default 4000/2000 pool the pools' own fluctuation is the
+    // same order as the KS radius and the test is seed-fragile (the
+    // stat_flake_audit sweep rejects on most offsets); 40000/20000
+    // puts pool noise well inside the radius so only a real engine
+    // divergence can reject.
     ReweightOptions treeOptions;
+    treeOptions.proposalSamples = 40000;
+    treeOptions.resampleSize = 20000;
     Rng treeRng = testing::testRng(1611);
     auto tree = reweightBulk(
         speed,
@@ -154,6 +248,8 @@ TEST(InferenceConformance, TreeAndBatchAgreeOnGpsSpeedPosterior)
 
     core::BatchSampler sampler;
     ReweightOptions batchOptions;
+    batchOptions.proposalSamples = 40000;
+    batchOptions.resampleSize = 20000;
     batchOptions.sampler = &sampler;
     Rng batchRng = testing::testRng(1611);
     auto batch = reweightBulk(

@@ -24,11 +24,16 @@
 #include <vector>
 
 #include "random/bernoulli.hpp"
+#include "random/beta.hpp"
+#include "random/binomial.hpp"
 #include "random/distribution.hpp"
 #include "random/exponential.hpp"
+#include "random/gamma.hpp"
 #include "random/gaussian.hpp"
 #include "random/mixture.hpp"
+#include "random/poisson.hpp"
 #include "random/rayleigh.hpp"
+#include "random/student_t.hpp"
 #include "random/uniform.hpp"
 #include "stat_assert.hpp"
 #include "test_util.hpp"
@@ -95,6 +100,32 @@ makeBimodalMixture()
         std::vector<double>{0.4, 0.6});
 }
 
+DistributionPtr
+makeGoldenBeta()
+{
+    return std::make_shared<Beta>(2.5, 1.5);
+}
+
+DistributionPtr
+makeGoldenBoostGamma()
+{
+    // shape < 1 exercises the Marsaglia-Tsang boost branch.
+    return std::make_shared<Gamma>(0.5, 2.0);
+}
+
+DistributionPtr
+makeGoldenSqueezeGamma()
+{
+    return std::make_shared<Gamma>(3.0, 1.5);
+}
+
+DistributionPtr
+makeGoldenStudentT()
+{
+    // nu > 2 so both golden moments exist for the moment checks.
+    return std::make_shared<StudentT>(5.0);
+}
+
 const GoldenCase kContinuousCases[] = {
     {"gaussian_standard", makeStandardGaussian, 2001},
     {"gaussian_shifted", makeShiftedGaussian, 2002},
@@ -103,6 +134,10 @@ const GoldenCase kContinuousCases[] = {
     {"uniform_wide", makeWideUniform, 2005},
     {"exponential", makeExponential, 2006},
     {"mixture_bimodal", makeBimodalMixture, 2007},
+    {"beta_2p5_1p5", makeGoldenBeta, 2008},
+    {"gamma_boost_0p5", makeGoldenBoostGamma, 2009},
+    {"gamma_squeeze_3", makeGoldenSqueezeGamma, 2010},
+    {"student_t_5", makeGoldenStudentT, 2011},
 };
 
 std::vector<double>
@@ -207,6 +242,109 @@ TEST(GoldenConformanceBernoulli, MomentsMatchOnBothPaths)
     EXPECT_TRUE(testing::momentsMatch(bulkDraws(dist, 2104),
                                       dist.mean(), dist.stddev()));
 }
+
+// ---------------------------------------------------------------------
+// Discrete golden cases: chi-square over the exact finite support
+// (sparse tail cells pooled by chiSquareMatches) plus moment checks,
+// on both sampling paths.
+// ---------------------------------------------------------------------
+
+struct DiscreteGoldenCase
+{
+    const char* name;
+    DistributionPtr (*make)();
+    std::uint64_t seed;
+};
+
+DistributionPtr
+makeGoldenSmallBinomial()
+{
+    return std::make_shared<Binomial>(40, 0.3);
+}
+
+DistributionPtr
+makeGoldenBtpeBinomial()
+{
+    return std::make_shared<Binomial>(200, 0.4);
+}
+
+DistributionPtr
+makeGoldenKnuthPoisson()
+{
+    return std::make_shared<Poisson>(4.2);
+}
+
+DistributionPtr
+makeGoldenPtrsPoisson()
+{
+    return std::make_shared<Poisson>(80.0);
+}
+
+const DiscreteGoldenCase kDiscreteCases[] = {
+    {"binomial_inversion_40", makeGoldenSmallBinomial, 2201},
+    {"binomial_btpe_200", makeGoldenBtpeBinomial, 2202},
+    {"poisson_knuth_4p2", makeGoldenKnuthPoisson, 2203},
+    {"poisson_ptrs_80", makeGoldenPtrsPoisson, 2204},
+};
+
+class GoldenConformanceDiscrete
+    : public ::testing::TestWithParam<DiscreteGoldenCase>
+{};
+
+/** Bin integer-valued draws against the exact finite support. */
+::testing::AssertionResult
+supportChiSquare(const Distribution& dist,
+                 const std::vector<double>& xs)
+{
+    std::vector<double> values;
+    std::vector<double> probabilities;
+    if (!dist.finiteSupport(values, probabilities))
+        return ::testing::AssertionFailure()
+               << dist.name() << " surfaces no finite support";
+    const double first = values.front();
+    std::vector<std::size_t> counts(values.size(), 0);
+    for (double x : xs) {
+        const auto k = static_cast<std::size_t>(x - first);
+        if (k >= counts.size())
+            return ::testing::AssertionFailure()
+                   << "draw " << x << " outside the exact support ["
+                   << values.front() << ", " << values.back() << "]";
+        ++counts[k];
+    }
+    return testing::chiSquareMatches(counts, probabilities);
+}
+
+TEST_P(GoldenConformanceDiscrete, ScalarCountsPassChiSquare)
+{
+    auto dist = GetParam().make();
+    EXPECT_TRUE(
+        supportChiSquare(*dist, scalarDraws(*dist, GetParam().seed)));
+}
+
+TEST_P(GoldenConformanceDiscrete, BulkCountsPassChiSquare)
+{
+    auto dist = GetParam().make();
+    EXPECT_TRUE(supportChiSquare(
+        *dist, bulkDraws(*dist, GetParam().seed + 50)));
+}
+
+TEST_P(GoldenConformanceDiscrete, MomentsMatchOnBothPaths)
+{
+    auto dist = GetParam().make();
+    EXPECT_TRUE(
+        testing::momentsMatch(scalarDraws(*dist, GetParam().seed + 100),
+                              dist->mean(), dist->stddev()));
+    EXPECT_TRUE(
+        testing::momentsMatch(bulkDraws(*dist, GetParam().seed + 150),
+                              dist->mean(), dist->stddev()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDiscreteGoldenDistributions, GoldenConformanceDiscrete,
+    ::testing::ValuesIn(kDiscreteCases),
+    [](const ::testing::TestParamInfo<DiscreteGoldenCase>& info) {
+        return std::string(info.param.name);
+    });
 
 } // namespace
 } // namespace random

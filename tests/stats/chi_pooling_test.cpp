@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for stats::chiSquareGofPooled — the sparse-cell pooling
+ * front end that every chiSquareMatches assertion now runs through.
+ * The chi-square null distribution is asymptotic in each cell's
+ * expected count; the classical rule of thumb demands E >= 5 per
+ * cell. Pooling merges adjacent sparse cells (in support order) until
+ * each group clears the floor, so full-support histograms of laws
+ * with long thin tails (Poisson, binomial extremes) stop producing
+ * spurious rejections from near-empty cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "random/binomial.hpp"
+#include "stat_assert.hpp"
+#include "stats/chi_square.hpp"
+#include "support/error.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace stats {
+namespace {
+
+TEST(ChiSquarePooling, MergesLeadingSparseCellsUntilTheFloor)
+{
+    // Expected counts {2, 2, 1, 45, 50}: the first three cells pool
+    // into one group of expected 5, the dense cells stand alone.
+    const std::vector<std::size_t> observed = {3, 1, 2, 44, 50};
+    const std::vector<double> expected = {0.02, 0.02, 0.01, 0.45,
+                                          0.5};
+    auto pooled = chiSquareGofPooled(observed, expected);
+    EXPECT_DOUBLE_EQ(pooled.degreesOfFreedom, 2.0);
+
+    const std::vector<std::size_t> byHand = {6, 44, 50};
+    const std::vector<double> byHandExpected = {0.05, 0.45, 0.5};
+    auto reference = chiSquareGof(byHand, byHandExpected);
+    EXPECT_DOUBLE_EQ(pooled.statistic, reference.statistic);
+    EXPECT_DOUBLE_EQ(pooled.pValue, reference.pValue);
+}
+
+TEST(ChiSquarePooling, TrailingSparseGroupJoinsItsLeftNeighbor)
+{
+    // Expected counts {50, 46, 2, 1, 1}: the trailing 4 never reaches
+    // the floor and must merge into the group that ends at cell 1.
+    const std::vector<std::size_t> observed = {49, 47, 1, 2, 1};
+    const std::vector<double> expected = {0.50, 0.46, 0.02, 0.01,
+                                          0.01};
+    auto pooled = chiSquareGofPooled(observed, expected);
+    EXPECT_DOUBLE_EQ(pooled.degreesOfFreedom, 1.0);
+
+    const std::vector<std::size_t> byHand = {49, 51};
+    const std::vector<double> byHandExpected = {0.50, 0.50};
+    auto reference = chiSquareGof(byHand, byHandExpected);
+    EXPECT_DOUBLE_EQ(pooled.statistic, reference.statistic);
+}
+
+TEST(ChiSquarePooling, AbsorbsZeroExpectedMassCells)
+{
+    // Raw chiSquareGof requires strictly positive expected mass; the
+    // pooled variant absorbs a zero-mass cell into its group.
+    const std::vector<std::size_t> observed = {48, 1, 51};
+    const std::vector<double> expected = {0.5, 0.0, 0.5};
+    EXPECT_THROW(chiSquareGof(observed, expected), Error);
+
+    auto pooled = chiSquareGofPooled(observed, expected);
+    EXPECT_DOUBLE_EQ(pooled.degreesOfFreedom, 1.0);
+    const std::vector<std::size_t> byHand = {48, 52};
+    const std::vector<double> byHandExpected = {0.5, 0.5};
+    EXPECT_DOUBLE_EQ(pooled.statistic,
+                     chiSquareGof(byHand, byHandExpected).statistic);
+}
+
+TEST(ChiSquarePooling, MatchesUnpooledWhenEveryCellIsDense)
+{
+    const std::vector<std::size_t> observed = {240, 260, 255, 245};
+    const std::vector<double> expected = {0.25, 0.25, 0.25, 0.25};
+    auto pooled = chiSquareGofPooled(observed, expected);
+    auto raw = chiSquareGof(observed, expected);
+    EXPECT_DOUBLE_EQ(pooled.statistic, raw.statistic);
+    EXPECT_DOUBLE_EQ(pooled.degreesOfFreedom, raw.degreesOfFreedom);
+    EXPECT_DOUBLE_EQ(pooled.pValue, raw.pValue);
+}
+
+TEST(ChiSquarePooling, SparseTailNoLongerRejectsSpuriously)
+{
+    // The regression that motivated pooling: a single stray count in
+    // a cell whose expected count is ~0.002 contributes
+    // (1 - E)^2 / E ~ 500 to the raw statistic — an astronomically
+    // significant "rejection" of a perfectly calibrated histogram.
+    // Pooling folds the tail cell into its dense neighbor, where one
+    // count out of 2500 is exactly the noise it looks like.
+    const std::vector<std::size_t> observed = {2500, 2500, 2500, 2499,
+                                               1};
+    const std::vector<double> expected = {0.25, 0.25, 0.25, 0.2499998,
+                                          0.0000002};
+    auto raw = chiSquareGof(observed, expected);
+    EXPECT_TRUE(raw.rejectAt(0.01))
+        << "raw statistic " << raw.statistic
+        << " was expected to blow up on the sparse cell";
+
+    auto pooled = chiSquareGofPooled(observed, expected);
+    EXPECT_FALSE(pooled.rejectAt(0.01));
+    EXPECT_GT(pooled.pValue, 0.5);
+}
+
+TEST(ChiSquarePooling, ThrowsWhenPoolingLeavesTooFewGroups)
+{
+    const std::vector<std::size_t> observed = {5, 3, 2};
+    const std::vector<double> expected = {0.5, 0.25, 0.25};
+    // A floor no group can meet twice collapses the histogram to a
+    // single cell: no degrees of freedom left to test.
+    EXPECT_THROW(chiSquareGofPooled(observed, expected, 1e6), Error);
+}
+
+TEST(ChiSquarePooling, FullSupportBinomialHistogramPasses)
+{
+    // End to end: bin binomial draws over the FULL exact support —
+    // including k near 0 and k near n whose expected counts are far
+    // below one — and assert the pooled chiSquareMatches accepts it.
+    random::Binomial dist(40, 0.3);
+    std::vector<double> values;
+    std::vector<double> probabilities;
+    ASSERT_TRUE(dist.finiteSupport(values, probabilities));
+
+    Rng rng = testing::testRng(9101);
+    std::vector<std::size_t> counts(values.size(), 0);
+    for (int i = 0; i < 20000; ++i) {
+        const auto k = static_cast<std::size_t>(dist.sample(rng));
+        ASSERT_LT(k, counts.size());
+        ++counts[k];
+    }
+    EXPECT_TRUE(testing::chiSquareMatches(counts, probabilities));
+}
+
+} // namespace
+} // namespace stats
+} // namespace uncertain

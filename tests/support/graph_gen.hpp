@@ -24,11 +24,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "core/core.hpp"
+#include "random/binomial.hpp"
+#include "random/poisson.hpp"
 
 namespace uncertain {
 namespace testing {
@@ -38,13 +41,22 @@ struct GraphGenOptions
     std::size_t maxLeaves = 6;      //!< stochastic leaves (>= 1)
     std::size_t maxLeafSupport = 4; //!< values per leaf (>= 2)
     std::size_t ops = 12;           //!< inner nodes appended
+    /**
+     * Allow at most ONE distribution-backed leaf per graph — a small
+     * Binomial (n in 2..5) or a truncated small-lambda Poisson —
+     * exercising the fromDistribution finite-support surfacing the
+     * enumeration oracle consumes. Capped at one so the joint support
+     * stays bounded (the truncated Poisson support is the widest at
+     * ~18 integer values).
+     */
+    bool distributionLeaves = true;
 };
 
 /**
  * Deterministically generate a finite-support expression DAG from
- * @p seed. Joint support is bounded by maxLeafSupport^maxLeaves
- * (4096 states at the defaults), well inside every enumeration limit
- * used by the suites.
+ * @p seed. Joint support is bounded by maxLeafSupport^maxLeaves times
+ * the widest distribution-leaf support (4096 x ~18 states at the
+ * defaults), well inside every enumeration limit used by the suites.
  */
 inline Uncertain<double>
 randomFiniteGraph(std::uint64_t seed,
@@ -74,6 +86,27 @@ randomFiniteGraph(std::uint64_t seed,
         }
         pool.push_back(core::fromFiniteSupport<double>(
             values, weights, "gen" + std::to_string(i)));
+    }
+
+    // Roughly half the graphs get one distribution-backed leaf whose
+    // finite support comes from Binomial::finiteSupport or the
+    // truncated Poisson::finiteSupport — integer-valued, so the
+    // corpus stays closed over exactly-representable doubles.
+    if (options.distributionLeaves && pickIndex(0, 1) == 0) {
+        if (pickIndex(0, 1) == 0) {
+            const auto n =
+                static_cast<std::uint32_t>(pickIndex(2, 5));
+            const double p =
+                0.15 + 0.1 * static_cast<double>(pickIndex(1, 7));
+            pool.push_back(core::fromDistribution(
+                std::make_shared<random::Binomial>(n, p)));
+        }
+        else {
+            const double lambda =
+                0.25 * static_cast<double>(pickIndex(2, 5));
+            pool.push_back(core::fromDistribution(
+                std::make_shared<random::Poisson>(lambda)));
+        }
     }
 
     auto pick = [&]() {
