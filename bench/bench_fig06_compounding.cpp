@@ -44,10 +44,14 @@ main(int argc, char** argv)
     bool paper = bench::hasFlag(argc, argv, "--paper");
     bool verbose = bench::hasFlag(argc, argv, "--verbose");
     std::string engine = bench::engineFlag(argc, argv);
+    const simd::ExecBackend backend =
+        bench::applyBackend(bench::backendFlag(argc, argv));
     const std::size_t n = paper ? 400000 : 60000;
 
     Rng rng(6);
-    core::BatchSampler batchSampler;
+    core::BatchOptions batchConfig;
+    batchConfig.optimizer.backend = backend;
+    core::BatchSampler batchSampler(batchConfig);
     core::BatchSampler* batch =
         engine == "batch" ? &batchSampler : nullptr;
     auto a = core::fromDistribution(
@@ -61,11 +65,13 @@ main(int argc, char** argv)
     describe("c = a + b      ", c, n, rng, batch);
 
     if (batch && verbose) {
-        std::printf("plan (c = a + b): %s\n",
-                    core::planReport(core::planStats(c, *batch),
-                                     batch->planCache()->stats(),
-                                     batch->blockSize())
-                        .c_str());
+        std::printf(
+            "plan (c = a + b): %s\n",
+            core::planReport(core::planStats(c, *batch),
+                             batch->planCache()->stats(),
+                             batch->blockSize(),
+                             core::planExecCounters(c, *batch))
+                .c_str());
     }
 
     std::printf("Shape check: stddev(c) = sqrt(1 + 2.25) = 1.80 > "

@@ -12,6 +12,8 @@
  * Axes:
  *   --engine {tree,batch}            per-sample walk vs columnar plans
  *   --scheme {multinomial,systematic} SIR resampling scheme
+ *   --backend {auto,simd,scalar}     execution backend for the batch
+ *                                    plans and bulk RNG/ziggurat layers
  *   --json FILE                      google-benchmark-style JSON for
  *                                    scripts/bench_compare.py
  */
@@ -50,6 +52,8 @@ main(int argc, char** argv)
         return 2;
     }
     std::string jsonPath = bench::stringFlag(argc, argv, "--json", "");
+    const simd::ExecBackend backend =
+        bench::applyBackend(bench::backendFlag(argc, argv));
     const std::size_t n = paper ? 500000 : 80000;
     const double epsilon = 4.0;
 
@@ -91,7 +95,9 @@ main(int argc, char** argv)
     options.scheme = schemeName == "systematic"
                          ? inference::ResamplingScheme::Systematic
                          : inference::ResamplingScheme::Multinomial;
-    core::BatchSampler sampler;
+    core::BatchOptions batchConfig;
+    batchConfig.optimizer.backend = backend;
+    core::BatchSampler sampler(batchConfig);
     const bool batch = engine == "batch";
     if (batch)
         options.sampler = &sampler;

@@ -3,12 +3,19 @@
  * Microbenchmarks: sampling throughput of every distribution family
  * (the cost floor under every Uncertain<T> leaf) and of the SIR
  * reweighting pipeline.
+ *
+ * --backend {auto,simd,scalar} pins the execution backend for the
+ * bulk paths (BM_SampleManyGaussian, BM_FillDouble go through the
+ * vectorized RNG-fill and ziggurat-accept kernels under auto/simd).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "inference/reweight.hpp"
 #include "random/beta.hpp"
 #include "random/binomial.hpp"
@@ -164,6 +171,42 @@ BM_SampleKde(benchmark::State& state)
 }
 BENCHMARK(BM_SampleKde);
 
+// ----------------------------------------------------------------------
+// Bulk paths: these honour --backend (the per-draw loops above are
+// scalar by construction and do not).
+// ----------------------------------------------------------------------
+
+void
+BM_SampleManyGaussian(benchmark::State& state)
+{
+    random::Gaussian dist(0.0, 1.0);
+    Rng rng(9);
+    std::vector<double> out(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        dist.sampleMany(rng, out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * out.size()));
+}
+BENCHMARK(BM_SampleManyGaussian)->Arg(1024)->Arg(65536);
+
+void
+BM_FillDouble(benchmark::State& state)
+{
+    Rng rng(10);
+    std::vector<double> out(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        rng.fillDouble(out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * out.size()));
+}
+BENCHMARK(BM_FillDouble)->Arg(65536);
+
 void
 BM_ReweightPipeline(benchmark::State& state)
 {
@@ -183,6 +226,48 @@ BM_ReweightPipeline(benchmark::State& state)
 }
 BENCHMARK(BM_ReweightPipeline)->Range(256, 16384)->Complexity();
 
+/** Strip "--backend X" / "--backend=X" (google benchmark rejects
+ *  unknown flags) and record the choice. */
+std::string
+parseBackendFlag(int* argc, char** argv)
+{
+    std::string backend = "auto";
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < *argc) {
+            backend = argv[++i];
+        } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+            backend = argv[i] + 10;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    return backend;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    const std::string backend = parseBackendFlag(&argc, argv);
+    if (backend != "auto" && backend != "simd"
+        && backend != "scalar") {
+        std::fprintf(
+            stderr,
+            "unknown --backend '%s' (expected auto, simd or scalar)\n",
+            backend.c_str());
+        return 2;
+    }
+    bench::applyBackend(backend);
+    benchmark::AddCustomContext("backend", backend);
+    benchmark::AddCustomContext(
+        "isa", simd::isaName(simd::activeIsa()));
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

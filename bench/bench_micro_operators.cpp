@@ -17,6 +17,12 @@
  * the run — CI runs both and scripts/bench_compare.py diffs the two
  * JSONs. --verbose prints the optimized-plan report for the
  * BM_TakeSamples graphs before the benchmarks run.
+ *
+ * --backend {auto,simd,scalar} selects the execution backend for the
+ * batch plans AND (via the process-wide force-scalar switch) the
+ * RNG-fill/ziggurat layers: "scalar" is the honest baseline for SIMD
+ * speedups, "simd" the candidate CI gates at >= 1.3x on the depth-64
+ * chain (scripts/bench_compare.py --simd).
  */
 
 #include <benchmark/benchmark.h>
@@ -27,6 +33,7 @@
 #include <memory>
 #include <string>
 
+#include "bench_util.hpp"
 #include "core/core.hpp"
 #include "core/inspect.hpp"
 #include "random/gaussian.hpp"
@@ -39,6 +46,10 @@ namespace {
 std::string g_engine = "tree";
 /** Optimizer axis for the batch engine; set by --optimizer. */
 std::string g_optimizer = "on";
+/** Backend axis for the batch engine; set by --backend. */
+std::string g_backend = "auto";
+/** g_backend resolved by bench::applyBackend() in main(). */
+simd::ExecBackend g_backendEnum = simd::ExecBackend::Auto;
 bool g_verbose = false;
 
 bool
@@ -50,8 +61,13 @@ useBatchEngine()
 core::PlanOptions
 optimizerOptions()
 {
-    return g_optimizer == "on" ? core::PlanOptions{}
-                               : core::PlanOptions::disabled();
+    auto options = g_optimizer == "on" ? core::PlanOptions{}
+                                       : core::PlanOptions::disabled();
+    // The backend axis overrides disabled()'s scalar default: the two
+    // axes are independent (an unoptimized plan can still run its
+    // per-step strips through the vector kernels).
+    options.backend = g_backendEnum;
+    return options;
 }
 
 core::BatchOptions
@@ -226,6 +242,42 @@ BM_TakeSamples(benchmark::State& state)
 }
 BENCHMARK(BM_TakeSamples)->Arg(8)->Arg(64);
 
+/** Depth-@p depth chain of elementwise ops over ONE leaf: acc
+ *  alternates * and + with plain constants, so every step after the
+ *  leaf is a fusable elementwise op and the optimizer folds the whole
+ *  chain into fused register strips. This is the strip-execution
+ *  benchmark: per sample, one Gaussian draw and @p depth micro-ops,
+ *  where the scalar-vs-simd backend gap is the strip kernels alone
+ *  (BM_TakeSamples is leaf/RNG-dominated and measures the ziggurat
+ *  path instead). */
+Uncertain<double>
+buildElementwiseChain(int depth)
+{
+    auto acc = gaussianLeaf();
+    for (int i = 0; i < depth / 2; ++i)
+        acc = acc * 1.0101 + 0.25;
+    return acc;
+}
+
+void
+BM_ElementwiseChain(benchmark::State& state)
+{
+    auto chain =
+        buildElementwiseChain(static_cast<int>(state.range(0)));
+    Rng rng(8);
+    core::BatchSampler batchSampler(batchOptions());
+    const std::size_t n = 10000;
+    for (auto _ : state) {
+        auto samples = useBatchEngine()
+                           ? chain.takeSamples(n, rng, batchSampler)
+                           : chain.takeSamples(n, rng);
+        benchmark::DoNotOptimize(samples.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_ElementwiseChain)->Arg(8)->Arg(64);
+
 void
 BM_ParallelTakeSamples(benchmark::State& state)
 {
@@ -282,6 +334,11 @@ parseLocalFlags(int* argc, char** argv)
             g_optimizer = argv[++i];
         } else if (std::strncmp(argv[i], "--optimizer=", 12) == 0) {
             g_optimizer = argv[i] + 12;
+        } else if (std::strcmp(argv[i], "--backend") == 0
+                   && i + 1 < *argc) {
+            g_backend = argv[++i];
+        } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+            g_backend = argv[i] + 10;
         } else if (std::strcmp(argv[i], "--verbose") == 0) {
             g_verbose = true;
         } else {
@@ -309,17 +366,45 @@ main(int argc, char** argv)
                      g_optimizer.c_str());
         return 2;
     }
+    if (g_backend != "auto" && g_backend != "simd"
+        && g_backend != "scalar") {
+        std::fprintf(
+            stderr,
+            "unknown --backend '%s' (expected auto, simd or scalar)\n",
+            g_backend.c_str());
+        return 2;
+    }
+    g_backendEnum = bench::applyBackend(g_backend);
     benchmark::AddCustomContext("engine", g_engine);
     benchmark::AddCustomContext("optimizer", g_optimizer);
+    benchmark::AddCustomContext("backend", g_backend);
+    benchmark::AddCustomContext(
+        "isa", simd::isaName(simd::activeIsa()));
     if (g_verbose) {
         core::BatchSampler sampler(batchOptions());
+        Rng rng(8);
+        for (int depth : {8, 64}) {
+            auto chain = buildElementwiseChain(depth);
+            chain.takeSamples(sampler.blockSize(), rng, sampler);
+            std::fprintf(
+                stderr, "plan BM_ElementwiseChain/%d: %s\n", depth,
+                core::planReport(core::planStats(chain, sampler),
+                                 sampler.planCache()->stats(),
+                                 sampler.blockSize(),
+                                 core::planExecCounters(chain, sampler))
+                    .c_str());
+        }
         for (int depth : {8, 64}) {
             auto chain = buildChain(depth);
+            // Draw one batch first so the execution counters in the
+            // report reflect a real pass, not just compilation.
+            chain.takeSamples(sampler.blockSize(), rng, sampler);
             std::fprintf(
                 stderr, "plan BM_TakeSamples/%d: %s\n", depth,
                 core::planReport(core::planStats(chain, sampler),
                                  sampler.planCache()->stats(),
-                                 sampler.blockSize())
+                                 sampler.blockSize(),
+                                 core::planExecCounters(chain, sampler))
                     .c_str());
         }
     }

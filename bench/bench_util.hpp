@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/simd.hpp"
+
 namespace uncertain {
 namespace bench {
 
@@ -98,6 +100,42 @@ engineFlag(int argc, char** argv)
         std::exit(2);
     }
     return engine;
+}
+
+/**
+ * The --backend {auto,simd,scalar} axis shared by the harnesses:
+ * which execution backend batch plans use for elementwise strips.
+ * Exits with a usage message on any other value.
+ */
+inline std::string
+backendFlag(int argc, char** argv)
+{
+    std::string backend = stringFlag(argc, argv, "--backend", "auto");
+    if (backend != "auto" && backend != "simd"
+        && backend != "scalar") {
+        std::fprintf(
+            stderr,
+            "unknown --backend '%s' (expected auto, simd or scalar)\n",
+            backend.c_str());
+        std::exit(2);
+    }
+    return backend;
+}
+
+/**
+ * Map a backendFlag() value onto PlanOptions::backend, flipping the
+ * process-wide force-scalar switch as a side effect: "scalar" must
+ * drop the RNG-fill and ziggurat layers (which sit below the plan and
+ * have no per-plan toggle) to their scalar paths together with the
+ * strips, so scalar-vs-simd comparisons measure the whole stack.
+ */
+inline simd::ExecBackend
+applyBackend(const std::string& backend)
+{
+    simd::setForceScalar(backend == "scalar");
+    return backend == "scalar" ? simd::ExecBackend::Scalar
+           : backend == "simd" ? simd::ExecBackend::Simd
+                               : simd::ExecBackend::Auto;
 }
 
 /** Wall-clock seconds spent in @p fn. */

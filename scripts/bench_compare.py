@@ -22,10 +22,22 @@ view — tv_upper_bound must not GROW by more than the tolerance
 fraction (lower is better: a growing TV bound means a sampler drifted
 away from its law), any pass -> fail transition fails outright, and
 draw throughput (samples_per_second) is gated like any benchmark.
+
+SIMD mode (--simd): baseline = a --backend scalar run, candidate =
+the same benchmarks under --backend simd. Benchmarks matching the
+--gate regex (default: the depth-64 fused elementwise chain) must be
+at least --min-speedup faster under SIMD — the vector backend has to
+EARN its keep on the strip-dominated workload, not merely avoid
+regressing. All other shared benchmarks use the normal tolerance
+check (the SIMD backend must never be slower than scalar beyond the
+tolerance: RNG-bound benches legitimately see ~1x). Certification
+documents still take the certificate view, so a conformance
+regression on the SIMD backend fails the job regardless of speed.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -116,6 +128,20 @@ def main():
         "--tolerance", type=float, default=0.20,
         help="allowed fractional slowdown before failing "
              "(default 0.20 = 20%%)")
+    parser.add_argument(
+        "--simd", action="store_true",
+        help="SIMD gate mode: baseline is a --backend scalar run, "
+             "candidate the matching --backend simd run; benchmarks "
+             "matching --gate must speed up by --min-speedup")
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.3,
+        help="required candidate/baseline throughput ratio on "
+             "--gate benchmarks in --simd mode (default 1.3)")
+    parser.add_argument(
+        "--gate", default=r"BM_ElementwiseChain/64$",
+        help="regex selecting the benchmarks that must meet "
+             "--min-speedup in --simd mode (default: the depth-64 "
+             "fused elementwise chain)")
     args = parser.parse_args()
 
     base_doc = load_json(args.baseline)
@@ -141,13 +167,26 @@ def main():
     for name in only_cand:
         print(f"  (candidate only, ignored) {name}")
 
+    gate_re = re.compile(args.gate) if args.simd else None
+    gated = [n for n in shared if gate_re and gate_re.search(n)]
+    if args.simd and not gated:
+        print(f"bench_compare: --simd gate '{args.gate}' matched no "
+              f"shared benchmark", file=sys.stderr)
+        return 2
+
     failures = []
     width = max(len(name) for name in shared)
     print(f"{'benchmark':<{width}}  baseline      candidate     ratio")
     for name in shared:
         ratio = cand[name] / base[name] if base[name] > 0 else 0.0
         marker = ""
-        if ratio < 1.0 - args.tolerance:
+        if name in gated:
+            if ratio < args.min_speedup:
+                marker = "  <-- SIMD GATE MISSED"
+                failures.append((name, ratio))
+            else:
+                marker = f"  (gate: >= {args.min_speedup:.2f}x ok)"
+        elif ratio < 1.0 - args.tolerance:
             marker = "  <-- REGRESSION"
             failures.append((name, ratio))
         print(f"{name:<{width}}  {base[name]:12.4g}  "
@@ -155,15 +194,19 @@ def main():
 
     if failures:
         print(f"\nbench_compare: {len(failures)} benchmark(s) "
-              f"regressed beyond {args.tolerance:.0%}:",
+              f"regressed beyond {args.tolerance:.0%}"
+              + (f" (gate {args.min_speedup:.2f}x)" if args.simd
+                 else "") + ":",
               file=sys.stderr)
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x of baseline",
                   file=sys.stderr)
         return 1
 
+    ok_note = (f", simd gate >= {args.min_speedup:.2f}x on "
+               f"{len(gated)} benchmark(s)" if args.simd else "")
     print(f"\nbench_compare: OK ({len(shared)} shared benchmarks "
-          f"within {args.tolerance:.0%})")
+          f"within {args.tolerance:.0%}{ok_note})")
     return 0
 
 

@@ -185,10 +185,14 @@ class PlanCache
     static std::uint8_t
     packOptions(const PlanOptions& options)
     {
+        // Backend occupies bits 4-5 so Auto/Simd/Scalar plans for the
+        // same root cache as distinct entries (their strip lambdas
+        // differ even when the output is bit-identical).
         return static_cast<std::uint8_t>(
             (options.cse ? 1u : 0u) | (options.constantFolding ? 2u : 0u)
             | (options.fuseElementwise ? 4u : 0u)
-            | (options.reuseBuffers ? 8u : 0u));
+            | (options.reuseBuffers ? 8u : 0u)
+            | (static_cast<unsigned>(options.backend) << 4));
     }
 
     mutable std::mutex mutex_;

@@ -63,6 +63,8 @@
 #define UNCERTAIN_CORE_BATCH_PLAN_HPP
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -78,6 +80,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -119,13 +122,28 @@ constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
  *  per-strip micro-op dispatch. */
 constexpr std::size_t kStripElems = 256;
 
-/** Alignment of strip registers inside the fused kernel's scratch. */
-constexpr std::size_t kScratchAlign = 64;
+/**
+ * Alignment of strip registers inside the fused kernel's scratch (and
+ * of the scratch block itself). Must cover the widest vector
+ * load/store any execution backend issues: 64 bytes spans AVX2 (32),
+ * a full cache line, and a future AVX-512 register. Every strip
+ * register's byte offset is a multiple of this (regBytes rounds
+ * register sizes up to it, so offsets — sums of rounded sizes — stay
+ * aligned); stripSrc/stripDst assert that invariant in debug builds.
+ */
+constexpr std::size_t kStripAlign = 64;
+static_assert(kStripAlign >= 64
+                  && (kStripAlign & (kStripAlign - 1)) == 0,
+              "kStripAlign must be a power of two covering the widest "
+              "vector register");
 
 /** Stack scratch per fused kernel; bounds concurrent strip registers
  *  (the fusion pass splits a run into several kernels rather than
  *  exceed it). */
 constexpr std::size_t kFusedScratchBytes = std::size_t{32} * 1024;
+static_assert(kFusedScratchBytes % kStripAlign == 0,
+              "scratch budget must hold a whole number of aligned "
+              "strip registers");
 
 } // namespace batch
 
@@ -248,6 +266,18 @@ struct StripLoc
     bool inRegister = false;
     std::size_t column = 0;    //!< logical column id (!inRegister)
     std::size_t regOffset = 0; //!< scratch byte offset (inRegister)
+
+    /**
+     * Hint: the column is a hoisted point mass whose object
+     * representation is `constBytes` (valid only when `isConst`).
+     * Micro-op factories MAY exploit it to broadcast the value in a
+     * register instead of streaming the splatted column — the column
+     * stays filled either way, so ignoring the hint is always
+     * correct. Only set for payloads that fit kConstHintBytes.
+     */
+    bool isConst = false;
+    static constexpr std::size_t kConstHintBytes = 8;
+    std::array<unsigned char, kConstHintBytes> constBytes{};
 };
 
 /** One micro-op of a fused kernel: process scratch-or-column operands
@@ -310,6 +340,17 @@ struct StepInfo
      *  destination locations. Null when the step cannot be fused. */
     std::function<StripOp(const std::vector<StripLoc>&, const StripLoc&)>
         makeStrip;
+
+    /**
+     * Lane-parallel variant of makeStrip, present only when the step's
+     * functor has a simd::VectorForm mapping. The produced micro-op
+     * calls the vector kernel (which clamps to the running CPU and
+     * honors simd::setForceScalar), so it is safe on every machine and
+     * bit-identical to the scalar strip. The plan picks it over
+     * makeStrip when the resolved PlanOptions::backend wants SIMD.
+     */
+    std::function<StripOp(const std::vector<StripLoc>&, const StripLoc&)>
+        makeStripSimd;
 };
 
 namespace detail_ir {
@@ -318,7 +359,7 @@ template <typename T>
 inline constexpr bool kRegisterable =
     std::is_trivially_copyable_v<Store<T>>
     && std::is_trivially_destructible_v<Store<T>>
-    && sizeof(Store<T>) <= kScratchAlign;
+    && sizeof(Store<T>) <= kStripAlign;
 
 template <typename T>
 std::vector<unsigned char>
@@ -344,6 +385,9 @@ const Store<T>*
 stripSrc(BatchWorkspace& ws, const StripLoc& loc, std::size_t base,
          const unsigned char* scratch)
 {
+    UNCERTAIN_ASSERT(!loc.inRegister
+                         || loc.regOffset % kStripAlign == 0,
+                     "strip register offset violates kStripAlign");
     return loc.inRegister
                ? reinterpret_cast<const Store<T>*>(scratch
                                                    + loc.regOffset)
@@ -355,6 +399,9 @@ Store<T>*
 stripDst(BatchWorkspace& ws, const StripLoc& loc, std::size_t base,
          unsigned char* scratch)
 {
+    UNCERTAIN_ASSERT(!loc.inRegister
+                         || loc.regOffset % kStripAlign == 0,
+                     "strip register offset violates kStripAlign");
     return loc.inRegister
                ? reinterpret_cast<Store<T>*>(scratch + loc.regOffset)
                : ws.template column<T>(loc.column).data() + base;
@@ -437,6 +484,23 @@ makeUnaryStep(std::size_t col, std::size_t operand, F op)
                     out[i] = static_cast<SR>(op(a[i]));
             };
         };
+        if constexpr (simd::VectorForm<F, R, A>::available) {
+            info.makeStripSimd =
+                [](const std::vector<StripLoc>& srcs,
+                   const StripLoc& dst) -> StripOp {
+                const StripLoc sa = srcs[0];
+                return [sa, dst](BatchWorkspace& ws, std::size_t base,
+                                 std::size_t n,
+                                 unsigned char* scratch) {
+                    const auto* a =
+                        detail_ir::stripSrc<A>(ws, sa, base, scratch);
+                    auto* out =
+                        detail_ir::stripDst<R>(ws, dst, base, scratch);
+                    simd::VectorForm<F, R, A>::run(simd::activeIsa(),
+                                                   a, out, n);
+                };
+            };
+        }
     }
     return info;
 }
@@ -498,6 +562,76 @@ makeBinaryStep(std::size_t col, std::size_t lhs, std::size_t rhs, F op)
                     out[i] = static_cast<SR>(op(a[i], b[i]));
             };
         };
+        if constexpr (simd::VectorForm<F, R, A, B>::available) {
+            info.makeStripSimd =
+                [](const std::vector<StripLoc>& srcs,
+                   const StripLoc& dst) -> StripOp {
+                using VF = simd::VectorForm<F, R, A, B>;
+                const StripLoc sa = srcs[0];
+                const StripLoc sb = srcs[1];
+                // When one operand is a hoisted point mass (and its
+                // payload fits the StripLoc hint), broadcast it in a
+                // register instead of streaming the splatted column —
+                // same per-element arithmetic, one fewer load stream.
+                if constexpr (requires(simd::Isa isa,
+                                       const Store<A>* a, Store<B> b,
+                                       Store<R>* o, std::size_t n) {
+                                  VF::runConstB(isa, a, b, o, n);
+                              }) {
+                    if (sb.isConst && !sa.isConst
+                        && sizeof(Store<B>)
+                               <= StripLoc::kConstHintBytes) {
+                        const auto bc = detail_ir::fromBytes<B>(
+                            sb.constBytes.data());
+                        return [sa, dst, bc](BatchWorkspace& ws,
+                                             std::size_t base,
+                                             std::size_t n,
+                                             unsigned char* scratch) {
+                            const auto* a = detail_ir::stripSrc<A>(
+                                ws, sa, base, scratch);
+                            auto* out = detail_ir::stripDst<R>(
+                                ws, dst, base, scratch);
+                            VF::runConstB(simd::activeIsa(), a, bc,
+                                          out, n);
+                        };
+                    }
+                }
+                if constexpr (requires(simd::Isa isa, Store<A> a,
+                                       const Store<B>* b, Store<R>* o,
+                                       std::size_t n) {
+                                  VF::runConstA(isa, a, b, o, n);
+                              }) {
+                    if (sa.isConst && !sb.isConst
+                        && sizeof(Store<A>)
+                               <= StripLoc::kConstHintBytes) {
+                        const auto ac = detail_ir::fromBytes<A>(
+                            sa.constBytes.data());
+                        return [sb, dst, ac](BatchWorkspace& ws,
+                                             std::size_t base,
+                                             std::size_t n,
+                                             unsigned char* scratch) {
+                            const auto* b = detail_ir::stripSrc<B>(
+                                ws, sb, base, scratch);
+                            auto* out = detail_ir::stripDst<R>(
+                                ws, dst, base, scratch);
+                            VF::runConstA(simd::activeIsa(), ac, b,
+                                          out, n);
+                        };
+                    }
+                }
+                return [sa, sb, dst](BatchWorkspace& ws,
+                                     std::size_t base, std::size_t n,
+                                     unsigned char* scratch) {
+                    const auto* a =
+                        detail_ir::stripSrc<A>(ws, sa, base, scratch);
+                    const auto* b =
+                        detail_ir::stripSrc<B>(ws, sb, base, scratch);
+                    auto* out =
+                        detail_ir::stripDst<R>(ws, dst, base, scratch);
+                    VF::run(simd::activeIsa(), a, b, out, n);
+                };
+            };
+        }
     }
     return info;
 }
@@ -568,6 +702,30 @@ makeTernaryStep(std::size_t col, std::size_t first, std::size_t second,
                     out[i] = static_cast<SR>(op(a[i], b[i], c[i]));
             };
         };
+        if constexpr (simd::VectorForm<F, R, A, B, C>::available) {
+            info.makeStripSimd =
+                [](const std::vector<StripLoc>& srcs,
+                   const StripLoc& dst) -> StripOp {
+                const StripLoc sa = srcs[0];
+                const StripLoc sb = srcs[1];
+                const StripLoc sc = srcs[2];
+                return [sa, sb, sc, dst](BatchWorkspace& ws,
+                                         std::size_t base,
+                                         std::size_t n,
+                                         unsigned char* scratch) {
+                    const auto* a =
+                        detail_ir::stripSrc<A>(ws, sa, base, scratch);
+                    const auto* b =
+                        detail_ir::stripSrc<B>(ws, sb, base, scratch);
+                    const auto* c =
+                        detail_ir::stripSrc<C>(ws, sc, base, scratch);
+                    auto* out =
+                        detail_ir::stripDst<R>(ws, dst, base, scratch);
+                    simd::VectorForm<F, R, A, B, C>::run(
+                        simd::activeIsa(), a, b, c, out, n);
+                };
+            };
+        }
     }
     return info;
 }
@@ -674,6 +832,17 @@ struct PlanOptions
     bool fuseElementwise = true; //!< strip-mined elementwise fusion
     bool reuseBuffers = true;    //!< liveness-based column recycling
 
+    /**
+     * Execution backend for elementwise strips (orthogonal to the
+     * pass toggles; outputs are bit-identical either way). Auto
+     * resolves against simd::activeIsa() at plan-build time: vector
+     * strips when the CPU has a usable vector unit, scalar otherwise.
+     * Simd forces the kernel-layer strips (safe everywhere — the
+     * kernels emulate missing ISAs in scalar code); Scalar forces the
+     * plain interpreter strips.
+     */
+    simd::ExecBackend backend = simd::ExecBackend::Auto;
+
     /** Everything off: the literal PR-2-style transcription. */
     static PlanOptions
     disabled()
@@ -683,6 +852,7 @@ struct PlanOptions
         options.constantFolding = false;
         options.fuseElementwise = false;
         options.reuseBuffers = false;
+        options.backend = simd::ExecBackend::Scalar;
         return options;
     }
 };
@@ -707,6 +877,21 @@ struct PlanStats
     std::size_t columnsMaterialized = 0; //!< physical slots allocated
     std::size_t bytesPerSampleLowered = 0;
     std::size_t bytesPerSampleMaterialized = 0;
+
+    /** Backend requested via PlanOptions (auto/simd/scalar). */
+    simd::ExecBackend backendRequested = simd::ExecBackend::Auto;
+    /** True when the plan compiled vector strips (Auto resolved to
+     *  SIMD, or Simd was forced). */
+    bool simdStrips = false;
+    /** ISA the kernels dispatched to at build time ("scalar", "sse2",
+     *  "avx2", "neon"). */
+    const char* isa = "scalar";
+    /** Doubles per vector register on that ISA (1 when scalar). */
+    std::size_t laneWidth = 1;
+    /** Elementwise strip ops compiled to the vector kernels. */
+    std::size_t simdStripOps = 0;
+    /** Elementwise strip ops left on the scalar interpreter loop. */
+    std::size_t scalarStripOps = 0;
 
     /** Peak workspace bytes for a given block size. */
     std::size_t
@@ -735,9 +920,28 @@ struct PlanStats
             << ", dead " << deadStepsRemoved << ", fused "
             << fusedOps << " ops into " << fusedKernels << " kernels"
             << "; bytes/sample " << bytesPerSampleLowered << " -> "
-            << bytesPerSampleMaterialized;
+            << bytesPerSampleMaterialized << "; backend "
+            << simd::backendName(backendRequested) << " -> "
+            << (simdStrips ? "simd" : "scalar") << " (" << isa << " x"
+            << laneWidth << ", " << simdStripOps << " simd / "
+            << scalarStripOps << " scalar strip ops)";
         return out.str();
     }
+};
+
+/**
+ * Snapshot of a plan's lifetime execution counters: how many blocks
+ * and steps have actually been dispatched, and how many strip passes
+ * the fused kernels executed — split by backend so SIMD adoption is
+ * observable without a profiler (surfaced through planReport).
+ * Counters aggregate over every workspace and thread using the plan.
+ */
+struct PlanExecCounters
+{
+    std::uint64_t blocksExecuted = 0;
+    std::uint64_t stepsDispatched = 0;   //!< kernel invocations
+    std::uint64_t stripsExecuted = 0;    //!< strip passes (fused + plain)
+    std::uint64_t simdStripsExecuted = 0; //!< of which vector-backed
 };
 
 /**
@@ -816,13 +1020,33 @@ class BatchPlan
         ws.blockBase_ = base.split(blockStart);
         for (auto& column : ws.columns_)
             column->ensure(length);
+        std::uint64_t dispatched = steps_.size();
         if (length > ws.constLength_) {
             for (const auto& step : constSteps_)
                 step(ws);
             ws.constLength_ = length;
+            dispatched += constSteps_.size();
         }
         for (const auto& step : steps_)
             step(ws);
+        ctrBlocks_.fetch_add(1, std::memory_order_relaxed);
+        ctrSteps_.fetch_add(dispatched, std::memory_order_relaxed);
+    }
+
+    /** Lifetime execution counters (all workspaces, all threads). */
+    PlanExecCounters
+    execCounters() const
+    {
+        PlanExecCounters counters;
+        counters.blocksExecuted =
+            ctrBlocks_.load(std::memory_order_relaxed);
+        counters.stepsDispatched =
+            ctrSteps_.load(std::memory_order_relaxed);
+        counters.stripsExecuted =
+            ctrStrips_.load(std::memory_order_relaxed);
+        counters.simdStripsExecuted =
+            ctrSimdStrips_.load(std::memory_order_relaxed);
+        return counters;
     }
 
   private:
@@ -858,6 +1082,14 @@ class BatchPlan
     std::uint64_t leafCount_;
     std::size_t rootColumn_;
     std::shared_ptr<const GraphNode> keepAlive_;
+
+    // Execution counters; mutable because runBlock is logically const
+    // (it mutates only the caller's workspace). Relaxed atomics: the
+    // counts are monotonic telemetry with no ordering obligations.
+    mutable std::atomic<std::uint64_t> ctrBlocks_{0};
+    mutable std::atomic<std::uint64_t> ctrSteps_{0};
+    mutable std::atomic<std::uint64_t> ctrStrips_{0};
+    mutable std::atomic<std::uint64_t> ctrSimdStrips_{0};
 };
 
 // ---------------------------------------------------------------------
@@ -889,6 +1121,23 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
     const bool fold = options.constantFolding && optimizable;
     const bool fuse = options.fuseElementwise && optimizable;
     const bool reuse = options.reuseBuffers && optimizable;
+
+    // Backend resolution happens once, here: Auto asks the dispatch
+    // layer whether a vector unit is actually usable on this machine;
+    // Simd always compiles the kernel-layer strips (they clamp to the
+    // detected ISA internally, so this is safe everywhere); Scalar
+    // always compiles the interpreter strips. Outputs are
+    // bit-identical either way — the choice is purely about speed.
+    const bool wantSimd =
+        options.backend == simd::ExecBackend::Simd
+        || (options.backend == simd::ExecBackend::Auto
+            && simd::activeIsa() != simd::Isa::Scalar);
+    stats_.backendRequested = options.backend;
+    stats_.simdStrips = wantSimd;
+    const simd::Isa buildIsa =
+        wantSimd ? simd::activeIsa() : simd::Isa::Scalar;
+    stats_.isa = simd::isaName(buildIsa);
+    stats_.laneWidth = simd::laneWidth(buildIsa);
 
     // Union-find-lite: rep[c] is the canonical column c was merged
     // into (identity when unmerged). Kernels keep their original ids;
@@ -944,6 +1193,7 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
                     s.operands.clear();
                     s.fold = nullptr;
                     s.makeStrip = nullptr;
+                    s.makeStripSimd = nullptr;
                     s.cseSafe = true;
                     ++stats_.constantsFolded;
                 }
@@ -1019,11 +1269,23 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
     // pinned by the liveness pass: they are never recycled, because
     // they are not refilled per block.
     std::vector<char> constCol(metas.size(), 0);
+    // Small const payloads ride along as StripLoc hints so the
+    // fusion pass can emit broadcast-constant micro-ops.
+    std::vector<std::array<unsigned char, batch::StripLoc::kConstHintBytes>>
+        constHint(metas.size());
+    std::vector<char> constHintValid(metas.size(), 0);
     std::vector<StepInfo> mainSteps;
     mainSteps.reserve(kept.size());
     for (auto& s : kept) {
         if (fold && s.kind == StepKind::Const) {
             constCol[s.out] = 1;
+            if (!s.constBytes.empty()
+                && s.constBytes.size()
+                       <= batch::StripLoc::kConstHintBytes) {
+                std::copy(s.constBytes.begin(), s.constBytes.end(),
+                          constHint[s.out].begin());
+                constHintValid[s.out] = 1;
+            }
             constSteps_.push_back(std::move(s.run));
             ++stats_.constantsHoisted;
         } else {
@@ -1048,9 +1310,12 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
             readers[o].push_back(k);
 
     auto regBytes = [](std::size_t elemSize) {
+        // Rounding every register size to kStripAlign keeps every
+        // register *offset* (a sum of such sizes) aligned for vector
+        // loads/stores; stripSrc/stripDst assert it in debug builds.
         const std::size_t raw = batch::kStripElems * elemSize;
-        return (raw + batch::kScratchAlign - 1)
-               / batch::kScratchAlign * batch::kScratchAlign;
+        return (raw + batch::kStripAlign - 1)
+               / batch::kStripAlign * batch::kStripAlign;
     };
     auto consumedOutside = [&](std::size_t out, std::size_t begin,
                                std::size_t end) {
@@ -1065,11 +1330,49 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
     std::vector<StepExec> execs;
     execs.reserve(mainSteps.size());
 
+    auto* ctrStrips = &ctrStrips_;
+    auto* ctrSimdStrips = &ctrSimdStrips_;
+
+    // Column operand as a StripLoc, carrying the const-broadcast hint
+    // when the column is a hoisted point mass with a small payload.
+    auto columnLoc = [&](std::size_t o) {
+        batch::StripLoc loc;
+        loc.column = o;
+        if (constCol[o] && constHintValid[o]) {
+            loc.isConst = true;
+            loc.constBytes = constHint[o];
+        }
+        return loc;
+    };
+
     auto emitPlain = [&](std::size_t k) {
         StepExec e;
-        e.run = std::move(mainSteps[k].run);
-        e.reads = mainSteps[k].operands;
-        e.writes = {mainSteps[k].out};
+        auto& s = mainSteps[k];
+        if (wantSimd && s.kind == StepKind::Elementwise
+            && s.makeStripSimd != nullptr) {
+            // Unfused vectorizable step: run its vector micro-op over
+            // the whole column as a single strip (no scratch needed —
+            // both ends are columns).
+            std::vector<batch::StripLoc> srcs;
+            srcs.reserve(s.operands.size());
+            for (const auto o : s.operands)
+                srcs.push_back(columnLoc(o));
+            const batch::StripLoc dst{false, s.out, 0};
+            batch::StripOp op = s.makeStripSimd(srcs, dst);
+            e.run = [op = std::move(op), ctrStrips,
+                     ctrSimdStrips](BatchWorkspace& ws) {
+                op(ws, 0, ws.length(), nullptr);
+                ctrStrips->fetch_add(1, std::memory_order_relaxed);
+                ctrSimdStrips->fetch_add(1, std::memory_order_relaxed);
+            };
+            ++stats_.simdStripOps;
+        } else {
+            if (s.kind == StepKind::Elementwise)
+                ++stats_.scalarStripOps;
+            e.run = std::move(s.run);
+        }
+        e.reads = s.operands;
+        e.writes = {s.out};
         execs.push_back(std::move(e));
     };
 
@@ -1089,6 +1392,7 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
         std::size_t top = 0;
         std::vector<batch::StripOp> ops;
         ops.reserve(b - a);
+        bool groupHasSimd = false;
         StepExec e;
         for (std::size_t k = a; k < b; ++k) {
             auto& s = mainSteps[k];
@@ -1099,7 +1403,7 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
                 if (it != regOffsetOf.end()) {
                     srcs.push_back({true, 0, it->second});
                 } else {
-                    srcs.push_back({false, o, 0});
+                    srcs.push_back(columnLoc(o));
                     e.reads.push_back(o);
                 }
             }
@@ -1122,7 +1426,16 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
                 regOffsetOf[s.out] = offset;
                 dst = {true, 0, offset};
             }
-            ops.push_back(s.makeStrip(srcs, dst));
+            const bool useSimd =
+                wantSimd && s.makeStripSimd != nullptr;
+            ops.push_back(useSimd ? s.makeStripSimd(srcs, dst)
+                                  : s.makeStrip(srcs, dst));
+            if (useSimd) {
+                groupHasSimd = true;
+                ++stats_.simdStripOps;
+            } else {
+                ++stats_.scalarStripOps;
+            }
             auto release = [&](std::size_t col) {
                 auto rit = regOffsetOf.find(col);
                 if (rit == regOffsetOf.end())
@@ -1144,17 +1457,24 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
         std::sort(e.reads.begin(), e.reads.end());
         e.reads.erase(std::unique(e.reads.begin(), e.reads.end()),
                       e.reads.end());
-        e.run = [ops = std::move(ops)](BatchWorkspace& ws) {
-            alignas(batch::kScratchAlign)
+        e.run = [ops = std::move(ops), ctrStrips, ctrSimdStrips,
+                 groupHasSimd](BatchWorkspace& ws) {
+            alignas(batch::kStripAlign)
                 unsigned char scratch[batch::kFusedScratchBytes];
             const std::size_t len = ws.length();
+            std::uint64_t strips = 0;
             for (std::size_t base = 0; base < len;
                  base += batch::kStripElems) {
                 const std::size_t n =
                     std::min(batch::kStripElems, len - base);
                 for (const auto& op : ops)
                     op(ws, base, n, scratch);
+                ++strips;
             }
+            ctrStrips->fetch_add(strips, std::memory_order_relaxed);
+            if (groupHasSimd)
+                ctrSimdStrips->fetch_add(strips,
+                                         std::memory_order_relaxed);
         };
         execs.push_back(std::move(e));
         ++stats_.fusedKernels;

@@ -76,24 +76,22 @@ pow(const Uncertain<A>& a, const Uncertain<B>& b)
         "pow");
 }
 
-/** Per-sample minimum of two uncertain values. */
+/** Per-sample minimum of two uncertain values. The ops::Min functor
+ *  spells out std::min's (y < x) ? y : x selection so the SIMD
+ *  backend can reproduce it with a compare + blend. */
 template <typename A>
 Uncertain<A>
 min(const Uncertain<A>& a, const Uncertain<A>& b)
 {
-    return core::liftBinary(
-        [](const A& x, const A& y) { return std::min(x, y); }, a, b,
-        "min");
+    return core::liftBinary(core::ops::Min{}, a, b, "min");
 }
 
-/** Per-sample maximum of two uncertain values. */
+/** Per-sample maximum of two uncertain values (std::max semantics). */
 template <typename A>
 Uncertain<A>
 max(const Uncertain<A>& a, const Uncertain<A>& b)
 {
-    return core::liftBinary(
-        [](const A& x, const A& y) { return std::max(x, y); }, a, b,
-        "max");
+    return core::liftBinary(core::ops::Max{}, a, b, "max");
 }
 
 /** Per-sample clamp into [lo, hi]. */
@@ -130,9 +128,8 @@ Uncertain<A>
 select(const Uncertain<bool>& cond, const Uncertain<A>& ifTrue,
        const Uncertain<A>& ifFalse)
 {
-    return core::liftTernary(
-        [](bool c, const A& x, const A& y) { return c ? x : y; },
-        cond, ifTrue, ifFalse, "select");
+    return core::liftTernary(core::ops::Select{}, cond, ifTrue,
+                             ifFalse, "select");
 }
 
 /** select() with a plain false-branch value. */

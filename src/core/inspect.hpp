@@ -109,6 +109,19 @@ planStats(const Uncertain<T>& value, const PlanOptions& options = {})
 }
 
 /**
+ * Execution counters of @p value's cached plan in @p sampler: blocks
+ * run, steps dispatched, fused strips executed and how many of those
+ * went through the SIMD kernels. Zero until the plan has actually
+ * sampled (compiling does not execute).
+ */
+template <typename T>
+PlanExecCounters
+planExecCounters(const Uncertain<T>& value, BatchSampler& sampler)
+{
+    return sampler.planFor(value.node())->execCounters();
+}
+
+/**
  * One-line rendering of @p value's exact pmf when the enumeration
  * backend accepts its graph, or the refusal reason when it does not.
  * Unlike describe(), no sampling and no estimate: every digit printed
@@ -157,6 +170,22 @@ planReport(const PlanStats& stats, const PlanCacheStats& cache,
         << stats.unoptimizedWorkspaceBytes(blockSize) << " B) @ block "
         << blockSize << "; cache hits " << cache.hits << " misses "
         << cache.misses << " evictions " << cache.evictions;
+    return out.str();
+}
+
+/**
+ * planReport() extended with the plan's execution counters — what the
+ * interpreter actually ran, not just what the optimizer emitted.
+ */
+inline std::string
+planReport(const PlanStats& stats, const PlanCacheStats& cache,
+           std::size_t blockSize, const PlanExecCounters& exec)
+{
+    std::ostringstream out;
+    out << planReport(stats, cache, blockSize) << "; executed "
+        << exec.blocksExecuted << " blocks, " << exec.stepsDispatched
+        << " steps dispatched, " << exec.stripsExecuted << " strips ("
+        << exec.simdStripsExecuted << " simd)";
     return out.str();
 }
 

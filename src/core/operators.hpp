@@ -33,6 +33,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/ops.hpp"
 #include "core/uncertain.hpp"
 
 namespace uncertain {
@@ -86,14 +87,17 @@ liftTernary(F f, const Uncertain<A>& a, const Uncertain<B>& b,
 // Arithmetic operators.
 // ----------------------------------------------------------------------
 
-#define UNCERTAIN_DEFINE_BINARY_OP(symbol, label)                          \
+// The lifted functors are the *named* types in core/ops.hpp rather
+// than per-macro lambdas: the batch plan recognizes a step's operator
+// by type (std::type_index) and maps it to a vector kernel via
+// simd::VectorForm. The arithmetic is identical to the old lambdas.
+
+#define UNCERTAIN_DEFINE_BINARY_OP(symbol, label, functor)                 \
     template <typename A, typename B>                                     \
         requires requires(A a, B b) { a symbol b; }                       \
     auto operator symbol(const Uncertain<A>& a, const Uncertain<B>& b)    \
     {                                                                     \
-        return core::liftBinary(                                          \
-            [](const A& x, const B& y) { return x symbol y; }, a, b,      \
-            label);                                                       \
+        return core::liftBinary(core::ops::functor{}, a, b, label);       \
     }                                                                     \
     template <typename A, core::NotUncertain B>                           \
         requires requires(A a, B b) { a symbol b; }                       \
@@ -108,16 +112,16 @@ liftTernary(F f, const Uncertain<A>& a, const Uncertain<B>& b,
         return Uncertain<std::decay_t<A>>(a) symbol b;                    \
     }
 
-UNCERTAIN_DEFINE_BINARY_OP(+, "+")
-UNCERTAIN_DEFINE_BINARY_OP(-, "-")
-UNCERTAIN_DEFINE_BINARY_OP(*, "*")
-UNCERTAIN_DEFINE_BINARY_OP(/, "/")
+UNCERTAIN_DEFINE_BINARY_OP(+, "+", Add)
+UNCERTAIN_DEFINE_BINARY_OP(-, "-", Sub)
+UNCERTAIN_DEFINE_BINARY_OP(*, "*", Mul)
+UNCERTAIN_DEFINE_BINARY_OP(/, "/", Div)
 
 // ----------------------------------------------------------------------
 // Order and equality operators: U<T> -> U<T> -> U<bool>.
 // ----------------------------------------------------------------------
 
-#define UNCERTAIN_DEFINE_COMPARE_OP(symbol, label)                         \
+#define UNCERTAIN_DEFINE_COMPARE_OP(symbol, label, functor)                \
     template <typename A, typename B>                                     \
         requires requires(A a, B b) {                                     \
             { a symbol b } -> std::convertible_to<bool>;                  \
@@ -125,9 +129,7 @@ UNCERTAIN_DEFINE_BINARY_OP(/, "/")
     Uncertain<bool> operator symbol(const Uncertain<A>& a,               \
                                     const Uncertain<B>& b)                \
     {                                                                     \
-        return core::liftBinary(                                          \
-            [](const A& x, const B& y) -> bool { return x symbol y; },   \
-            a, b, label);                                                 \
+        return core::liftBinary(core::ops::functor{}, a, b, label);       \
     }                                                                     \
     template <typename A, core::NotUncertain B>                           \
         requires requires(A a, B b) {                                     \
@@ -146,12 +148,12 @@ UNCERTAIN_DEFINE_BINARY_OP(/, "/")
         return Uncertain<std::decay_t<A>>(a) symbol b;                    \
     }
 
-UNCERTAIN_DEFINE_COMPARE_OP(<, "<")
-UNCERTAIN_DEFINE_COMPARE_OP(>, ">")
-UNCERTAIN_DEFINE_COMPARE_OP(<=, "<=")
-UNCERTAIN_DEFINE_COMPARE_OP(>=, ">=")
-UNCERTAIN_DEFINE_COMPARE_OP(==, "==")
-UNCERTAIN_DEFINE_COMPARE_OP(!=, "!=")
+UNCERTAIN_DEFINE_COMPARE_OP(<, "<", Lt)
+UNCERTAIN_DEFINE_COMPARE_OP(>, ">", Gt)
+UNCERTAIN_DEFINE_COMPARE_OP(<=, "<=", Le)
+UNCERTAIN_DEFINE_COMPARE_OP(>=, ">=", Ge)
+UNCERTAIN_DEFINE_COMPARE_OP(==, "==", Eq)
+UNCERTAIN_DEFINE_COMPARE_OP(!=, "!=", Ne)
 
 #undef UNCERTAIN_DEFINE_BINARY_OP
 #undef UNCERTAIN_DEFINE_COMPARE_OP
@@ -164,8 +166,7 @@ UNCERTAIN_DEFINE_COMPARE_OP(!=, "!=")
 inline Uncertain<bool>
 operator&&(const Uncertain<bool>& a, const Uncertain<bool>& b)
 {
-    return core::liftBinary([](bool x, bool y) { return x && y; }, a, b,
-                            "and");
+    return core::liftBinary(core::ops::And{}, a, b, "and");
 }
 
 inline Uncertain<bool>
@@ -183,8 +184,7 @@ operator&&(const Uncertain<bool>& a, bool b)
 inline Uncertain<bool>
 operator||(const Uncertain<bool>& a, const Uncertain<bool>& b)
 {
-    return core::liftBinary([](bool x, bool y) { return x || y; }, a, b,
-                            "or");
+    return core::liftBinary(core::ops::Or{}, a, b, "or");
 }
 
 inline Uncertain<bool>
@@ -202,7 +202,7 @@ operator||(const Uncertain<bool>& a, bool b)
 inline Uncertain<bool>
 operator!(const Uncertain<bool>& a)
 {
-    return a.map([](bool x) { return !x; }, "not");
+    return a.map(core::ops::Not{}, "not");
 }
 
 /** Unary negation of a numeric uncertain value. */
@@ -211,7 +211,7 @@ template <typename A>
 auto
 operator-(const Uncertain<A>& a)
 {
-    return a.map([](const A& x) { return -x; }, "negate");
+    return a.map(core::ops::Neg{}, "negate");
 }
 
 // ----------------------------------------------------------------------

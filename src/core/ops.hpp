@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Named elementwise operator functors.
+ *
+ * The lifted operators (core/operators.hpp) and functions
+ * (core/functions.hpp) historically captured their semantics in
+ * anonymous lambdas. Each lambda expression has a unique closure
+ * type, which was fine for the CSE pass (it keys on std::type_index)
+ * but makes the operator unrecognizable to anything else — in
+ * particular the SIMD execution backend (core/simd.hpp), which maps
+ * an operator *type* to a vector kernel at plan-build time.
+ *
+ * These functors are drop-in replacements: empty types (so
+ * StepInfo::cseSafe stays true via std::is_empty_v), generic call
+ * operators with SFINAE-friendly trailing return types (so the
+ * lifted operators keep working over arbitrary base types, not just
+ * arithmetic ones), and exactly the same per-element arithmetic as
+ * the lambdas they replace. simd::VectorForm specializes on them to
+ * attach lane-parallel kernels; unknown functors simply keep the
+ * scalar strip loop.
+ *
+ * Min/Max deliberately spell out the std::min/std::max selection
+ * ((y < x) ? y : x) rather than delegating, so the vector kernels
+ * can reproduce the exact semantics — including which operand is
+ * returned for equal values and NaN — with a compare + blend.
+ */
+
+#ifndef UNCERTAIN_CORE_OPS_HPP
+#define UNCERTAIN_CORE_OPS_HPP
+
+#include <utility>
+
+namespace uncertain {
+namespace core {
+namespace ops {
+
+// ---- arithmetic ------------------------------------------------------
+
+struct Add
+{
+    template <typename X, typename Y>
+    constexpr auto
+    operator()(const X& x, const Y& y) const -> decltype(x + y)
+    {
+        return x + y;
+    }
+};
+
+struct Sub
+{
+    template <typename X, typename Y>
+    constexpr auto
+    operator()(const X& x, const Y& y) const -> decltype(x - y)
+    {
+        return x - y;
+    }
+};
+
+struct Mul
+{
+    template <typename X, typename Y>
+    constexpr auto
+    operator()(const X& x, const Y& y) const -> decltype(x * y)
+    {
+        return x * y;
+    }
+};
+
+struct Div
+{
+    template <typename X, typename Y>
+    constexpr auto
+    operator()(const X& x, const Y& y) const -> decltype(x / y)
+    {
+        return x / y;
+    }
+};
+
+struct Neg
+{
+    template <typename X>
+    constexpr auto
+    operator()(const X& x) const -> decltype(-x)
+    {
+        return -x;
+    }
+};
+
+/** std::min semantics: (y < x) ? y : x — returns x on ties and NaN. */
+struct Min
+{
+    template <typename X>
+    constexpr X
+    operator()(const X& x, const X& y) const
+    {
+        return (y < x) ? y : x;
+    }
+};
+
+/** std::max semantics: (x < y) ? y : x — returns x on ties and NaN. */
+struct Max
+{
+    template <typename X>
+    constexpr X
+    operator()(const X& x, const X& y) const
+    {
+        return (x < y) ? y : x;
+    }
+};
+
+// ---- order and equality (result coerced to bool, as the lifted
+// ---- compare operators always did) ----------------------------------
+
+struct Lt
+{
+    template <typename X, typename Y>
+    constexpr bool
+    operator()(const X& x, const Y& y) const
+    {
+        return x < y;
+    }
+};
+
+struct Gt
+{
+    template <typename X, typename Y>
+    constexpr bool
+    operator()(const X& x, const Y& y) const
+    {
+        return x > y;
+    }
+};
+
+struct Le
+{
+    template <typename X, typename Y>
+    constexpr bool
+    operator()(const X& x, const Y& y) const
+    {
+        return x <= y;
+    }
+};
+
+struct Ge
+{
+    template <typename X, typename Y>
+    constexpr bool
+    operator()(const X& x, const Y& y) const
+    {
+        return x >= y;
+    }
+};
+
+struct Eq
+{
+    template <typename X, typename Y>
+    constexpr bool
+    operator()(const X& x, const Y& y) const
+    {
+        return x == y;
+    }
+};
+
+struct Ne
+{
+    template <typename X, typename Y>
+    constexpr bool
+    operator()(const X& x, const Y& y) const
+    {
+        return x != y;
+    }
+};
+
+// ---- logical (no short-circuiting inside a sampling pass) -----------
+
+struct And
+{
+    constexpr bool operator()(bool x, bool y) const { return x && y; }
+};
+
+struct Or
+{
+    constexpr bool operator()(bool x, bool y) const { return x || y; }
+};
+
+struct Not
+{
+    constexpr bool operator()(bool x) const { return !x; }
+};
+
+// ---- ternary selection ----------------------------------------------
+
+/** cond ? x : y, the kernel behind uncertain::select. */
+struct Select
+{
+    template <typename X>
+    constexpr X
+    operator()(bool c, const X& x, const X& y) const
+    {
+        return c ? x : y;
+    }
+};
+
+} // namespace ops
+} // namespace core
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_OPS_HPP

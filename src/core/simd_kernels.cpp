@@ -1,0 +1,1677 @@
+/**
+ * @file
+ * SIMD kernel implementations and runtime CPU-feature dispatch.
+ *
+ * Layout: one portable scalar-emulation function per kernel (the
+ * reference semantics, and the body every other path must match
+ * bit-for-bit), plus AVX2 / SSE2 specializations guarded by
+ * function-level target attributes so the translation unit itself
+ * stays baseline-encodable — the AVX2 bodies are only ever entered
+ * after __builtin_cpu_supports("avx2") says the instructions exist.
+ * A NEON double-pack path covers aarch64 for the f64 strips.
+ *
+ * This TU is compiled with -ffp-contract=off (see src/core/
+ * CMakeLists.txt): neither the emulation loops nor the tails may
+ * fuse mul+add into FMA, because the explicit vector code uses
+ * separate mul and add instructions and the two must round
+ *
+ * identically. The xoshiro256** step is reimplemented here (7 lines)
+ * rather than calling support/rng.cpp, because this target sits
+ * BELOW uncertain_support in the link order; the algorithm is pinned
+ * by tests/core/simd_backend_test.cpp against Rng's own outputs.
+ */
+
+#include "core/simd_kernels.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#if !defined(UNCERTAIN_SIMD_DISABLED) && defined(__GNUC__) \
+    && (defined(__x86_64__) || defined(__i386__) || defined(_M_X64))
+#define UNCERTAIN_SIMD_X86 1
+#include <immintrin.h>
+#define UNCERTAIN_TARGET_AVX2 __attribute__((target("avx2")))
+#endif
+
+#if !defined(UNCERTAIN_SIMD_DISABLED) && defined(__ARM_NEON) \
+    && defined(__aarch64__)
+#define UNCERTAIN_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace uncertain {
+namespace simd {
+
+namespace {
+
+std::atomic<bool> gForceScalar{false};
+
+Isa
+detectIsaOnce()
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (__builtin_cpu_supports("avx2"))
+        return Isa::Avx2;
+    return Isa::Sse2; // SSE2 is the x86-64 baseline
+#elif defined(UNCERTAIN_SIMD_NEON)
+    return Isa::Neon;
+#else
+    return Isa::Scalar;
+#endif
+}
+
+/** min(requested, compiled, detected): the Isa a call executes at. */
+Isa
+clampIsa(Isa isa)
+{
+    const auto cap = static_cast<std::uint8_t>(compiledIsa());
+    const auto det = static_cast<std::uint8_t>(detectedIsa());
+    auto v = static_cast<std::uint8_t>(isa);
+    if (v > cap)
+        v = cap;
+    if (v > det)
+        v = det;
+    return static_cast<Isa>(v);
+}
+
+inline std::uint64_t
+rotl64(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** One xoshiro256** transition (Blackman & Vigna; mirrors
+ *  Xoshiro256StarStar::next in support/rng.cpp). */
+inline void
+xoStep(std::uint64_t s[4])
+{
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl64(s[3], 45);
+}
+
+/** The ** scrambler: the output for the current state. */
+inline std::uint64_t
+xoOutput(const std::uint64_t s[4])
+{
+    return rotl64(s[1] * 5, 7) * 9;
+}
+
+inline double
+wordToDouble(std::uint64_t x, bool open)
+{
+    // Mirrors Rng::nextDouble / nextDoubleOpen exactly.
+    return open ? (static_cast<double>(x >> 11) + 0.5) * 0x1.0p-53
+                : static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// =====================================================================
+// Scalar emulation: the reference semantics for every kernel.
+// =====================================================================
+
+void
+binaryF64Scalar(BinF64 op, const double* a, const double* b,
+                double* out, std::size_t n)
+{
+    switch (op) {
+    case BinF64::Add:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] + b[i];
+        break;
+    case BinF64::Sub:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] - b[i];
+        break;
+    case BinF64::Mul:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] * b[i];
+        break;
+    case BinF64::Div:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] / b[i];
+        break;
+    case BinF64::Min: // ops::Min: (y < x) ? y : x
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (b[i] < a[i]) ? b[i] : a[i];
+        break;
+    case BinF64::Max: // ops::Max: (x < y) ? y : x
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (a[i] < b[i]) ? b[i] : a[i];
+        break;
+    }
+}
+
+void
+binaryF64ConstBScalar(BinF64 op, const double* a, double b,
+                      double* out, std::size_t n)
+{
+    switch (op) {
+    case BinF64::Add:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] + b;
+        break;
+    case BinF64::Sub:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] - b;
+        break;
+    case BinF64::Mul:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] * b;
+        break;
+    case BinF64::Div:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] / b;
+        break;
+    case BinF64::Min:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (b < a[i]) ? b : a[i];
+        break;
+    case BinF64::Max:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (a[i] < b) ? b : a[i];
+        break;
+    }
+}
+
+void
+binaryF64ConstAScalar(BinF64 op, double a, const double* b,
+                      double* out, std::size_t n)
+{
+    switch (op) {
+    case BinF64::Add:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a + b[i];
+        break;
+    case BinF64::Sub:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a - b[i];
+        break;
+    case BinF64::Mul:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a * b[i];
+        break;
+    case BinF64::Div:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a / b[i];
+        break;
+    case BinF64::Min:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (b[i] < a) ? b[i] : a;
+        break;
+    case BinF64::Max:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (a < b[i]) ? b[i] : a;
+        break;
+    }
+}
+
+void
+compareF64Scalar(Cmp op, const double* a, const double* b,
+                 std::uint8_t* out, std::size_t n)
+{
+    switch (op) {
+    case Cmp::Lt:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] < b[i] ? 1 : 0;
+        break;
+    case Cmp::Gt:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] > b[i] ? 1 : 0;
+        break;
+    case Cmp::Le:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] <= b[i] ? 1 : 0;
+        break;
+    case Cmp::Ge:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] >= b[i] ? 1 : 0;
+        break;
+    case Cmp::Eq:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] == b[i] ? 1 : 0;
+        break;
+    case Cmp::Ne:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] != b[i] ? 1 : 0;
+        break;
+    }
+}
+
+void
+binaryI32Scalar(BinI32 op, const std::int32_t* a, const std::int32_t* b,
+                std::int32_t* out, std::size_t n)
+{
+    switch (op) {
+    case BinI32::Add:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] + b[i];
+        break;
+    case BinI32::Sub:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] - b[i];
+        break;
+    case BinI32::Mul:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] * b[i];
+        break;
+    case BinI32::Min:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (b[i] < a[i]) ? b[i] : a[i];
+        break;
+    case BinI32::Max:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = (a[i] < b[i]) ? b[i] : a[i];
+        break;
+    }
+}
+
+void
+compareI32Scalar(Cmp op, const std::int32_t* a, const std::int32_t* b,
+                 std::uint8_t* out, std::size_t n)
+{
+    switch (op) {
+    case Cmp::Lt:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] < b[i] ? 1 : 0;
+        break;
+    case Cmp::Gt:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] > b[i] ? 1 : 0;
+        break;
+    case Cmp::Le:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] <= b[i] ? 1 : 0;
+        break;
+    case Cmp::Ge:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] >= b[i] ? 1 : 0;
+        break;
+    case Cmp::Eq:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] == b[i] ? 1 : 0;
+        break;
+    case Cmp::Ne:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] != b[i] ? 1 : 0;
+        break;
+    }
+}
+
+void
+binaryI64Scalar(BinI64 op, const std::int64_t* a, const std::int64_t* b,
+                std::int64_t* out, std::size_t n)
+{
+    switch (op) {
+    case BinI64::Add:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] + b[i];
+        break;
+    case BinI64::Sub:
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] - b[i];
+        break;
+    }
+}
+
+void
+boolBinaryScalar(BoolOp op, const std::uint8_t* a, const std::uint8_t* b,
+                 std::uint8_t* out, std::size_t n)
+{
+    // Columns hold 0/1 bytes, so & and | coincide with && and ||.
+    if (op == BoolOp::And) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] & b[i];
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = a[i] | b[i];
+    }
+}
+
+void
+boolNotScalar(const std::uint8_t* a, std::uint8_t* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = a[i] == 0 ? 1 : 0;
+}
+
+void
+negF64Scalar(const double* a, double* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = -a[i];
+}
+
+void
+selectF64Scalar(const std::uint8_t* c, const double* x, const double* y,
+                double* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = c[i] ? x[i] : y[i];
+}
+
+void
+xoshiroFillU64Scalar(std::uint64_t state[4], std::uint64_t* out,
+                     std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = xoOutput(state);
+        xoStep(state);
+    }
+}
+
+void
+xoshiroFillDoubleScalar(std::uint64_t state[4], double* out,
+                        std::size_t n, bool open)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = wordToDouble(xoOutput(state), open);
+        xoStep(state);
+    }
+}
+
+/** Scalar ziggurat accept over words [i0, n), appending rejects. */
+std::size_t
+zigguratAcceptScalar(const std::uint64_t* words, std::size_t i0,
+                     std::size_t n, const std::uint32_t* kn,
+                     const double* wn, double mu, double sigma,
+                     double* out, std::uint32_t* rejects,
+                     std::size_t nRejects)
+{
+    for (std::size_t i = i0; i < n; ++i) {
+        const auto hz = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(words[i]));
+        const std::uint32_t iz = static_cast<std::uint32_t>(hz) & 127u;
+        // Magnitude via unsigned negation: |INT32_MIN| overflows int.
+        const std::uint32_t mag =
+            hz < 0 ? ~static_cast<std::uint32_t>(hz) + 1u
+                   : static_cast<std::uint32_t>(hz);
+        if (mag < kn[iz])
+            out[i] = mu + sigma * (static_cast<double>(hz) * wn[iz]);
+        else
+            rejects[nRejects++] = static_cast<std::uint32_t>(i);
+    }
+    return nRejects;
+}
+
+// =====================================================================
+// SSE2: 2-lane double packs (x86-64 baseline; no target attribute).
+// =====================================================================
+
+#if defined(UNCERTAIN_SIMD_X86) && defined(__SSE2__)
+
+// Op dispatch happens ONCE per strip, never per iteration: each op
+// gets its own tight loop via a template parameter. A `switch (op)`
+// inside the vector loop measured ~3.5x slower on the mul strip —
+// GCC cannot loop-unswitch across intrinsics, so the per-iteration
+// dispatch survives into the hot loop. (The scalar emulation kernels
+// above hoist the switch by hand for the same reason.)
+
+template <BinF64 Op>
+void
+binaryF64Sse2Loop(const double* a, const double* b, double* out,
+                  std::size_t n2)
+{
+    for (std::size_t i = 0; i < n2; i += 2) {
+        const __m128d va = _mm_loadu_pd(a + i);
+        const __m128d vb = _mm_loadu_pd(b + i);
+        __m128d r;
+        if constexpr (Op == BinF64::Add)
+            r = _mm_add_pd(va, vb);
+        else if constexpr (Op == BinF64::Sub)
+            r = _mm_sub_pd(va, vb);
+        else if constexpr (Op == BinF64::Mul)
+            r = _mm_mul_pd(va, vb);
+        else if constexpr (Op == BinF64::Div)
+            r = _mm_div_pd(va, vb);
+        else if constexpr (Op == BinF64::Min) {
+            // (b < a) ? b : a — compare+blend, NOT minpd (whose NaN
+            // and -0.0 conventions differ from the scalar ternary).
+            const __m128d m = _mm_cmplt_pd(vb, va);
+            r = _mm_or_pd(_mm_and_pd(m, vb), _mm_andnot_pd(m, va));
+        } else {
+            static_assert(Op == BinF64::Max);
+            const __m128d m = _mm_cmplt_pd(va, vb);
+            r = _mm_or_pd(_mm_and_pd(m, vb), _mm_andnot_pd(m, va));
+        }
+        _mm_storeu_pd(out + i, r);
+    }
+}
+
+void
+binaryF64Sse2(BinF64 op, const double* a, const double* b, double* out,
+              std::size_t n)
+{
+    const std::size_t n2 = n & ~std::size_t{1};
+    switch (op) {
+    case BinF64::Add: binaryF64Sse2Loop<BinF64::Add>(a, b, out, n2); break;
+    case BinF64::Sub: binaryF64Sse2Loop<BinF64::Sub>(a, b, out, n2); break;
+    case BinF64::Mul: binaryF64Sse2Loop<BinF64::Mul>(a, b, out, n2); break;
+    case BinF64::Div: binaryF64Sse2Loop<BinF64::Div>(a, b, out, n2); break;
+    case BinF64::Min: binaryF64Sse2Loop<BinF64::Min>(a, b, out, n2); break;
+    case BinF64::Max: binaryF64Sse2Loop<BinF64::Max>(a, b, out, n2); break;
+    }
+    if (n2 < n)
+        binaryF64Scalar(op, a + n2, b + n2, out + n2, n - n2);
+}
+
+template <Cmp Op>
+void
+compareF64Sse2Loop(const double* a, const double* b, std::uint8_t* out,
+                   std::size_t n2)
+{
+    for (std::size_t i = 0; i < n2; i += 2) {
+        const __m128d va = _mm_loadu_pd(a + i);
+        const __m128d vb = _mm_loadu_pd(b + i);
+        __m128d m;
+        if constexpr (Op == Cmp::Lt)
+            m = _mm_cmplt_pd(va, vb);
+        else if constexpr (Op == Cmp::Gt)
+            m = _mm_cmpgt_pd(va, vb);
+        else if constexpr (Op == Cmp::Le)
+            m = _mm_cmple_pd(va, vb);
+        else if constexpr (Op == Cmp::Ge)
+            m = _mm_cmpge_pd(va, vb);
+        else if constexpr (Op == Cmp::Eq)
+            m = _mm_cmpeq_pd(va, vb);
+        else {
+            static_assert(Op == Cmp::Ne);
+            m = _mm_cmpneq_pd(va, vb);
+        }
+        const int bits = _mm_movemask_pd(m);
+        out[i] = static_cast<std::uint8_t>(bits & 1);
+        out[i + 1] = static_cast<std::uint8_t>((bits >> 1) & 1);
+    }
+}
+
+void
+compareF64Sse2(Cmp op, const double* a, const double* b,
+               std::uint8_t* out, std::size_t n)
+{
+    const std::size_t n2 = n & ~std::size_t{1};
+    switch (op) {
+    case Cmp::Lt: compareF64Sse2Loop<Cmp::Lt>(a, b, out, n2); break;
+    case Cmp::Gt: compareF64Sse2Loop<Cmp::Gt>(a, b, out, n2); break;
+    case Cmp::Le: compareF64Sse2Loop<Cmp::Le>(a, b, out, n2); break;
+    case Cmp::Ge: compareF64Sse2Loop<Cmp::Ge>(a, b, out, n2); break;
+    case Cmp::Eq: compareF64Sse2Loop<Cmp::Eq>(a, b, out, n2); break;
+    case Cmp::Ne: compareF64Sse2Loop<Cmp::Ne>(a, b, out, n2); break;
+    }
+    if (n2 < n)
+        compareF64Scalar(op, a + n2, b + n2, out + n2, n - n2);
+}
+
+// Broadcast-constant binary loops: the constant operand lives in a
+// register (one splat before the loop), halving the load streams.
+// ConstOnB selects which side of the op the constant sits on; the
+// per-lane arithmetic is the same as the column-column loop.
+
+template <BinF64 Op, bool ConstOnB>
+void
+binaryF64ConstSse2Loop(const double* col, double c, double* out,
+                       std::size_t n2)
+{
+    const __m128d vc = _mm_set1_pd(c);
+    for (std::size_t i = 0; i < n2; i += 2) {
+        const __m128d vcol = _mm_loadu_pd(col + i);
+        const __m128d va = ConstOnB ? vcol : vc;
+        const __m128d vb = ConstOnB ? vc : vcol;
+        __m128d r;
+        if constexpr (Op == BinF64::Add)
+            r = _mm_add_pd(va, vb);
+        else if constexpr (Op == BinF64::Sub)
+            r = _mm_sub_pd(va, vb);
+        else if constexpr (Op == BinF64::Mul)
+            r = _mm_mul_pd(va, vb);
+        else if constexpr (Op == BinF64::Div)
+            r = _mm_div_pd(va, vb);
+        else if constexpr (Op == BinF64::Min) {
+            const __m128d m = _mm_cmplt_pd(vb, va);
+            r = _mm_or_pd(_mm_and_pd(m, vb), _mm_andnot_pd(m, va));
+        } else {
+            static_assert(Op == BinF64::Max);
+            const __m128d m = _mm_cmplt_pd(va, vb);
+            r = _mm_or_pd(_mm_and_pd(m, vb), _mm_andnot_pd(m, va));
+        }
+        _mm_storeu_pd(out + i, r);
+    }
+}
+
+template <bool ConstOnB>
+void
+binaryF64ConstSse2(BinF64 op, const double* col, double c, double* out,
+                   std::size_t n)
+{
+    const std::size_t n2 = n & ~std::size_t{1};
+    switch (op) {
+    case BinF64::Add:
+        binaryF64ConstSse2Loop<BinF64::Add, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Sub:
+        binaryF64ConstSse2Loop<BinF64::Sub, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Mul:
+        binaryF64ConstSse2Loop<BinF64::Mul, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Div:
+        binaryF64ConstSse2Loop<BinF64::Div, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Min:
+        binaryF64ConstSse2Loop<BinF64::Min, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Max:
+        binaryF64ConstSse2Loop<BinF64::Max, ConstOnB>(col, c, out, n2);
+        break;
+    }
+    if (n2 < n) {
+        if constexpr (ConstOnB)
+            binaryF64ConstBScalar(op, col + n2, c, out + n2, n - n2);
+        else
+            binaryF64ConstAScalar(op, c, col + n2, out + n2, n - n2);
+    }
+}
+
+void
+negF64Sse2(const double* a, double* out, std::size_t n)
+{
+    const __m128d sign = _mm_set1_pd(-0.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        _mm_storeu_pd(out + i, _mm_xor_pd(_mm_loadu_pd(a + i), sign));
+    if (i < n)
+        negF64Scalar(a + i, out + i, n - i);
+}
+
+void
+boolBinarySse2(BoolOp op, const std::uint8_t* a, const std::uint8_t* b,
+               std::uint8_t* out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+        const __m128i r = op == BoolOp::And ? _mm_and_si128(va, vb)
+                                            : _mm_or_si128(va, vb);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), r);
+    }
+    if (i < n)
+        boolBinaryScalar(op, a + i, b + i, out + i, n - i);
+}
+
+void
+boolNotSse2(const std::uint8_t* a, std::uint8_t* out, std::size_t n)
+{
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i one = _mm_set1_epi8(1);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+        const __m128i r = _mm_and_si128(_mm_cmpeq_epi8(va, zero), one);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), r);
+    }
+    if (i < n)
+        boolNotScalar(a + i, out + i, n - i);
+}
+
+#endif // UNCERTAIN_SIMD_X86 && __SSE2__
+
+// =====================================================================
+// AVX2: 4-lane double / u64 packs, gathers. Entered only after
+// runtime detection; the target attribute keeps the rest of the TU
+// baseline-encodable.
+// =====================================================================
+
+#if defined(UNCERTAIN_SIMD_X86)
+
+// As with the SSE2 layer: op dispatch is hoisted out of the vector
+// loops via template parameters (GCC cannot loop-unswitch through
+// intrinsics, and a per-iteration switch measured ~3.5x slower).
+
+/** One 4-lane pack of a BinF64 op (shared by the column and
+ *  broadcast-constant loops below). */
+template <BinF64 Op>
+UNCERTAIN_TARGET_AVX2 inline __m256d
+binF64PackAvx2(__m256d va, __m256d vb)
+{
+    if constexpr (Op == BinF64::Add)
+        return _mm256_add_pd(va, vb);
+    else if constexpr (Op == BinF64::Sub)
+        return _mm256_sub_pd(va, vb);
+    else if constexpr (Op == BinF64::Mul)
+        return _mm256_mul_pd(va, vb);
+    else if constexpr (Op == BinF64::Div)
+        return _mm256_div_pd(va, vb);
+    else if constexpr (Op == BinF64::Min)
+        // (b < a) ? b : a — compare+blend, NOT minpd (whose NaN
+        // and -0.0 conventions differ from the scalar ternary).
+        return _mm256_blendv_pd(va, vb,
+                                _mm256_cmp_pd(vb, va, _CMP_LT_OQ));
+    else {
+        static_assert(Op == BinF64::Max);
+        return _mm256_blendv_pd(va, vb,
+                                _mm256_cmp_pd(va, vb, _CMP_LT_OQ));
+    }
+}
+
+// The f64 loops are unrolled 4x (16 elements per iteration): at one
+// pack per iteration the loop bookkeeping is as many uops as the
+// work, and on a 4-wide core that caps throughput at ~1 cycle per
+// pack; unrolling measured ~1.3-1.7x on the 256-element strips the
+// fused kernels issue.
+template <BinF64 Op>
+UNCERTAIN_TARGET_AVX2 void
+binaryF64Avx2Loop(const double* a, const double* b, double* out,
+                  std::size_t n4)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n4; i += 16) {
+        _mm256_storeu_pd(out + i,
+                         binF64PackAvx2<Op>(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+        _mm256_storeu_pd(
+            out + i + 4, binF64PackAvx2<Op>(_mm256_loadu_pd(a + i + 4),
+                                            _mm256_loadu_pd(b + i + 4)));
+        _mm256_storeu_pd(
+            out + i + 8, binF64PackAvx2<Op>(_mm256_loadu_pd(a + i + 8),
+                                            _mm256_loadu_pd(b + i + 8)));
+        _mm256_storeu_pd(out + i + 12,
+                         binF64PackAvx2<Op>(
+                             _mm256_loadu_pd(a + i + 12),
+                             _mm256_loadu_pd(b + i + 12)));
+    }
+    for (; i < n4; i += 4)
+        _mm256_storeu_pd(out + i,
+                         binF64PackAvx2<Op>(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+}
+
+UNCERTAIN_TARGET_AVX2 void
+binaryF64Avx2(BinF64 op, const double* a, const double* b, double* out,
+              std::size_t n)
+{
+    const std::size_t n4 = n & ~std::size_t{3};
+    switch (op) {
+    case BinF64::Add: binaryF64Avx2Loop<BinF64::Add>(a, b, out, n4); break;
+    case BinF64::Sub: binaryF64Avx2Loop<BinF64::Sub>(a, b, out, n4); break;
+    case BinF64::Mul: binaryF64Avx2Loop<BinF64::Mul>(a, b, out, n4); break;
+    case BinF64::Div: binaryF64Avx2Loop<BinF64::Div>(a, b, out, n4); break;
+    case BinF64::Min: binaryF64Avx2Loop<BinF64::Min>(a, b, out, n4); break;
+    case BinF64::Max: binaryF64Avx2Loop<BinF64::Max>(a, b, out, n4); break;
+    }
+    if (n4 < n)
+        binaryF64Scalar(op, a + n4, b + n4, out + n4, n - n4);
+}
+
+/** Pack helper with the constant on the side ConstOnB selects. */
+template <BinF64 Op, bool ConstOnB>
+UNCERTAIN_TARGET_AVX2 inline __m256d
+binF64ConstPackAvx2(__m256d vcol, __m256d vc)
+{
+    if constexpr (ConstOnB)
+        return binF64PackAvx2<Op>(vcol, vc);
+    else
+        return binF64PackAvx2<Op>(vc, vcol);
+}
+
+template <BinF64 Op, bool ConstOnB>
+UNCERTAIN_TARGET_AVX2 void
+binaryF64ConstAvx2Loop(const double* col, double c, double* out,
+                       std::size_t n4)
+{
+    const __m256d vc = _mm256_set1_pd(c);
+    std::size_t i = 0;
+    for (; i + 16 <= n4; i += 16) {
+        _mm256_storeu_pd(out + i,
+                         binF64ConstPackAvx2<Op, ConstOnB>(
+                             _mm256_loadu_pd(col + i), vc));
+        _mm256_storeu_pd(out + i + 4,
+                         binF64ConstPackAvx2<Op, ConstOnB>(
+                             _mm256_loadu_pd(col + i + 4), vc));
+        _mm256_storeu_pd(out + i + 8,
+                         binF64ConstPackAvx2<Op, ConstOnB>(
+                             _mm256_loadu_pd(col + i + 8), vc));
+        _mm256_storeu_pd(out + i + 12,
+                         binF64ConstPackAvx2<Op, ConstOnB>(
+                             _mm256_loadu_pd(col + i + 12), vc));
+    }
+    for (; i < n4; i += 4)
+        _mm256_storeu_pd(out + i,
+                         binF64ConstPackAvx2<Op, ConstOnB>(
+                             _mm256_loadu_pd(col + i), vc));
+}
+
+template <bool ConstOnB>
+UNCERTAIN_TARGET_AVX2 void
+binaryF64ConstAvx2(BinF64 op, const double* col, double c, double* out,
+                   std::size_t n)
+{
+    const std::size_t n4 = n & ~std::size_t{3};
+    switch (op) {
+    case BinF64::Add:
+        binaryF64ConstAvx2Loop<BinF64::Add, ConstOnB>(col, c, out, n4);
+        break;
+    case BinF64::Sub:
+        binaryF64ConstAvx2Loop<BinF64::Sub, ConstOnB>(col, c, out, n4);
+        break;
+    case BinF64::Mul:
+        binaryF64ConstAvx2Loop<BinF64::Mul, ConstOnB>(col, c, out, n4);
+        break;
+    case BinF64::Div:
+        binaryF64ConstAvx2Loop<BinF64::Div, ConstOnB>(col, c, out, n4);
+        break;
+    case BinF64::Min:
+        binaryF64ConstAvx2Loop<BinF64::Min, ConstOnB>(col, c, out, n4);
+        break;
+    case BinF64::Max:
+        binaryF64ConstAvx2Loop<BinF64::Max, ConstOnB>(col, c, out, n4);
+        break;
+    }
+    if (n4 < n) {
+        if constexpr (ConstOnB)
+            binaryF64ConstBScalar(op, col + n4, c, out + n4, n - n4);
+        else
+            binaryF64ConstAScalar(op, c, col + n4, out + n4, n - n4);
+    }
+}
+
+template <Cmp Op>
+UNCERTAIN_TARGET_AVX2 void
+compareF64Avx2Loop(const double* a, const double* b, std::uint8_t* out,
+                   std::size_t n4)
+{
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256d va = _mm256_loadu_pd(a + i);
+        const __m256d vb = _mm256_loadu_pd(b + i);
+        __m256d m;
+        if constexpr (Op == Cmp::Lt)
+            m = _mm256_cmp_pd(va, vb, _CMP_LT_OQ);
+        else if constexpr (Op == Cmp::Gt)
+            m = _mm256_cmp_pd(va, vb, _CMP_GT_OQ);
+        else if constexpr (Op == Cmp::Le)
+            m = _mm256_cmp_pd(va, vb, _CMP_LE_OQ);
+        else if constexpr (Op == Cmp::Ge)
+            m = _mm256_cmp_pd(va, vb, _CMP_GE_OQ);
+        else if constexpr (Op == Cmp::Eq)
+            m = _mm256_cmp_pd(va, vb, _CMP_EQ_OQ);
+        else {
+            static_assert(Op == Cmp::Ne);
+            m = _mm256_cmp_pd(va, vb, _CMP_NEQ_UQ);
+        }
+        const int bits = _mm256_movemask_pd(m);
+        out[i] = static_cast<std::uint8_t>(bits & 1);
+        out[i + 1] = static_cast<std::uint8_t>((bits >> 1) & 1);
+        out[i + 2] = static_cast<std::uint8_t>((bits >> 2) & 1);
+        out[i + 3] = static_cast<std::uint8_t>((bits >> 3) & 1);
+    }
+}
+
+UNCERTAIN_TARGET_AVX2 void
+compareF64Avx2(Cmp op, const double* a, const double* b,
+               std::uint8_t* out, std::size_t n)
+{
+    const std::size_t n4 = n & ~std::size_t{3};
+    switch (op) {
+    case Cmp::Lt: compareF64Avx2Loop<Cmp::Lt>(a, b, out, n4); break;
+    case Cmp::Gt: compareF64Avx2Loop<Cmp::Gt>(a, b, out, n4); break;
+    case Cmp::Le: compareF64Avx2Loop<Cmp::Le>(a, b, out, n4); break;
+    case Cmp::Ge: compareF64Avx2Loop<Cmp::Ge>(a, b, out, n4); break;
+    case Cmp::Eq: compareF64Avx2Loop<Cmp::Eq>(a, b, out, n4); break;
+    case Cmp::Ne: compareF64Avx2Loop<Cmp::Ne>(a, b, out, n4); break;
+    }
+    if (n4 < n)
+        compareF64Scalar(op, a + n4, b + n4, out + n4, n - n4);
+}
+
+template <BinI32 Op>
+UNCERTAIN_TARGET_AVX2 void
+binaryI32Avx2Loop(const std::int32_t* a, const std::int32_t* b,
+                  std::int32_t* out, std::size_t n8)
+{
+    for (std::size_t i = 0; i < n8; i += 8) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        __m256i r;
+        if constexpr (Op == BinI32::Add)
+            r = _mm256_add_epi32(va, vb);
+        else if constexpr (Op == BinI32::Sub)
+            r = _mm256_sub_epi32(va, vb);
+        else if constexpr (Op == BinI32::Mul)
+            r = _mm256_mullo_epi32(va, vb);
+        else if constexpr (Op == BinI32::Min)
+            r = _mm256_min_epi32(va, vb);
+        else {
+            static_assert(Op == BinI32::Max);
+            r = _mm256_max_epi32(va, vb);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+    }
+}
+
+UNCERTAIN_TARGET_AVX2 void
+binaryI32Avx2(BinI32 op, const std::int32_t* a, const std::int32_t* b,
+              std::int32_t* out, std::size_t n)
+{
+    const std::size_t n8 = n & ~std::size_t{7};
+    switch (op) {
+    case BinI32::Add: binaryI32Avx2Loop<BinI32::Add>(a, b, out, n8); break;
+    case BinI32::Sub: binaryI32Avx2Loop<BinI32::Sub>(a, b, out, n8); break;
+    case BinI32::Mul: binaryI32Avx2Loop<BinI32::Mul>(a, b, out, n8); break;
+    case BinI32::Min: binaryI32Avx2Loop<BinI32::Min>(a, b, out, n8); break;
+    case BinI32::Max: binaryI32Avx2Loop<BinI32::Max>(a, b, out, n8); break;
+    }
+    if (n8 < n)
+        binaryI32Scalar(op, a + n8, b + n8, out + n8, n - n8);
+}
+
+template <Cmp Op>
+UNCERTAIN_TARGET_AVX2 void
+compareI32Avx2Loop(const std::int32_t* a, const std::int32_t* b,
+                   std::uint8_t* out, std::size_t n8)
+{
+    for (std::size_t i = 0; i < n8; i += 8) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        int bits;
+        if constexpr (Op == Cmp::Lt)
+            bits = _mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpgt_epi32(vb, va)));
+        else if constexpr (Op == Cmp::Gt)
+            bits = _mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpgt_epi32(va, vb)));
+        else if constexpr (Op == Cmp::Le)
+            bits = _mm256_movemask_ps(_mm256_castsi256_ps(
+                       _mm256_cmpgt_epi32(va, vb)))
+                   ^ 0xFF;
+        else if constexpr (Op == Cmp::Ge)
+            bits = _mm256_movemask_ps(_mm256_castsi256_ps(
+                       _mm256_cmpgt_epi32(vb, va)))
+                   ^ 0xFF;
+        else if constexpr (Op == Cmp::Eq)
+            bits = _mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+        else {
+            static_assert(Op == Cmp::Ne);
+            bits = _mm256_movemask_ps(_mm256_castsi256_ps(
+                       _mm256_cmpeq_epi32(va, vb)))
+                   ^ 0xFF;
+        }
+        for (int j = 0; j < 8; ++j)
+            out[i + static_cast<std::size_t>(j)] =
+                static_cast<std::uint8_t>((bits >> j) & 1);
+    }
+}
+
+UNCERTAIN_TARGET_AVX2 void
+compareI32Avx2(Cmp op, const std::int32_t* a, const std::int32_t* b,
+               std::uint8_t* out, std::size_t n)
+{
+    const std::size_t n8 = n & ~std::size_t{7};
+    switch (op) {
+    case Cmp::Lt: compareI32Avx2Loop<Cmp::Lt>(a, b, out, n8); break;
+    case Cmp::Gt: compareI32Avx2Loop<Cmp::Gt>(a, b, out, n8); break;
+    case Cmp::Le: compareI32Avx2Loop<Cmp::Le>(a, b, out, n8); break;
+    case Cmp::Ge: compareI32Avx2Loop<Cmp::Ge>(a, b, out, n8); break;
+    case Cmp::Eq: compareI32Avx2Loop<Cmp::Eq>(a, b, out, n8); break;
+    case Cmp::Ne: compareI32Avx2Loop<Cmp::Ne>(a, b, out, n8); break;
+    }
+    if (n8 < n)
+        compareI32Scalar(op, a + n8, b + n8, out + n8, n - n8);
+}
+
+template <BinI64 Op>
+UNCERTAIN_TARGET_AVX2 void
+binaryI64Avx2Loop(const std::int64_t* a, const std::int64_t* b,
+                  std::int64_t* out, std::size_t n4)
+{
+    for (std::size_t i = 0; i < n4; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const __m256i r = Op == BinI64::Add ? _mm256_add_epi64(va, vb)
+                                            : _mm256_sub_epi64(va, vb);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+    }
+}
+
+UNCERTAIN_TARGET_AVX2 void
+binaryI64Avx2(BinI64 op, const std::int64_t* a, const std::int64_t* b,
+              std::int64_t* out, std::size_t n)
+{
+    const std::size_t n4 = n & ~std::size_t{3};
+    if (op == BinI64::Add)
+        binaryI64Avx2Loop<BinI64::Add>(a, b, out, n4);
+    else
+        binaryI64Avx2Loop<BinI64::Sub>(a, b, out, n4);
+    if (n4 < n)
+        binaryI64Scalar(op, a + n4, b + n4, out + n4, n - n4);
+}
+
+template <BoolOp Op>
+UNCERTAIN_TARGET_AVX2 void
+boolBinaryAvx2Loop(const std::uint8_t* a, const std::uint8_t* b,
+                   std::uint8_t* out, std::size_t n32)
+{
+    for (std::size_t i = 0; i < n32; i += 32) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        const __m256i r = Op == BoolOp::And ? _mm256_and_si256(va, vb)
+                                            : _mm256_or_si256(va, vb);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+    }
+}
+
+UNCERTAIN_TARGET_AVX2 void
+boolBinaryAvx2(BoolOp op, const std::uint8_t* a, const std::uint8_t* b,
+               std::uint8_t* out, std::size_t n)
+{
+    const std::size_t n32 = n & ~std::size_t{31};
+    if (op == BoolOp::And)
+        boolBinaryAvx2Loop<BoolOp::And>(a, b, out, n32);
+    else
+        boolBinaryAvx2Loop<BoolOp::Or>(a, b, out, n32);
+    if (n32 < n)
+        boolBinaryScalar(op, a + n32, b + n32, out + n32, n - n32);
+}
+
+UNCERTAIN_TARGET_AVX2 void
+boolNotAvx2(const std::uint8_t* a, std::uint8_t* out, std::size_t n)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i one = _mm256_set1_epi8(1);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i r =
+            _mm256_and_si256(_mm256_cmpeq_epi8(va, zero), one);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+    }
+    if (i < n)
+        boolNotScalar(a + i, out + i, n - i);
+}
+
+UNCERTAIN_TARGET_AVX2 void
+negF64Avx2(const double* a, double* out, std::size_t n)
+{
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i,
+                         _mm256_xor_pd(_mm256_loadu_pd(a + i), sign));
+    if (i < n)
+        negF64Scalar(a + i, out + i, n - i);
+}
+
+UNCERTAIN_TARGET_AVX2 void
+selectF64Avx2(const std::uint8_t* c, const double* x, const double* y,
+              double* out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        std::int32_t cword;
+        std::memcpy(&cword, c + i, 4);
+        const __m256i cq =
+            _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(cword));
+        const __m256d mask = _mm256_castsi256_pd(
+            _mm256_cmpgt_epi64(cq, _mm256_setzero_si256()));
+        const __m256d r = _mm256_blendv_pd(_mm256_loadu_pd(y + i),
+                                           _mm256_loadu_pd(x + i), mask);
+        _mm256_storeu_pd(out + i, r);
+    }
+    if (i < n)
+        selectF64Scalar(c + i, x + i, y + i, out + i, n - i);
+}
+
+// ---- xoshiro256** leapfrog fills -------------------------------------
+
+UNCERTAIN_TARGET_AVX2 inline __m256i
+xoRotl(__m256i x, int k)
+{
+    return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                           _mm256_srli_epi64(x, 64 - k));
+}
+
+/** rotl(s1 * 5, 7) * 9 over 4 lanes (shift-add, no 64-bit multiply). */
+UNCERTAIN_TARGET_AVX2 inline __m256i
+xoScramble(__m256i s1)
+{
+    const __m256i x5 =
+        _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+    const __m256i rot = xoRotl(x5, 7);
+    return _mm256_add_epi64(rot, _mm256_slli_epi64(rot, 3));
+}
+
+/**
+ * Leapfrog engine state: lane j of (s0..s3) holds the serial state j
+ * steps ahead. One scramble emits outputs 4t..4t+3; four vector
+ * transitions advance every lane 4 steps. Lane 0 retraces the exact
+ * serial orbit, so the post-fill engine state is read back from it.
+ */
+struct XoLanesAvx2
+{
+    __m256i s0, s1, s2, s3;
+};
+
+UNCERTAIN_TARGET_AVX2 inline XoLanesAvx2
+xoEnterLanes(std::uint64_t state[4])
+{
+    std::uint64_t lane[4][4];
+    std::uint64_t cur[4] = {state[0], state[1], state[2], state[3]};
+    for (int j = 0; j < 4; ++j) {
+        for (int w = 0; w < 4; ++w)
+            lane[j][w] = cur[w];
+        xoStep(cur);
+    }
+    XoLanesAvx2 v;
+    v.s0 = _mm256_setr_epi64x(
+        static_cast<long long>(lane[0][0]),
+        static_cast<long long>(lane[1][0]),
+        static_cast<long long>(lane[2][0]),
+        static_cast<long long>(lane[3][0]));
+    v.s1 = _mm256_setr_epi64x(
+        static_cast<long long>(lane[0][1]),
+        static_cast<long long>(lane[1][1]),
+        static_cast<long long>(lane[2][1]),
+        static_cast<long long>(lane[3][1]));
+    v.s2 = _mm256_setr_epi64x(
+        static_cast<long long>(lane[0][2]),
+        static_cast<long long>(lane[1][2]),
+        static_cast<long long>(lane[2][2]),
+        static_cast<long long>(lane[3][2]));
+    v.s3 = _mm256_setr_epi64x(
+        static_cast<long long>(lane[0][3]),
+        static_cast<long long>(lane[1][3]),
+        static_cast<long long>(lane[2][3]),
+        static_cast<long long>(lane[3][3]));
+    return v;
+}
+
+UNCERTAIN_TARGET_AVX2 inline void
+xoAdvance4(XoLanesAvx2& v)
+{
+    for (int k = 0; k < 4; ++k) {
+        const __m256i t = _mm256_slli_epi64(v.s1, 17);
+        v.s2 = _mm256_xor_si256(v.s2, v.s0);
+        v.s3 = _mm256_xor_si256(v.s3, v.s1);
+        v.s1 = _mm256_xor_si256(v.s1, v.s2);
+        v.s0 = _mm256_xor_si256(v.s0, v.s3);
+        v.s2 = _mm256_xor_si256(v.s2, t);
+        v.s3 = xoRotl(v.s3, 45);
+    }
+}
+
+UNCERTAIN_TARGET_AVX2 inline void
+xoExitLanes(const XoLanesAvx2& v, std::uint64_t state[4])
+{
+    // Lane 0 is the serial state after all vectorized steps.
+    state[0] =
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v.s0, 0));
+    state[1] =
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v.s1, 0));
+    state[2] =
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v.s2, 0));
+    state[3] =
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v.s3, 0));
+}
+
+UNCERTAIN_TARGET_AVX2 void
+xoshiroFillU64Avx2(std::uint64_t state[4], std::uint64_t* out,
+                   std::size_t n)
+{
+    if (n < 8) {
+        xoshiroFillU64Scalar(state, out, n);
+        return;
+    }
+    XoLanesAvx2 v = xoEnterLanes(state);
+    std::size_t i = 0;
+    const std::size_t vecEnd = n & ~std::size_t{3};
+    for (; i < vecEnd; i += 4) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            xoScramble(v.s1));
+        xoAdvance4(v);
+    }
+    xoExitLanes(v, state);
+    if (i < n)
+        xoshiroFillU64Scalar(state, out + i, n - i);
+}
+
+/**
+ * Exact u64 -> double of y = word >> 11 (< 2^53): convert the 21-bit
+ * high and 32-bit low halves separately with the 2^52 bias trick and
+ * recombine as hi * 2^32 + lo — every step exact, so the result is
+ * bit-identical to static_cast<double>(y).
+ */
+UNCERTAIN_TARGET_AVX2 inline __m256d
+wordsToDoubleAvx2(__m256i words, bool open)
+{
+    const __m256i bias = _mm256_set1_epi64x(0x4330000000000000LL);
+    const __m256d biasD = _mm256_set1_pd(4503599627370496.0); // 2^52
+    const __m256i y = _mm256_srli_epi64(words, 11);
+    const __m256i hi = _mm256_srli_epi64(y, 32);
+    const __m256i lo =
+        _mm256_and_si256(y, _mm256_set1_epi64x(0xFFFFFFFFLL));
+    const __m256d hiD = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(hi, bias)), biasD);
+    const __m256d loD = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(lo, bias)), biasD);
+    __m256d d = _mm256_add_pd(
+        _mm256_mul_pd(hiD, _mm256_set1_pd(4294967296.0)), loD);
+    if (open)
+        d = _mm256_add_pd(d, _mm256_set1_pd(0.5));
+    return _mm256_mul_pd(d, _mm256_set1_pd(0x1.0p-53));
+}
+
+UNCERTAIN_TARGET_AVX2 void
+xoshiroFillDoubleAvx2(std::uint64_t state[4], double* out,
+                      std::size_t n, bool open)
+{
+    if (n < 8) {
+        xoshiroFillDoubleScalar(state, out, n, open);
+        return;
+    }
+    XoLanesAvx2 v = xoEnterLanes(state);
+    std::size_t i = 0;
+    const std::size_t vecEnd = n & ~std::size_t{3};
+    for (; i < vecEnd; i += 4) {
+        _mm256_storeu_pd(out + i,
+                         wordsToDoubleAvx2(xoScramble(v.s1), open));
+        xoAdvance4(v);
+    }
+    xoExitLanes(v, state);
+    if (i < n)
+        xoshiroFillDoubleScalar(state, out + i, n - i, open);
+}
+
+// ---- ziggurat fast-accept pass ---------------------------------------
+
+UNCERTAIN_TARGET_AVX2 std::size_t
+zigguratAcceptAvx2(const std::uint64_t* words, std::size_t n,
+                   const std::uint32_t* kn, const double* wn, double mu,
+                   double sigma, double* out, std::uint32_t* rejects)
+{
+    const __m256d muV = _mm256_set1_pd(mu);
+    const __m256d sigmaV = _mm256_set1_pd(sigma);
+    const __m128i signFlip = _mm_set1_epi32(
+        static_cast<std::int32_t>(0x80000000u));
+    std::size_t nRejects = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // hz and the 7-bit layer indices come out via scalar loads:
+        // the 128-entry tables are too small for vpgatherdd to win —
+        // measured on AVX2 Xeons, the gather pair costs ~1.4x the
+        // whole accept loop done with scalar table loads + inserts.
+        const auto h0 = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(words[i]));
+        const auto h1 = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(words[i + 1]));
+        const auto h2 = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(words[i + 2]));
+        const auto h3 = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(words[i + 3]));
+        const std::uint32_t i0 = static_cast<std::uint32_t>(h0) & 127u;
+        const std::uint32_t i1 = static_cast<std::uint32_t>(h1) & 127u;
+        const std::uint32_t i2 = static_cast<std::uint32_t>(h2) & 127u;
+        const std::uint32_t i3 = static_cast<std::uint32_t>(h3) & 127u;
+        const __m128i hz = _mm_setr_epi32(h0, h1, h2, h3);
+        const __m128i knV = _mm_setr_epi32(
+            static_cast<std::int32_t>(kn[i0]),
+            static_cast<std::int32_t>(kn[i1]),
+            static_cast<std::int32_t>(kn[i2]),
+            static_cast<std::int32_t>(kn[i3]));
+        const __m256d wnV =
+            _mm256_setr_pd(wn[i0], wn[i1], wn[i2], wn[i3]);
+        // |hz| as a bit pattern: abs(INT32_MIN) stays 0x80000000,
+        // exactly the scalar unsigned-negation magnitude.
+        const __m128i mag = _mm_abs_epi32(hz);
+        // Unsigned mag < kn via sign-flipped signed compare.
+        const __m128i accept =
+            _mm_cmpgt_epi32(_mm_xor_si128(knV, signFlip),
+                            _mm_xor_si128(mag, signFlip));
+        const __m256d x = _mm256_mul_pd(_mm256_cvtepi32_pd(hz), wnV);
+        // mu + sigma * x with explicit mul then add: matches the
+        // FMA-free scalar path bit for bit.
+        _mm256_storeu_pd(
+            out + i, _mm256_add_pd(muV, _mm256_mul_pd(sigmaV, x)));
+        int miss = _mm_movemask_ps(_mm_castsi128_ps(accept)) ^ 0xF;
+        while (miss != 0) {
+            const int lane = __builtin_ctz(static_cast<unsigned>(miss));
+            miss &= miss - 1;
+            rejects[nRejects++] = static_cast<std::uint32_t>(
+                i + static_cast<std::size_t>(lane));
+        }
+    }
+    return zigguratAcceptScalar(words, i, n, kn, wn, mu, sigma, out,
+                                rejects, nRejects);
+}
+
+#endif // UNCERTAIN_SIMD_X86
+
+// =====================================================================
+// NEON: 2-lane double packs for the f64 strips (aarch64). Everything
+// else falls back to the scalar emulation.
+// =====================================================================
+
+#if defined(UNCERTAIN_SIMD_NEON)
+
+// Per-op loops, as in the x86 layers: the op dispatch must not sit
+// inside the vector loop (compilers do not unswitch intrinsics).
+template <BinF64 Op>
+void
+binaryF64NeonLoop(const double* a, const double* b, double* out,
+                  std::size_t n2)
+{
+    for (std::size_t i = 0; i < n2; i += 2) {
+        const float64x2_t va = vld1q_f64(a + i);
+        const float64x2_t vb = vld1q_f64(b + i);
+        float64x2_t r;
+        if constexpr (Op == BinF64::Add)
+            r = vaddq_f64(va, vb);
+        else if constexpr (Op == BinF64::Sub)
+            r = vsubq_f64(va, vb);
+        else if constexpr (Op == BinF64::Mul)
+            r = vmulq_f64(va, vb);
+        else if constexpr (Op == BinF64::Div)
+            r = vdivq_f64(va, vb);
+        else if constexpr (Op == BinF64::Min)
+            r = vbslq_f64(vcltq_f64(vb, va), vb, va);
+        else {
+            static_assert(Op == BinF64::Max);
+            r = vbslq_f64(vcltq_f64(va, vb), vb, va);
+        }
+        vst1q_f64(out + i, r);
+    }
+}
+
+void
+binaryF64Neon(BinF64 op, const double* a, const double* b, double* out,
+              std::size_t n)
+{
+    const std::size_t n2 = n & ~std::size_t{1};
+    switch (op) {
+    case BinF64::Add: binaryF64NeonLoop<BinF64::Add>(a, b, out, n2); break;
+    case BinF64::Sub: binaryF64NeonLoop<BinF64::Sub>(a, b, out, n2); break;
+    case BinF64::Mul: binaryF64NeonLoop<BinF64::Mul>(a, b, out, n2); break;
+    case BinF64::Div: binaryF64NeonLoop<BinF64::Div>(a, b, out, n2); break;
+    case BinF64::Min: binaryF64NeonLoop<BinF64::Min>(a, b, out, n2); break;
+    case BinF64::Max: binaryF64NeonLoop<BinF64::Max>(a, b, out, n2); break;
+    }
+    if (n2 < n)
+        binaryF64Scalar(op, a + n2, b + n2, out + n2, n - n2);
+}
+
+template <BinF64 Op, bool ConstOnB>
+void
+binaryF64ConstNeonLoop(const double* col, double c, double* out,
+                       std::size_t n2)
+{
+    const float64x2_t vc = vdupq_n_f64(c);
+    for (std::size_t i = 0; i < n2; i += 2) {
+        const float64x2_t vcol = vld1q_f64(col + i);
+        const float64x2_t va = ConstOnB ? vcol : vc;
+        const float64x2_t vb = ConstOnB ? vc : vcol;
+        float64x2_t r;
+        if constexpr (Op == BinF64::Add)
+            r = vaddq_f64(va, vb);
+        else if constexpr (Op == BinF64::Sub)
+            r = vsubq_f64(va, vb);
+        else if constexpr (Op == BinF64::Mul)
+            r = vmulq_f64(va, vb);
+        else if constexpr (Op == BinF64::Div)
+            r = vdivq_f64(va, vb);
+        else if constexpr (Op == BinF64::Min)
+            r = vbslq_f64(vcltq_f64(vb, va), vb, va);
+        else {
+            static_assert(Op == BinF64::Max);
+            r = vbslq_f64(vcltq_f64(va, vb), vb, va);
+        }
+        vst1q_f64(out + i, r);
+    }
+}
+
+template <bool ConstOnB>
+void
+binaryF64ConstNeon(BinF64 op, const double* col, double c, double* out,
+                   std::size_t n)
+{
+    const std::size_t n2 = n & ~std::size_t{1};
+    switch (op) {
+    case BinF64::Add:
+        binaryF64ConstNeonLoop<BinF64::Add, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Sub:
+        binaryF64ConstNeonLoop<BinF64::Sub, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Mul:
+        binaryF64ConstNeonLoop<BinF64::Mul, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Div:
+        binaryF64ConstNeonLoop<BinF64::Div, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Min:
+        binaryF64ConstNeonLoop<BinF64::Min, ConstOnB>(col, c, out, n2);
+        break;
+    case BinF64::Max:
+        binaryF64ConstNeonLoop<BinF64::Max, ConstOnB>(col, c, out, n2);
+        break;
+    }
+    if (n2 < n) {
+        if constexpr (ConstOnB)
+            binaryF64ConstBScalar(op, col + n2, c, out + n2, n - n2);
+        else
+            binaryF64ConstAScalar(op, c, col + n2, out + n2, n - n2);
+    }
+}
+
+void
+negF64Neon(const double* a, double* out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_f64(out + i, vnegq_f64(vld1q_f64(a + i)));
+    if (i < n)
+        negF64Scalar(a + i, out + i, n - i);
+}
+
+#endif // UNCERTAIN_SIMD_NEON
+
+} // namespace
+
+// =====================================================================
+// Public dispatch.
+// =====================================================================
+
+Isa
+compiledIsa()
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    return Isa::Avx2;
+#elif defined(UNCERTAIN_SIMD_NEON)
+    return Isa::Neon;
+#else
+    return Isa::Scalar;
+#endif
+}
+
+Isa
+detectedIsa()
+{
+    static const Isa isa = detectIsaOnce();
+    return isa;
+}
+
+Isa
+activeIsa()
+{
+    if (gForceScalar.load(std::memory_order_relaxed))
+        return Isa::Scalar;
+    return clampIsa(compiledIsa());
+}
+
+void
+setForceScalar(bool force)
+{
+    gForceScalar.store(force, std::memory_order_relaxed);
+}
+
+bool
+forceScalar()
+{
+    return gForceScalar.load(std::memory_order_relaxed);
+}
+
+std::size_t
+laneWidth(Isa isa)
+{
+    switch (clampIsa(isa)) {
+    case Isa::Avx2: return 4;
+    case Isa::Sse2: return 2;
+    case Isa::Neon: return 2;
+    case Isa::Scalar: break;
+    }
+    return 1;
+}
+
+const char*
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::Avx2: return "avx2";
+    case Isa::Sse2: return "sse2";
+    case Isa::Neon: return "neon";
+    case Isa::Scalar: break;
+    }
+    return "scalar";
+}
+
+void
+binaryF64(Isa isa, BinF64 op, const double* a, const double* b,
+          double* out, std::size_t n)
+{
+    switch (clampIsa(isa)) {
+#if defined(UNCERTAIN_SIMD_X86)
+    case Isa::Avx2: binaryF64Avx2(op, a, b, out, n); return;
+#if defined(__SSE2__)
+    case Isa::Sse2: binaryF64Sse2(op, a, b, out, n); return;
+#endif
+#elif defined(UNCERTAIN_SIMD_NEON)
+    case Isa::Neon: binaryF64Neon(op, a, b, out, n); return;
+#endif
+    default: break;
+    }
+    binaryF64Scalar(op, a, b, out, n);
+}
+
+void
+binaryF64ConstB(Isa isa, BinF64 op, const double* a, double b,
+                double* out, std::size_t n)
+{
+    switch (clampIsa(isa)) {
+#if defined(UNCERTAIN_SIMD_X86)
+    case Isa::Avx2: binaryF64ConstAvx2<true>(op, a, b, out, n); return;
+#if defined(__SSE2__)
+    case Isa::Sse2: binaryF64ConstSse2<true>(op, a, b, out, n); return;
+#endif
+#elif defined(UNCERTAIN_SIMD_NEON)
+    case Isa::Neon: binaryF64ConstNeon<true>(op, a, b, out, n); return;
+#endif
+    default: break;
+    }
+    binaryF64ConstBScalar(op, a, b, out, n);
+}
+
+void
+binaryF64ConstA(Isa isa, BinF64 op, double a, const double* b,
+                double* out, std::size_t n)
+{
+    switch (clampIsa(isa)) {
+#if defined(UNCERTAIN_SIMD_X86)
+    case Isa::Avx2: binaryF64ConstAvx2<false>(op, b, a, out, n); return;
+#if defined(__SSE2__)
+    case Isa::Sse2: binaryF64ConstSse2<false>(op, b, a, out, n); return;
+#endif
+#elif defined(UNCERTAIN_SIMD_NEON)
+    case Isa::Neon: binaryF64ConstNeon<false>(op, b, a, out, n); return;
+#endif
+    default: break;
+    }
+    binaryF64ConstAScalar(op, a, b, out, n);
+}
+
+void
+compareF64(Isa isa, Cmp op, const double* a, const double* b,
+           std::uint8_t* out, std::size_t n)
+{
+    switch (clampIsa(isa)) {
+#if defined(UNCERTAIN_SIMD_X86)
+    case Isa::Avx2: compareF64Avx2(op, a, b, out, n); return;
+#if defined(__SSE2__)
+    case Isa::Sse2: compareF64Sse2(op, a, b, out, n); return;
+#endif
+#endif
+    default: break;
+    }
+    compareF64Scalar(op, a, b, out, n);
+}
+
+void
+binaryI32(Isa isa, BinI32 op, const std::int32_t* a,
+          const std::int32_t* b, std::int32_t* out, std::size_t n)
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (clampIsa(isa) == Isa::Avx2) {
+        binaryI32Avx2(op, a, b, out, n);
+        return;
+    }
+#endif
+    (void)isa;
+    binaryI32Scalar(op, a, b, out, n);
+}
+
+void
+compareI32(Isa isa, Cmp op, const std::int32_t* a, const std::int32_t* b,
+           std::uint8_t* out, std::size_t n)
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (clampIsa(isa) == Isa::Avx2) {
+        compareI32Avx2(op, a, b, out, n);
+        return;
+    }
+#endif
+    (void)isa;
+    compareI32Scalar(op, a, b, out, n);
+}
+
+void
+binaryI64(Isa isa, BinI64 op, const std::int64_t* a,
+          const std::int64_t* b, std::int64_t* out, std::size_t n)
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (clampIsa(isa) == Isa::Avx2) {
+        binaryI64Avx2(op, a, b, out, n);
+        return;
+    }
+#endif
+    (void)isa;
+    binaryI64Scalar(op, a, b, out, n);
+}
+
+void
+boolBinary(Isa isa, BoolOp op, const std::uint8_t* a,
+           const std::uint8_t* b, std::uint8_t* out, std::size_t n)
+{
+    switch (clampIsa(isa)) {
+#if defined(UNCERTAIN_SIMD_X86)
+    case Isa::Avx2: boolBinaryAvx2(op, a, b, out, n); return;
+#if defined(__SSE2__)
+    case Isa::Sse2: boolBinarySse2(op, a, b, out, n); return;
+#endif
+#endif
+    default: break;
+    }
+    boolBinaryScalar(op, a, b, out, n);
+}
+
+void
+boolNot(Isa isa, const std::uint8_t* a, std::uint8_t* out, std::size_t n)
+{
+    switch (clampIsa(isa)) {
+#if defined(UNCERTAIN_SIMD_X86)
+    case Isa::Avx2: boolNotAvx2(a, out, n); return;
+#if defined(__SSE2__)
+    case Isa::Sse2: boolNotSse2(a, out, n); return;
+#endif
+#endif
+    default: break;
+    }
+    boolNotScalar(a, out, n);
+}
+
+void
+negF64(Isa isa, const double* a, double* out, std::size_t n)
+{
+    switch (clampIsa(isa)) {
+#if defined(UNCERTAIN_SIMD_X86)
+    case Isa::Avx2: negF64Avx2(a, out, n); return;
+#if defined(__SSE2__)
+    case Isa::Sse2: negF64Sse2(a, out, n); return;
+#endif
+#elif defined(UNCERTAIN_SIMD_NEON)
+    case Isa::Neon: negF64Neon(a, out, n); return;
+#endif
+    default: break;
+    }
+    negF64Scalar(a, out, n);
+}
+
+void
+selectF64(Isa isa, const std::uint8_t* c, const double* x,
+          const double* y, double* out, std::size_t n)
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (clampIsa(isa) == Isa::Avx2) {
+        selectF64Avx2(c, x, y, out, n);
+        return;
+    }
+#endif
+    (void)isa;
+    selectF64Scalar(c, x, y, out, n);
+}
+
+void
+xoshiroFillU64(Isa isa, std::uint64_t state[4], std::uint64_t* out,
+               std::size_t n)
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (clampIsa(isa) == Isa::Avx2) {
+        xoshiroFillU64Avx2(state, out, n);
+        return;
+    }
+#endif
+    (void)isa;
+    xoshiroFillU64Scalar(state, out, n);
+}
+
+void
+xoshiroFillDouble(Isa isa, std::uint64_t state[4], double* out,
+                  std::size_t n, bool open)
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (clampIsa(isa) == Isa::Avx2) {
+        xoshiroFillDoubleAvx2(state, out, n, open);
+        return;
+    }
+#endif
+    (void)isa;
+    xoshiroFillDoubleScalar(state, out, n, open);
+}
+
+std::size_t
+zigguratAccept(Isa isa, const std::uint64_t* words, std::size_t n,
+               const std::uint32_t* kn, const double* wn, double mu,
+               double sigma, double* out, std::uint32_t* rejects)
+{
+#if defined(UNCERTAIN_SIMD_X86)
+    if (clampIsa(isa) == Isa::Avx2)
+        return zigguratAcceptAvx2(words, n, kn, wn, mu, sigma, out,
+                                  rejects);
+#endif
+    (void)isa;
+    return zigguratAcceptScalar(words, 0, n, kn, wn, mu, sigma, out,
+                                rejects, 0);
+}
+
+} // namespace simd
+} // namespace uncertain

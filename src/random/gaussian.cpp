@@ -1,9 +1,11 @@
 #include "random/gaussian.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <sstream>
 
+#include "core/simd_kernels.hpp"
 #include "support/error.hpp"
 #include "support/special_math.hpp"
 
@@ -125,31 +127,35 @@ Gaussian::sampleMany(Rng& rng, double* out, std::size_t n) const
     // integer compare plus one multiply; the wedge/tail slow path is
     // out of line. Raw 64-bit words are pulled through a stack buffer
     // via fillU64, so the fast path never crosses the Rng facade per
-    // draw. Rejection and buffering consume a data-dependent number
-    // of words, which is fine here: the bulk contract is "same law as
+    // draw, and the accept test + accepted-value arithmetic run
+    // vectorized over the whole buffer (simd::zigguratAccept).
+    // Rejected indices come back in ascending order and are fixed up
+    // with the scalar tail/wedge routine in element order — the same
+    // order the old per-element loop called it — so the Rng word
+    // stream and every output bit are unchanged by the vectorization.
+    // Rejection and buffering consume a data-dependent number of
+    // words, which is fine here: the bulk contract is "same law as
     // sample(), deterministic in the Rng state", not "same stream
     // schedule" (the KS conformance suite pins the law).
     constexpr std::size_t kBuf = 1024;
     std::uint64_t buf[kBuf];
-    std::size_t have = 0;
-    std::size_t pos = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (pos == have) {
-            have = std::min(kBuf, n - i);
-            rng.fillU64(buf, have);
-            pos = 0;
+    std::uint32_t rejects[kBuf];
+    const simd::Isa isa = simd::activeIsa();
+    for (std::size_t i = 0; i < n;) {
+        const std::size_t have = std::min(kBuf, n - i);
+        rng.fillU64(buf, have);
+        const std::size_t nRejects = simd::zigguratAccept(
+            isa, buf, have, zig.kn, zig.wn, mu_, sigma_, out + i,
+            rejects);
+        for (std::size_t r = 0; r < nRejects; ++r) {
+            const std::size_t idx = rejects[r];
+            const auto hz = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(buf[idx]));
+            const std::uint32_t iz =
+                static_cast<std::uint32_t>(hz) & 127u;
+            out[i + idx] = mu_ + sigma_ * zigguratFix(rng, hz, iz);
         }
-        const auto hz = static_cast<std::int32_t>(
-            static_cast<std::uint32_t>(buf[pos++]));
-        const std::uint32_t iz = static_cast<std::uint32_t>(hz) & 127u;
-        // Magnitude via unsigned negation: |INT32_MIN| overflows int.
-        const std::uint32_t mag =
-            hz < 0 ? ~static_cast<std::uint32_t>(hz) + 1u
-                   : static_cast<std::uint32_t>(hz);
-        const double z = mag < zig.kn[iz]
-                             ? static_cast<double>(hz) * zig.wn[iz]
-                             : zigguratFix(rng, hz, iz);
-        out[i] = mu_ + sigma_ * z;
+        i += have;
     }
 }
 

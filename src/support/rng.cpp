@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "core/simd_kernels.hpp"
 #include "support/error.hpp"
 
 namespace uncertain {
@@ -136,26 +137,36 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+// The bulk fills go through the simd kernel layer, pinned to the
+// scalar implementation. The leapfrogged vector fills exist and are
+// bit-identical (tests drive them with an explicit Isa), but the
+// xoshiro transition is a short serial dependency chain the scalar
+// engine already retires at ~3 cycles/word; the 4-lane leapfrog must
+// run four vector transitions per pack to keep every lane on the
+// serial orbit, so it saves no work and measures ~25% slower on
+// issue-width-bound AVX2 cores. Since the output is bit-identical
+// either way, preferring the scalar loop here is purely a speed
+// choice and invisible to every caller.
+
 void
 Rng::fillU64(std::uint64_t* out, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = engine_.next();
+    simd::xoshiroFillU64(simd::Isa::Scalar, engine_.state_.data(), out,
+                         n);
 }
 
 void
 Rng::fillDouble(double* out, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = static_cast<double>(engine_.next() >> 11) * 0x1.0p-53;
+    simd::xoshiroFillDouble(simd::Isa::Scalar, engine_.state_.data(),
+                            out, n, /*open=*/false);
 }
 
 void
 Rng::fillDoubleOpen(double* out, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = (static_cast<double>(engine_.next() >> 11) + 0.5) *
-                 0x1.0p-53;
+    simd::xoshiroFillDouble(simd::Isa::Scalar, engine_.state_.data(),
+                            out, n, /*open=*/true);
 }
 
 namespace {

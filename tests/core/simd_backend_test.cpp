@@ -1,0 +1,651 @@
+/**
+ * @file
+ * Acceptance suite for the SIMD execution backend (core/simd_kernels
+ * + the PlanOptions::backend axis). The backend's contract is strict:
+ * vectorization is a pure speed transform, never a semantic one, so
+ * almost every test here asserts BIT identity, not statistical
+ * closeness. Pillars:
+ *
+ *  1. Kernel parity — every lane-pack kernel, invoked with every Isa
+ *     the dispatcher knows about, reproduces the scalar emulation bit
+ *     for bit, including NaN propagation, signed zeros, infinities
+ *     and odd tail lengths (kernels clamp unsupported Isas, so
+ *     passing all of them is safe on any host).
+ *  2. Broadcast-constant forms — binaryF64ConstB/ConstA equal the
+ *     column kernel over a splatted column for every op.
+ *  3. RNG fills — the leapfrogged xoshiro fills retrace the exact
+ *     serial orbit: same outputs, same final engine state, same
+ *     double mapping as Rng::nextDouble.
+ *  4. Ziggurat — Gaussian::sampleMany under the vector accept pass is
+ *     bit-identical to the forced-scalar path.
+ *  5. Plan equivalence — all 16 optimizer toggle combinations x
+ *     {Auto, Simd, Scalar} backends produce identical sample streams,
+ *     and PlanStats/exec counters report the backend truthfully.
+ *  6. Law conformance — KS and TV-certification entries for the
+ *     SIMD-backed ziggurat and an optimized-plan root column
+ *     (SimdBackendStatistical.* / SimdBackendCertification.* run in
+ *     the statistical and certification CTest shards).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hpp"
+#include "core/inspect.hpp"
+#include "core/simd.hpp"
+#include "core/simd_kernels.hpp"
+#include "random/gaussian.hpp"
+#include "random/rayleigh.hpp"
+#include "stats/certify.hpp"
+#include "support/rng.hpp"
+
+#include "certify/certify_test_util.hpp"
+#include "stat_assert.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace core {
+namespace {
+
+/** RAII for the process-wide force-scalar switch. */
+class ForceScalarGuard
+{
+  public:
+    explicit ForceScalarGuard(bool force) : prev_(simd::forceScalar())
+    {
+        simd::setForceScalar(force);
+    }
+    ~ForceScalarGuard() { simd::setForceScalar(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** Every Isa the dispatcher knows; kernels clamp unsupported ones. */
+constexpr simd::Isa kIsas[] = {simd::Isa::Scalar, simd::Isa::Sse2,
+                               simd::Isa::Avx2, simd::Isa::Neon};
+
+/** Lengths covering sub-pack, pack-aligned and unrolled+tail cases. */
+constexpr std::size_t kLengths[] = {1, 2, 3, 4, 7, 8, 15, 16,
+                                    17, 31, 64, 100};
+
+/** Deterministic f64 operands seasoned with every IEEE edge case. */
+std::vector<double>
+edgeCaseDoubles(std::size_t n, std::uint64_t seed)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double edges[] = {0.0,   -0.0, 1.0,    -1.0, inf,
+                            -inf,  nan,  1e-308, -2.5, 1e17};
+    Rng rng = testing::testRng(seed);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Mostly ordinary values, every 5th an edge case, so compare
+        // predicates see both true and false lanes next to NaNs.
+        out[i] = (i % 5 == 0) ? edges[rng.nextU64() % 10]
+                              : rng.nextDouble() * 20.0 - 10.0;
+    }
+    return out;
+}
+
+bool
+bitIdentical(const std::vector<double>& a, const std::vector<double>& b)
+{
+    return a.size() == b.size()
+           && (a.empty()
+               || std::memcmp(a.data(), b.data(),
+                              a.size() * sizeof(double)) == 0);
+}
+
+Uncertain<double>
+gaussianLeaf(double mu, double sigma)
+{
+    return fromDistribution(
+        std::make_shared<random::Gaussian>(mu, sigma));
+}
+
+Uncertain<double>
+rayleighLeaf(double rho)
+{
+    return fromDistribution(std::make_shared<random::Rayleigh>(rho));
+}
+
+/**
+ * A strip-heavy graph exercising the whole kernel surface: fused f64
+ * chains with point-mass operands (the broadcast-constant micro-ops),
+ * a shared leaf (CSE), negation, division, and a comparison/select
+ * through the conditional operators.
+ */
+Uncertain<double>
+stripHeavyGraph()
+{
+    auto x = gaussianLeaf(0.0, 1.0);
+    auto y = rayleighLeaf(1.63);
+    auto chain = ((x * 1.0101 + 0.25) * 0.5 - 1.5) / 0.75;
+    auto shared = (y + x) + x;
+    return chain + shared * 0.125 - (-y);
+}
+
+PlanOptions
+toggleCombo(unsigned mask, simd::ExecBackend backend)
+{
+    PlanOptions options;
+    options.cse = (mask & 1u) != 0;
+    options.constantFolding = (mask & 2u) != 0;
+    options.fuseElementwise = (mask & 4u) != 0;
+    options.reuseBuffers = (mask & 8u) != 0;
+    options.backend = backend;
+    return options;
+}
+
+std::vector<double>
+planSamples(const Uncertain<double>& expr, const PlanOptions& options,
+            std::size_t n, std::uint64_t seed,
+            std::size_t blockSize = 1024)
+{
+    Rng rng = testing::testRng(seed);
+    BatchSampler sampler(BatchOptions{blockSize, options});
+    return expr.takeSamples(n, rng, sampler);
+}
+
+// ---- 1. lane-pack kernel parity -------------------------------------
+
+TEST(SimdBackend, IsaIntrospectionIsConsistent)
+{
+    EXPECT_EQ(simd::laneWidth(simd::Isa::Scalar), 1u);
+    EXPECT_GE(simd::laneWidth(simd::compiledIsa()), 1u);
+    EXPECT_STREQ(simd::isaName(simd::Isa::Scalar), "scalar");
+    EXPECT_STREQ(simd::isaName(simd::Isa::Avx2), "avx2");
+
+    // activeIsa is min(compiled, detected) unless forced scalar.
+    ForceScalarGuard off(false);
+    EXPECT_LE(static_cast<int>(simd::activeIsa()),
+              static_cast<int>(simd::compiledIsa()));
+    {
+        ForceScalarGuard on(true);
+        EXPECT_EQ(simd::activeIsa(), simd::Isa::Scalar);
+        EXPECT_TRUE(simd::forceScalar());
+    }
+    EXPECT_FALSE(simd::forceScalar());
+}
+
+TEST(SimdBackend, BinaryF64MatchesScalarAcrossIsas)
+{
+    const simd::BinF64 ops[] = {simd::BinF64::Add, simd::BinF64::Sub,
+                                simd::BinF64::Mul, simd::BinF64::Div,
+                                simd::BinF64::Min, simd::BinF64::Max};
+    for (std::size_t n : kLengths) {
+        const auto a = edgeCaseDoubles(n, 11);
+        const auto b = edgeCaseDoubles(n, 12);
+        for (auto op : ops) {
+            std::vector<double> ref(n);
+            simd::binaryF64(simd::Isa::Scalar, op, a.data(), b.data(),
+                            ref.data(), n);
+            for (auto isa : kIsas) {
+                std::vector<double> out(n, -777.0);
+                simd::binaryF64(isa, op, a.data(), b.data(),
+                                out.data(), n);
+                EXPECT_TRUE(bitIdentical(ref, out))
+                    << "op " << static_cast<int>(op) << " isa "
+                    << simd::isaName(isa) << " n " << n;
+            }
+        }
+    }
+}
+
+TEST(SimdBackend, ConstBroadcastFormsMatchColumnKernel)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double consts[] = {1.0101, -0.0, 0.25, nan,
+                             std::numeric_limits<double>::infinity()};
+    const simd::BinF64 ops[] = {simd::BinF64::Add, simd::BinF64::Sub,
+                                simd::BinF64::Mul, simd::BinF64::Div,
+                                simd::BinF64::Min, simd::BinF64::Max};
+    for (std::size_t n : kLengths) {
+        const auto col = edgeCaseDoubles(n, 21);
+        for (double c : consts) {
+            const std::vector<double> splat(n, c);
+            for (auto op : ops) {
+                std::vector<double> refB(n);
+                simd::binaryF64(simd::Isa::Scalar, op, col.data(),
+                                splat.data(), refB.data(), n);
+                std::vector<double> refA(n);
+                simd::binaryF64(simd::Isa::Scalar, op, splat.data(),
+                                col.data(), refA.data(), n);
+                for (auto isa : kIsas) {
+                    std::vector<double> outB(n, -777.0);
+                    simd::binaryF64ConstB(isa, op, col.data(), c,
+                                          outB.data(), n);
+                    EXPECT_TRUE(bitIdentical(refB, outB))
+                        << "ConstB op " << static_cast<int>(op)
+                        << " isa " << simd::isaName(isa) << " n " << n;
+                    std::vector<double> outA(n, -777.0);
+                    simd::binaryF64ConstA(isa, op, c, col.data(),
+                                          outA.data(), n);
+                    EXPECT_TRUE(bitIdentical(refA, outA))
+                        << "ConstA op " << static_cast<int>(op)
+                        << " isa " << simd::isaName(isa) << " n " << n;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdBackend, CompareF64MatchesScalarAcrossIsas)
+{
+    const simd::Cmp ops[] = {simd::Cmp::Lt, simd::Cmp::Gt,
+                             simd::Cmp::Le, simd::Cmp::Ge,
+                             simd::Cmp::Eq, simd::Cmp::Ne};
+    for (std::size_t n : kLengths) {
+        auto a = edgeCaseDoubles(n, 31);
+        auto b = edgeCaseDoubles(n, 32);
+        // Force some equal lanes so Eq/Le/Ge see true cases.
+        for (std::size_t i = 0; i < n; i += 3)
+            b[i] = a[i];
+        for (auto op : ops) {
+            std::vector<std::uint8_t> ref(n);
+            simd::compareF64(simd::Isa::Scalar, op, a.data(), b.data(),
+                             ref.data(), n);
+            for (auto isa : kIsas) {
+                std::vector<std::uint8_t> out(n, 0xCC);
+                simd::compareF64(isa, op, a.data(), b.data(),
+                                 out.data(), n);
+                EXPECT_EQ(ref, out)
+                    << "cmp " << static_cast<int>(op) << " isa "
+                    << simd::isaName(isa) << " n " << n;
+            }
+        }
+    }
+}
+
+TEST(SimdBackend, IntegerAndBoolKernelsMatchScalarAcrossIsas)
+{
+    for (std::size_t n : kLengths) {
+        Rng rng = testing::testRng(41);
+        std::vector<std::int32_t> a32(n), b32(n);
+        std::vector<std::int64_t> a64(n), b64(n);
+        std::vector<std::uint8_t> ab(n), bb(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a32[i] = static_cast<std::int32_t>(rng.nextU64());
+            b32[i] = static_cast<std::int32_t>(rng.nextU64());
+            a64[i] = static_cast<std::int64_t>(rng.nextU64());
+            b64[i] = static_cast<std::int64_t>(rng.nextU64());
+            ab[i] = static_cast<std::uint8_t>(rng.nextU64() & 1u);
+            bb[i] = static_cast<std::uint8_t>(rng.nextU64() & 1u);
+            if (i % 3 == 0) // equal lanes for the compare predicates
+                b32[i] = a32[i];
+        }
+
+        const simd::BinI32 i32Ops[] = {
+            simd::BinI32::Add, simd::BinI32::Sub, simd::BinI32::Mul,
+            simd::BinI32::Min, simd::BinI32::Max};
+        for (auto op : i32Ops) {
+            std::vector<std::int32_t> ref(n), out(n, -7);
+            simd::binaryI32(simd::Isa::Scalar, op, a32.data(),
+                            b32.data(), ref.data(), n);
+            for (auto isa : kIsas) {
+                simd::binaryI32(isa, op, a32.data(), b32.data(),
+                                out.data(), n);
+                EXPECT_EQ(ref, out) << "i32 op " << static_cast<int>(op)
+                                    << " isa " << simd::isaName(isa);
+            }
+        }
+
+        const simd::Cmp cmpOps[] = {simd::Cmp::Lt, simd::Cmp::Gt,
+                                    simd::Cmp::Le, simd::Cmp::Ge,
+                                    simd::Cmp::Eq, simd::Cmp::Ne};
+        for (auto op : cmpOps) {
+            std::vector<std::uint8_t> ref(n), out(n, 0xCC);
+            simd::compareI32(simd::Isa::Scalar, op, a32.data(),
+                             b32.data(), ref.data(), n);
+            for (auto isa : kIsas) {
+                simd::compareI32(isa, op, a32.data(), b32.data(),
+                                 out.data(), n);
+                EXPECT_EQ(ref, out)
+                    << "i32 cmp " << static_cast<int>(op) << " isa "
+                    << simd::isaName(isa);
+            }
+        }
+
+        const simd::BinI64 i64Ops[] = {simd::BinI64::Add,
+                                       simd::BinI64::Sub};
+        for (auto op : i64Ops) {
+            std::vector<std::int64_t> ref(n), out(n, -7);
+            simd::binaryI64(simd::Isa::Scalar, op, a64.data(),
+                            b64.data(), ref.data(), n);
+            for (auto isa : kIsas) {
+                simd::binaryI64(isa, op, a64.data(), b64.data(),
+                                out.data(), n);
+                EXPECT_EQ(ref, out) << "i64 op " << static_cast<int>(op)
+                                    << " isa " << simd::isaName(isa);
+            }
+        }
+
+        const simd::BoolOp boolOps[] = {simd::BoolOp::And,
+                                        simd::BoolOp::Or};
+        for (auto op : boolOps) {
+            std::vector<std::uint8_t> ref(n), out(n, 0xCC);
+            simd::boolBinary(simd::Isa::Scalar, op, ab.data(),
+                             bb.data(), ref.data(), n);
+            for (auto isa : kIsas) {
+                simd::boolBinary(isa, op, ab.data(), bb.data(),
+                                 out.data(), n);
+                EXPECT_EQ(ref, out)
+                    << "bool op " << static_cast<int>(op) << " isa "
+                    << simd::isaName(isa);
+            }
+        }
+        {
+            std::vector<std::uint8_t> ref(n), out(n, 0xCC);
+            simd::boolNot(simd::Isa::Scalar, ab.data(), ref.data(), n);
+            for (auto isa : kIsas) {
+                simd::boolNot(isa, ab.data(), out.data(), n);
+                EXPECT_EQ(ref, out) << "boolNot " << simd::isaName(isa);
+            }
+        }
+    }
+}
+
+TEST(SimdBackend, NegAndSelectMatchScalarAcrossIsas)
+{
+    for (std::size_t n : kLengths) {
+        const auto x = edgeCaseDoubles(n, 51);
+        const auto y = edgeCaseDoubles(n, 52);
+        Rng rng = testing::testRng(53);
+        std::vector<std::uint8_t> c(n);
+        for (auto& v : c)
+            v = static_cast<std::uint8_t>(rng.nextU64() & 1u);
+
+        std::vector<double> refNeg(n);
+        simd::negF64(simd::Isa::Scalar, x.data(), refNeg.data(), n);
+        std::vector<double> refSel(n);
+        simd::selectF64(simd::Isa::Scalar, c.data(), x.data(),
+                        y.data(), refSel.data(), n);
+        for (auto isa : kIsas) {
+            std::vector<double> outNeg(n, -777.0), outSel(n, -777.0);
+            simd::negF64(isa, x.data(), outNeg.data(), n);
+            simd::selectF64(isa, c.data(), x.data(), y.data(),
+                            outSel.data(), n);
+            EXPECT_TRUE(bitIdentical(refNeg, outNeg))
+                << "neg " << simd::isaName(isa) << " n " << n;
+            EXPECT_TRUE(bitIdentical(refSel, outSel))
+                << "select " << simd::isaName(isa) << " n " << n;
+        }
+    }
+}
+
+// ---- 3. RNG fills ----------------------------------------------------
+
+TEST(SimdBackend, XoshiroFillU64RetracesTheSerialOrbit)
+{
+    const std::uint64_t seed = 0xFEEDFACE12345678ull;
+    for (std::size_t n : {std::size_t{1}, std::size_t{3},
+                          std::size_t{4}, std::size_t{17},
+                          std::size_t{256}, std::size_t{1001}}) {
+        // The serial orbit: a plain next() loop plus the final state.
+        Xoshiro256StarStar engine(seed);
+        std::vector<std::uint64_t> ref(n);
+        for (auto& w : ref)
+            w = engine.next();
+        const std::array<std::uint64_t, 4> refState = engine.state();
+
+        for (auto isa : kIsas) {
+            Xoshiro256StarStar twin(seed);
+            std::array<std::uint64_t, 4> state = twin.state();
+            std::vector<std::uint64_t> out(n, 0xDEADull);
+            simd::xoshiroFillU64(isa, state.data(), out.data(), n);
+            EXPECT_EQ(ref, out)
+                << "fill " << simd::isaName(isa) << " n " << n;
+            EXPECT_EQ(refState, state)
+                << "state " << simd::isaName(isa) << " n " << n;
+        }
+    }
+}
+
+TEST(SimdBackend, XoshiroFillDoubleMatchesRngMapping)
+{
+    // Rng(seed) wraps Xoshiro256StarStar(seed), so an engine with the
+    // same seed starts in the exact state the facade draws from.
+    const std::uint64_t seed = 97;
+    const std::size_t n = 513; // odd: exercises the vector tail
+    for (bool open : {false, true}) {
+        Rng rng(seed);
+        std::vector<double> ref(n);
+        for (auto& v : ref)
+            v = open ? rng.nextDoubleOpen() : rng.nextDouble();
+
+        // The kernel, at every Isa, over the raw engine state.
+        for (auto isa : kIsas) {
+            Xoshiro256StarStar twin(seed);
+            std::array<std::uint64_t, 4> state = twin.state();
+            std::vector<double> out(n, -777.0);
+            simd::xoshiroFillDouble(isa, state.data(), out.data(), n,
+                                    open);
+            EXPECT_TRUE(bitIdentical(ref, out))
+                << "fillDouble " << simd::isaName(isa) << " open="
+                << open;
+        }
+
+        // The Rng facade's bulk fill, forced-scalar and not.
+        for (bool force : {false, true}) {
+            ForceScalarGuard guard(force);
+            Rng fresh(seed);
+            std::vector<double> viaRng(n, -777.0);
+            if (open)
+                fresh.fillDoubleOpen(viaRng.data(), n);
+            else
+                fresh.fillDouble(viaRng.data(), n);
+            EXPECT_TRUE(bitIdentical(ref, viaRng))
+                << "Rng fill open=" << open << " force-scalar="
+                << force;
+        }
+    }
+}
+
+TEST(SimdBackend, RngBulkFillsMatchScalarDraws)
+{
+    const std::size_t n = 777;
+    Rng a = testing::testRng(61);
+    Rng b = testing::testRng(61);
+    std::vector<std::uint64_t> filled(n);
+    a.fillU64(filled.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(filled[i], b.nextU64()) << "word " << i;
+    // Post-fill the streams stay in lockstep.
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+// ---- 4. ziggurat -----------------------------------------------------
+
+TEST(SimdBackend, GaussianSampleManyBitIdenticalToForcedScalar)
+{
+    random::Gaussian dist(-1.5, 2.25);
+    const std::size_t n = 40000; // enough to hit tail/wedge rejects
+    std::vector<double> vec(n), scal(n);
+    {
+        ForceScalarGuard guard(false);
+        Rng rng = testing::testRng(71);
+        dist.sampleMany(rng, vec.data(), n);
+    }
+    {
+        ForceScalarGuard guard(true);
+        Rng rng = testing::testRng(71);
+        dist.sampleMany(rng, scal.data(), n);
+    }
+    EXPECT_TRUE(bitIdentical(vec, scal));
+}
+
+// ---- 5. plan equivalence and observability ---------------------------
+
+TEST(SimdBackend, PlanOutputsBitIdenticalAcrossBackendsAndToggles)
+{
+    auto expr = stripHeavyGraph();
+    const std::size_t n = 6000;
+    const std::uint64_t seed = 81;
+
+    // Reference: everything off, scalar interpreter — the literal
+    // transcription semantics every configuration must reproduce.
+    const auto ref = planSamples(expr, PlanOptions::disabled(), n,
+                                 seed);
+    const simd::ExecBackend backends[] = {simd::ExecBackend::Auto,
+                                          simd::ExecBackend::Simd,
+                                          simd::ExecBackend::Scalar};
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        for (auto backend : backends) {
+            auto samples = planSamples(
+                expr, toggleCombo(mask, backend), n, seed);
+            EXPECT_TRUE(bitIdentical(ref, samples))
+                << "toggle mask " << mask << " backend "
+                << simd::backendName(backend);
+        }
+    }
+}
+
+TEST(SimdBackend, AutoBackendFallsBackUnderForceScalar)
+{
+    auto expr = stripHeavyGraph();
+    PlanOptions options; // Auto backend, all passes on
+    {
+        ForceScalarGuard guard(true);
+        auto stats = planStats(expr, options);
+        EXPECT_FALSE(stats.simdStrips);
+        EXPECT_STREQ(stats.isa, "scalar");
+        EXPECT_EQ(stats.laneWidth, 1u);
+        EXPECT_EQ(stats.simdStripOps, 0u);
+    }
+    {
+        ForceScalarGuard guard(false);
+        auto stats = planStats(expr, options);
+        if (simd::activeIsa() != simd::Isa::Scalar) {
+            EXPECT_TRUE(stats.simdStrips);
+            EXPECT_GE(stats.laneWidth, 2u);
+            EXPECT_GT(stats.simdStripOps, 0u);
+        } else {
+            EXPECT_FALSE(stats.simdStrips);
+        }
+    }
+}
+
+TEST(SimdBackend, PlanStatsReportTheRequestedBackend)
+{
+    auto expr = stripHeavyGraph();
+
+    PlanOptions scalar;
+    scalar.backend = simd::ExecBackend::Scalar;
+    auto scalarStats = planStats(expr, scalar);
+    EXPECT_EQ(scalarStats.backendRequested, simd::ExecBackend::Scalar);
+    EXPECT_FALSE(scalarStats.simdStrips);
+    EXPECT_EQ(scalarStats.simdStripOps, 0u);
+    EXPECT_GT(scalarStats.scalarStripOps, 0u);
+    EXPECT_NE(scalarStats.toString().find("backend scalar"),
+              std::string::npos);
+
+    PlanOptions forced;
+    forced.backend = simd::ExecBackend::Simd;
+    auto simdStats = planStats(expr, forced);
+    EXPECT_EQ(simdStats.backendRequested, simd::ExecBackend::Simd);
+    // Simd is forced even on a scalar-only host: the kernels emulate.
+    EXPECT_TRUE(simdStats.simdStrips);
+    EXPECT_GT(simdStats.simdStripOps, 0u);
+    EXPECT_NE(simdStats.toString().find("backend simd"),
+              std::string::npos);
+}
+
+TEST(SimdBackend, ExecCountersObserveVectorStrips)
+{
+    auto expr = stripHeavyGraph();
+    const std::size_t n = 4096;
+
+    PlanOptions forced;
+    forced.backend = simd::ExecBackend::Simd;
+    BatchSampler simdSampler(BatchOptions{1024, forced});
+    Rng rngA = testing::testRng(91);
+    (void)expr.takeSamples(n, rngA, simdSampler);
+    auto simdExec = planExecCounters(expr, simdSampler);
+    EXPECT_GT(simdExec.blocksExecuted, 0u);
+    EXPECT_GT(simdExec.stripsExecuted, 0u);
+    EXPECT_GT(simdExec.simdStripsExecuted, 0u);
+
+    PlanOptions scalar;
+    scalar.backend = simd::ExecBackend::Scalar;
+    BatchSampler scalarSampler(BatchOptions{1024, scalar});
+    Rng rngB = testing::testRng(91);
+    (void)expr.takeSamples(n, rngB, scalarSampler);
+    auto scalarExec = planExecCounters(expr, scalarSampler);
+    EXPECT_GT(scalarExec.stripsExecuted, 0u);
+    EXPECT_EQ(scalarExec.simdStripsExecuted, 0u);
+}
+
+// ---- 6. law conformance ----------------------------------------------
+
+TEST(SimdBackendStatistical, FusedAffineChainFollowsTheAnalyticLaw)
+{
+    // x ~ N(1, 2); ((x * 3 + 1) - 0.5) * 0.25 ~ N(0.875, 1.5). The
+    // chain's point-mass operands ride the broadcast-constant
+    // micro-ops under the SIMD backend.
+    auto expr = ((gaussianLeaf(1.0, 2.0) * 3.0 + 1.0) - 0.5) * 0.25;
+    PlanOptions options;
+    options.backend = simd::ExecBackend::Simd;
+    auto samples = planSamples(expr, options, 30000, 101);
+    random::Gaussian truth(0.875, 1.5);
+    EXPECT_TRUE(testing::ksMatchesDistribution(samples, truth));
+    EXPECT_TRUE(testing::momentsMatch(samples, 0.875, 1.5));
+}
+
+TEST(SimdBackendStatistical, ZigguratSampleManyMatchesTheLaw)
+{
+    // No force-scalar here: on hosts with a vector unit this runs the
+    // vector accept pass; elsewhere it degrades to the scalar layer.
+    random::Gaussian dist(0.5, 1.75);
+    const std::size_t n = 50000;
+    std::vector<double> samples(n);
+    Rng rng = testing::testRng(103);
+    dist.sampleMany(rng, samples.data(), n);
+    EXPECT_TRUE(testing::ksMatchesDistribution(samples, dist));
+    EXPECT_TRUE(testing::momentsMatch(samples, 0.5, 1.75));
+}
+
+TEST(SimdBackendCertification, ZigguratVectorAcceptCertified)
+{
+    auto dist = std::make_shared<random::Gaussian>(-2.0, 0.8);
+    Rng rng = testing::testRng(111);
+    auto result = stats::certifyContinuous(
+        "gaussian-ziggurat-simd", stats::bulkSampler(dist), *dist, rng,
+        testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(result));
+}
+
+TEST(SimdBackendCertification, OptimizedPlanRootColumnCertified)
+{
+    // Root column of a fully optimized SIMD-backed plan; the affine
+    // chain keeps the root law closed-form.
+    auto expr = (gaussianLeaf(0.0, 1.0) * 1.25 - 0.5) * 0.8 + 2.0;
+    random::Gaussian truth(1.6, 1.0);
+
+    PlanOptions options;
+    options.backend = simd::ExecBackend::Simd;
+    auto sampler = [expr, options](Rng& rng, double* out,
+                                   std::size_t n) {
+        BatchSampler batch(BatchOptions{8192, options});
+        auto samples = expr.takeSamples(n, rng, batch);
+        std::copy(samples.begin(), samples.end(), out);
+    };
+    Rng rng = testing::testRng(113);
+    auto result = stats::certifyContinuous(
+        "batch-plan-root-simd", sampler, truth, rng,
+        testing::certifyOptions());
+    EXPECT_TRUE(testing::certifiedPass(result));
+}
+
+} // namespace
+} // namespace core
+} // namespace uncertain
