@@ -4,6 +4,8 @@
  * c = a + b is wider than either operand's.
  */
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 
@@ -44,8 +46,8 @@ main(int argc, char** argv)
     bool paper = bench::hasFlag(argc, argv, "--paper");
     bool verbose = bench::hasFlag(argc, argv, "--verbose");
     std::string engine = bench::engineFlag(argc, argv);
-    const simd::ExecBackend backend =
-        bench::applyBackend(bench::backendFlag(argc, argv));
+    const std::string backendName = bench::backendFlag(argc, argv);
+    const simd::ExecBackend backend = bench::applyBackend(backendName);
     const std::size_t n = paper ? 400000 : 60000;
 
     Rng rng(6);
@@ -72,6 +74,61 @@ main(int argc, char** argv)
                              batch->blockSize(),
                              core::planExecCounters(c, *batch))
                 .c_str());
+    }
+
+    if (batch && backendName == "jit") {
+        // Compile-time amortization for the figure's own graph: the
+        // first block pays plan build (plus fragment compilation when
+        // the run is long enough to fuse), later blocks run from the
+        // caches. Fresh graphs and samplers so nothing is reused.
+        const std::size_t block = batchSampler.blockSize();
+        const std::size_t steadyBlocks = 50;
+        Rng timingRng(7);
+        auto measure = [&](simd::ExecBackend be, double* firstSec,
+                           double* steadySec, std::uint64_t* compileNs,
+                           std::size_t* fragments) {
+            auto freshA = core::fromDistribution(
+                std::make_shared<random::Gaussian>(1.0, 1.0));
+            auto freshB = core::fromDistribution(
+                std::make_shared<random::Gaussian>(2.0, 1.5));
+            auto freshC = freshA + freshB;
+            core::BatchOptions config;
+            config.optimizer.backend = be;
+            core::BatchSampler sampler(config);
+            *firstSec = bench::timeSeconds([&] {
+                (void)freshC.takeSamples(block, timingRng, sampler);
+            });
+            *steadySec =
+                bench::timeSeconds([&] {
+                    for (std::size_t i = 0; i < steadyBlocks; ++i)
+                        (void)freshC.takeSamples(block, timingRng,
+                                                 sampler);
+                })
+                / static_cast<double>(steadyBlocks);
+            auto stats = core::planStats(freshC, sampler);
+            *compileNs = stats.jitCompileNanos;
+            *fragments = stats.jitFragments;
+        };
+        double jitFirst = 0.0, jitSteady = 0.0;
+        double simdFirst = 0.0, simdSteady = 0.0;
+        std::uint64_t compileNs = 0, simdCompileNs = 0;
+        std::size_t fragments = 0, simdFragments = 0;
+        measure(simd::ExecBackend::Jit, &jitFirst, &jitSteady,
+                &compileNs, &fragments);
+        measure(simd::ExecBackend::Simd, &simdFirst, &simdSteady,
+                &simdCompileNs, &simdFragments);
+        const double gain = simdSteady - jitSteady;
+        const double breakEven =
+            gain > 0.0 ? static_cast<double>(compileNs) * 1e-9 / gain
+                       : -1.0;
+        std::printf(
+            "jit amortization (c = a + b, block %zu): %zu fragments, "
+            "compile %.1f us; first block %.3g M items/s, steady %.3g "
+            "M items/s (simd steady %.3g M); break-even %.1f blocks\n",
+            block, fragments, static_cast<double>(compileNs) * 1e-3,
+            static_cast<double>(block) / jitFirst * 1e-6,
+            static_cast<double>(block) / jitSteady * 1e-6,
+            static_cast<double>(block) / simdSteady * 1e-6, breakEven);
     }
 
     std::printf("Shape check: stddev(c) = sqrt(1 + 2.25) = 1.80 > "

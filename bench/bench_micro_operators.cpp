@@ -18,11 +18,15 @@
  * JSONs. --verbose prints the optimized-plan report for the
  * BM_TakeSamples graphs before the benchmarks run.
  *
- * --backend {auto,simd,scalar} selects the execution backend for the
- * batch plans AND (via the process-wide force-scalar switch) the
+ * --backend {auto,jit,simd,scalar} selects the execution backend for
+ * the batch plans AND (via the process-wide force-scalar switch) the
  * RNG-fill/ziggurat layers: "scalar" is the honest baseline for SIMD
- * speedups, "simd" the candidate CI gates at >= 1.3x on the depth-64
- * chain (scripts/bench_compare.py --simd).
+ * speedups, "simd" the kernel-strip rung CI gates at >= 1.3x on the
+ * depth-64 chain, "jit" the compiled-fragment rung gated at >= 1.25x
+ * over simd (scripts/bench_compare.py --backend-gate). Under
+ * --backend jit the harness also measures compile-time amortization —
+ * first-block vs steady-state throughput and the break-even block
+ * count — and records it in the benchmark context.
  */
 
 #include <benchmark/benchmark.h>
@@ -36,6 +40,7 @@
 #include "bench_util.hpp"
 #include "core/core.hpp"
 #include "core/inspect.hpp"
+#include "core/jit/jit_compiler.hpp"
 #include "random/gaussian.hpp"
 
 using namespace uncertain;
@@ -316,6 +321,94 @@ BM_ParallelConditional(benchmark::State& state)
 BENCHMARK(BM_ParallelConditional)->Arg(1)->Arg(2)->Arg(4);
 
 /**
+ * Compile-time amortization of the JIT backend on the depth-64
+ * elementwise chain: the first block pays plan build plus fragment
+ * compilation; every later block runs the cached native code. Pitting
+ * the steady-state per-block gain over the SIMD rung against the
+ * one-off compile cost gives the break-even block count. Printed to
+ * stderr and recorded in the benchmark context so BENCH_jit.json
+ * carries the numbers.
+ */
+void
+reportJitAmortization()
+{
+    if (!jit::available()) {
+        std::fprintf(stderr,
+                     "jit amortization: JIT unavailable (codegen %s), "
+                     "plans fall back to simd/scalar\n",
+                     jit::codegenIsaName());
+        benchmark::AddCustomContext("jit_available", "false");
+        return;
+    }
+    const int depth = 64;
+    const std::size_t block = 1024;
+    const std::size_t steadyBlocks = 200;
+    Rng rng(10);
+
+    // Fresh graph + sampler per backend so the first takeSamples call
+    // really compiles (no plan-cache or fragment-cache reuse).
+    jit::clearFragmentCache();
+    auto measure = [&](simd::ExecBackend backend, double* firstSec,
+                       double* steadySec,
+                       std::uint64_t* compileNanos) {
+        auto chain = buildElementwiseChain(depth);
+        core::BatchOptions options;
+        options.blockSize = block;
+        options.optimizer = optimizerOptions();
+        options.optimizer.backend = backend;
+        core::BatchSampler sampler(options);
+        *firstSec = bench::timeSeconds([&] {
+            benchmark::DoNotOptimize(
+                chain.takeSamples(block, rng, sampler).data());
+        });
+        *steadySec = bench::timeSeconds([&] {
+                         for (std::size_t i = 0; i < steadyBlocks; ++i)
+                             benchmark::DoNotOptimize(
+                                 chain.takeSamples(block, rng, sampler)
+                                     .data());
+                     })
+                     / static_cast<double>(steadyBlocks);
+        *compileNanos =
+            core::planStats(chain, sampler).jitCompileNanos;
+    };
+
+    double jitFirst = 0.0, jitSteady = 0.0;
+    double simdFirst = 0.0, simdSteady = 0.0;
+    std::uint64_t jitCompile = 0, simdCompile = 0;
+    measure(simd::ExecBackend::Jit, &jitFirst, &jitSteady,
+            &jitCompile);
+    measure(simd::ExecBackend::Simd, &simdFirst, &simdSteady,
+            &simdCompile);
+
+    const double compileSec = static_cast<double>(jitCompile) * 1e-9;
+    const double gainPerBlock = simdSteady - jitSteady;
+    const double breakEven =
+        gainPerBlock > 0.0 ? compileSec / gainPerBlock : -1.0;
+    const double n = static_cast<double>(block);
+    std::fprintf(
+        stderr,
+        "jit amortization (BM_ElementwiseChain/%d, block %zu): "
+        "compile %.1f us; first block %.3g M items/s, steady %.3g M "
+        "items/s (simd steady %.3g M); break-even %.1f blocks\n",
+        depth, block, static_cast<double>(jitCompile) * 1e-3,
+        n / jitFirst * 1e-6, n / jitSteady * 1e-6,
+        n / simdSteady * 1e-6, breakEven);
+
+    char buf[64];
+    benchmark::AddCustomContext("jit_available", "true");
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(jitCompile) * 1e-3);
+    benchmark::AddCustomContext("jit_compile_us", buf);
+    std::snprintf(buf, sizeof buf, "%.0f", n / jitFirst);
+    benchmark::AddCustomContext("jit_first_block_items_per_second",
+                                buf);
+    std::snprintf(buf, sizeof buf, "%.0f", n / jitSteady);
+    benchmark::AddCustomContext("jit_steady_items_per_second", buf);
+    std::snprintf(buf, sizeof buf, "%.2f", breakEven);
+    benchmark::AddCustomContext("jit_break_even_blocks", buf);
+}
+
+/**
  * Strip "--engine X" / "--engine=X", "--optimizer X" /
  * "--optimizer=X", and "--verbose" from the argument vector (google
  * benchmark rejects flags it does not know) and record the choices.
@@ -366,12 +459,12 @@ main(int argc, char** argv)
                      g_optimizer.c_str());
         return 2;
     }
-    if (g_backend != "auto" && g_backend != "simd"
-        && g_backend != "scalar") {
-        std::fprintf(
-            stderr,
-            "unknown --backend '%s' (expected auto, simd or scalar)\n",
-            g_backend.c_str());
+    if (g_backend != "auto" && g_backend != "jit"
+        && g_backend != "simd" && g_backend != "scalar") {
+        std::fprintf(stderr,
+                     "unknown --backend '%s' (expected auto, jit, "
+                     "simd or scalar)\n",
+                     g_backend.c_str());
         return 2;
     }
     g_backendEnum = bench::applyBackend(g_backend);
@@ -380,6 +473,8 @@ main(int argc, char** argv)
     benchmark::AddCustomContext("backend", g_backend);
     benchmark::AddCustomContext(
         "isa", simd::isaName(simd::activeIsa()));
+    if (g_backend == "jit")
+        reportJitAmortization();
     if (g_verbose) {
         core::BatchSampler sampler(batchOptions());
         Rng rng(8);

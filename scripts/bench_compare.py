@@ -23,16 +23,19 @@ fraction (lower is better: a growing TV bound means a sampler drifted
 away from its law), any pass -> fail transition fails outright, and
 draw throughput (samples_per_second) is gated like any benchmark.
 
-SIMD mode (--simd): baseline = a --backend scalar run, candidate =
-the same benchmarks under --backend simd. Benchmarks matching the
---gate regex (default: the depth-64 fused elementwise chain) must be
-at least --min-speedup faster under SIMD — the vector backend has to
-EARN its keep on the strip-dominated workload, not merely avoid
-regressing. All other shared benchmarks use the normal tolerance
-check (the SIMD backend must never be slower than scalar beyond the
-tolerance: RNG-bound benches legitimately see ~1x). Certification
-documents still take the certificate view, so a conformance
-regression on the SIMD backend fails the job regardless of speed.
+Backend-gate mode (--backend-gate; --simd is a legacy alias):
+baseline and candidate are the same benchmarks run under two
+execution backends — e.g. scalar vs simd, or simd vs jit. Benchmarks
+matching the --gate regex (default: the depth-64 fused elementwise
+chain) must be at least --min-speedup faster under the candidate
+backend — each rung of the backend ladder has to EARN its keep on
+the strip-dominated workload, not merely avoid regressing. CI gates
+scalar -> simd at 1.3x and simd -> jit at 1.25x. All other shared
+benchmarks use the normal tolerance check (the faster backend must
+never be slower beyond the tolerance: RNG-bound benches legitimately
+see ~1x). Certification documents still take the certificate view,
+so a conformance regression on any backend fails the job regardless
+of speed.
 """
 
 import argparse
@@ -129,20 +132,26 @@ def main():
         help="allowed fractional slowdown before failing "
              "(default 0.20 = 20%%)")
     parser.add_argument(
+        "--backend-gate", action="store_true",
+        help="backend gate mode: baseline and candidate are the same "
+             "benchmarks under two execution backends (scalar vs "
+             "simd, simd vs jit, ...); benchmarks matching --gate "
+             "must speed up by --min-speedup")
+    parser.add_argument(
         "--simd", action="store_true",
-        help="SIMD gate mode: baseline is a --backend scalar run, "
-             "candidate the matching --backend simd run; benchmarks "
-             "matching --gate must speed up by --min-speedup")
+        help="legacy alias for --backend-gate (kept for old CI "
+             "configs and scripts)")
     parser.add_argument(
         "--min-speedup", type=float, default=1.3,
         help="required candidate/baseline throughput ratio on "
-             "--gate benchmarks in --simd mode (default 1.3)")
+             "--gate benchmarks in --backend-gate mode (default 1.3)")
     parser.add_argument(
         "--gate", default=r"BM_ElementwiseChain/64$",
         help="regex selecting the benchmarks that must meet "
-             "--min-speedup in --simd mode (default: the depth-64 "
-             "fused elementwise chain)")
+             "--min-speedup in --backend-gate mode (default: the "
+             "depth-64 fused elementwise chain)")
     args = parser.parse_args()
+    args.backend_gate = args.backend_gate or args.simd
 
     base_doc = load_json(args.baseline)
     cand_doc = load_json(args.candidate)
@@ -167,10 +176,10 @@ def main():
     for name in only_cand:
         print(f"  (candidate only, ignored) {name}")
 
-    gate_re = re.compile(args.gate) if args.simd else None
+    gate_re = re.compile(args.gate) if args.backend_gate else None
     gated = [n for n in shared if gate_re and gate_re.search(n)]
-    if args.simd and not gated:
-        print(f"bench_compare: --simd gate '{args.gate}' matched no "
+    if args.backend_gate and not gated:
+        print(f"bench_compare: backend gate '{args.gate}' matched no "
               f"shared benchmark", file=sys.stderr)
         return 2
 
@@ -182,7 +191,7 @@ def main():
         marker = ""
         if name in gated:
             if ratio < args.min_speedup:
-                marker = "  <-- SIMD GATE MISSED"
+                marker = "  <-- BACKEND GATE MISSED"
                 failures.append((name, ratio))
             else:
                 marker = f"  (gate: >= {args.min_speedup:.2f}x ok)"
@@ -195,16 +204,17 @@ def main():
     if failures:
         print(f"\nbench_compare: {len(failures)} benchmark(s) "
               f"regressed beyond {args.tolerance:.0%}"
-              + (f" (gate {args.min_speedup:.2f}x)" if args.simd
-                 else "") + ":",
+              + (f" (gate {args.min_speedup:.2f}x)"
+                 if args.backend_gate else "") + ":",
               file=sys.stderr)
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x of baseline",
                   file=sys.stderr)
         return 1
 
-    ok_note = (f", simd gate >= {args.min_speedup:.2f}x on "
-               f"{len(gated)} benchmark(s)" if args.simd else "")
+    ok_note = (f", backend gate >= {args.min_speedup:.2f}x on "
+               f"{len(gated)} benchmark(s)" if args.backend_gate
+               else "")
     print(f"\nbench_compare: OK ({len(shared)} shared benchmarks "
           f"within {args.tolerance:.0%}{ok_note})")
     return 0

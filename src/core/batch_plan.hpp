@@ -80,6 +80,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/jit/jit_compiler.hpp"
+#include "core/jit/jit_form.hpp"
 #include "core/simd.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -171,6 +173,15 @@ class ColumnBase
         if (size() < n)
             resize(n);
     }
+
+    /**
+     * Raw byte pointer to the column's contiguous storage, for the
+     * JIT backend's column pointer table. Null means "no flat
+     * storage" — such a column can never feed a compiled fragment
+     * (the plan only JITs steps over registerable store types, which
+     * all come from Column<T> below).
+     */
+    virtual unsigned char* rawBytes() { return nullptr; }
 };
 
 /** A contiguous column of batch::Store<T> values, one per sample. */
@@ -185,6 +196,12 @@ class Column final : public ColumnBase
 
     StoreType* data() { return values_.data(); }
     const StoreType* data() const { return values_.data(); }
+
+    unsigned char*
+    rawBytes() override
+    {
+        return reinterpret_cast<unsigned char*>(values_.data());
+    }
 
   private:
     std::vector<StoreType> values_;
@@ -228,6 +245,24 @@ class BatchWorkspace
                          "read of a column the optimizer proved dead");
         auto* typed = static_cast<Column<T>*>(columns_[phys].get());
         return *typed;
+    }
+
+    /**
+     * Raw byte pointer of logical column @p index, resolved through
+     * the slot map like any typed access — the entries of a compiled
+     * fragment's column pointer table. Recomputed per block because
+     * ensure() may reallocate.
+     */
+    unsigned char*
+    rawColumn(std::size_t index)
+    {
+        UNCERTAIN_ASSERT(slots_ != nullptr && index < slots_->size(),
+                         "column index out of range");
+        const std::size_t phys = (*slots_)[index];
+        UNCERTAIN_ASSERT(phys != batch::kNoColumn
+                             && phys < columns_.size(),
+                         "read of a column the optimizer proved dead");
+        return columns_[phys]->rawBytes();
     }
 
     /**
@@ -351,6 +386,16 @@ struct StepInfo
      */
     std::function<StripOp(const std::vector<StripLoc>&, const StripLoc&)>
         makeStripSimd;
+
+    /**
+     * Plan-level JIT lowering, present when the functor maps into the
+     * fragment emitter's op vocabulary (jit::OpFor). A fused group
+     * made entirely of jitable steps can be compiled into one native
+     * function per strip; a single non-jitable step in the group
+     * refuses the whole group back to the SIMD/scalar strips.
+     */
+    bool jitable = false;
+    jit::Op jitOp = jit::Op::AddF64;
 };
 
 namespace detail_ir {
@@ -501,6 +546,10 @@ makeUnaryStep(std::size_t col, std::size_t operand, F op)
                 };
             };
         }
+        if constexpr (jit::OpFor<F, R, A>::available) {
+            info.jitable = true;
+            info.jitOp = jit::OpFor<F, R, A>::op;
+        }
     }
     return info;
 }
@@ -632,6 +681,10 @@ makeBinaryStep(std::size_t col, std::size_t lhs, std::size_t rhs, F op)
                 };
             };
         }
+        if constexpr (jit::OpFor<F, R, A, B>::available) {
+            info.jitable = true;
+            info.jitOp = jit::OpFor<F, R, A, B>::op;
+        }
     }
     return info;
 }
@@ -725,6 +778,10 @@ makeTernaryStep(std::size_t col, std::size_t first, std::size_t second,
                         simd::activeIsa(), a, b, c, out, n);
                 };
             };
+        }
+        if constexpr (jit::OpFor<F, R, A, B, C>::available) {
+            info.jitable = true;
+            info.jitOp = jit::OpFor<F, R, A, B, C>::op;
         }
     }
     return info;
@@ -835,11 +892,13 @@ struct PlanOptions
     /**
      * Execution backend for elementwise strips (orthogonal to the
      * pass toggles; outputs are bit-identical either way). Auto
-     * resolves against simd::activeIsa() at plan-build time: vector
-     * strips when the CPU has a usable vector unit, scalar otherwise.
-     * Simd forces the kernel-layer strips (safe everywhere — the
-     * kernels emulate missing ISAs in scalar code); Scalar forces the
-     * plain interpreter strips.
+     * resolves at plan-build time: fused groups compile to native
+     * fragments when jit::available(), vector strips when the CPU
+     * has a usable vector unit, scalar otherwise. Jit prefers native
+     * fragments and falls back per group to the SIMD strips on any
+     * emitter refusal; Simd forces the kernel-layer strips (safe
+     * everywhere — the kernels emulate missing ISAs in scalar code);
+     * Scalar forces the plain interpreter strips.
      */
     simd::ExecBackend backend = simd::ExecBackend::Auto;
 
@@ -893,6 +952,24 @@ struct PlanStats
     /** Elementwise strip ops left on the scalar interpreter loop. */
     std::size_t scalarStripOps = 0;
 
+    /** True when at least one fused group compiled to a native
+     *  fragment (backend resolved to the JIT for that group). */
+    bool jitStrips = false;
+    /** Elementwise strip ops compiled into native fragments. The
+     *  simd/scalar op counts above still classify the retained
+     *  fallback strips (they execute partial tail strips and cover
+     *  forced fallback), so the three counts are not disjoint. */
+    std::size_t jitStripOps = 0;
+    /** Native fragments this plan uses (compiled or cache-served). */
+    std::size_t jitFragments = 0;
+    /** Of which were served from the process-wide fragment cache. */
+    std::size_t jitFragmentsReused = 0;
+    /** Total machine-code bytes across this plan's fragments. */
+    std::size_t jitCodeBytes = 0;
+    /** Wall-clock nanoseconds spent emitting this plan's fragments
+     *  (0 for cache-served ones). */
+    std::uint64_t jitCompileNanos = 0;
+
     /** Peak workspace bytes for a given block size. */
     std::size_t
     peakWorkspaceBytes(std::size_t blockSize) const
@@ -922,9 +999,15 @@ struct PlanStats
             << "; bytes/sample " << bytesPerSampleLowered << " -> "
             << bytesPerSampleMaterialized << "; backend "
             << simd::backendName(backendRequested) << " -> "
-            << (simdStrips ? "simd" : "scalar") << " (" << isa << " x"
-            << laneWidth << ", " << simdStripOps << " simd / "
-            << scalarStripOps << " scalar strip ops)";
+            << (jitStrips ? "jit" : simdStrips ? "simd" : "scalar")
+            << " (" << isa << " x" << laneWidth << ", " << simdStripOps
+            << " simd / " << scalarStripOps << " scalar strip ops)";
+        if (jitFragments > 0) {
+            out << "; jit " << jitStripOps << " ops in " << jitFragments
+                << " fragments (" << jitFragmentsReused << " cached), "
+                << jitCodeBytes << " code bytes, compile "
+                << jitCompileNanos / 1000 << " us";
+        }
         return out.str();
     }
 };
@@ -942,6 +1025,7 @@ struct PlanExecCounters
     std::uint64_t stepsDispatched = 0;   //!< kernel invocations
     std::uint64_t stripsExecuted = 0;    //!< strip passes (fused + plain)
     std::uint64_t simdStripsExecuted = 0; //!< of which vector-backed
+    std::uint64_t jitStripsExecuted = 0;  //!< of which native fragments
 };
 
 /**
@@ -1046,6 +1130,8 @@ class BatchPlan
             ctrStrips_.load(std::memory_order_relaxed);
         counters.simdStripsExecuted =
             ctrSimdStrips_.load(std::memory_order_relaxed);
+        counters.jitStripsExecuted =
+            ctrJitStrips_.load(std::memory_order_relaxed);
         return counters;
     }
 
@@ -1090,6 +1176,7 @@ class BatchPlan
     mutable std::atomic<std::uint64_t> ctrSteps_{0};
     mutable std::atomic<std::uint64_t> ctrStrips_{0};
     mutable std::atomic<std::uint64_t> ctrSimdStrips_{0};
+    mutable std::atomic<std::uint64_t> ctrJitStrips_{0};
 };
 
 // ---------------------------------------------------------------------
@@ -1128,10 +1215,20 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
     // detected ISA internally, so this is safe everywhere); Scalar
     // always compiles the interpreter strips. Outputs are
     // bit-identical either way — the choice is purely about speed.
+    // Jit resolves per fused group below: each group that the
+    // fragment emitter accepts runs native code, and every refusal
+    // (unsupported op, ISA, W^X failure) falls back to the SIMD
+    // strips — so Jit implies wantSimd for the fallback rungs.
     const bool wantSimd =
         options.backend == simd::ExecBackend::Simd
+        || options.backend == simd::ExecBackend::Jit
         || (options.backend == simd::ExecBackend::Auto
             && simd::activeIsa() != simd::Isa::Scalar);
+    const bool wantJit =
+        fuse
+        && (options.backend == simd::ExecBackend::Jit
+            || options.backend == simd::ExecBackend::Auto)
+        && jit::available();
     stats_.backendRequested = options.backend;
     stats_.simdStrips = wantSimd;
     const simd::Isa buildIsa =
@@ -1332,6 +1429,7 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
 
     auto* ctrStrips = &ctrStrips_;
     auto* ctrSimdStrips = &ctrSimdStrips_;
+    auto* ctrJitStrips = &ctrJitStrips_;
 
     // Column operand as a StripLoc, carrying the const-broadcast hint
     // when the column is a hoisted point mass with a small payload.
@@ -1394,6 +1492,47 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
         ops.reserve(b - a);
         bool groupHasSimd = false;
         StepExec e;
+        // JIT accumulation: translate each step's strip locations into
+        // the fragment compiler's operand vocabulary while the
+        // fallback micro-ops are built. One non-jitable step refuses
+        // the whole group — a fragment replaces the per-step dispatch
+        // loop entirely or not at all.
+        bool groupJitable = wantJit;
+        std::vector<jit::GroupStep> jitSteps;
+        std::vector<std::size_t> tableCols; //!< slot -> logical column
+        std::unordered_map<std::size_t, std::uint32_t> slotOf;
+        auto jitOperand = [&](const batch::StripLoc& loc) {
+            jit::Operand o;
+            if (loc.inRegister) {
+                o.kind = jit::Operand::Kind::Scratch;
+                o.index = static_cast<std::uint32_t>(loc.regOffset);
+                return o;
+            }
+            if (loc.isConst) {
+                // The hoisted point mass stays pinned in a register
+                // inside the fragment; the column is never streamed
+                // (it stays filled, exactly like the kernel layer's
+                // broadcast-constant forms).
+                o.kind = jit::Operand::Kind::Const;
+                std::uint64_t bits = 0;
+                std::memcpy(&bits, loc.constBytes.data(),
+                            batch::StripLoc::kConstHintBytes);
+                o.constBits = bits;
+                return o;
+            }
+            o.kind = jit::Operand::Kind::Column;
+            auto it = slotOf.find(loc.column);
+            if (it == slotOf.end()) {
+                it = slotOf
+                         .emplace(loc.column,
+                                  static_cast<std::uint32_t>(
+                                      tableCols.size()))
+                         .first;
+                tableCols.push_back(loc.column);
+            }
+            o.index = it->second;
+            return o;
+        };
         for (std::size_t k = a; k < b; ++k) {
             auto& s = mainSteps[k];
             std::vector<batch::StripLoc> srcs;
@@ -1436,6 +1575,20 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
             } else {
                 ++stats_.scalarStripOps;
             }
+            if (groupJitable) {
+                if (!s.jitable || s.operands.size() > 3) {
+                    groupJitable = false;
+                } else {
+                    jit::GroupStep js;
+                    js.op = s.jitOp;
+                    js.arity =
+                        static_cast<std::uint8_t>(s.operands.size());
+                    for (std::size_t i = 0; i < s.operands.size(); ++i)
+                        js.src[i] = jitOperand(srcs[i]);
+                    js.dst = jitOperand(dst);
+                    jitSteps.push_back(js);
+                }
+            }
             auto release = [&](std::size_t col) {
                 auto rit = regOffsetOf.find(col);
                 if (rit == regOffsetOf.end())
@@ -1457,25 +1610,77 @@ BatchPlan::build(std::vector<BatchBuilder::ColumnMeta>&& metas,
         std::sort(e.reads.begin(), e.reads.end());
         e.reads.erase(std::unique(e.reads.begin(), e.reads.end()),
                       e.reads.end());
-        e.run = [ops = std::move(ops), ctrStrips, ctrSimdStrips,
-                 groupHasSimd](BatchWorkspace& ws) {
-            alignas(batch::kStripAlign)
-                unsigned char scratch[batch::kFusedScratchBytes];
-            const std::size_t len = ws.length();
-            std::uint64_t strips = 0;
-            for (std::size_t base = 0; base < len;
-                 base += batch::kStripElems) {
-                const std::size_t n =
-                    std::min(batch::kStripElems, len - base);
-                for (const auto& op : ops)
-                    op(ws, base, n, scratch);
-                ++strips;
+        std::shared_ptr<const jit::Fragment> frag;
+        if (groupJitable && tableCols.size() <= jit::kMaxColumnSlots) {
+            const jit::CompileResult compiled = jit::compileGroup(
+                jitSteps, tableCols.size(), batch::kStripElems);
+            if (compiled.fragment != nullptr) {
+                frag = compiled.fragment;
+                stats_.jitStrips = true;
+                stats_.jitStripOps += b - a;
+                ++stats_.jitFragments;
+                if (compiled.cacheHit)
+                    ++stats_.jitFragmentsReused;
+                stats_.jitCodeBytes += frag->codeBytes();
+                stats_.jitCompileNanos += compiled.compileNanos;
             }
-            ctrStrips->fetch_add(strips, std::memory_order_relaxed);
-            if (groupHasSimd)
-                ctrSimdStrips->fetch_add(strips,
-                                         std::memory_order_relaxed);
-        };
+        }
+        if (frag != nullptr) {
+            // Native fast path: one call per full strip replaces the
+            // whole per-op dispatch loop. Partial tail strips (block
+            // length not a multiple of kStripElems) run the retained
+            // fallback micro-ops — same arithmetic, same bits.
+            e.run = [ops = std::move(ops), frag,
+                     tableCols = std::move(tableCols), ctrStrips,
+                     ctrSimdStrips, ctrJitStrips,
+                     groupHasSimd](BatchWorkspace& ws) {
+                unsigned char* cols[jit::kMaxColumnSlots];
+                for (std::size_t i = 0; i < tableCols.size(); ++i)
+                    cols[i] = ws.rawColumn(tableCols[i]);
+                const jit::Fragment::Fn fn = frag->fn();
+                const std::size_t len = ws.length();
+                std::size_t base = 0;
+                std::uint64_t strips = 0;
+                for (; base + batch::kStripElems <= len;
+                     base += batch::kStripElems) {
+                    fn(cols, base);
+                    ++strips;
+                }
+                ctrJitStrips->fetch_add(strips,
+                                        std::memory_order_relaxed);
+                if (base < len) {
+                    alignas(batch::kStripAlign) unsigned char
+                        scratch[batch::kFusedScratchBytes];
+                    for (const auto& op : ops)
+                        op(ws, base, len - base, scratch);
+                    ++strips;
+                    if (groupHasSimd)
+                        ctrSimdStrips->fetch_add(
+                            1, std::memory_order_relaxed);
+                }
+                ctrStrips->fetch_add(strips, std::memory_order_relaxed);
+            };
+        } else {
+            e.run = [ops = std::move(ops), ctrStrips, ctrSimdStrips,
+                     groupHasSimd](BatchWorkspace& ws) {
+                alignas(batch::kStripAlign)
+                    unsigned char scratch[batch::kFusedScratchBytes];
+                const std::size_t len = ws.length();
+                std::uint64_t strips = 0;
+                for (std::size_t base = 0; base < len;
+                     base += batch::kStripElems) {
+                    const std::size_t n =
+                        std::min(batch::kStripElems, len - base);
+                    for (const auto& op : ops)
+                        op(ws, base, n, scratch);
+                    ++strips;
+                }
+                ctrStrips->fetch_add(strips, std::memory_order_relaxed);
+                if (groupHasSimd)
+                    ctrSimdStrips->fetch_add(strips,
+                                             std::memory_order_relaxed);
+            };
+        }
         execs.push_back(std::move(e));
         ++stats_.fusedKernels;
         stats_.fusedOps += b - a;

@@ -111,8 +111,8 @@ planStats(const Uncertain<T>& value, const PlanOptions& options = {})
 /**
  * Execution counters of @p value's cached plan in @p sampler: blocks
  * run, steps dispatched, fused strips executed and how many of those
- * went through the SIMD kernels. Zero until the plan has actually
- * sampled (compiling does not execute).
+ * went through compiled JIT fragments or the SIMD kernels. Zero until
+ * the plan has actually sampled (compiling does not execute).
  */
 template <typename T>
 PlanExecCounters
@@ -185,7 +185,17 @@ planReport(const PlanStats& stats, const PlanCacheStats& cache,
     out << planReport(stats, cache, blockSize) << "; executed "
         << exec.blocksExecuted << " blocks, " << exec.stepsDispatched
         << " steps dispatched, " << exec.stripsExecuted << " strips ("
-        << exec.simdStripsExecuted << " simd)";
+        << exec.jitStripsExecuted << " jit, " << exec.simdStripsExecuted
+        << " simd)";
+    if (stats.jitFragments > 0) {
+        // Process-wide fragment cache, not per-plan: compiled code is
+        // shared across plans with the same strip signature.
+        const auto frag = jit::fragmentCacheStats();
+        out << "; jit fragment cache " << frag.size << " entries, "
+            << frag.hits << " hits " << frag.misses << " misses "
+            << frag.refusals << " refusals " << frag.evictions
+            << " evictions";
+    }
     return out.str();
 }
 

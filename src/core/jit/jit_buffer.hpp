@@ -1,0 +1,65 @@
+/**
+ * @file
+ * W^X executable code buffer for the plan-level JIT backend.
+ *
+ * A fragment's machine code is assembled into ordinary heap memory
+ * first; seal() then maps fresh pages (PROT_READ | PROT_WRITE),
+ * copies the code in, and flips the mapping to PROT_READ | PROT_EXEC
+ * before anyone can jump to it. The pages are never writable and
+ * executable at the same time (W^X), and they stay read+execute for
+ * the buffer's whole lifetime — fragments are immutable, so there is
+ * no patching after sealing.
+ *
+ * Any failure (no mmap on this platform, mmap or mprotect refusing —
+ * e.g. a hardened kernel denying anonymous executable mappings)
+ * returns null, which the compiler reports as a refusal; the plan
+ * then falls back to the SIMD/scalar interpreter strips. JIT is an
+ * optimization, never a requirement.
+ */
+
+#ifndef UNCERTAIN_CORE_JIT_JIT_BUFFER_HPP
+#define UNCERTAIN_CORE_JIT_JIT_BUFFER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace uncertain {
+namespace jit {
+
+/** An immutable read+execute mapping holding one sealed fragment. */
+class ExecBuffer
+{
+  public:
+    ~ExecBuffer();
+    ExecBuffer(const ExecBuffer&) = delete;
+    ExecBuffer& operator=(const ExecBuffer&) = delete;
+
+    /**
+     * Map, copy @p size bytes of @p code, and seal read+execute.
+     * Returns null if executable memory cannot be obtained (platform
+     * without mmap, mmap/mprotect failure, empty code).
+     */
+    static std::unique_ptr<ExecBuffer> seal(const std::uint8_t* code,
+                                            std::size_t size);
+
+    /** Entry point of the sealed code (the first byte). */
+    const void* entry() const { return mem_; }
+
+    /** Bytes of machine code sealed (not the page-rounded mapping). */
+    std::size_t codeBytes() const { return codeBytes_; }
+
+  private:
+    ExecBuffer(void* mem, std::size_t mapped, std::size_t codeBytes)
+        : mem_(mem), mapped_(mapped), codeBytes_(codeBytes)
+    {}
+
+    void* mem_ = nullptr;
+    std::size_t mapped_ = 0; //!< page-rounded mapping size
+    std::size_t codeBytes_ = 0;
+};
+
+} // namespace jit
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_JIT_JIT_BUFFER_HPP

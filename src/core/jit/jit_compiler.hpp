@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The fragment compiler of the plan-level JIT backend: turns one
+ * fused elementwise run of a BatchPlan (a sequence of strip micro-ops
+ * over columns, strip registers, and broadcast constants) into a
+ * single straight-line native function covering a whole
+ * kStripElems-element strip, replacing per-step kernel dispatch
+ * entirely.
+ *
+ * Contract mirrors the SIMD kernel layer (core/simd_kernels.hpp): the
+ * emitted code performs the same IEEE operation per element in the
+ * same element order as the scalar interpreter strip — no FMA
+ * contraction (none is ever emitted), compare+blend Min/Max, ordered
+ * compares — so fragment output is bit-identical to both the scalar
+ * and the SIMD strips. Processing per *pack* (2 or 4 elements) across
+ * all ops, instead of per op across the strip, only reorders which
+ * elements are computed when — the same argument that makes the
+ * fusion pass bit-exact.
+ *
+ * Fragments are cached process-wide, keyed by the group's canonical
+ * op/operand signature plus the codegen ISA and strip length, so
+ * plans sharing a shape (across samplers and threads) compile once.
+ * The cache is mutex-guarded and bounded.
+ *
+ * compileGroup() refuses — returning a null fragment — rather than
+ * guess: unsupported op (anything outside the f64/i64/bool strip
+ * vocabulary below, e.g. the int32 kernels), no usable vector ISA,
+ * register pressure beyond the allocator, too many distinct columns,
+ * executable memory unavailable, or a -DUNCERTAIN_JIT=OFF build. The
+ * caller falls back to the SIMD/scalar strips; the interpreter
+ * remains the always-available oracle.
+ */
+
+#ifndef UNCERTAIN_CORE_JIT_JIT_COMPILER_HPP
+#define UNCERTAIN_CORE_JIT_JIT_COMPILER_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/jit/jit_buffer.hpp"
+
+namespace uncertain {
+namespace jit {
+
+/**
+ * Ops the emitter knows how to lower. One enumerator per (functor,
+ * signature) pair of the strip IR; the signature is implied by the
+ * name (F64 arithmetic, F64 ordered compares producing bool, I64
+ * add/sub, logical ops over bools, f64 select).
+ */
+enum class Op : std::uint8_t
+{
+    AddF64,
+    SubF64,
+    MulF64,
+    DivF64,
+    MinF64, //!< (y < x) ? y : x — compare+blend, std::min semantics
+    MaxF64, //!< (x < y) ? y : x — compare+blend, std::max semantics
+    NegF64, //!< sign-bit xor: bit-exact for NaN and +-0
+    LtF64,
+    GtF64,
+    LeF64,
+    GeF64,
+    EqF64,
+    NeF64, //!< the only predicate true on NaN (unordered)
+    AddI64,
+    SubI64,
+    AndBool,
+    OrBool,
+    NotBool,
+    SelectF64, //!< (cond, x, y) -> cond ? x : y
+};
+
+/** Where one fragment operand lives. */
+struct Operand
+{
+    enum class Kind : std::uint8_t
+    {
+        Column,  //!< workspace column; index = dense column slot
+        Scratch, //!< strip register; index = scratch byte offset
+        Const,   //!< broadcast constant; constBits = object bytes
+    };
+
+    Kind kind = Kind::Column;
+    std::uint32_t index = 0;
+    std::uint64_t constBits = 0;
+};
+
+/** One step of the group, with operands already slot-remapped. */
+struct GroupStep
+{
+    Op op = Op::AddF64;
+    std::array<Operand, 3> src{};
+    std::uint8_t arity = 0;
+    Operand dst{}; //!< Column or Scratch, never Const
+};
+
+/** Hard cap on distinct column slots per fragment (pointer table). */
+constexpr std::size_t kMaxColumnSlots = 64;
+
+/**
+ * A sealed native function over one strip:
+ *   fn(cols, base)
+ * where cols[slot] is the raw storage pointer of that column slot and
+ * base is the absolute element index of the strip's first element
+ * (every column is addressed as cols[slot] + base * elemSize). The
+ * function processes exactly the stripElems it was compiled for, so
+ * callers run it only on full strips and hand partial tails to the
+ * interpreter strips.
+ */
+class Fragment
+{
+  public:
+    using Fn = void (*)(unsigned char* const* cols, std::size_t base);
+
+    Fragment(std::unique_ptr<ExecBuffer> buffer)
+        : buffer_(std::move(buffer))
+    {}
+
+    Fn
+    fn() const
+    {
+        return reinterpret_cast<Fn>(
+            const_cast<void*>(buffer_->entry()));
+    }
+
+    std::size_t codeBytes() const { return buffer_->codeBytes(); }
+
+  private:
+    std::unique_ptr<ExecBuffer> buffer_;
+};
+
+/** Outcome of one compileGroup call. */
+struct CompileResult
+{
+    std::shared_ptr<const Fragment> fragment; //!< null on refusal
+    bool cacheHit = false;       //!< served from the process-wide cache
+    std::uint64_t compileNanos = 0; //!< actual emission time (0 on hit)
+};
+
+/** Process-wide fragment cache counters (tests, planReport). */
+struct FragmentCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;    //!< lookups that ran the emitter
+    std::uint64_t refusals = 0;  //!< emitter declined (not cached)
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+};
+
+/**
+ * Can the JIT emit anything on this build/CPU right now? False on
+ * non-x86-64, -DUNCERTAIN_JIT=OFF builds, setForceDisabled(true),
+ * when the SIMD layer reports no usable vector unit (which covers
+ * simd::setForceScalar and -DUNCERTAIN_SIMD=OFF builds — the JIT is
+ * part of the vector execution story and obeys the same kill
+ * switches), or when the one-time executable-memory probe failed.
+ */
+bool available();
+
+/**
+ * Process-wide kill switch, the JIT analog of simd::setForceScalar:
+ * while true, available() is false and every compileGroup call
+ * refuses. Used by the forced-fallback tests and the bench axes.
+ */
+void setForceDisabled(bool disabled);
+
+/** Current state of the force-disable switch. */
+bool forceDisabled();
+
+/** Name of the ISA fragments are emitted for ("avx2", "sse2"); the
+ *  emitter follows the *running CPU* (simd::detectedIsa), not the
+ *  compiler flags — generated code carries its own encoding. Returns
+ *  "none" when available() is false. */
+const char* codegenIsaName();
+
+/**
+ * Compile @p steps (one fused run, operands slot-remapped so column
+ * slots are dense appearance-order indices below @p columnSlots) into
+ * a fragment processing @p stripElems elements per call. Serves the
+ * process-wide cache first. Null fragment = refusal; see file header
+ * for the refusal vocabulary.
+ */
+CompileResult compileGroup(const std::vector<GroupStep>& steps,
+                           std::size_t columnSlots,
+                           std::size_t stripElems);
+
+/** Snapshot of the process-wide fragment cache counters. */
+FragmentCacheStats fragmentCacheStats();
+
+/** Drop every cached fragment (tests; live plans keep theirs alive). */
+void clearFragmentCache();
+
+} // namespace jit
+} // namespace uncertain
+
+#endif // UNCERTAIN_CORE_JIT_JIT_COMPILER_HPP

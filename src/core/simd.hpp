@@ -33,8 +33,16 @@ namespace simd {
 /**
  * Which strip implementation a compiled plan uses.
  *
- * - Auto:   vectorize when activeIsa() reports a usable vector unit
+ * - Auto:   compile fused elementwise groups to native fragments when
+ *           the plan-level JIT is available (jit::available()), else
+ *           vectorize when activeIsa() reports a usable vector unit
  *           at plan-build time, else compile the scalar strips.
+ * - Jit:    prefer native fragments for every fused group. Safe on
+ *           any machine: a group the emitter refuses (unsupported op,
+ *           no x86-64, no executable memory, -DUNCERTAIN_JIT=OFF)
+ *           falls back to the SIMD strips, which in turn clamp to
+ *           the detected ISA — the fallback order is always
+ *           jit -> simd -> scalar, bit-identical at every rung.
  * - Simd:   always route vectorizable strips through the kernel
  *           layer. Safe on any machine — the kernels clamp to the
  *           detected ISA and fall back to their scalar emulation —
@@ -46,13 +54,15 @@ enum class ExecBackend : std::uint8_t
     Auto = 0,
     Simd = 1,
     Scalar = 2,
+    Jit = 3,
 };
 
-/** Human-readable backend name ("auto", "simd", "scalar"). */
+/** Human-readable backend name ("auto", "jit", "simd", "scalar"). */
 inline const char*
 backendName(ExecBackend backend)
 {
     switch (backend) {
+    case ExecBackend::Jit: return "jit";
     case ExecBackend::Simd: return "simd";
     case ExecBackend::Scalar: return "scalar";
     case ExecBackend::Auto: break;

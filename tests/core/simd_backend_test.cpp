@@ -19,8 +19,11 @@
  *  4. Ziggurat — Gaussian::sampleMany under the vector accept pass is
  *     bit-identical to the forced-scalar path.
  *  5. Plan equivalence — all 16 optimizer toggle combinations x
- *     {Auto, Simd, Scalar} backends produce identical sample streams,
- *     and PlanStats/exec counters report the backend truthfully.
+ *     {Auto, Jit, Simd, Scalar} backends produce identical sample
+ *     streams, and PlanStats/exec counters report the backend
+ *     truthfully. The JIT rung gets its own parity tests (IEEE edge
+ *     cases, odd tails, forced fallback, fragment-cache races) since
+ *     it emits machine code instead of calling kernels.
  *  6. Law conformance — KS and TV-certification entries for the
  *     SIMD-backed ziggurat and an optimized-plan root column
  *     (SimdBackendStatistical.* / SimdBackendCertification.* run in
@@ -37,10 +40,12 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/core.hpp"
 #include "core/inspect.hpp"
+#include "core/jit/jit_compiler.hpp"
 #include "core/simd.hpp"
 #include "core/simd_kernels.hpp"
 #include "random/gaussian.hpp"
@@ -65,6 +70,20 @@ class ForceScalarGuard
         simd::setForceScalar(force);
     }
     ~ForceScalarGuard() { simd::setForceScalar(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** RAII for the process-wide JIT kill switch. */
+class ForceJitOffGuard
+{
+  public:
+    explicit ForceJitOffGuard(bool off) : prev_(jit::forceDisabled())
+    {
+        jit::setForceDisabled(off);
+    }
+    ~ForceJitOffGuard() { jit::setForceDisabled(prev_); }
 
   private:
     bool prev_;
@@ -497,6 +516,7 @@ TEST(SimdBackend, PlanOutputsBitIdenticalAcrossBackendsAndToggles)
     const auto ref = planSamples(expr, PlanOptions::disabled(), n,
                                  seed);
     const simd::ExecBackend backends[] = {simd::ExecBackend::Auto,
+                                          simd::ExecBackend::Jit,
                                           simd::ExecBackend::Simd,
                                           simd::ExecBackend::Scalar};
     for (unsigned mask = 0; mask < 16; ++mask) {
@@ -583,6 +603,172 @@ TEST(SimdBackend, ExecCountersObserveVectorStrips)
     auto scalarExec = planExecCounters(expr, scalarSampler);
     EXPECT_GT(scalarExec.stripsExecuted, 0u);
     EXPECT_EQ(scalarExec.simdStripsExecuted, 0u);
+    // Explicit Simd/Scalar requests never route through fragments.
+    EXPECT_EQ(simdExec.jitStripsExecuted, 0u);
+    EXPECT_EQ(scalarExec.jitStripsExecuted, 0u);
+}
+
+// ---- 5b. the JIT rung ------------------------------------------------
+
+/**
+ * A graph that pushes every IEEE edge case through the emitter's whole
+ * op surface: ±inf and ±0 products, NaN-poisoned lanes, NaN-aware
+ * min/max blends, a comparison against NaN (always false) feeding a
+ * select, and a division whose operand lanes hit inf/inf and 0/0.
+ */
+Uncertain<double>
+ieeeEdgeGraph()
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    auto x = gaussianLeaf(0.0, 1.0);
+    auto y = rayleighLeaf(0.8);
+    auto signedZeros = x * 0.0;   // ±0 tracking sign(x)
+    auto signedInfs = x * inf;    // ±inf, NaN at x == ±0
+    auto poisoned = x + nan;      // NaN every lane
+    auto blended = min(signedInfs, y) + max(poisoned, signedZeros);
+    auto chosen = select(x < nan, poisoned, y); // NaN compare: false
+    return blended + chosen / signedInfs;       // inf/inf, 0/0 lanes
+}
+
+TEST(SimdBackend, JitPlanHandlesIeeeEdgeCasesAndOddTails)
+{
+    auto expr = ieeeEdgeGraph();
+    // 2017 % 1024 = 993 = 3 full strips + a 225-element tail, so the
+    // fragment's full-strip path and the fallback tail path both run
+    // and must agree with the interpreter bit for bit (NaN payloads
+    // included — bitIdentical, not ==).
+    const std::size_t n = 2017;
+    const std::uint64_t seed = 83;
+    const auto ref = planSamples(expr, PlanOptions::disabled(), n,
+                                 seed);
+    PlanOptions jitOpt;
+    jitOpt.backend = simd::ExecBackend::Jit;
+    EXPECT_TRUE(bitIdentical(ref, planSamples(expr, jitOpt, n, seed)));
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        auto samples = planSamples(
+            expr, toggleCombo(mask, simd::ExecBackend::Jit), n, seed);
+        EXPECT_TRUE(bitIdentical(ref, samples)) << "toggle " << mask;
+    }
+}
+
+TEST(SimdBackend, JitBackendReportsStatsAndCounters)
+{
+    auto expr = stripHeavyGraph();
+    PlanOptions options;
+    options.backend = simd::ExecBackend::Jit;
+    auto stats = planStats(expr, options);
+    EXPECT_EQ(stats.backendRequested, simd::ExecBackend::Jit);
+    EXPECT_NE(stats.toString().find("backend jit"), std::string::npos);
+    if (!jit::available()) {
+        EXPECT_FALSE(stats.jitStrips);
+        EXPECT_EQ(stats.jitFragments, 0u);
+        return;
+    }
+    EXPECT_TRUE(stats.jitStrips);
+    EXPECT_GT(stats.jitStripOps, 0u);
+    EXPECT_GT(stats.jitFragments, 0u);
+    EXPECT_GT(stats.jitCodeBytes, 0u);
+    EXPECT_NE(stats.toString().find("-> jit"), std::string::npos);
+    EXPECT_NE(stats.toString().find(" fragments "), std::string::npos);
+
+    BatchSampler sampler(BatchOptions{1024, options});
+    Rng rng = testing::testRng(92);
+    (void)expr.takeSamples(4096, rng, sampler);
+    auto exec = planExecCounters(expr, sampler);
+    EXPECT_GT(exec.jitStripsExecuted, 0u);
+    EXPECT_LE(exec.jitStripsExecuted, exec.stripsExecuted);
+}
+
+TEST(SimdBackend, JitForcedFallbackLandsOnSimd)
+{
+    auto expr = stripHeavyGraph();
+    const std::size_t n = 3000;
+    const std::uint64_t seed = 82;
+    const auto ref = planSamples(expr, PlanOptions::disabled(), n,
+                                 seed);
+
+    ForceJitOffGuard off(true);
+    EXPECT_FALSE(jit::available());
+
+    // An explicit Jit request downgrades to the SIMD strips; the
+    // request is still recorded so the report shows the downgrade
+    // ("backend jit -> simd").
+    PlanOptions options;
+    options.backend = simd::ExecBackend::Jit;
+    auto stats = planStats(expr, options);
+    EXPECT_EQ(stats.backendRequested, simd::ExecBackend::Jit);
+    EXPECT_FALSE(stats.jitStrips);
+    EXPECT_EQ(stats.jitFragments, 0u);
+    EXPECT_TRUE(stats.simdStrips);
+    EXPECT_GT(stats.simdStripOps, 0u);
+    EXPECT_NE(stats.toString().find("backend jit -> simd"),
+              std::string::npos);
+    EXPECT_TRUE(bitIdentical(ref, planSamples(expr, options, n, seed)));
+
+    // Auto likewise skips the fragment rung while the switch is off.
+    auto autoStats = planStats(expr, PlanOptions{});
+    EXPECT_FALSE(autoStats.jitStrips);
+}
+
+TEST(SimdBackend, JitRefusesUnsupportedIntOpsAndFallsBack)
+{
+    // int32 deliberately has no JIT lowering (core/jit/jit_form.hpp),
+    // so this fused i32 chain must refuse and fall back to the SIMD
+    // strips — bit-for-bit against the scalar backend.
+    auto die = Uncertain<int>::fromSampler(
+        [](Rng& rng) { return static_cast<int>(rng.nextBelow(6)) + 1; },
+        "d6");
+    auto expr = die * Uncertain<int>(3) + die;
+
+    PlanOptions jitOpt;
+    jitOpt.backend = simd::ExecBackend::Jit;
+    auto stats = BatchPlan::compile(expr.node(), jitOpt)->stats();
+    EXPECT_FALSE(stats.jitStrips);
+    EXPECT_EQ(stats.jitFragments, 0u);
+
+    PlanOptions scalarOpt;
+    scalarOpt.backend = simd::ExecBackend::Scalar;
+    Rng rngA = testing::testRng(84);
+    Rng rngB = testing::testRng(84);
+    BatchSampler jitSampler(BatchOptions{1024, jitOpt});
+    BatchSampler scalarSampler(BatchOptions{1024, scalarOpt});
+    EXPECT_EQ(expr.takeSamples(4000, rngA, jitSampler),
+              expr.takeSamples(4000, rngB, scalarSampler));
+}
+
+TEST(SimdBackend, JitFragmentCacheSharedAcrossPlansAndThreads)
+{
+    if (!jit::available())
+        GTEST_SKIP() << "plan-level JIT unavailable on this host";
+    jit::clearFragmentCache();
+
+    // Distinct graphs with identical shape: every thread compiles its
+    // own plan, but the strip signatures coincide, so the process-wide
+    // fragment cache is hit concurrently — the TSan shard runs this
+    // test to certify the cache locking.
+    PlanOptions options;
+    options.backend = simd::ExecBackend::Jit;
+    const std::size_t n = 2048;
+    const std::uint64_t seed = 86;
+    const auto ref = planSamples(stripHeavyGraph(), options, n, seed);
+
+    constexpr int kThreads = 4;
+    std::vector<std::vector<double>> out(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&out, &options, t] {
+            out[t] = planSamples(stripHeavyGraph(), options, 2048, 86);
+        });
+    for (auto& th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_TRUE(bitIdentical(ref, out[t])) << "thread " << t;
+
+    auto frag = jit::fragmentCacheStats();
+    EXPECT_GT(frag.size, 0u);
+    EXPECT_GT(frag.hits, 0u); // same-shape plans shared compiled code
 }
 
 // ---- 6. law conformance ----------------------------------------------
