@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Load generator for the uncertainty server: a fleet of phones each
+ * posting fixes at walking cadence and asking "am I walking briskly?"
+ * — Pr queries against the builtin gaussian-chain model with a
+ * sprinkling of Advise queries against the gps-speed posterior.
+ * Closed-loop clients drive the loopback transport as fast as the
+ * server answers, which measures the sustainable query capacity; at
+ * 1 Hz per phone the sustained QPS is the supportable fleet size.
+ *
+ * Modes:
+ *   --mode coalesced   (default) cross-request batching through the
+ *                      shared plan cache
+ *   --mode perrequest  the stateless baseline: every request compiles
+ *                      its plans from scratch, batches of one
+ *
+ * The CI benchmarks job runs both and gates
+ * serve/sustained_qps(coalesced) >= 2x serve/sustained_qps(perrequest)
+ * via scripts/bench_compare.py --backend-gate.
+ *
+ * Flags: --clients N, --millis M, --workers W, --json PATH, --paper.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/serve.hpp"
+
+using namespace uncertain;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+serve::Request
+briskQuery(std::uint64_t tenant, std::uint64_t id)
+{
+    serve::Request request;
+    request.opcode = serve::Opcode::Pr;
+    request.tenantId = tenant;
+    request.requestId = id;
+    request.modelId = serve::kModelGaussianChain;
+    // Speed-like chain: mean 3.5 + 8 * 0.125 = 4.5 mph against a
+    // 4 mph cut — a genuinely sequential (non-degenerate) test.
+    request.params = {3.5, 1.5, 8.0, 4.0};
+    request.threshold = 0.5;
+    return request;
+}
+
+serve::Request
+adviseQuery(std::uint64_t tenant, std::uint64_t id)
+{
+    serve::Request request;
+    request.opcode = serve::Opcode::Advise;
+    request.tenantId = tenant;
+    request.requestId = id;
+    request.modelId = serve::kModelGpsSpeed;
+    // One shared fix-pair geometry: phones report quantized fixes so
+    // the posterior instance (and its plans) are reused fleet-wide.
+    request.params = {47.6, -122.3, 30.0, 0.7, 6.0, 3.0};
+    return request;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Serving throughput: phone fleet vs. the "
+                  "cross-request batching server");
+    const bool paper = bench::hasFlag(argc, argv, "--paper");
+    const std::string mode =
+        bench::stringFlag(argc, argv, "--mode", "coalesced");
+    if (mode != "coalesced" && mode != "perrequest") {
+        std::fprintf(stderr,
+                     "bench_serve: unknown --mode '%s' "
+                     "(coalesced|perrequest)\n",
+                     mode.c_str());
+        return 2;
+    }
+    const bool perRequest = (mode == "perrequest");
+    const std::size_t clients = static_cast<std::size_t>(
+        bench::intFlag(argc, argv, "--clients", 32));
+    const long millis =
+        bench::intFlag(argc, argv, "--millis", paper ? 6000 : 1500);
+    const std::size_t workers = static_cast<std::size_t>(
+        bench::intFlag(argc, argv, "--workers", 2));
+    const std::string json =
+        bench::stringFlag(argc, argv, "--json", "");
+
+    serve::ServerOptions options;
+    options.workers = workers;
+    options.queueCapacity = 4096;
+    if (perRequest) {
+        options.sharePlans = false;
+        options.maxBatch = 1;
+        options.batchWindowMicros = 0;
+    }
+    serve::UncertainServer server(options);
+    server.start();
+
+    // Warm both model instances (the gps build runs an SIR pool)
+    // outside the measured window.
+    {
+        serve::LoopbackClient warm(server);
+        warm.call(briskQuery(0, 0));
+        warm.call(adviseQuery(0, 1));
+    }
+
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+    const auto start = Clock::now();
+    const auto deadline = start + std::chrono::milliseconds(millis);
+    {
+        std::vector<std::thread> fleet;
+        fleet.reserve(clients);
+        for (std::size_t phone = 0; phone < clients; ++phone) {
+            fleet.emplace_back([&, phone] {
+                serve::LoopbackClient client(server);
+                std::uint64_t id = 0;
+                while (Clock::now() < deadline) {
+                    const serve::Request request =
+                        (id % 8 == 7) ? adviseQuery(phone + 1, id)
+                                      : briskQuery(phone + 1, id);
+                    client.send(request);
+                    serve::Response response;
+                    if (client.receive(response)
+                        && response.status == serve::Status::Ok) {
+                        ++completed;
+                    } else {
+                        ++failed;
+                    }
+                    ++id;
+                }
+            });
+        }
+        for (std::thread& phone : fleet)
+            phone.join();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    const serve::ServerStats stats = serve::serverStats(server);
+    const double qps =
+        elapsed > 0.0
+            ? static_cast<double>(completed.load()) / elapsed
+            : 0.0;
+
+    bench::Table table({"metric", "value"});
+    table.mixedRow({"mode", mode});
+    table.mixedRow({"clients", std::to_string(clients)});
+    table.mixedRow({"replies ok", std::to_string(completed.load())});
+    table.mixedRow({"replies failed", std::to_string(failed.load())});
+    table.mixedRow({"sustained qps", std::to_string(qps)});
+    table.mixedRow({"1 Hz fleet capacity (phones)",
+                    std::to_string(static_cast<long>(qps))});
+    table.mixedRow({"p50 latency us",
+                    std::to_string(stats.p50LatencyMicros)});
+    table.mixedRow({"p99 latency us",
+                    std::to_string(stats.p99LatencyMicros)});
+    table.mixedRow({"batches", std::to_string(stats.batches)});
+    table.mixedRow({"coalesced requests",
+                    std::to_string(stats.coalescedRequests)});
+    table.mixedRow({"max batch occupancy",
+                    std::to_string(stats.batchOccupancyMax)});
+    table.mixedRow({"plan cache hits",
+                    std::to_string(server.planCache()->stats().hits)});
+    std::printf("\n%s\n", serve::serverReport(stats).c_str());
+
+    if (failed.load() != 0) {
+        std::fprintf(stderr, "bench_serve: %llu requests failed\n",
+                     static_cast<unsigned long long>(failed.load()));
+        return 1;
+    }
+
+    if (!json.empty()) {
+        bench::writeBenchJson(
+            json,
+            {
+                // Shared name across modes: the coalesced-vs-
+                // perrequest gate compares exactly this row.
+                {"serve/sustained_qps", qps},
+                // Mode-suffixed names appear in only one file each,
+                // so the gate reports them without comparing.
+                {"serve/p50_latency_us/" + mode,
+                 stats.p50LatencyMicros},
+                {"serve/p99_latency_us/" + mode,
+                 stats.p99LatencyMicros},
+            });
+        std::printf("wrote %s\n", json.c_str());
+    }
+    return 0;
+}

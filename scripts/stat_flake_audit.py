@@ -24,8 +24,11 @@ is ~0.4%, so a flagged test is overwhelmingly likely to be genuinely
 over budget rather than unlucky).
 
 The gtest filter is read from tests/CMakeLists.txt
-(UNCERTAIN_STATISTICAL_FILTER) so the audit and the CTest shard cannot
-drift apart; --filter overrides it.
+(UNCERTAIN_STATISTICAL_FILTER, joined with the serve shard's
+seed-sensitive subset UNCERTAIN_SERVE_STATISTICAL_FILTER — the served
+gaussian-chain / speed-posterior KS suites fold the offset into the
+server seed) so the audit and the CTest shards cannot drift apart;
+--filter overrides it.
 """
 
 import argparse
@@ -40,7 +43,12 @@ FAILED_RE = re.compile(r"^\[\s*FAILED\s*\]\s+(\S+)", re.MULTILINE)
 
 
 def statistical_filter(repo_root):
-    """Read UNCERTAIN_STATISTICAL_FILTER from tests/CMakeLists.txt."""
+    """Read the seed-sensitive filters from tests/CMakeLists.txt.
+
+    The sweep covers the statistical shard plus the statistical subset
+    of the serve shard (both are calibrated at a per-test alpha, so
+    both carry a rejection-rate budget).
+    """
     cmake = repo_root / "tests" / "CMakeLists.txt"
     text = cmake.read_text()
     match = re.search(
@@ -49,7 +57,13 @@ def statistical_filter(repo_root):
         raise SystemExit(
             f"stat_flake_audit: UNCERTAIN_STATISTICAL_FILTER not "
             f"found in {cmake}")
-    return match.group(1)
+    parts = [match.group(1)]
+    serve = re.search(
+        r'set\(UNCERTAIN_SERVE_STATISTICAL_FILTER\s*\n?\s*"([^"]+)"',
+        text)
+    if serve:
+        parts.append(serve.group(1))
+    return ":".join(parts)
 
 
 def run_offset(binary, gtest_filter, offset):

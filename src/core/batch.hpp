@@ -344,16 +344,8 @@ class BatchSampler
     evaluateCondition(const NodePtr<bool>& node, double threshold,
                       const ConditionalOptions& options, Rng& rng)
     {
-        const std::size_t chunk = std::max<std::size_t>(
-            options.sprt.batchSize, std::size_t{256});
-        auto result = evaluateConditionChunked(
-            [&](std::size_t offset, std::size_t count,
-                std::uint8_t* out) {
-                fillEvidence(node, rng, offset, count, out);
-            },
-            threshold, options, chunk);
-        rng.advance();
-        return result;
+        return evaluateConditionPlan(cache_->planFor(node, optimizer_),
+                                     threshold, options, rng);
     }
 
     /**
@@ -366,16 +358,8 @@ class BatchSampler
     sampleInto(const NodePtr<T>& node, std::size_t n, const Rng& base,
                T* out)
     {
-        auto plan = cache_->planFor(node, optimizer_);
-        auto& workspace = workspaces_.acquire(plan);
-        const std::size_t rootCol = plan->rootColumn();
-        for (std::size_t start = 0; start < n; start += blockSize_) {
-            const std::size_t len = std::min(blockSize_, n - start);
-            plan->runBlock(workspace, base, start, len);
-            const auto* col =
-                workspace.template column<T>(rootCol).data();
-            std::copy(col, col + len, out + start);
-        }
+        sampleIntoPlan(cache_->planFor(node, optimizer_), n, base,
+                       out);
     }
 
     /**
@@ -389,7 +373,78 @@ class BatchSampler
                  std::size_t offset, std::size_t count,
                  std::uint8_t* out)
     {
-        auto plan = cache_->planFor(node, optimizer_);
+        fillEvidencePlan(cache_->planFor(node, optimizer_), base,
+                         offset, count, out);
+    }
+
+    // ----- plan-direct entry points ---------------------------------
+    // The node-keyed methods above resolve their plan through the
+    // shared cache on every call; callers that already hold a plan —
+    // the serving coalescer executing a batch of requests against one
+    // plan-cache entry, or anything driving several queries through
+    // the same compiled graph — use these to pay the lookup once per
+    // group instead of once per request. Same determinism contract:
+    // output is a pure function of (Rng snapshot, n, blockSize, plan),
+    // bit-identical to the node-keyed path given the same plan.
+
+    /** sampleInto against an already-resolved plan. */
+    template <typename T>
+    void
+    sampleIntoPlan(const std::shared_ptr<const BatchPlan>& plan,
+                   std::size_t n, const Rng& base, T* out)
+    {
+        UNCERTAIN_REQUIRE(plan != nullptr,
+                          "plan-direct sampling requires a plan");
+        auto& workspace = workspaces_.acquire(plan);
+        const std::size_t rootCol = plan->rootColumn();
+        for (std::size_t start = 0; start < n; start += blockSize_) {
+            const std::size_t len = std::min(blockSize_, n - start);
+            plan->runBlock(workspace, base, start, len);
+            const auto* col =
+                workspace.template column<T>(rootCol).data();
+            std::copy(col, col + len, out + start);
+        }
+    }
+
+    /** takeSamples against an already-resolved plan. */
+    template <typename T>
+    std::vector<T>
+    takeSamplesPlan(const std::shared_ptr<const BatchPlan>& plan,
+                    std::size_t n, Rng& rng)
+    {
+        std::unique_ptr<T[]> buffer(new T[n]());
+        sampleIntoPlan(plan, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        rng.advance();
+        return std::vector<T>(buffer.get(), buffer.get() + n);
+    }
+
+    /** expectedValue against an already-resolved plan. */
+    template <typename T>
+    T
+    expectedValuePlan(const std::shared_ptr<const BatchPlan>& plan,
+                      std::size_t n, Rng& rng)
+    {
+        UNCERTAIN_REQUIRE(n >= 1, "expectedValue requires n >= 1");
+        std::unique_ptr<T[]> buffer(new T[n]());
+        sampleIntoPlan(plan, n, rng, buffer.get());
+        evalStats().rootSamples += n;
+        ++evalStats().expectations;
+        rng.advance();
+        T total = buffer[0];
+        for (std::size_t i = 1; i < n; ++i)
+            total = total + buffer[i];
+        return total / static_cast<double>(n);
+    }
+
+    /** fillEvidence against an already-resolved plan. */
+    void
+    fillEvidencePlan(const std::shared_ptr<const BatchPlan>& plan,
+                     const Rng& base, std::size_t offset,
+                     std::size_t count, std::uint8_t* out)
+    {
+        UNCERTAIN_REQUIRE(plan != nullptr,
+                          "plan-direct sampling requires a plan");
         auto& workspace = workspaces_.acquire(plan);
         const std::size_t rootCol = plan->rootColumn();
         for (std::size_t start = 0; start < count;
@@ -400,6 +455,28 @@ class BatchSampler
             const auto* col = workspace.column<bool>(rootCol).data();
             std::copy(col, col + len, out + start);
         }
+    }
+
+    /**
+     * evaluateCondition against an already-resolved plan: one cache
+     * lookup for the whole sequential test instead of one per
+     * evidence chunk.
+     */
+    ConditionalResult
+    evaluateConditionPlan(const std::shared_ptr<const BatchPlan>& plan,
+                          double threshold,
+                          const ConditionalOptions& options, Rng& rng)
+    {
+        const std::size_t chunk = std::max<std::size_t>(
+            options.sprt.batchSize, std::size_t{256});
+        auto result = evaluateConditionChunked(
+            [&](std::size_t offset, std::size_t count,
+                std::uint8_t* out) {
+                fillEvidencePlan(plan, rng, offset, count, out);
+            },
+            threshold, options, chunk);
+        rng.advance();
+        return result;
     }
 
   private:

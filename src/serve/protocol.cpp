@@ -1,0 +1,255 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace uncertain {
+namespace serve {
+namespace {
+
+/** Incremental little-endian writer into a byte vector. */
+class Writer
+{
+  public:
+    explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+    void
+    u16(std::uint16_t v)
+    {
+        out_.push_back(static_cast<std::uint8_t>(v));
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int shift = 0; shift < 32; shift += 8)
+            out_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int shift = 0; shift < 64; shift += 8)
+            out_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+  private:
+    std::vector<std::uint8_t>& out_;
+};
+
+/** Bounds-checked little-endian reader over a byte span. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    bool
+    u16(std::uint16_t& v)
+    {
+        if (size_ - pos_ < 2)
+            return false;
+        v = static_cast<std::uint16_t>(
+            data_[pos_] | (std::uint16_t{data_[pos_ + 1]} << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t& v)
+    {
+        if (size_ - pos_ < 4)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t& v)
+    {
+        if (size_ - pos_ < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+        pos_ += 8;
+        return true;
+    }
+
+    bool
+    f64(double& v)
+    {
+        std::uint64_t bits = 0;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof v);
+        return true;
+    }
+
+    bool
+    done() const
+    {
+        return pos_ == size_;
+    }
+
+  private:
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** Prepend the u32 length of everything after the prefix. */
+void
+patchLengthPrefix(std::vector<std::uint8_t>& frame)
+{
+    const auto payload =
+        static_cast<std::uint32_t>(frame.size() - 4);
+    for (int i = 0; i < 4; ++i)
+        frame[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(payload >> (8 * i));
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeRequest(const Request& request)
+{
+    std::vector<std::uint8_t> frame(4, 0);
+    Writer w(frame);
+    w.u32(kRequestMagic);
+    w.u16(kProtocolVersion);
+    w.u16(static_cast<std::uint16_t>(request.opcode));
+    w.u64(request.tenantId);
+    w.u64(request.requestId);
+    w.u32(request.modelId);
+    w.u32(request.sampleCount);
+    w.f64(request.threshold);
+    w.u32(static_cast<std::uint32_t>(request.params.size()));
+    for (double p : request.params)
+        w.f64(p);
+    patchLengthPrefix(frame);
+    return frame;
+}
+
+std::vector<std::uint8_t>
+encodeResponse(const Response& response)
+{
+    std::vector<std::uint8_t> frame(4, 0);
+    Writer w(frame);
+    w.u32(kResponseMagic);
+    w.u16(kProtocolVersion);
+    w.u16(static_cast<std::uint16_t>(response.status));
+    w.u16(static_cast<std::uint16_t>(response.opcode));
+    w.u16(response.decision);
+    w.u64(response.tenantId);
+    w.u64(response.requestId);
+    w.f64(response.value);
+    w.u64(response.samplesUsed);
+    w.u32(static_cast<std::uint32_t>(response.samples.size()));
+    for (double s : response.samples)
+        w.f64(s);
+    patchLengthPrefix(frame);
+    return frame;
+}
+
+Status
+decodeRequest(const std::uint8_t* data, std::size_t size, Request& out)
+{
+    out = Request{};
+    Reader r(data, size);
+    std::uint32_t magic = 0;
+    std::uint16_t version = 0;
+    std::uint16_t opcode = 0;
+    if (!r.u32(magic) || magic != kRequestMagic)
+        return Status::Malformed;
+    if (!r.u16(version) || version != kProtocolVersion)
+        return Status::Malformed;
+    if (!r.u16(opcode))
+        return Status::Malformed;
+    if (!r.u64(out.tenantId) || !r.u64(out.requestId))
+        return Status::Malformed;
+    // Ids are recovered before the opcode is validated so error
+    // replies from here down can still echo them.
+    if (opcode < static_cast<std::uint16_t>(Opcode::Pr)
+        || opcode > static_cast<std::uint16_t>(Opcode::Advise)) {
+        return Status::BadRequest;
+    }
+    out.opcode = static_cast<Opcode>(opcode);
+    std::uint32_t paramCount = 0;
+    if (!r.u32(out.modelId) || !r.u32(out.sampleCount)
+        || !r.f64(out.threshold) || !r.u32(paramCount)) {
+        return Status::Malformed;
+    }
+    if (paramCount > kMaxParams)
+        return Status::BadRequest;
+    if (out.sampleCount > kMaxSampleCount)
+        return Status::BadRequest;
+    if (out.opcode == Opcode::TakeSamples
+        && out.sampleCount > kMaxSamplesPerReply) {
+        return Status::BadRequest;
+    }
+    out.params.resize(paramCount);
+    for (std::uint32_t i = 0; i < paramCount; ++i) {
+        if (!r.f64(out.params[i]))
+            return Status::Malformed;
+    }
+    // Trailing bytes mean the sender's framing is out of step with
+    // the payload it wrote; treat that as malformed rather than
+    // silently ignoring the residue.
+    if (!r.done())
+        return Status::Malformed;
+    return Status::Ok;
+}
+
+bool
+decodeResponse(const std::uint8_t* data, std::size_t size,
+               Response& out)
+{
+    out = Response{};
+    Reader r(data, size);
+    std::uint32_t magic = 0;
+    std::uint16_t version = 0;
+    std::uint16_t status = 0;
+    std::uint16_t opcode = 0;
+    std::uint32_t sampleCount = 0;
+    if (!r.u32(magic) || magic != kResponseMagic)
+        return false;
+    if (!r.u16(version) || version != kProtocolVersion)
+        return false;
+    if (!r.u16(status)
+        || status > static_cast<std::uint16_t>(Status::ShuttingDown))
+        return false;
+    out.status = static_cast<Status>(status);
+    if (!r.u16(opcode))
+        return false;
+    out.opcode = static_cast<Opcode>(opcode);
+    if (!r.u16(out.decision) || !r.u64(out.tenantId)
+        || !r.u64(out.requestId) || !r.f64(out.value)
+        || !r.u64(out.samplesUsed) || !r.u32(sampleCount)) {
+        return false;
+    }
+    if (sampleCount > kMaxSamplesPerReply)
+        return false;
+    out.samples.resize(sampleCount);
+    for (std::uint32_t i = 0; i < sampleCount; ++i) {
+        if (!r.f64(out.samples[i]))
+            return false;
+    }
+    return r.done();
+}
+
+} // namespace serve
+} // namespace uncertain

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Wire protocol of the uncertainty server: a small length-prefixed
+ * binary framing shared by the localhost TCP transport and the
+ * in-process loopback transport (serve/transport.hpp).
+ *
+ * A frame is a 4-byte little-endian payload length followed by the
+ * payload. Every multi-byte field inside the payload is little-endian
+ * and explicitly serialized byte by byte, so frames are identical
+ * across platforms (the same discipline as Rng::split: fixed-width
+ * integer ops only).
+ *
+ * Request payload layout (all offsets fixed, params variable):
+ *
+ *   u32  magic        kRequestMagic
+ *   u16  version      kProtocolVersion
+ *   u16  opcode       Opcode
+ *   u64  tenantId     client-chosen tenant (phone / app instance)
+ *   u64  requestId    client-chosen id, unique per tenant; together
+ *                     with tenantId it derives the request's RNG
+ *                     stream, so replaying (tenantId, requestId)
+ *                     yields a bit-identical reply
+ *   u32  modelId      registered model the query runs against
+ *   u32  sampleCount  n for ExpectedValue / TakeSamples; for Pr it
+ *                     overrides the SPRT sample cap (0 = defaults)
+ *   f64  threshold    Pr evidence threshold (ignored otherwise)
+ *   u32  paramCount   <= kMaxParams
+ *   f64  params[paramCount]   model parameters
+ *
+ * Response payload layout:
+ *
+ *   u32  magic        kResponseMagic
+ *   u16  version      kProtocolVersion
+ *   u16  status       Status (Ok or the rejection reason; admission
+ *                     rejections arrive as a well-formed reply with
+ *                     status Overloaded, not a dropped connection)
+ *   u16  opcode       echo of the request opcode
+ *   u16  decision     Pr: stats::TestDecision; Advise: gps::Advice
+ *   u64  tenantId     echo
+ *   u64  requestId    echo (0 when the request was too mangled to
+ *                     recover one)
+ *   f64  value        Pr estimate / expected value / advised speed
+ *   u64  samplesUsed  samples the query consumed
+ *   u32  sampleCount  TakeSamples payload size (else 0)
+ *   f64  samples[sampleCount]
+ *
+ * Framing contract: a frame longer than kMaxRequestFrameBytes is
+ * answered with status TooLarge and the connection is closed (the
+ * stream offset can no longer be trusted); a payload that parses but
+ * violates a bound is answered with Malformed/BadRequest and the
+ * connection stays usable.
+ */
+
+#ifndef UNCERTAIN_SERVE_PROTOCOL_HPP
+#define UNCERTAIN_SERVE_PROTOCOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uncertain {
+namespace serve {
+
+constexpr std::uint32_t kRequestMagic = 0x51435455;  //!< "UTCQ"
+constexpr std::uint32_t kResponseMagic = 0x50435455; //!< "UTCP"
+constexpr std::uint16_t kProtocolVersion = 1;
+
+/** Hard cap on model parameters per request. */
+constexpr std::size_t kMaxParams = 64;
+
+/** Hard cap on an incoming request frame's payload bytes. */
+constexpr std::size_t kMaxRequestFrameBytes = 1024;
+
+/** Hard cap on samples returned by one TakeSamples reply. */
+constexpr std::size_t kMaxSamplesPerReply = 8192;
+
+/** Hard cap on sampleCount for ExpectedValue / Pr sample budgets. */
+constexpr std::size_t kMaxSampleCount = std::size_t{1} << 20;
+
+/** Query kinds the server executes. */
+enum class Opcode : std::uint16_t
+{
+    Pr = 1,            //!< "Pr[event] > threshold" sequential test
+    ExpectedValue = 2, //!< mean of sampleCount draws
+    TakeSamples = 3,   //!< raw draws (bounded by kMaxSamplesPerReply)
+    Advise = 4,        //!< GPS-Walking advice over the model's speed
+};
+
+/** Reply status; anything but Ok means the query did not execute. */
+enum class Status : std::uint16_t
+{
+    Ok = 0,
+    Overloaded = 1,   //!< admission control rejected (queue full)
+    Malformed = 2,    //!< frame failed to parse
+    UnknownModel = 3, //!< modelId not registered
+    BadRequest = 4,   //!< parsed but violates a bound / model refused
+    TooLarge = 5,     //!< frame beyond kMaxRequestFrameBytes
+    ShuttingDown = 6, //!< server is stopping
+};
+
+/** Decoded request. */
+struct Request
+{
+    Opcode opcode = Opcode::Pr;
+    std::uint64_t tenantId = 0;
+    std::uint64_t requestId = 0;
+    std::uint32_t modelId = 0;
+    std::uint32_t sampleCount = 0;
+    double threshold = 0.5;
+    std::vector<double> params;
+};
+
+/** Decoded response. */
+struct Response
+{
+    Status status = Status::Ok;
+    Opcode opcode = Opcode::Pr;
+    std::uint16_t decision = 0;
+    std::uint64_t tenantId = 0;
+    std::uint64_t requestId = 0;
+    double value = 0.0;
+    std::uint64_t samplesUsed = 0;
+    std::vector<double> samples;
+};
+
+/** Serialize @p request as a full frame (length prefix included). */
+std::vector<std::uint8_t> encodeRequest(const Request& request);
+
+/** Serialize @p response as a full frame (length prefix included). */
+std::vector<std::uint8_t> encodeResponse(const Response& response);
+
+/**
+ * Parse a request payload (frame body, length prefix stripped).
+ * Returns Status::Ok and fills @p out on success; otherwise returns
+ * the rejection status and fills whatever ids could be recovered (so
+ * the error reply can still echo tenant/request ids when the header
+ * parsed but the body did not).
+ */
+Status decodeRequest(const std::uint8_t* data, std::size_t size,
+                     Request& out);
+
+/**
+ * Parse a response payload (frame body, length prefix stripped).
+ * Returns false on a malformed reply frame.
+ */
+bool decodeResponse(const std::uint8_t* data, std::size_t size,
+                    Response& out);
+
+} // namespace serve
+} // namespace uncertain
+
+#endif // UNCERTAIN_SERVE_PROTOCOL_HPP

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Umbrella header for the serving layer: include this to get the
+ * daemon (serve/server.hpp), the wire protocol (serve/protocol.hpp),
+ * and the loopback/TCP transports (serve/transport.hpp).
+ */
+
+#ifndef UNCERTAIN_SERVE_SERVE_HPP
+#define UNCERTAIN_SERVE_SERVE_HPP
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+
+#endif // UNCERTAIN_SERVE_SERVE_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the serve test shard: canned requests against
+ * the builtin models and a field-by-field reply comparison used by
+ * the reproducibility suites.
+ */
+
+#ifndef UNCERTAIN_TESTS_SERVE_TEST_UTIL_HPP
+#define UNCERTAIN_TESTS_SERVE_TEST_UTIL_HPP
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "serve/serve.hpp"
+#include "test_util.hpp"
+
+namespace uncertain {
+namespace testing {
+
+/** Gaussian-chain request: builtin model, params
+ *  [mu, sigma, depth, cut]. */
+inline serve::Request
+serveChainRequest(serve::Opcode opcode, std::uint64_t tenant,
+                  std::uint64_t id, double mu = 0.0,
+                  double sigma = 1.0, double depth = 8.0,
+                  double cut = 0.5)
+{
+    serve::Request request;
+    request.opcode = opcode;
+    request.tenantId = tenant;
+    request.requestId = id;
+    request.modelId = serve::kModelGaussianChain;
+    request.params = {mu, sigma, depth, cut};
+    return request;
+}
+
+/** The fix-pair parameterization the serve tests reuse for the
+ *  builtin gps-speed (fig11 posterior) model. */
+inline serve::Request
+serveGpsRequest(serve::Opcode opcode, std::uint64_t tenant,
+                std::uint64_t id)
+{
+    serve::Request request;
+    request.opcode = opcode;
+    request.tenantId = tenant;
+    request.requestId = id;
+    request.modelId = serve::kModelGpsSpeed;
+    // [lat, lon, epsilon95, bearingRadians, distanceMeters, dtSeconds]
+    request.params = {47.6, -122.3, 30.0, 0.7, 6.0, 3.0};
+    return request;
+}
+
+/** Field-by-field reply comparison; the served streams are
+ *  deterministic, so doubles compare exactly. */
+inline void
+expectIdenticalReplies(const serve::Response& a,
+                       const serve::Response& b)
+{
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.opcode, b.opcode);
+    EXPECT_EQ(a.decision, b.decision);
+    EXPECT_EQ(a.tenantId, b.tenantId);
+    EXPECT_EQ(a.requestId, b.requestId);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.samplesUsed, b.samplesUsed);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i)
+        EXPECT_EQ(a.samples[i], b.samples[i]) << "sample " << i;
+}
+
+/** Server seed folded with the sweep offset so the seed sweeps of
+ *  stat_flake_audit.py actually vary the served streams. */
+inline std::uint64_t
+sweptServerSeed(std::uint64_t salt)
+{
+    return 0x5eedULL
+           ^ ((salt + testSeedOffset()) * 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace testing
+} // namespace uncertain
+
+#endif // UNCERTAIN_TESTS_SERVE_TEST_UTIL_HPP
